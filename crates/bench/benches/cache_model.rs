@@ -1,0 +1,61 @@
+//! Microbenchmarks of the cache hierarchy — the hot path of the timed
+//! engine (every global access funnels through `load_via`/`store_via`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vgpu_sim::cache::{load_via, store_via, Cache};
+use vgpu_sim::{GlobalMem, GpuConfig};
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let mut g = c.benchmark_group("cache");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    g.bench_function("load_hit", |b| {
+        let mut l1 = Cache::new(cfg.l1d.clone());
+        let mut l2 = Cache::new(cfg.l2.clone());
+        let mut mem = GlobalMem::new(1 << 20);
+        mem.map(0, 1 << 20);
+        let (mut mr, mut mw) = (0, 0);
+        load_via(&mut l1, &mut l2, &mut mem, 0, 0, &cfg.lat, &mut mr, &mut mw);
+        let mut now = 10_000u64;
+        b.iter(|| {
+            now += 100;
+            load_via(&mut l1, &mut l2, &mut mem, 64, now, &cfg.lat, &mut mr, &mut mw)
+        })
+    });
+
+    g.bench_function("load_streaming_miss", |b| {
+        let mut l1 = Cache::new(cfg.l1d.clone());
+        let mut l2 = Cache::new(cfg.l2.clone());
+        let mut mem = GlobalMem::new(1 << 22);
+        mem.map(0, 1 << 22);
+        let (mut mr, mut mw) = (0, 0);
+        let mut addr = 0u32;
+        let mut now = 0u64;
+        b.iter(|| {
+            addr = (addr + 128) & ((1 << 22) - 1);
+            now += 500;
+            load_via(&mut l1, &mut l2, &mut mem, addr, now, &cfg.lat, &mut mr, &mut mw)
+        })
+    });
+
+    g.bench_function("store_through", |b| {
+        let mut l1 = Cache::new(cfg.l1d.clone());
+        let mut l2 = Cache::new(cfg.l2.clone());
+        let mut mem = GlobalMem::new(1 << 20);
+        mem.map(0, 1 << 20);
+        let (mut mr, mut mw) = (0, 0);
+        let mut i = 0u32;
+        let mut now = 0u64;
+        b.iter(|| {
+            i = (i + 4) & 0xFFFF;
+            now += 100;
+            store_via(&mut l1, &mut l2, &mut mem, i, i, now, &cfg.lat, &mut mr, &mut mw)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Per-injection cost at each abstraction layer (the paper's footnote 1:
+//! AVF campaigns cost orders of magnitude more than SVF campaigns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kernels::apps::hotspot::HotSpot;
+use kernels::{faulty_run, golden_run, PlannedFault, Variant};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vgpu_sim::{GpuConfig, HwStructure, SwFault, SwFaultKind, UarchFault};
+
+fn bench_injections(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let gt = golden_run(&HotSpot, &cfg, Variant::TIMED);
+    let gf = golden_run(&HotSpot, &cfg, Variant::FUNCTIONAL);
+    let mut g = c.benchmark_group("injection");
+    g.sample_size(15);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    for &h in &[HwStructure::RegFile, HwStructure::L2] {
+        g.bench_function(format!("uarch/{}", h.label()), |b| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| {
+                let ordinal = rng.gen_range(0..gt.records.len());
+                let fault = PlannedFault::Uarch(UarchFault {
+                    cycle: rng.gen_range(0..gt.records[ordinal].stats.cycles.max(1)),
+                    structure: h,
+                    loc_pick: rng.gen(),
+                    bit: rng.gen_range(0..32),
+                });
+                faulty_run(&HotSpot, &cfg, Variant::TIMED, &gt, ordinal, fault)
+            })
+        });
+    }
+
+    g.bench_function("sw/dest_value", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| {
+            let ordinal = rng.gen_range(0..gf.records.len());
+            let fault = PlannedFault::Sw(SwFault {
+                kind: SwFaultKind::DestValue,
+                target: rng.gen_range(0..gf.records[ordinal].stats.gp_dest_instrs.max(1)),
+                bit: rng.gen_range(0..32), loc_pick: 0 });
+            faulty_run(&HotSpot, &cfg, Variant::FUNCTIONAL, &gf, ordinal, fault)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_injections);
+criterion_main!(benches);

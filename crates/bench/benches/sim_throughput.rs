@@ -1,0 +1,32 @@
+//! Simulator throughput: fault-free golden runs of representative
+//! benchmarks on both engines. The timed/functional gap is one factor of
+//! the paper's footnote-1 cost asymmetry between AVF and SVF campaigns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kernels::apps::{hotspot::HotSpot, scp::Scp, va::Va};
+use kernels::{golden_run, Benchmark, Variant};
+use vgpu_sim::GpuConfig;
+
+fn bench_engines(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let apps: [(&str, &dyn Benchmark); 3] = [("va", &Va), ("scp", &Scp), ("hotspot", &HotSpot)];
+    let mut g = c.benchmark_group("golden_run");
+    g.sample_size(15);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, bench) in apps {
+        g.bench_function(format!("{name}/timed"), |b| {
+            b.iter(|| golden_run(bench, &cfg, Variant::TIMED))
+        });
+        g.bench_function(format!("{name}/functional"), |b| {
+            b.iter(|| golden_run(bench, &cfg, Variant::FUNCTIONAL))
+        });
+        g.bench_function(format!("{name}/timed_tmr"), |b| {
+            b.iter(|| golden_run(bench, &cfg, Variant::TIMED_TMR))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Each binary regenerates one artifact of the paper's evaluation section
+//! (see DESIGN.md's per-experiment index) and writes both an aligned text
+//! table to stdout and a CSV under `results/`.
+
+use relia::CampaignCfg;
+
+/// Parse common CLI options: `--n-uarch N --n-sw N --seed S --sms N`.
+/// Defaults are sized so every figure regenerates in minutes on a laptop;
+/// pass larger counts to tighten confidence intervals (the paper used
+/// 3,000 injections per target at ±2.35%, 99% confidence).
+pub fn cli_campaign_cfg(default_uarch: usize, default_sw: usize) -> CampaignCfg {
+    let mut cfg = CampaignCfg::new(default_uarch, default_sw, 0xC0FF_EE00);
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < args.len() {
+        let v = &args[i + 1];
+        match args[i].as_str() {
+            "--n-uarch" => cfg.n_uarch = v.parse().expect("--n-uarch takes a number"),
+            "--n-sw" => cfg.n_sw = v.parse().expect("--n-sw takes a number"),
+            "--seed" => cfg.seed = v.parse().expect("--seed takes a number"),
+            "--sms" => {
+                cfg.gpu = vgpu_sim::GpuConfig::volta_scaled(v.parse().expect("--sms takes a number"))
+            }
+            other => panic!("unknown option {other}"),
+        }
+        i += 2;
+    }
+    cfg
+}
+
+/// Results directory (repo-relative `results/`).
+pub fn results_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Unhardened AVF + SVF campaigns over the whole suite — shared by the
+/// Figure 1/2/4/5 and Table I generators.
+pub struct BaselineResults {
+    pub cfg: CampaignCfg,
+    pub apps: Vec<(relia::UarchAppResult, relia::SvfAppResult)>,
+}
+
+pub fn run_baseline(cfg: &CampaignCfg) -> BaselineResults {
+    let apps = kernels::all_benchmarks()
+        .iter()
+        .map(|b| {
+            eprintln!("[baseline] {} ...", b.name());
+            (
+                relia::run_uarch_campaign(b.as_ref(), cfg, false),
+                relia::run_sw_campaign(b.as_ref(), cfg, false),
+            )
+        })
+        .collect();
+    BaselineResults { cfg: cfg.clone(), apps }
+}

@@ -1,0 +1,455 @@
+//! Statistical fault-injection campaigns at both abstraction layers.
+//!
+//! * [`run_uarch_campaign`] — the gpuFI-4 side: uniform single-bit flips
+//!   over (cycle × hardware-structure location), one campaign of
+//!   `n_uarch` injections per (kernel, structure), derating factors, and
+//!   the AVF math of Section II-B.
+//! * [`run_sw_campaign`] — the NVBitFI side: uniform single-bit flips over
+//!   the dynamic destination-register value stream (plus the load-only
+//!   SVF-LD variant) and the SVF math of Section II-C.
+//!
+//! Campaigns are embarrassingly parallel: each injection is an independent
+//! end-to-end application run, distributed over cores with rayon. All
+//! randomness derives from splitmix-style hashing of (seed, app, kernel,
+//! structure, trial), so campaigns are bit-reproducible at any thread
+//! count.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use kernels::{faulty_run, golden_run, Benchmark, GoldenRun, Outcome, PlannedFault, Variant};
+use vgpu_sim::{GpuConfig, HwStructure, Mode, SwFault, SwFaultKind, UarchFault};
+
+use crate::metrics::{ClassCounts, ClassRates};
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignCfg {
+    pub gpu: GpuConfig,
+    /// Injections per (kernel, hardware structure) in AVF campaigns.
+    pub n_uarch: usize,
+    /// Injections per kernel (per fault kind) in SVF campaigns.
+    pub n_sw: usize,
+    pub seed: u64,
+}
+
+impl CampaignCfg {
+    pub fn new(n_uarch: usize, n_sw: usize, seed: u64) -> Self {
+        CampaignCfg { gpu: GpuConfig::default(), n_uarch, n_sw, seed }
+    }
+}
+
+/// Deterministic per-trial seed derivation.
+fn derive_seed(base: u64, tags: &[u64]) -> u64 {
+    let mut x = base ^ 0x9e37_79b9_7f4a_7c15;
+    for &t in tags {
+        x ^= t.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(x << 6).wrapping_add(x >> 2);
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 31;
+    }
+    x
+}
+
+fn str_tag(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+/// Pick an index from `weights` proportionally.
+fn pick_weighted(rng: &mut SmallRng, weights: &[(usize, u64)]) -> Option<(usize, u64)> {
+    let total: u64 = weights.iter().map(|&(_, w)| w).sum();
+    if total == 0 {
+        return None;
+    }
+    let mut x = rng.gen_range(0..total);
+    for &(idx, w) in weights {
+        if x < w {
+            return Some((idx, w));
+        }
+        x -= w;
+    }
+    unreachable!("weighted pick ran past total");
+}
+
+// ---------------------------------------------------------------------
+// Microarchitecture level (AVF)
+// ---------------------------------------------------------------------
+
+/// Per-(kernel, structure) campaign outcome.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StructureCampaign {
+    pub counts: ClassCounts,
+    /// Masked runs whose total cycle count differs from golden — the
+    /// control-path proxy of Figure 11.
+    pub ctrl_affected_masked: u32,
+}
+
+/// Everything measured about one kernel at the microarchitecture level.
+#[derive(Debug, Clone)]
+pub struct UarchKernelResult {
+    /// Kernel display name ("K1", ...).
+    pub kernel: String,
+    pub per_structure: Vec<(HwStructure, StructureCampaign)>,
+    /// Derating factors (Section II-B): live-allocation share for RF and
+    /// SMEM, 1.0 for the always-whole-array cache structures.
+    pub df: Vec<(HwStructure, f64)>,
+    /// Golden cycles attributed to this kernel (AVF weighting).
+    pub cycles: u64,
+    /// Injections per structure (for error margins).
+    pub n_per_structure: usize,
+}
+
+impl UarchKernelResult {
+    pub fn df_of(&self, h: HwStructure) -> f64 {
+        self.df.iter().find(|&&(s, _)| s == h).map_or(1.0, |&(_, d)| d)
+    }
+
+    pub fn counts_of(&self, h: HwStructure) -> &StructureCampaign {
+        &self.per_structure.iter().find(|&&(s, _)| s == h).expect("structure present").1
+    }
+
+    /// AVF of one structure: per-class failure fractions × derating factor.
+    pub fn avf(&self, h: HwStructure) -> ClassRates {
+        self.counts_of(h).counts.rates().scale(self.df_of(h))
+    }
+
+    /// Size-weighted AVF over a set of structures — the chip AVF when
+    /// `set` is [`HwStructure::ALL`], the AVF-Cache sub-metric when it is
+    /// [`HwStructure::CACHES`].
+    pub fn avf_over(&self, gpu: &GpuConfig, set: &[HwStructure]) -> ClassRates {
+        let total_bits: u64 = set.iter().map(|&h| gpu.structure_bits(h)).sum();
+        let mut acc = ClassRates::default();
+        for &h in set {
+            let w = gpu.structure_bits(h) as f64 / total_bits as f64;
+            acc.add(&self.avf(h).scale(w));
+        }
+        acc
+    }
+
+    /// Full-chip AVF (all five structures, size-weighted).
+    pub fn chip_avf(&self, gpu: &GpuConfig) -> ClassRates {
+        self.avf_over(gpu, &HwStructure::ALL)
+    }
+
+    /// Fraction of all injections that were masked with a disturbed cycle
+    /// count (Figure 11).
+    pub fn ctrl_affected_fraction(&self) -> f64 {
+        let total: u32 = self.per_structure.iter().map(|(_, c)| c.counts.total()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let ctrl: u32 = self.per_structure.iter().map(|(_, c)| c.ctrl_affected_masked).sum();
+        ctrl as f64 / total as f64
+    }
+}
+
+/// Microarchitecture-level results for a whole application.
+#[derive(Debug, Clone)]
+pub struct UarchAppResult {
+    pub app: String,
+    pub kernels: Vec<UarchKernelResult>,
+}
+
+impl UarchAppResult {
+    fn cycle_weighted(&self, f: impl Fn(&UarchKernelResult) -> ClassRates) -> ClassRates {
+        let total: u64 = self.kernels.iter().map(|k| k.cycles).sum();
+        let mut acc = ClassRates::default();
+        for k in &self.kernels {
+            acc.add(&f(k).scale(k.cycles as f64 / total.max(1) as f64));
+        }
+        acc
+    }
+
+    /// Application AVF: kernel chip-AVF weighted by kernel cycles
+    /// (Section II-B's multi-kernel rule).
+    pub fn app_avf(&self, gpu: &GpuConfig) -> ClassRates {
+        self.cycle_weighted(|k| k.chip_avf(gpu))
+    }
+
+    /// Application AVF restricted to one structure (AVF-RF of Figure 4).
+    pub fn app_avf_structure(&self, h: HwStructure) -> ClassRates {
+        self.cycle_weighted(|k| k.avf(h))
+    }
+
+    /// Application AVF over the cache structures (Figure 5).
+    pub fn app_avf_cache(&self, gpu: &GpuConfig) -> ClassRates {
+        self.cycle_weighted(|k| k.avf_over(gpu, &HwStructure::CACHES))
+    }
+}
+
+/// Derating factor of one kernel for RF or SMEM, cycle-weighted over its
+/// launches (Section II-B):
+/// `DF = size_per_thread × num_threads / system_size`
+/// (per-CTA for shared memory), clamped to 1.
+fn derating_factor(golden: &GoldenRun, kernel_idx: usize, gpu: &GpuConfig, h: HwStructure) -> f64 {
+    let mut weighted = 0.0f64;
+    let mut cycles = 0u64;
+    for r in golden.records.iter().filter(|r| r.kernel_idx == kernel_idx) {
+        let live_bits = match h {
+            HwStructure::RegFile => r.num_regs as u64 * 32 * r.threads,
+            HwStructure::Smem => r.smem_bytes as u64 * 8 * r.ctas,
+            _ => return 1.0,
+        };
+        let df = (live_bits as f64 / gpu.structure_bits(h) as f64).min(1.0);
+        weighted += df * r.stats.cycles as f64;
+        cycles += r.stats.cycles;
+    }
+    if cycles == 0 {
+        0.0
+    } else {
+        weighted / cycles as f64
+    }
+}
+
+/// Run the cross-layer (gpuFI-4 model) campaign for one application.
+pub fn run_uarch_campaign(
+    bench: &dyn Benchmark,
+    cfg: &CampaignCfg,
+    hardened: bool,
+) -> UarchAppResult {
+    let variant = Variant { mode: Mode::Timed, hardened };
+    let golden = golden_run(bench, &cfg.gpu, variant);
+    let app_tag = str_tag(bench.name());
+    let mut kernels = Vec::new();
+    for (k_idx, k_name) in bench.kernels().iter().enumerate() {
+        let windows: Vec<(usize, u64)> = golden
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.kernel_idx == k_idx && r.stats.cycles > 0)
+            .map(|(o, r)| (o, r.stats.cycles))
+            .collect();
+        let cycles: u64 = windows.iter().map(|&(_, c)| c).sum();
+        let mut per_structure = Vec::new();
+        for &h in &HwStructure::ALL {
+            let camp = (0..cfg.n_uarch)
+                .into_par_iter()
+                .map(|trial| {
+                    let s = derive_seed(
+                        cfg.seed,
+                        &[app_tag, k_idx as u64, h as u64, trial as u64, 1],
+                    );
+                    let mut rng = SmallRng::seed_from_u64(s);
+                    let Some((ordinal, launch_cycles)) = pick_weighted(&mut rng, &windows)
+                    else {
+                        return StructureCampaign {
+                            counts: {
+                                let mut c = ClassCounts::default();
+                                c.record(Outcome::Masked);
+                                c
+                            },
+                            ctrl_affected_masked: 0,
+                        };
+                    };
+                    let fault = PlannedFault::Uarch(UarchFault {
+                        cycle: rng.gen_range(0..launch_cycles),
+                        structure: h,
+                        loc_pick: rng.gen(),
+                        bit: rng.gen_range(0..32),
+                    });
+                    let res = faulty_run(bench, &cfg.gpu, variant, &golden, ordinal, fault);
+                    let mut counts = ClassCounts::default();
+                    counts.record(res.outcome);
+                    StructureCampaign {
+                        counts,
+                        ctrl_affected_masked: (res.outcome == Outcome::Masked
+                            && res.total_cost != golden.total_cost)
+                            as u32,
+                    }
+                })
+                .reduce(StructureCampaign::default, |mut a, b| {
+                    a.counts.add(&b.counts);
+                    a.ctrl_affected_masked += b.ctrl_affected_masked;
+                    a
+                });
+            per_structure.push((h, camp));
+        }
+        let df = HwStructure::ALL
+            .iter()
+            .map(|&h| (h, derating_factor(&golden, k_idx, &cfg.gpu, h)))
+            .collect();
+        kernels.push(UarchKernelResult {
+            kernel: k_name.to_string(),
+            per_structure,
+            df,
+            cycles,
+            n_per_structure: cfg.n_uarch,
+        });
+    }
+    UarchAppResult { app: bench.name().to_string(), kernels }
+}
+
+// ---------------------------------------------------------------------
+// Software level (SVF)
+// ---------------------------------------------------------------------
+
+/// Software-level results for one kernel.
+#[derive(Debug, Clone)]
+pub struct SvfKernelResult {
+    pub kernel: String,
+    /// Destination-value injections (NVBitFI default).
+    pub counts: ClassCounts,
+    /// Load-destination injections (SVF-LD of Figure 5).
+    pub counts_ld: ClassCounts,
+    /// Dynamic thread instructions (the SVF application-weighting metric).
+    pub instrs: u64,
+}
+
+impl SvfKernelResult {
+    /// `SVF(ker) = FR(ker)` per class.
+    pub fn svf(&self) -> ClassRates {
+        self.counts.rates()
+    }
+
+    pub fn svf_ld(&self) -> ClassRates {
+        self.counts_ld.rates()
+    }
+}
+
+/// Software-level results for a whole application.
+#[derive(Debug, Clone)]
+pub struct SvfAppResult {
+    pub app: String,
+    pub kernels: Vec<SvfKernelResult>,
+}
+
+impl SvfAppResult {
+    fn instr_weighted(&self, f: impl Fn(&SvfKernelResult) -> ClassRates) -> ClassRates {
+        let total: u64 = self.kernels.iter().map(|k| k.instrs).sum();
+        let mut acc = ClassRates::default();
+        for k in &self.kernels {
+            acc.add(&f(k).scale(k.instrs as f64 / total.max(1) as f64));
+        }
+        acc
+    }
+
+    /// Application SVF: kernel SVF weighted by executed instructions
+    /// (Section II-C's multi-kernel rule).
+    pub fn app_svf(&self) -> ClassRates {
+        self.instr_weighted(|k| k.svf())
+    }
+
+    pub fn app_svf_ld(&self) -> ClassRates {
+        self.instr_weighted(|k| k.svf_ld())
+    }
+}
+
+/// One SVF sub-campaign over a kernel with a given eligibility.
+pub(crate) fn sw_subcampaign(
+    bench: &dyn Benchmark,
+    cfg: &CampaignCfg,
+    variant: Variant,
+    golden: &GoldenRun,
+    k_idx: usize,
+    kind: SwFaultKind,
+    tag: u64,
+) -> ClassCounts {
+    let windows: Vec<(usize, u64)> = golden
+        .records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.kernel_idx == k_idx)
+        .map(|(o, r)| {
+            let w = match kind {
+                SwFaultKind::DestValue => r.stats.gp_dest_instrs,
+                SwFaultKind::SrcPersistent | SwFaultKind::SrcTransient => {
+                    r.stats.src_reg_instrs
+                }
+                SwFaultKind::DestValueLoad => r.stats.ld_dest_instrs,
+                SwFaultKind::ArchState => r.stats.thread_instrs,
+            };
+            (o, w)
+        })
+        .filter(|&(_, w)| w > 0)
+        .collect();
+    let app_tag = str_tag(bench.name());
+    (0..cfg.n_sw)
+        .into_par_iter()
+        .map(|trial| {
+            let s = derive_seed(cfg.seed, &[app_tag, k_idx as u64, tag, trial as u64, 2]);
+            let mut rng = SmallRng::seed_from_u64(s);
+            let mut counts = ClassCounts::default();
+            let Some((ordinal, weight)) = pick_weighted(&mut rng, &windows) else {
+                counts.record(Outcome::Masked);
+                return counts;
+            };
+            let fault = PlannedFault::Sw(SwFault {
+                kind,
+                target: rng.gen_range(0..weight),
+                bit: rng.gen_range(0..32),
+                loc_pick: rng.gen(),
+            });
+            let res = faulty_run(bench, &cfg.gpu, variant, golden, ordinal, fault);
+            counts.record(res.outcome);
+            counts
+        })
+        .reduce(ClassCounts::default, |mut a, b| {
+            a.add(&b);
+            a
+        })
+}
+
+/// Run the software-level (NVBitFI model) campaign for one application:
+/// destination-value injections plus the load-only SVF-LD variant.
+pub fn run_sw_campaign(bench: &dyn Benchmark, cfg: &CampaignCfg, hardened: bool) -> SvfAppResult {
+    let variant = Variant { mode: Mode::Functional, hardened };
+    let golden = golden_run(bench, &cfg.gpu, variant);
+    let kernels = bench
+        .kernels()
+        .iter()
+        .enumerate()
+        .map(|(k_idx, k_name)| {
+            let counts = sw_subcampaign(
+                bench,
+                cfg,
+                variant,
+                &golden,
+                k_idx,
+                SwFaultKind::DestValue,
+                10,
+            );
+            let counts_ld = sw_subcampaign(
+                bench,
+                cfg,
+                variant,
+                &golden,
+                k_idx,
+                SwFaultKind::DestValueLoad,
+                11,
+            );
+            let instrs = golden.kernel_stats(k_idx).thread_instrs;
+            SvfKernelResult { kernel: k_name.to_string(), counts, counts_ld, instrs }
+        })
+        .collect();
+    SvfAppResult { app: bench.name().to_string(), kernels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_deterministic_and_spread() {
+        let a = derive_seed(1, &[2, 3, 4]);
+        assert_eq!(a, derive_seed(1, &[2, 3, 4]));
+        assert_ne!(a, derive_seed(1, &[2, 3, 5]));
+        assert_ne!(a, derive_seed(2, &[2, 3, 4]));
+        assert_ne!(str_tag("VA"), str_tag("NW"));
+    }
+
+    #[test]
+    fn weighted_pick_respects_weights() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let weights = vec![(0usize, 0u64), (1, 90), (2, 10)];
+        let mut hits = [0u32; 3];
+        for _ in 0..1000 {
+            let (idx, _) = pick_weighted(&mut rng, &weights).unwrap();
+            hits[idx] += 1;
+        }
+        assert_eq!(hits[0], 0, "zero-weight never picked");
+        assert!(hits[1] > 800, "{hits:?}");
+        assert!(pick_weighted(&mut rng, &[(0, 0)]).is_none());
+    }
+}

@@ -1,0 +1,72 @@
+//! Hardening evaluation (Section IV): run both the unprotected and the
+//! TMR-hardened variant of an application under both assessment layers
+//! and pair the results for the Figure 7–10 comparisons.
+
+use kernels::Benchmark;
+use vgpu_sim::HwStructure;
+
+use crate::campaign::{
+    run_sw_campaign, run_uarch_campaign, CampaignCfg, SvfAppResult, UarchAppResult,
+};
+use crate::metrics::ClassRates;
+
+/// Paired unprotected/TMR measurements for one application.
+#[derive(Debug, Clone)]
+pub struct HardeningComparison {
+    pub app: String,
+    pub base_avf: UarchAppResult,
+    pub base_svf: SvfAppResult,
+    pub tmr_avf: UarchAppResult,
+    pub tmr_svf: SvfAppResult,
+}
+
+/// One kernel's before/after numbers for the hardened figures.
+#[derive(Debug, Clone)]
+pub struct KernelHardeningRow {
+    pub kernel: String,
+    pub avf_base: ClassRates,
+    pub avf_tmr: ClassRates,
+    pub svf_base: ClassRates,
+    pub svf_tmr: ClassRates,
+    /// Per-structure AVF before/after (Figure 10).
+    pub structures: Vec<(HwStructure, ClassRates, ClassRates)>,
+    /// Control-path-affected masked fraction before/after (Figure 11).
+    pub ctrl_base: f64,
+    pub ctrl_tmr: f64,
+}
+
+/// Run all four campaigns for one application.
+pub fn evaluate_hardening(bench: &dyn Benchmark, cfg: &CampaignCfg) -> HardeningComparison {
+    HardeningComparison {
+        app: bench.name().to_string(),
+        base_avf: run_uarch_campaign(bench, cfg, false),
+        base_svf: run_sw_campaign(bench, cfg, false),
+        tmr_avf: run_uarch_campaign(bench, cfg, true),
+        tmr_svf: run_sw_campaign(bench, cfg, true),
+    }
+}
+
+impl HardeningComparison {
+    /// Flatten into per-kernel before/after rows.
+    pub fn kernel_rows(&self, gpu: &vgpu_sim::GpuConfig) -> Vec<KernelHardeningRow> {
+        self.base_avf
+            .kernels
+            .iter()
+            .zip(&self.tmr_avf.kernels)
+            .zip(self.base_svf.kernels.iter().zip(&self.tmr_svf.kernels))
+            .map(|((ab, at), (sb, st))| KernelHardeningRow {
+                kernel: ab.kernel.clone(),
+                avf_base: ab.chip_avf(gpu),
+                avf_tmr: at.chip_avf(gpu),
+                svf_base: sb.svf(),
+                svf_tmr: st.svf(),
+                structures: HwStructure::ALL
+                    .iter()
+                    .map(|&h| (h, ab.avf(h), at.avf(h)))
+                    .collect(),
+                ctrl_base: ab.ctrl_affected_fraction(),
+                ctrl_tmr: at.ctrl_affected_fraction(),
+            })
+            .collect()
+    }
+}

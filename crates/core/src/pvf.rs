@@ -1,0 +1,81 @@
+//! Program Vulnerability Factor (PVF) — an *extension* beyond the paper's
+//! two layers, implementing the third abstraction level of its related
+//! work (Sridharan & Kaeli: the microarchitecture-independent,
+//! architecturally-visible portion of AVF; the CPU-side three-layer
+//! methodology of Papadimitriou & Gizopoulos that the paper builds on).
+//!
+//! The fault model sits between SVF and AVF: a bit flip in an **arbitrary
+//! architectural register** (live program state, not just the destination
+//! of the current instruction) at a uniformly chosen dynamic instruction,
+//! still with no microarchitectural masking. Comparing
+//! `SVF ≥ PVF ≥ chip AVF` per workload quantifies how much estimation
+//! error comes from the *fault-origin population* (SVF→PVF) versus from
+//! *hardware masking and derating* (PVF→AVF).
+
+use kernels::Benchmark;
+use vgpu_sim::{Mode, SwFaultKind};
+
+use crate::campaign::{sw_subcampaign, CampaignCfg};
+use crate::metrics::{ClassCounts, ClassRates};
+
+/// PVF measurements for one kernel.
+#[derive(Debug, Clone)]
+pub struct PvfKernelResult {
+    pub kernel: String,
+    pub counts: ClassCounts,
+    /// Dynamic thread instructions (application weighting).
+    pub instrs: u64,
+}
+
+impl PvfKernelResult {
+    pub fn pvf(&self) -> ClassRates {
+        self.counts.rates()
+    }
+}
+
+/// PVF measurements for a whole application.
+#[derive(Debug, Clone)]
+pub struct PvfAppResult {
+    pub app: String,
+    pub kernels: Vec<PvfKernelResult>,
+}
+
+impl PvfAppResult {
+    /// Instruction-weighted application PVF (same weighting rule as SVF).
+    pub fn app_pvf(&self) -> ClassRates {
+        let total: u64 = self.kernels.iter().map(|k| k.instrs).sum();
+        let mut acc = ClassRates::default();
+        for k in &self.kernels {
+            acc.add(&k.pvf().scale(k.instrs as f64 / total.max(1) as f64));
+        }
+        acc
+    }
+}
+
+/// Run the architectural-state (PVF approximation) campaign.
+pub fn run_pvf_campaign(bench: &dyn Benchmark, cfg: &CampaignCfg, hardened: bool) -> PvfAppResult {
+    let variant = kernels::Variant { mode: Mode::Functional, hardened };
+    let golden = kernels::golden_run(bench, &cfg.gpu, variant);
+    let kernels = bench
+        .kernels()
+        .iter()
+        .enumerate()
+        .map(|(k_idx, k_name)| {
+            let counts = sw_subcampaign(
+                bench,
+                cfg,
+                variant,
+                &golden,
+                k_idx,
+                SwFaultKind::ArchState,
+                12,
+            );
+            PvfKernelResult {
+                kernel: k_name.to_string(),
+                counts,
+                instrs: golden.kernel_stats(k_idx).thread_instrs,
+            }
+        })
+        .collect();
+    PvfAppResult { app: bench.name().to_string(), kernels }
+}

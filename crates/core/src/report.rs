@@ -1,0 +1,137 @@
+//! Plain-text and CSV report formatting for the figure/table generators.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned table that also serializes to CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+
+    /// CSV serialization (quotes cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV next to the other experiment outputs.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        if let Some(dir) = path.as_ref().parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (c, &width) in cells.iter().zip(&w) {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{c:<width$}")?;
+                first = false;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = w.iter().sum::<usize>() + 2 * (w.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a fraction as a percentage with two decimals ("12.34").
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", x * 100.0)
+}
+
+/// Format a fraction as a percentage with four decimals (small AVFs).
+pub fn pct4(x: f64) -> String {
+    format!("{:.4}", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_csv() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "20,5".into()]);
+        let text = t.to_string();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("alpha"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("name,value\n"));
+        assert!(csv.contains("\"20,5\""), "comma cell quoted: {csv}");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.12345), "12.35");
+        assert_eq!(pct4(0.0000123), "0.0012");
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("relia_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into()]);
+        let p = dir.join("sub").join("t.csv");
+        t.write_csv(&p).unwrap();
+        assert!(std::fs::read_to_string(&p).unwrap().contains('1'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

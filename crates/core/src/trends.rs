@@ -1,0 +1,121 @@
+//! Relative-vulnerability trend analysis (Table I of the paper).
+//!
+//! For every pair of workloads, the two methodologies agree (a
+//! **consistent** trend) when they rank the pair's vulnerabilities the same
+//! way, and disagree (an **opposite** trend) when the ranking flips.
+
+/// Trend agreement between two metrics over all workload pairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrendCount {
+    pub consistent: usize,
+    pub opposite: usize,
+}
+
+impl TrendCount {
+    pub fn total(&self) -> usize {
+        self.consistent + self.opposite
+    }
+
+    pub fn consistent_pct(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.consistent as f64 / self.total() as f64 * 100.0
+        }
+    }
+
+    pub fn opposite_pct(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.opposite as f64 / self.total() as f64 * 100.0
+        }
+    }
+}
+
+/// A named workload with its two vulnerability estimates.
+#[derive(Debug, Clone)]
+pub struct TrendItem {
+    pub name: String,
+    pub a: f64,
+    pub b: f64,
+}
+
+/// Count consistent/opposite ranking trends over all `C(n,2)` pairs.
+/// Ties in either metric count as consistent (the rankings do not
+/// contradict each other).
+pub fn compare_pairs(items: &[TrendItem]) -> TrendCount {
+    let mut t = TrendCount::default();
+    for i in 0..items.len() {
+        for j in i + 1..items.len() {
+            let da = items[i].a - items[j].a;
+            let db = items[i].b - items[j].b;
+            if da * db >= 0.0 {
+                t.consistent += 1;
+            } else {
+                t.opposite += 1;
+            }
+        }
+    }
+    t
+}
+
+/// The pairs that flip ranking, for diagnostics and the per-pair listings.
+pub fn opposite_pairs(items: &[TrendItem]) -> Vec<(String, String)> {
+    let mut v = Vec::new();
+    for i in 0..items.len() {
+        for j in i + 1..items.len() {
+            let da = items[i].a - items[j].a;
+            let db = items[i].b - items[j].b;
+            if da * db < 0.0 {
+                v.push((items[i].name.clone(), items[j].name.clone()));
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(name: &str, a: f64, b: f64) -> TrendItem {
+        TrendItem { name: name.into(), a, b }
+    }
+
+    #[test]
+    fn counts_pairs_correctly() {
+        // a ranks: x < y < z ; b ranks: x < z < y → (y,z) flips.
+        let items = vec![item("x", 1.0, 1.0), item("y", 2.0, 3.0), item("z", 3.0, 2.0)];
+        let t = compare_pairs(&items);
+        assert_eq!(t.total(), 3);
+        assert_eq!(t.consistent, 2);
+        assert_eq!(t.opposite, 1);
+        assert_eq!(opposite_pairs(&items), vec![("y".to_string(), "z".to_string())]);
+    }
+
+    #[test]
+    fn ties_are_consistent() {
+        let items = vec![item("x", 1.0, 5.0), item("y", 1.0, 9.0)];
+        let t = compare_pairs(&items);
+        assert_eq!(t.consistent, 1);
+        assert_eq!(t.opposite, 0);
+    }
+
+    #[test]
+    fn pair_count_matches_paper_sizes() {
+        // 11 applications → 55 pairs; 23 kernels → 253 pairs.
+        let apps: Vec<TrendItem> = (0..11).map(|i| item(&format!("a{i}"), i as f64, 0.0)).collect();
+        assert_eq!(compare_pairs(&apps).total(), 55);
+        let kers: Vec<TrendItem> = (0..23).map(|i| item(&format!("k{i}"), i as f64, 0.0)).collect();
+        assert_eq!(compare_pairs(&kers).total(), 253);
+    }
+
+    #[test]
+    fn percentages() {
+        let t = TrendCount { consistent: 32, opposite: 23 };
+        assert!((t.consistent_pct() - 58.18).abs() < 0.01);
+        assert!((t.opposite_pct() - 41.81).abs() < 0.01);
+        assert_eq!(TrendCount::default().consistent_pct(), 0.0);
+    }
+}

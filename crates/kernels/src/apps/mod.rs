@@ -1,0 +1,13 @@
+//! The 11 benchmark applications (23 kernels).
+
+pub mod backprop;
+pub mod bfs;
+pub mod hotspot;
+pub mod kmeans;
+pub mod lud;
+pub mod nw;
+pub mod pathfinder;
+pub mod scp;
+pub mod sradv1;
+pub mod sradv2;
+pub mod va;

@@ -1,0 +1,535 @@
+//! The application harness: drives multi-kernel GPU applications through
+//! golden and fault-injection runs, with optional thread-level TMR
+//! hardening (Figure 6 of the paper).
+//!
+//! A [`Benchmark`] implementation expresses its host program against
+//! [`RunCtl`]: it allocates device buffers once, initializes inputs, and
+//! interleaves kernel launches with host-side glue. The same host program
+//! then serves four purposes:
+//!
+//! * **golden** runs record per-launch statistics and the final output;
+//! * **faulty** runs inject one fault into one chosen launch and classify
+//!   the outcome against the golden output;
+//! * **hardened** variants transparently triplicate buffers, launch with
+//!   `grid_y == 3`, and majority-vote after every protected kernel;
+//! * **profiling** runs collect the Figure-3 utilization metrics.
+
+use vgpu_arch::{Kernel, LaunchConfig};
+use vgpu_sim::due::LaunchAbort;
+use vgpu_sim::{
+    ArenaPlanner, Budget, FaultPlan, Gpu, GpuConfig, Mode, Stats, SwFault, SwInjector, UarchFault,
+    UarchInjector,
+};
+
+use crate::tmr;
+
+/// Why an application run did not produce an output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppAbort {
+    /// A kernel crashed or timed out.
+    Launch(LaunchAbort),
+    /// TMR majority voting found three mutually different copies
+    /// (classified as DUE, per the paper's Figure 6 workflow).
+    VoteFailed,
+}
+
+impl From<LaunchAbort> for AppAbort {
+    fn from(l: LaunchAbort) -> Self {
+        AppAbort::Launch(l)
+    }
+}
+
+/// Fault-effect classification (Section II-A of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    Masked,
+    Sdc,
+    Timeout,
+    Due,
+}
+
+/// Result of one faulty application run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    pub outcome: Outcome,
+    /// Total timed cycles (or functional instructions) of the run, used by
+    /// the Figure-11 control-path proxy: a masked run whose cycle count
+    /// differs from golden had its control path disturbed.
+    pub total_cost: u64,
+    /// Whether the planned fault was actually applied (a fault aimed at an
+    /// empty structure or past the end of execution never fires).
+    pub applied: bool,
+    /// For SDC outcomes: how many output words differ from golden — the
+    /// error-propagation magnitude (a single SIMT fault frequently fans
+    /// out into many corrupted outputs, cf. the paper's introduction).
+    pub corrupted_words: u32,
+}
+
+/// Record of one launch during a golden run.
+#[derive(Debug, Clone)]
+pub struct LaunchRecord {
+    /// Index into [`Benchmark::kernels`]. Vote launches carry the index of
+    /// the kernel they protect.
+    pub kernel_idx: usize,
+    pub is_vote: bool,
+    pub stats: Stats,
+    /// Threads launched (all TMR copies included).
+    pub threads: u64,
+    /// CTAs launched.
+    pub ctas: u64,
+    /// Architectural registers per thread.
+    pub num_regs: u8,
+    /// Static shared memory per CTA in bytes.
+    pub smem_bytes: u32,
+}
+
+/// Everything learned from a golden run.
+#[derive(Debug, Clone)]
+pub struct GoldenRun {
+    pub records: Vec<LaunchRecord>,
+    /// Final output words (copy 0 for hardened apps).
+    pub output: Vec<u32>,
+    /// Total cycles (timed) or thread instructions (functional).
+    pub total_cost: u64,
+}
+
+impl GoldenRun {
+    /// Aggregate statistics over the launches attributed to `kernel_idx`.
+    pub fn kernel_stats(&self, kernel_idx: usize) -> Stats {
+        let mut s = Stats::default();
+        for r in self.records.iter().filter(|r| r.kernel_idx == kernel_idx) {
+            s.add(&r.stats);
+        }
+        s
+    }
+
+    /// Aggregate statistics over the whole application.
+    pub fn app_stats(&self) -> Stats {
+        let mut s = Stats::default();
+        for r in &self.records {
+            s.add(&r.stats);
+        }
+        s
+    }
+}
+
+/// The fault to inject into one specific launch of the application.
+#[derive(Debug, Clone, Copy)]
+pub enum PlannedFault {
+    Uarch(UarchFault),
+    Sw(SwFault),
+}
+
+/// What a [`RunCtl`] is doing.
+enum CtlMode {
+    Golden,
+    Faulty {
+        target_launch: usize,
+        fault: PlannedFault,
+        /// Per-launch budgets from the golden run (indexed by ordinal).
+        budgets: Vec<Budget>,
+        /// Whole-application budget backstop.
+        app_budget: Budget,
+        applied: bool,
+    },
+}
+
+/// Controller handed to [`Benchmark::run`]: owns the GPU, performs
+/// (optionally triplicated) allocation and host access, launches kernels,
+/// and injects the planned fault at the right launch.
+pub struct RunCtl {
+    pub cfg: GpuConfig,
+    mode_sim: Mode,
+    hardened: bool,
+    gpu: Option<Gpu>,
+    tmr_stride: u32,
+    flag_addr: u32,
+    vote_kernel: Kernel,
+    launch_idx: usize,
+    records: Vec<LaunchRecord>,
+    ctl: CtlMode,
+    total_cost: u64,
+    outputs: Vec<(u32, u32)>,
+}
+
+impl RunCtl {
+    fn new(cfg: GpuConfig, mode_sim: Mode, hardened: bool, ctl: CtlMode) -> Self {
+        RunCtl {
+            cfg,
+            mode_sim,
+            hardened,
+            gpu: None,
+            tmr_stride: 0,
+            flag_addr: 0,
+            vote_kernel: tmr::vote_kernel(),
+            launch_idx: 0,
+            records: Vec::new(),
+            ctl,
+            total_cost: 0,
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Allocate all device buffers the application needs, in one shot.
+    /// Returns the copy-0 base address of each buffer. In hardened mode the
+    /// whole set is triplicated at a uniform stride and a vote-flag word is
+    /// appended.
+    pub fn alloc(&mut self, sizes: &[u32]) -> Vec<u32> {
+        assert!(self.gpu.is_none(), "alloc must be called exactly once, first");
+        let mut planner = ArenaPlanner::new();
+        let addrs: Vec<u32> = sizes.iter().map(|&s| planner.alloc(s)).collect();
+        if self.hardened {
+            let base0 = addrs[0];
+            // Copies 1 and 2: repeat the same allocation sequence; the
+            // planner is deterministic, so internal offsets are identical.
+            let first1 = planner.alloc(sizes[0]);
+            for &s in &sizes[1..] {
+                planner.alloc(s);
+            }
+            self.tmr_stride = first1 - base0;
+            let first2 = planner.alloc(sizes[0]);
+            for &s in &sizes[1..] {
+                planner.alloc(s);
+            }
+            assert_eq!(first2 - first1, self.tmr_stride, "uniform TMR stride");
+            self.flag_addr = planner.alloc(4);
+        }
+        let mem = planner.build();
+        self.gpu = Some(Gpu::new(self.cfg.clone(), mem, self.mode_sim));
+        addrs
+    }
+
+    fn gpu(&self) -> &Gpu {
+        self.gpu.as_ref().expect("alloc() must run before device access")
+    }
+
+    fn gpu_mut(&mut self) -> &mut Gpu {
+        self.gpu.as_mut().expect("alloc() must run before device access")
+    }
+
+    /// True when running the TMR-hardened variant.
+    pub fn hardened(&self) -> bool {
+        self.hardened
+    }
+
+    /// Region stride between TMR copies (0 when unhardened). Diagnostic.
+    pub fn tmr_stride(&self) -> u32 {
+        self.tmr_stride
+    }
+
+    /// Host write to a *single* copy, bypassing TMR replication — only for
+    /// tests and diagnostics that need to desynchronise redundant copies.
+    pub fn write_u32_single(&mut self, addr: u32, v: u32) {
+        self.gpu_mut().host_write_u32(addr, v);
+    }
+
+    /// Host write, replicated to every TMR copy.
+    pub fn write_u32(&mut self, addr: u32, v: u32) {
+        let stride = self.tmr_stride;
+        let copies = if self.hardened { 3 } else { 1 };
+        let gpu = self.gpu_mut();
+        for c in 0..copies {
+            gpu.host_write_u32(addr + c * stride, v);
+        }
+    }
+
+    pub fn write_f32(&mut self, addr: u32, v: f32) {
+        self.write_u32(addr, v.to_bits());
+    }
+
+    /// Host read (copy 0 — the voted copy in hardened mode).
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        self.gpu().host_read_u32(addr)
+    }
+
+    pub fn read_f32(&self, addr: u32) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Register the application's final output buffers (copy-0 address,
+    /// word count). Must be called before `finish`.
+    pub fn set_outputs(&mut self, outputs: &[(u32, u32)]) {
+        self.outputs = outputs.to_vec();
+    }
+
+    /// Launch `kernel` as benchmark kernel `kernel_idx` with `grid_x` CTAs
+    /// of `block_x` threads and the given (benchmark-level) parameters.
+    ///
+    /// The TMR stride is prepended as parameter word 0 — kernels built with
+    /// [`tmr::prologue`] use it to rebase their buffer pointers per copy —
+    /// and hardened launches run with `grid_y == 3`.
+    pub fn launch(
+        &mut self,
+        kernel_idx: usize,
+        kernel: &Kernel,
+        grid_x: u32,
+        block_x: u32,
+        params: Vec<u32>,
+    ) -> Result<(), AppAbort> {
+        let mut full_params = Vec::with_capacity(params.len() + 1);
+        full_params.push(self.tmr_stride);
+        full_params.extend(params);
+        let lc = LaunchConfig {
+            grid_x,
+            grid_y: if self.hardened { 3 } else { 1 },
+            block_x,
+            params: full_params,
+        };
+        self.do_launch(kernel_idx, false, kernel, lc)
+    }
+
+    /// In hardened mode, majority-vote (and repair) the listed buffers
+    /// produced by `kernel_idx`; a vote with three mutually different
+    /// copies aborts the application as [`AppAbort::VoteFailed`].
+    /// No-op when unhardened.
+    pub fn vote(&mut self, kernel_idx: usize, bufs: &[(u32, u32)]) -> Result<(), AppAbort> {
+        if !self.hardened {
+            return Ok(());
+        }
+        for &(addr, words) in bufs {
+            let vk = self.vote_kernel.clone();
+            let lc = LaunchConfig {
+                grid_x: words.div_ceil(tmr::VOTE_BLOCK),
+                grid_y: 1,
+                block_x: tmr::VOTE_BLOCK,
+                params: vec![self.tmr_stride, addr, words, self.flag_addr],
+            };
+            self.do_launch(kernel_idx, true, &vk, lc)?;
+            if self.read_u32(self.flag_addr) != 0 {
+                return Err(AppAbort::VoteFailed);
+            }
+        }
+        Ok(())
+    }
+
+    fn do_launch(
+        &mut self,
+        kernel_idx: usize,
+        is_vote: bool,
+        kernel: &Kernel,
+        lc: LaunchConfig,
+    ) -> Result<(), AppAbort> {
+        let ordinal = self.launch_idx;
+        self.launch_idx += 1;
+        match &mut self.ctl {
+            CtlMode::Golden => {
+                let gpu = self.gpu.as_mut().expect("alloc before launch");
+                let stats = gpu.launch(kernel, &lc, FaultPlan::None, &Budget::unlimited())?;
+                self.total_cost += if gpu.mode() == Mode::Timed {
+                    stats.cycles
+                } else {
+                    stats.thread_instrs
+                };
+                self.records.push(LaunchRecord {
+                    kernel_idx,
+                    is_vote,
+                    stats,
+                    threads: lc.num_threads(),
+                    ctas: lc.num_ctas(),
+                    num_regs: kernel.num_regs,
+                    smem_bytes: kernel.smem_bytes,
+                });
+                Ok(())
+            }
+            CtlMode::Faulty { target_launch, fault, budgets, app_budget, applied } => {
+                let mut budget = budgets
+                    .get(ordinal)
+                    .copied()
+                    .unwrap_or(Budget { cycles: 1 << 22, instrs: 1 << 26 });
+                // Whole-app backstop: never exceed the remaining budget.
+                budget.cycles = budget.cycles.min(app_budget.cycles.saturating_sub(self.total_cost));
+                budget.instrs = budget.instrs.min(app_budget.instrs.saturating_sub(self.total_cost));
+                if budget.cycles == 0 || budget.instrs == 0 {
+                    return Err(AppAbort::Launch(LaunchAbort::Timeout));
+                }
+                let fault_here = ordinal == *target_launch;
+                let gpu = self.gpu.as_mut().expect("alloc before launch");
+                let result = if fault_here {
+                    match fault {
+                        PlannedFault::Uarch(f) => {
+                            let mut inj = UarchInjector::new(*f);
+                            let r = gpu.launch(kernel, &lc, FaultPlan::Uarch(&mut inj), &budget);
+                            *applied = inj.applied && inj.population > 0;
+                            r
+                        }
+                        PlannedFault::Sw(f) => {
+                            let mut inj = SwInjector::new(*f);
+                            let r = gpu.launch(kernel, &lc, FaultPlan::Sw(&mut inj), &budget);
+                            *applied = inj.applied;
+                            r
+                        }
+                    }
+                } else {
+                    gpu.launch(kernel, &lc, FaultPlan::None, &budget)
+                };
+                let stats = result?;
+                self.total_cost += if gpu.mode() == Mode::Timed {
+                    stats.cycles
+                } else {
+                    stats.thread_instrs
+                };
+                Ok(())
+            }
+        }
+    }
+
+    fn snapshot_outputs(&self) -> Vec<u32> {
+        let gpu = self.gpu();
+        let mut out = Vec::new();
+        for &(addr, words) in &self.outputs {
+            out.extend(gpu.host_read_block(addr, words));
+        }
+        out
+    }
+}
+
+/// A GPU application: the 11 benchmarks implement this.
+pub trait Benchmark: Sync {
+    /// Application name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Kernel display names, e.g. `["K1", "K2"]`.
+    fn kernels(&self) -> &'static [&'static str];
+
+    /// The whole host program: allocate, initialize, launch, glue.
+    /// All device interaction must go through `ctl`. Host-side loops must
+    /// be iteration-capped so corrupted device data cannot hang the host.
+    fn run(&self, ctl: &mut RunCtl) -> Result<(), AppAbort>;
+}
+
+/// Execution variant selector for [`golden_run`] / [`faulty_run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Variant {
+    pub mode: Mode,
+    pub hardened: bool,
+}
+
+impl Variant {
+    pub const TIMED: Variant = Variant { mode: Mode::Timed, hardened: false };
+    pub const FUNCTIONAL: Variant = Variant { mode: Mode::Functional, hardened: false };
+    pub const TIMED_TMR: Variant = Variant { mode: Mode::Timed, hardened: true };
+    pub const FUNCTIONAL_TMR: Variant = Variant { mode: Mode::Functional, hardened: true };
+}
+
+/// Run `bench` fault-free, recording per-launch statistics and the output.
+///
+/// # Panics
+/// Panics if the fault-free application aborts — that is a benchmark bug,
+/// not a measurable outcome.
+pub fn golden_run(bench: &dyn Benchmark, cfg: &GpuConfig, variant: Variant) -> GoldenRun {
+    let mut ctl = RunCtl::new(cfg.clone(), variant.mode, variant.hardened, CtlMode::Golden);
+    bench
+        .run(&mut ctl)
+        .unwrap_or_else(|e| panic!("golden run of {} aborted: {e:?}", bench.name()));
+    assert!(!ctl.outputs.is_empty(), "{} registered no outputs", bench.name());
+    GoldenRun {
+        output: ctl.snapshot_outputs(),
+        records: ctl.records,
+        total_cost: ctl.total_cost,
+    }
+}
+
+/// Derive per-launch and whole-app budgets from a golden run.
+fn budgets_from(golden: &GoldenRun, cfg: &GpuConfig) -> (Vec<Budget>, Budget) {
+    let per: Vec<Budget> = golden
+        .records
+        .iter()
+        .map(|r| Budget {
+            cycles: (r.stats.cycles * cfg.timeout_factor).max(cfg.min_timeout_cycles),
+            instrs: (r.stats.thread_instrs * cfg.timeout_factor).max(1 << 20),
+        })
+        .collect();
+    let app = Budget {
+        cycles: (golden.total_cost * cfg.timeout_factor).max(cfg.min_timeout_cycles),
+        instrs: (golden.total_cost * cfg.timeout_factor).max(1 << 20),
+    };
+    (per, app)
+}
+
+/// Run `bench` with one injected fault and classify the outcome against
+/// `golden`.
+pub fn faulty_run(
+    bench: &dyn Benchmark,
+    cfg: &GpuConfig,
+    variant: Variant,
+    golden: &GoldenRun,
+    target_launch: usize,
+    fault: PlannedFault,
+) -> RunResult {
+    let (budgets, app_budget) = budgets_from(golden, cfg);
+    let mut ctl = RunCtl::new(
+        cfg.clone(),
+        variant.mode,
+        variant.hardened,
+        CtlMode::Faulty { target_launch, fault, budgets, app_budget, applied: false },
+    );
+    let run = bench.run(&mut ctl);
+    let applied = match &ctl.ctl {
+        CtlMode::Faulty { applied, .. } => *applied,
+        CtlMode::Golden => unreachable!(),
+    };
+    match run {
+        Ok(()) => {
+            let out = ctl.snapshot_outputs();
+            let corrupted_words =
+                out.iter().zip(&golden.output).filter(|(a, b)| a != b).count() as u32;
+            let outcome = if corrupted_words == 0 { Outcome::Masked } else { Outcome::Sdc };
+            RunResult { outcome, total_cost: ctl.total_cost, applied, corrupted_words }
+        }
+        Err(AppAbort::Launch(LaunchAbort::Timeout)) => RunResult {
+            outcome: Outcome::Timeout,
+            total_cost: ctl.total_cost,
+            applied,
+            corrupted_words: 0,
+        },
+        Err(AppAbort::Launch(LaunchAbort::Due(_))) | Err(AppAbort::VoteFailed) => RunResult {
+            outcome: Outcome::Due,
+            total_cost: ctl.total_cost,
+            applied,
+            corrupted_words: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_and_abort_conversions() {
+        let a: AppAbort = LaunchAbort::Timeout.into();
+        assert_eq!(a, AppAbort::Launch(LaunchAbort::Timeout));
+        assert_ne!(a, AppAbort::VoteFailed);
+    }
+
+    #[test]
+    fn golden_run_aggregations() {
+        let mk = |kernel_idx, cycles, instrs| LaunchRecord {
+            kernel_idx,
+            is_vote: false,
+            stats: Stats { cycles, thread_instrs: instrs, ..Default::default() },
+            threads: 64,
+            ctas: 2,
+            num_regs: 8,
+            smem_bytes: 0,
+        };
+        let g = GoldenRun {
+            records: vec![mk(0, 100, 1000), mk(1, 50, 700), mk(0, 200, 2000)],
+            output: vec![],
+            total_cost: 350,
+        };
+        assert_eq!(g.kernel_stats(0).cycles, 300);
+        assert_eq!(g.kernel_stats(0).thread_instrs, 3000);
+        assert_eq!(g.kernel_stats(1).cycles, 50);
+        assert_eq!(g.app_stats().cycles, 350);
+    }
+
+    #[test]
+    fn variants_cover_the_grid() {
+        assert_eq!(Variant::TIMED.mode, Mode::Timed);
+        assert!(!Variant::TIMED.hardened);
+        assert!(Variant::TIMED_TMR.hardened);
+        assert_eq!(Variant::FUNCTIONAL.mode, Mode::Functional);
+        assert!(Variant::FUNCTIONAL_TMR.hardened);
+    }
+}

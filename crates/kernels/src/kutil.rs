@@ -1,0 +1,73 @@
+//! Small shared idioms for writing benchmark kernels.
+
+use vgpu_arch::{CmpOp, KernelBuilder, Operand, Pred, Reg};
+
+use crate::tmr;
+
+/// Compute the global linear thread id into `gid` (clobbers `tmp`) and set
+/// `p = gid < params[n_idx]` — the standard grid guard.
+pub fn gid_guard(a: &mut KernelBuilder, gid: Reg, tmp: Reg, p: Pred, n_idx: u16) {
+    a.linear_tid(gid, tmp);
+    a.isetp(p, gid, tmr::scalar(n_idx), CmpOp::Lt, true);
+}
+
+/// `dst = (params[ptr_idx] + roff) + (index << shift)` — the address of
+/// element `index` of a TMR-rebased device buffer.
+pub fn elem_addr(a: &mut KernelBuilder, dst: Reg, roff: Reg, ptr_idx: u16, index: Reg, shift: u8) {
+    assert_ne!(dst, index, "elem_addr clobbers dst before reading index");
+    tmr::load_ptr(a, dst, roff, ptr_idx);
+    a.iscadd(dst, index, Operand::Reg(dst), shift);
+}
+
+/// Deterministic pseudo-random `f32` in `[0, 1)` from an integer key —
+/// used to generate benchmark inputs identically on every rebuild.
+pub fn hash_f32(seed: u64, i: u64) -> f32 {
+    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    (x >> 40) as f32 / (1u64 << 24) as f32
+}
+
+/// Deterministic pseudo-random `u32` in `[0, bound)`.
+pub fn hash_u32(seed: u64, i: u64, bound: u32) -> u32 {
+    let mut x = seed.wrapping_mul(0xc2b2_ae3d_27d4_eb4f).wrapping_add(i.wrapping_mul(0x165667b19e3779f9));
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 32;
+    (x as u32) % bound.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_f32_is_deterministic_and_in_range() {
+        for i in 0..1000 {
+            let v = hash_f32(42, i);
+            assert!((0.0..1.0).contains(&v), "{v}");
+            assert_eq!(v, hash_f32(42, i));
+        }
+        assert_ne!(hash_f32(1, 0), hash_f32(2, 0));
+    }
+
+    #[test]
+    fn hash_u32_respects_bound() {
+        for i in 0..1000 {
+            assert!(hash_u32(7, i, 13) < 13);
+        }
+        assert_eq!(hash_u32(7, 0, 1), 0);
+    }
+
+    #[test]
+    fn gid_guard_emits_expected_shape() {
+        let mut a = KernelBuilder::new("t");
+        let (g, t) = (a.reg(), a.reg());
+        let p = a.pred();
+        gid_guard(&mut a, g, t, p, 3);
+        let k = a.build().unwrap();
+        assert_eq!(k.len(), 7); // 5 linear_tid + isetp + exit
+        assert!(k.disassemble().contains("ISETP.LT.S32 P0"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Predicated instructions: an [`Op`] plus an optional guard.
+
+use crate::op::Op;
+use crate::reg::Pred;
+use std::fmt;
+
+/// A predication guard: the instruction executes in lanes where
+/// `pred ^ negate` is true (`@P2` or `@!P2` in SASS notation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Guard {
+    pub pred: Pred,
+    pub negate: bool,
+}
+
+impl Guard {
+    pub fn new(pred: Pred, negate: bool) -> Self {
+        Guard { pred, negate }
+    }
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negate {
+            write!(f, "@!{}", self.pred)
+        } else {
+            write!(f, "@{}", self.pred)
+        }
+    }
+}
+
+/// One (optionally predicated) instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Instr {
+    pub op: Op,
+    pub guard: Option<Guard>,
+}
+
+impl Instr {
+    pub fn new(op: Op) -> Self {
+        Instr { op, guard: None }
+    }
+
+    pub fn guarded(op: Op, pred: Pred, negate: bool) -> Self {
+        Instr { op, guard: Some(Guard::new(pred, negate)) }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(g) = &self.guard {
+            write!(f, "{g} ")?;
+        }
+        write!(f, "{}", self.op)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Op::*;
+        match self {
+            S2R { d, sr } => write!(f, "S2R {d}, {sr}"),
+            Mov { d, a } => write!(f, "MOV {d}, {a}"),
+            IAdd { d, a, b } => write!(f, "IADD {d}, {a}, {b}"),
+            ISub { d, a, b } => write!(f, "ISUB {d}, {a}, {b}"),
+            IMul { d, a, b } => write!(f, "IMUL {d}, {a}, {b}"),
+            IMad { d, a, b, c } => write!(f, "IMAD {d}, {a}, {b}, {c}"),
+            IScAdd { d, a, b, shift } => write!(f, "ISCADD {d}, {a}, {b}, {shift:#x}"),
+            IMnMx { d, a, b, max, signed } => {
+                let m = if *max { "MAX" } else { "MIN" };
+                let s = if *signed { "S32" } else { "U32" };
+                write!(f, "IMNMX.{m}.{s} {d}, {a}, {b}")
+            }
+            Shl { d, a, b } => write!(f, "SHL {d}, {a}, {b}"),
+            Shr { d, a, b } => write!(f, "SHR {d}, {a}, {b}"),
+            And { d, a, b } => write!(f, "LOP.AND {d}, {a}, {b}"),
+            Or { d, a, b } => write!(f, "LOP.OR {d}, {a}, {b}"),
+            Xor { d, a, b } => write!(f, "LOP.XOR {d}, {a}, {b}"),
+            Not { d, a } => write!(f, "LOP.NOT {d}, {a}"),
+            FAdd { d, a, b } => write!(f, "FADD {d}, {a}, {b}"),
+            FMul { d, a, b } => write!(f, "FMUL {d}, {a}, {b}"),
+            FFma { d, a, b, c } => write!(f, "FFMA {d}, {a}, {b}, {c}"),
+            FMnMx { d, a, b, max } => {
+                write!(f, "FMNMX.{} {d}, {a}, {b}", if *max { "MAX" } else { "MIN" })
+            }
+            FRcp { d, a } => write!(f, "MUFU.RCP {d}, {a}"),
+            FSqrt { d, a } => write!(f, "MUFU.SQRT {d}, {a}"),
+            FExp { d, a } => write!(f, "MUFU.EX2 {d}, {a}"),
+            FLog { d, a } => write!(f, "MUFU.LG2 {d}, {a}"),
+            FAbs { d, a } => write!(f, "FABS {d}, {a}"),
+            I2F { d, a } => write!(f, "I2F {d}, {a}"),
+            F2I { d, a } => write!(f, "F2I {d}, {a}"),
+            ISetP { p, a, b, cmp, signed } => {
+                let s = if *signed { "S32" } else { "U32" };
+                write!(f, "ISETP.{cmp}.{s} {p}, {a}, {b}")
+            }
+            FSetP { p, a, b, cmp } => write!(f, "FSETP.{cmp} {p}, {a}, {b}"),
+            PSetP { p, a, b, op, na, nb } => {
+                let o = match op {
+                    crate::op::BoolOp::And => "AND",
+                    crate::op::BoolOp::Or => "OR",
+                    crate::op::BoolOp::Xor => "XOR",
+                };
+                let an = if *na { "!" } else { "" };
+                let bn = if *nb { "!" } else { "" };
+                write!(f, "PSETP.{o} {p}, {an}{a}, {bn}{b}")
+            }
+            Sel { d, a, b, p, neg } => {
+                let n = if *neg { "!" } else { "" };
+                write!(f, "SEL {d}, {a}, {b}, {n}{p}")
+            }
+            Ld { d, space, a, off } => {
+                write!(f, "LD.{space} {d}, [{a}{}{:#x}]", if *off < 0 { "-" } else { "+" }, off.unsigned_abs())
+            }
+            St { space, a, off, v } => {
+                write!(f, "ST.{space} [{a}{}{:#x}], {v}", if *off < 0 { "-" } else { "+" }, off.unsigned_abs())
+            }
+            Bar => write!(f, "BAR.SYNC 0x0"),
+            Bra { target, reconv } => write!(f, "BRA {target:#x} (reconv {reconv:#x})"),
+            Exit => write!(f, "EXIT"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{MemSpace, Operand};
+    use crate::reg::Reg;
+
+    #[test]
+    fn guarded_display() {
+        let i = Instr::guarded(Op::Exit, Pred(0), true);
+        assert_eq!(i.to_string(), "@!P0 EXIT");
+        let i = Instr::guarded(
+            Op::Mov { d: Reg(1), a: Operand::Imm(0x10) },
+            Pred(3),
+            false,
+        );
+        assert_eq!(i.to_string(), "@P3 MOV R1, 0x10");
+    }
+
+    #[test]
+    fn memory_display() {
+        let i = Instr::new(Op::Ld { d: Reg(3), space: MemSpace::Global, a: Reg(2), off: 4 });
+        assert_eq!(i.to_string(), "LD.GLOBAL R3, [R2+0x4]");
+        let i = Instr::new(Op::St { space: MemSpace::Shared, a: Reg(2), off: -8, v: Reg(1) });
+        assert_eq!(i.to_string(), "ST.SHARED [R2-0x8], R1");
+    }
+}

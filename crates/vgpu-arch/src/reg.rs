@@ -1,0 +1,79 @@
+//! Register name types: general-purpose, predicate, and special registers.
+
+use std::fmt;
+
+/// A general-purpose 32-bit register, `R0`..`R{num_regs-1}`.
+///
+/// The architectural register count of a kernel is declared in
+/// [`crate::Kernel::num_regs`]; the simulator allocates that many physical
+/// registers per thread from the SM register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// A 1-bit predicate register, `P0`..`P3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pred(pub u8);
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Special (read-only) registers exposing thread and grid identity,
+/// read with the `S2R` instruction — the analogue of `SR_TID.X`,
+/// `SR_CTAID.X` etc. in SASS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialReg {
+    /// Thread index within the CTA (blocks are one-dimensional).
+    TidX,
+    /// CTA index along X.
+    CtaIdX,
+    /// CTA index along Y. Used by the TMR hardening transform to select the
+    /// redundant copy a CTA belongs to; it is 0 for unhardened launches.
+    CtaIdY,
+    /// Number of threads per CTA.
+    NTidX,
+    /// Number of CTAs along X.
+    NCtaIdX,
+    /// Lane index within the warp (0..31).
+    LaneId,
+}
+
+impl fmt::Display for SpecialReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpecialReg::TidX => "SR_TID.X",
+            SpecialReg::CtaIdX => "SR_CTAID.X",
+            SpecialReg::CtaIdY => "SR_CTAID.Y",
+            SpecialReg::NTidX => "SR_NTID.X",
+            SpecialReg::NCtaIdX => "SR_NCTAID.X",
+            SpecialReg::LaneId => "SR_LANEID",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg(7).to_string(), "R7");
+        assert_eq!(Pred(2).to_string(), "P2");
+        assert_eq!(SpecialReg::TidX.to_string(), "SR_TID.X");
+        assert_eq!(SpecialReg::CtaIdY.to_string(), "SR_CTAID.Y");
+    }
+
+    #[test]
+    fn reg_ordering_follows_index() {
+        assert!(Reg(3) < Reg(10));
+    }
+}

@@ -1,0 +1,166 @@
+//! GPU configuration: structure sizes, cache geometry, latencies.
+//!
+//! The default configuration is a Volta-class GPU scaled down to 4 SMs so
+//! that statistical fault-injection campaigns (hundreds of thousands of
+//! end-to-end simulations) complete on one machine. Per-SM structure sizes
+//! match the GV100/V100 family; the L2 is scaled with the SM count.
+
+use crate::fault::HwStructure;
+
+/// Geometry of one cache instance (one L1 per SM; one shared L2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheGeom {
+    /// Total data capacity in bytes.
+    pub bytes: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Miss-status holding registers (outstanding misses tracked).
+    pub mshrs: u32,
+}
+
+impl CacheGeom {
+    pub fn lines(&self) -> u32 {
+        self.bytes / self.line_bytes
+    }
+
+    pub fn sets(&self) -> u32 {
+        self.lines() / self.ways
+    }
+
+    /// Data-array bit count of one instance.
+    pub fn data_bits(&self) -> u64 {
+        self.bytes as u64 * 8
+    }
+}
+
+/// Instruction latencies in cycles. Values follow the usual GPGPU-Sim
+/// Volta ballpark; what matters for the study is the *ordering*
+/// (ALU < SFU < SMEM < L1 < L2 < DRAM), which shapes occupancy, exposure
+/// windows, and cycle-weighted AVF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Latencies {
+    pub alu: u32,
+    pub sfu: u32,
+    pub smem: u32,
+    /// Extra cycles per additional conflicting lane on an SMEM bank.
+    pub smem_conflict: u32,
+    pub l1_hit: u32,
+    pub l2_hit: u32,
+    pub dram: u32,
+    /// Store acknowledge latency (stores do not stall for the hierarchy).
+    pub store: u32,
+    /// Extra penalty charged when a cache has no free MSHR
+    /// (reservation fail).
+    pub mshr_fail: u32,
+}
+
+/// Full GPU configuration.
+#[derive(Debug, Clone)]
+pub struct GpuConfig {
+    pub num_sms: u32,
+    pub max_threads_per_sm: u32,
+    pub max_ctas_per_sm: u32,
+    /// 32-bit registers in each SM's register file.
+    pub rf_regs_per_sm: u32,
+    /// Shared-memory bytes per SM.
+    pub smem_bytes_per_sm: u32,
+    pub l1d: CacheGeom,
+    pub l1t: CacheGeom,
+    pub l2: CacheGeom,
+    pub lat: Latencies,
+    /// Faulty runs are declared `Timeout` after
+    /// `timeout_factor * golden_cycles` (but at least `min_timeout_cycles`).
+    pub timeout_factor: u64,
+    pub min_timeout_cycles: u64,
+    /// SIMT reconvergence stack depth limit; exceeding it (possible only
+    /// under fault corruption) is a detected unrecoverable error.
+    pub max_stack_depth: usize,
+}
+
+impl GpuConfig {
+    /// Volta-like GPU scaled to `num_sms` SMs.
+    pub fn volta_scaled(num_sms: u32) -> Self {
+        GpuConfig {
+            num_sms,
+            max_threads_per_sm: 1024,
+            max_ctas_per_sm: 16,
+            rf_regs_per_sm: 65536, // 256 KiB
+            smem_bytes_per_sm: 65536,
+            l1d: CacheGeom { bytes: 32 * 1024, line_bytes: 128, ways: 4, mshrs: 16 },
+            l1t: CacheGeom { bytes: 16 * 1024, line_bytes: 128, ways: 4, mshrs: 8 },
+            l2: CacheGeom { bytes: 128 * 1024 * num_sms, line_bytes: 128, ways: 8, mshrs: 32 },
+            lat: Latencies {
+                alu: 4,
+                sfu: 16,
+                smem: 24,
+                smem_conflict: 2,
+                l1_hit: 32,
+                l2_hit: 190,
+                dram: 420,
+                store: 8,
+                mshr_fail: 64,
+            },
+            timeout_factor: 10,
+            min_timeout_cycles: 100_000,
+            max_stack_depth: 64,
+        }
+    }
+
+    /// Bit count of a hardware structure across the whole chip — the
+    /// `size(h)` weights of the paper's chip-level AVF formula.
+    pub fn structure_bits(&self, h: HwStructure) -> u64 {
+        match h {
+            HwStructure::RegFile => self.num_sms as u64 * self.rf_regs_per_sm as u64 * 32,
+            HwStructure::Smem => self.num_sms as u64 * self.smem_bytes_per_sm as u64 * 8,
+            HwStructure::L1D => self.num_sms as u64 * self.l1d.data_bits(),
+            HwStructure::L1T => self.num_sms as u64 * self.l1t.data_bits(),
+            HwStructure::L2 => self.l2.data_bits(),
+        }
+    }
+
+    /// Total bit count over all five modeled structures.
+    pub fn total_bits(&self) -> u64 {
+        HwStructure::ALL.iter().map(|&h| self.structure_bits(h)).sum()
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig::volta_scaled(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_geometry_arithmetic() {
+        let g = CacheGeom { bytes: 32 * 1024, line_bytes: 128, ways: 4, mshrs: 16 };
+        assert_eq!(g.lines(), 256);
+        assert_eq!(g.sets(), 64);
+        assert_eq!(g.data_bits(), 32 * 1024 * 8);
+    }
+
+    #[test]
+    fn default_is_4_sm_volta() {
+        let c = GpuConfig::default();
+        assert_eq!(c.num_sms, 4);
+        assert_eq!(c.structure_bits(HwStructure::RegFile), 4 * 65536 * 32);
+        assert_eq!(c.structure_bits(HwStructure::L2), 4 * 128 * 1024 * 8);
+    }
+
+    #[test]
+    fn register_file_dominates_total_bits() {
+        // Footnote 2 of the paper: the register file is the largest
+        // structure and therefore dominates chip AVF.
+        let c = GpuConfig::default();
+        let rf = c.structure_bits(HwStructure::RegFile);
+        for h in [HwStructure::Smem, HwStructure::L1D, HwStructure::L1T, HwStructure::L2] {
+            assert!(rf > c.structure_bits(h), "RF must dominate {h:?}");
+        }
+        assert!(rf as f64 / c.total_bits() as f64 > 0.4);
+    }
+}

@@ -1,0 +1,74 @@
+//! Detected unrecoverable errors (DUEs): catastrophic events that abort
+//! execution before any output is produced — the "kernel or application
+//! crash" class of the paper's fault-effect taxonomy.
+
+use std::fmt;
+
+/// The cause of a detected unrecoverable error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DueKind {
+    /// A global/texture access touched an unmapped address (the dominant
+    /// DUE class in GPU fault injection: "illegal memory access").
+    IllegalAddress { addr: u32 },
+    /// A 32-bit access was not word aligned.
+    Misaligned { addr: u32 },
+    /// A shared-memory access fell outside the CTA's allocation.
+    SmemOutOfBounds { off: u32 },
+    /// The program counter left the program (corrupted control flow).
+    BadPc { pc: u32 },
+    /// SIMT reconvergence stack exceeded its depth limit.
+    StackOverflow,
+    /// All resident warps were blocked at a barrier or finished while some
+    /// CTA could never release its barrier — barrier divergence deadlock.
+    BarrierDeadlock,
+}
+
+impl fmt::Display for DueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DueKind::IllegalAddress { addr } => write!(f, "illegal memory access at {addr:#x}"),
+            DueKind::Misaligned { addr } => write!(f, "misaligned access at {addr:#x}"),
+            DueKind::SmemOutOfBounds { off } => {
+                write!(f, "shared-memory access out of bounds at offset {off:#x}")
+            }
+            DueKind::BadPc { pc } => write!(f, "program counter out of range: {pc:#x}"),
+            DueKind::StackOverflow => write!(f, "SIMT stack overflow"),
+            DueKind::BarrierDeadlock => write!(f, "barrier divergence deadlock"),
+        }
+    }
+}
+
+impl std::error::Error for DueKind {}
+
+/// Why a launch did not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchAbort {
+    /// A detected unrecoverable error crashed the kernel.
+    Due(DueKind),
+    /// The run exceeded its cycle (timed) or instruction (functional)
+    /// budget.
+    Timeout,
+}
+
+impl fmt::Display for LaunchAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchAbort::Due(d) => write!(f, "DUE: {d}"),
+            LaunchAbort::Timeout => write!(f, "timeout"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchAbort {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(DueKind::IllegalAddress { addr: 0x40 }.to_string().contains("0x40"));
+        assert!(DueKind::BarrierDeadlock.to_string().contains("deadlock"));
+        assert!(DueKind::BadPc { pc: 0x99 }.to_string().contains("0x99"));
+    }
+}

@@ -1,0 +1,986 @@
+//! The SIMT instruction interpreter, shared by the cycle-level and
+//! functional engines.
+//!
+//! [`step_warp`] executes one warp instruction: it settles the SIMT stack,
+//! evaluates predication, runs the lane loop, handles divergence, applies
+//! software-level fault injection hooks, and reports an issue class that the
+//! timed engine converts into latency. The engines differ only in the
+//! [`GMem`] implementation (cached vs. flat) and in how they consume the
+//! returned issue class.
+
+use crate::due::DueKind;
+use crate::fault::{SwFaultKind, SwInjector};
+use crate::stats::Stats;
+use crate::warp::{StackEntry, Warp};
+use vgpu_arch::{CmpOp, Kernel, MemSpace, Op, Operand, Reg, SpecialReg, WARP_SIZE};
+
+/// Global-memory interface implemented by the two engines.
+pub trait GMem {
+    /// Warp-coalesced load of one word per active lane. `addrs[lane]` is
+    /// meaningful where `mask` has the lane bit set. Returns the cycle at
+    /// which the data is available (0 in functional mode).
+    fn load(
+        &mut self,
+        tex: bool,
+        mask: u32,
+        addrs: &[u32; WARP_SIZE],
+        out: &mut [u32; WARP_SIZE],
+    ) -> Result<u64, DueKind>;
+
+    /// Warp-coalesced store.
+    fn store(
+        &mut self,
+        mask: u32,
+        addrs: &[u32; WARP_SIZE],
+        vals: &[u32; WARP_SIZE],
+    ) -> Result<u64, DueKind>;
+}
+
+/// How long the issued instruction occupies the warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueClass {
+    Alu,
+    Sfu,
+    /// Shared-memory access; `extra_conflicts` = serialized extra bank
+    /// passes beyond the first.
+    Smem { extra_conflicts: u32 },
+    /// Global/texture access; `ready` is the absolute completion cycle.
+    Mem { ready: u64 },
+}
+
+/// Outcome of stepping a warp once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    Issued(IssueClass),
+    /// The warp arrived at a CTA barrier (PC already advanced).
+    Barrier,
+    /// The warp finished.
+    Done,
+}
+
+/// Everything `step_warp` needs besides the warp itself.
+pub struct ExecCtx<'a, M: GMem> {
+    pub kernel: &'a Kernel,
+    pub params: &'a [u32],
+    pub ntid: u32,
+    pub nctaid: u32,
+    /// This warp's register window: `num_regs * 32` words, laid out
+    /// register-major (`reg * 32 + lane`).
+    pub regs: &'a mut [u32],
+    /// The owning CTA's shared memory (word granular).
+    pub smem: &'a mut [u32],
+    pub mem: &'a mut M,
+    pub stats: &'a mut Stats,
+    /// Software-level fault injection hook (NVBitFI model).
+    pub sw: Option<&'a mut SwInjector>,
+    pub max_stack: usize,
+}
+
+#[inline]
+fn f(v: u32) -> f32 {
+    f32::from_bits(v)
+}
+
+#[inline]
+fn fb(v: f32) -> u32 {
+    v.to_bits()
+}
+
+#[inline]
+fn reg_idx(r: Reg, lane: usize) -> usize {
+    r.0 as usize * WARP_SIZE + lane
+}
+
+#[inline]
+fn read_reg(regs: &[u32], r: Reg, lane: usize) -> u32 {
+    regs[reg_idx(r, lane)]
+}
+
+#[inline]
+fn read_op(regs: &[u32], params: &[u32], o: &Operand, lane: usize) -> u32 {
+    match o {
+        Operand::Reg(r) => read_reg(regs, *r, lane),
+        Operand::Imm(v) => *v,
+        Operand::Const(i) => {
+            debug_assert!((*i as usize) < params.len(), "constant bank index out of range");
+            params.get(*i as usize).copied().unwrap_or(0)
+        }
+    }
+}
+
+#[inline]
+fn fcmp(cmp: CmpOp, a: f32, bv: f32) -> bool {
+    match a.partial_cmp(&bv) {
+        Some(ord) => cmp.eval(ord),
+        None => cmp == CmpOp::Ne, // unordered: only NE is true
+    }
+}
+
+/// Kind of value-level software fault pending for this instruction.
+enum PendingSw {
+    Dest { lane: usize, bit: u8 },
+    SrcRestore { r: Reg, lane: usize, bit: u8 },
+    None,
+}
+
+/// Execute one instruction of `w`. Returns the issue event or a DUE.
+pub fn step_warp<M: GMem>(w: &mut Warp, ctx: &mut ExecCtx<'_, M>) -> Result<StepEvent, DueKind> {
+    if !w.settle() {
+        return Ok(StepEvent::Done);
+    }
+    let top_idx = w.stack.len() - 1;
+    let live = w.stack[top_idx].mask & !w.exited;
+    let pc = w.stack[top_idx].pc;
+    if pc as usize >= ctx.kernel.instrs.len() {
+        return Err(DueKind::BadPc { pc });
+    }
+    let instr = ctx.kernel.instrs[pc as usize];
+    let exec_mask = match instr.guard {
+        Some(g) => {
+            let pm = w.preds[g.pred.0 as usize];
+            live & if g.negate { !pm } else { pm }
+        }
+        None => live,
+    };
+
+    ctx.stats.warp_instrs += 1;
+    let n_active = exec_mask.count_ones() as u64;
+    ctx.stats.thread_instrs += n_active;
+
+    let op = instr.op;
+
+    // ---- software-level fault injection bookkeeping -------------------
+    // Count eligible dynamic thread-instructions and, when the target index
+    // falls inside this instruction, arrange the bit flip.
+    let mut pending = PendingSw::None;
+    if let Some(sw) = ctx.sw.as_deref_mut() {
+        if n_active > 0 {
+            let eligible = match sw.fault.kind {
+                SwFaultKind::DestValue => op.has_gp_dest(),
+                SwFaultKind::DestValueLoad => {
+                    matches!(op, Op::Ld { space: MemSpace::Global | MemSpace::Tex, .. })
+                }
+                SwFaultKind::SrcTransient | SwFaultKind::SrcPersistent => {
+                    !op.src_regs().is_empty()
+                }
+                SwFaultKind::ArchState => true,
+            };
+            if eligible {
+                let t = sw.fault.target;
+                if t >= sw.counter && t < sw.counter + n_active {
+                    // Locate the (t - counter)-th active lane.
+                    let mut k = (t - sw.counter) as u32;
+                    let mut m = exec_mask;
+                    let lane = loop {
+                        let l = m.trailing_zeros();
+                        if k == 0 {
+                            break l as usize;
+                        }
+                        m &= m - 1;
+                        k -= 1;
+                    };
+                    let bit = sw.fault.bit % 32;
+                    match sw.fault.kind {
+                        SwFaultKind::DestValue | SwFaultKind::DestValueLoad => {
+                            pending = PendingSw::Dest { lane, bit };
+                        }
+                        SwFaultKind::SrcTransient | SwFaultKind::SrcPersistent => {
+                            let r = op.src_regs()[0];
+                            ctx.regs[reg_idx(r, lane)] ^= 1 << bit;
+                            sw.applied = true;
+                            if sw.fault.kind == SwFaultKind::SrcTransient {
+                                pending = PendingSw::SrcRestore { r, lane, bit };
+                            }
+                        }
+                        SwFaultKind::ArchState => {
+                            // Architectural-state fault (PVF model): any
+                            // live register of this warp, before execution.
+                            let nregs = ctx.kernel.num_regs as u64;
+                            let r = Reg((sw.fault.loc_pick % nregs) as u8);
+                            ctx.regs[reg_idx(r, lane)] ^= 1 << bit;
+                            sw.applied = true;
+                        }
+                    }
+                }
+                sw.counter += n_active;
+            }
+        }
+    }
+
+    // ---- instruction-class statistics ----------------------------------
+    match op {
+        Op::Ld { space: MemSpace::Global | MemSpace::Tex, .. } => {
+            ctx.stats.load_instrs += n_active;
+        }
+        Op::St { space: MemSpace::Global, .. } => ctx.stats.store_instrs += n_active,
+        Op::Ld { space: MemSpace::Shared, .. } | Op::St { space: MemSpace::Shared, .. } => {
+            ctx.stats.smem_instrs += n_active;
+        }
+        _ => {}
+    }
+    if op.has_gp_dest() {
+        ctx.stats.gp_dest_instrs += n_active;
+    }
+    if matches!(op, Op::Ld { space: MemSpace::Global | MemSpace::Tex, .. }) {
+        ctx.stats.ld_dest_instrs += n_active;
+    }
+    if !op.src_regs().is_empty() {
+        ctx.stats.src_reg_instrs += n_active;
+    }
+
+    macro_rules! lanes {
+        ($lane:ident, $body:block) => {{
+            let mut m = exec_mask;
+            while m != 0 {
+                let $lane = m.trailing_zeros() as usize;
+                m &= m - 1;
+                $body
+            }
+        }};
+    }
+    macro_rules! alu1 {
+        ($d:expr, $a:expr, $lane:ident, $e:expr) => {{
+            lanes!($lane, {
+                let av = read_reg(ctx.regs, $a, $lane);
+                ctx.regs[reg_idx($d, $lane)] = $e(av);
+            });
+            IssueClass::Alu
+        }};
+    }
+    macro_rules! alu2 {
+        ($d:expr, $a:expr, $b:expr, $lane:ident, $e:expr) => {{
+            lanes!($lane, {
+                let av = read_reg(ctx.regs, $a, $lane);
+                let bv = read_op(ctx.regs, ctx.params, $b, $lane);
+                ctx.regs[reg_idx($d, $lane)] = $e(av, bv);
+            });
+            IssueClass::Alu
+        }};
+    }
+
+    let mut event = StepEvent::Issued(IssueClass::Alu);
+    let mut advance = true;
+
+    let class: IssueClass = match &op {
+        Op::S2R { d, sr } => {
+            lanes!(lane, {
+                let v = match sr {
+                    SpecialReg::TidX => w.warp_in_cta * WARP_SIZE as u32 + lane as u32,
+                    SpecialReg::CtaIdX => w.ctaid_x,
+                    SpecialReg::CtaIdY => w.ctaid_y,
+                    SpecialReg::NTidX => ctx.ntid,
+                    SpecialReg::NCtaIdX => ctx.nctaid,
+                    SpecialReg::LaneId => lane as u32,
+                };
+                ctx.regs[reg_idx(*d, lane)] = v;
+            });
+            IssueClass::Alu
+        }
+        Op::Mov { d, a } => {
+            lanes!(lane, {
+                ctx.regs[reg_idx(*d, lane)] = read_op(ctx.regs, ctx.params, a, lane);
+            });
+            IssueClass::Alu
+        }
+        Op::IAdd { d, a, b } => alu2!(*d, *a, b, lane, |x: u32, y: u32| x.wrapping_add(y)),
+        Op::ISub { d, a, b } => alu2!(*d, *a, b, lane, |x: u32, y: u32| x.wrapping_sub(y)),
+        Op::IMul { d, a, b } => alu2!(*d, *a, b, lane, |x: u32, y: u32| x.wrapping_mul(y)),
+        Op::IMad { d, a, b, c } => {
+            lanes!(lane, {
+                let av = read_reg(ctx.regs, *a, lane);
+                let bv = read_op(ctx.regs, ctx.params, b, lane);
+                let cv = read_op(ctx.regs, ctx.params, c, lane);
+                ctx.regs[reg_idx(*d, lane)] = av.wrapping_mul(bv).wrapping_add(cv);
+            });
+            IssueClass::Alu
+        }
+        Op::IScAdd { d, a, b, shift } => {
+            let sh = *shift as u32 & 31;
+            alu2!(*d, *a, b, lane, |x: u32, y: u32| (x << sh).wrapping_add(y))
+        }
+        Op::IMnMx { d, a, b, max, signed } => {
+            let (mx, sg) = (*max, *signed);
+            alu2!(*d, *a, b, lane, |x: u32, y: u32| {
+                if sg {
+                    let (xi, yi) = (x as i32, y as i32);
+                    (if mx { xi.max(yi) } else { xi.min(yi) }) as u32
+                } else if mx {
+                    x.max(y)
+                } else {
+                    x.min(y)
+                }
+            })
+        }
+        // NVIDIA shifts clamp: amounts >= 32 yield 0.
+        Op::Shl { d, a, b } => {
+            alu2!(*d, *a, b, lane, |x: u32, y: u32| if y >= 32 { 0 } else { x << y })
+        }
+        Op::Shr { d, a, b } => {
+            alu2!(*d, *a, b, lane, |x: u32, y: u32| if y >= 32 { 0 } else { x >> y })
+        }
+        Op::And { d, a, b } => alu2!(*d, *a, b, lane, |x: u32, y: u32| x & y),
+        Op::Or { d, a, b } => alu2!(*d, *a, b, lane, |x: u32, y: u32| x | y),
+        Op::Xor { d, a, b } => alu2!(*d, *a, b, lane, |x: u32, y: u32| x ^ y),
+        Op::Not { d, a } => alu1!(*d, *a, lane, |x: u32| !x),
+        Op::FAdd { d, a, b } => alu2!(*d, *a, b, lane, |x, y| fb(f(x) + f(y))),
+        Op::FMul { d, a, b } => alu2!(*d, *a, b, lane, |x, y| fb(f(x) * f(y))),
+        Op::FFma { d, a, b, c } => {
+            lanes!(lane, {
+                let av = f(read_reg(ctx.regs, *a, lane));
+                let bv = f(read_op(ctx.regs, ctx.params, b, lane));
+                let cv = f(read_op(ctx.regs, ctx.params, c, lane));
+                ctx.regs[reg_idx(*d, lane)] = fb(av.mul_add(bv, cv));
+            });
+            IssueClass::Alu
+        }
+        Op::FMnMx { d, a, b, max } => {
+            let mx = *max;
+            alu2!(*d, *a, b, lane, |x, y| {
+                let (xf, yf) = (f(x), f(y));
+                fb(if mx { xf.max(yf) } else { xf.min(yf) })
+            })
+        }
+        Op::FRcp { d, a } => {
+            lanes!(lane, {
+                let av = f(read_reg(ctx.regs, *a, lane));
+                ctx.regs[reg_idx(*d, lane)] = fb(1.0 / av);
+            });
+            IssueClass::Sfu
+        }
+        Op::FSqrt { d, a } => {
+            lanes!(lane, {
+                let av = f(read_reg(ctx.regs, *a, lane));
+                ctx.regs[reg_idx(*d, lane)] = fb(av.sqrt());
+            });
+            IssueClass::Sfu
+        }
+        Op::FExp { d, a } => {
+            lanes!(lane, {
+                let av = f(read_reg(ctx.regs, *a, lane));
+                ctx.regs[reg_idx(*d, lane)] = fb(av.exp());
+            });
+            IssueClass::Sfu
+        }
+        Op::FLog { d, a } => {
+            lanes!(lane, {
+                let av = f(read_reg(ctx.regs, *a, lane));
+                ctx.regs[reg_idx(*d, lane)] = fb(av.ln());
+            });
+            IssueClass::Sfu
+        }
+        Op::FAbs { d, a } => alu1!(*d, *a, lane, |x: u32| x & 0x7fff_ffff),
+        Op::I2F { d, a } => alu1!(*d, *a, lane, |x: u32| fb(x as i32 as f32)),
+        Op::F2I { d, a } => alu1!(*d, *a, lane, |x: u32| f(x) as i32 as u32),
+        Op::ISetP { p, a, b, cmp, signed } => {
+            lanes!(lane, {
+                let av = read_reg(ctx.regs, *a, lane);
+                let bv = read_op(ctx.regs, ctx.params, b, lane);
+                let r = if *signed {
+                    cmp.eval((av as i32).cmp(&(bv as i32)))
+                } else {
+                    cmp.eval(av.cmp(&bv))
+                };
+                let bitm = 1u32 << lane;
+                if r {
+                    w.preds[p.0 as usize] |= bitm;
+                } else {
+                    w.preds[p.0 as usize] &= !bitm;
+                }
+            });
+            IssueClass::Alu
+        }
+        Op::FSetP { p, a, b, cmp } => {
+            lanes!(lane, {
+                let av = f(read_reg(ctx.regs, *a, lane));
+                let bv = f(read_op(ctx.regs, ctx.params, b, lane));
+                let r = fcmp(*cmp, av, bv);
+                let bitm = 1u32 << lane;
+                if r {
+                    w.preds[p.0 as usize] |= bitm;
+                } else {
+                    w.preds[p.0 as usize] &= !bitm;
+                }
+            });
+            IssueClass::Alu
+        }
+        Op::PSetP { p, a, b, op: bop, na, nb } => {
+            let am = if *na { !w.preds[a.0 as usize] } else { w.preds[a.0 as usize] };
+            let bm = if *nb { !w.preds[b.0 as usize] } else { w.preds[b.0 as usize] };
+            let rm = match bop {
+                vgpu_arch::BoolOp::And => am & bm,
+                vgpu_arch::BoolOp::Or => am | bm,
+                vgpu_arch::BoolOp::Xor => am ^ bm,
+            };
+            w.preds[p.0 as usize] =
+                (w.preds[p.0 as usize] & !exec_mask) | (rm & exec_mask);
+            IssueClass::Alu
+        }
+        Op::Sel { d, a, b, p, neg } => {
+            let pm = if *neg { !w.preds[p.0 as usize] } else { w.preds[p.0 as usize] };
+            lanes!(lane, {
+                let v = if pm & (1 << lane) != 0 {
+                    read_reg(ctx.regs, *a, lane)
+                } else {
+                    read_op(ctx.regs, ctx.params, b, lane)
+                };
+                ctx.regs[reg_idx(*d, lane)] = v;
+            });
+            IssueClass::Alu
+        }
+        Op::Ld { d, space, a, off } => match space {
+            MemSpace::Shared => {
+                let cls = smem_access(w, ctx, exec_mask, *a, *off, Some(*d), None)?;
+                cls
+            }
+            MemSpace::Global | MemSpace::Tex => {
+                let mut addrs = [0u32; WARP_SIZE];
+                lanes!(lane, {
+                    addrs[lane] =
+                        read_reg(ctx.regs, *a, lane).wrapping_add(*off as u32);
+                });
+                let mut out = [0u32; WARP_SIZE];
+                if exec_mask != 0 {
+                    let ready =
+                        ctx.mem.load(*space == MemSpace::Tex, exec_mask, &addrs, &mut out)?;
+                    lanes!(lane, {
+                        ctx.regs[reg_idx(*d, lane)] = out[lane];
+                    });
+                    IssueClass::Mem { ready }
+                } else {
+                    IssueClass::Alu
+                }
+            }
+        },
+        Op::St { space, a, off, v } => match space {
+            MemSpace::Shared => smem_access(w, ctx, exec_mask, *a, *off, None, Some(*v))?,
+            MemSpace::Tex => unreachable!("validated kernels cannot store to texture space"),
+            MemSpace::Global => {
+                let mut addrs = [0u32; WARP_SIZE];
+                let mut vals = [0u32; WARP_SIZE];
+                lanes!(lane, {
+                    addrs[lane] =
+                        read_reg(ctx.regs, *a, lane).wrapping_add(*off as u32);
+                    vals[lane] = read_reg(ctx.regs, *v, lane);
+                });
+                if exec_mask != 0 {
+                    let ready = ctx.mem.store(exec_mask, &addrs, &vals)?;
+                    IssueClass::Mem { ready }
+                } else {
+                    IssueClass::Alu
+                }
+            }
+        },
+        Op::Bar => {
+            event = StepEvent::Barrier;
+            IssueClass::Alu
+        }
+        Op::Bra { target, reconv } => {
+            advance = false;
+            let taken = exec_mask;
+            let fall = live & !taken;
+            let top = &mut w.stack[top_idx];
+            if taken == 0 {
+                top.pc = pc + 1;
+            } else if fall == 0 {
+                top.pc = *target;
+            } else {
+                // Divergence: the current entry becomes the reconvergence
+                // continuation; push the two sides (skipping any side that
+                // starts at the reconvergence point itself).
+                top.pc = *reconv;
+                top.mask = live;
+                let rpc = *reconv;
+                if pc + 1 != rpc {
+                    w.stack.push(StackEntry { pc: pc + 1, rpc, mask: fall });
+                }
+                if *target != rpc {
+                    w.stack.push(StackEntry { pc: *target, rpc, mask: taken });
+                }
+                if w.stack.len() > ctx.max_stack {
+                    return Err(DueKind::StackOverflow);
+                }
+            }
+            IssueClass::Alu
+        }
+        Op::Exit => {
+            w.exited |= exec_mask;
+            IssueClass::Alu
+        }
+    };
+
+    // ---- apply pending destination-value fault & advance ---------------
+    match pending {
+        PendingSw::Dest { lane, bit } => {
+            if let Some(d) = op.dst_reg() {
+                ctx.regs[reg_idx(d, lane)] ^= 1 << bit;
+                if let Some(sw) = ctx.sw.as_deref_mut() {
+                    sw.applied = true;
+                }
+            }
+        }
+        PendingSw::SrcRestore { r, lane, bit } => {
+            // Transient source fault: undo the flip unless the instruction
+            // overwrote the register anyway.
+            if op.dst_reg() != Some(r) {
+                ctx.regs[reg_idx(r, lane)] ^= 1 << bit;
+            }
+        }
+        PendingSw::None => {}
+    }
+
+    if advance {
+        w.stack[top_idx].pc = pc + 1;
+    }
+    if let StepEvent::Issued(_) = event {
+        event = StepEvent::Issued(class);
+    }
+    Ok(event)
+}
+
+/// Shared-memory access with bounds checking and a 32-bank conflict model.
+fn smem_access<M: GMem>(
+    w: &mut Warp,
+    ctx: &mut ExecCtx<'_, M>,
+    exec_mask: u32,
+    a: Reg,
+    off: i32,
+    load_into: Option<Reg>,
+    store_from: Option<Reg>,
+) -> Result<IssueClass, DueKind> {
+    let len_bytes = (ctx.smem.len() * 4) as u32;
+    let mut bank_counts = [0u8; 32];
+    let mut m = exec_mask;
+    while m != 0 {
+        let lane = m.trailing_zeros() as usize;
+        m &= m - 1;
+        let addr = read_reg(ctx.regs, a, lane).wrapping_add(off as u32);
+        if addr % 4 != 0 {
+            return Err(DueKind::Misaligned { addr });
+        }
+        if addr + 4 > len_bytes {
+            return Err(DueKind::SmemOutOfBounds { off: addr });
+        }
+        let word = (addr / 4) as usize;
+        bank_counts[word % 32] += 1;
+        if let Some(d) = load_into {
+            ctx.regs[reg_idx(d, lane)] = ctx.smem[word];
+        }
+        if let Some(v) = store_from {
+            let val = read_reg(ctx.regs, v, lane);
+            ctx.smem[word] = val;
+        }
+    }
+    let _ = w;
+    let max_per_bank = *bank_counts.iter().max().unwrap() as u32;
+    Ok(IssueClass::Smem { extra_conflicts: max_per_bank.saturating_sub(1) })
+}
+
+/// Flat (uncached) memory used by the functional engine.
+pub struct FlatMem<'a> {
+    pub mem: &'a mut crate::mem::GlobalMem,
+}
+
+impl GMem for FlatMem<'_> {
+    fn load(
+        &mut self,
+        _tex: bool,
+        mask: u32,
+        addrs: &[u32; WARP_SIZE],
+        out: &mut [u32; WARP_SIZE],
+    ) -> Result<u64, DueKind> {
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.mem.check_word(addrs[lane])?;
+            out[lane] = self.mem.read_u32(addrs[lane]);
+        }
+        Ok(0)
+    }
+
+    fn store(
+        &mut self,
+        mask: u32,
+        addrs: &[u32; WARP_SIZE],
+        vals: &[u32; WARP_SIZE],
+    ) -> Result<u64, DueKind> {
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.mem.check_word(addrs[lane])?;
+            self.mem.write_u32(addrs[lane], vals[lane]);
+        }
+        Ok(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::GlobalMem;
+    use vgpu_arch::KernelBuilder;
+
+    /// Run `kernel` for one full warp with flat memory; returns
+    /// (regs, preds, stats) on completion.
+    fn run_one_warp(
+        kernel: &Kernel,
+        params: &[u32],
+        mem: &mut GlobalMem,
+        init_mask: u32,
+    ) -> (Vec<u32>, [u32; 4], Stats) {
+        let mut w = Warp::new(0, 0, 0, init_mask, 0);
+        let mut regs = vec![0u32; kernel.num_regs as usize * WARP_SIZE];
+        let mut smem = vec![0u32; (kernel.smem_bytes / 4).max(1) as usize];
+        let mut stats = Stats::default();
+        let mut flat = FlatMem { mem };
+        for _ in 0..100_000 {
+            let mut ctx = ExecCtx {
+                kernel,
+                params,
+                ntid: 32,
+                nctaid: 1,
+                regs: &mut regs,
+                smem: &mut smem,
+                mem: &mut flat,
+                stats: &mut stats,
+                sw: None,
+                max_stack: 64,
+            };
+            match step_warp(&mut w, &mut ctx).expect("no DUE expected") {
+                StepEvent::Done => return (regs, w.preds, stats),
+                StepEvent::Barrier => {} // single warp: barrier is a no-op
+                StepEvent::Issued(_) => {}
+            }
+        }
+        panic!("warp did not finish");
+    }
+
+    #[test]
+    fn alu_basics_per_lane() {
+        let mut a = KernelBuilder::new("t");
+        let (r0, r1, r2) = (a.reg(), a.reg(), a.reg());
+        a.s2r(r0, SpecialReg::LaneId);
+        a.imad(r1, r0, 3u32, 10u32); // r1 = lane*3 + 10
+        a.iscadd(r2, r0, 100u32, 2); // r2 = lane*4 + 100
+        let k = a.build().unwrap();
+        let mut mem = GlobalMem::new(4096);
+        let (regs, _, stats) = run_one_warp(&k, &[], &mut mem, u32::MAX);
+        for lane in 0..32 {
+            assert_eq!(regs[reg_idx(Reg(1), lane)], lane as u32 * 3 + 10);
+            assert_eq!(regs[reg_idx(Reg(2), lane)], lane as u32 * 4 + 100);
+        }
+        assert_eq!(stats.warp_instrs, 4); // 3 + exit
+        assert_eq!(stats.thread_instrs, 4 * 32);
+    }
+
+    #[test]
+    fn float_ops() {
+        let mut a = KernelBuilder::new("t");
+        let (r0, r1, r2, r3) = (a.reg(), a.reg(), a.reg(), a.reg());
+        a.mov(r0, 2.0f32);
+        a.ffma(r1, r0, 3.0f32, 1.0f32); // 7.0
+        a.frcp(r2, r0); // 0.5
+        a.fsqrt(r3, r1); // sqrt(7)
+        let k = a.build().unwrap();
+        let mut mem = GlobalMem::new(4096);
+        let (regs, _, _) = run_one_warp(&k, &[], &mut mem, 1);
+        assert_eq!(f(regs[reg_idx(Reg(1), 0)]), 7.0);
+        assert_eq!(f(regs[reg_idx(Reg(2), 0)]), 0.5);
+        assert_eq!(f(regs[reg_idx(Reg(3), 0)]), 7.0f32.sqrt());
+    }
+
+    #[test]
+    fn predication_masks_lanes() {
+        let mut a = KernelBuilder::new("t");
+        let (r0, r1) = (a.reg(), a.reg());
+        let p = a.pred();
+        a.s2r(r0, SpecialReg::LaneId);
+        a.isetp(p, r0, 16u32, CmpOp::Lt, true);
+        a.predicated(p, false, |a| a.mov(r1, 7u32));
+        a.predicated(p, true, |a| a.mov(r1, 9u32));
+        let k = a.build().unwrap();
+        let mut mem = GlobalMem::new(4096);
+        let (regs, preds, _) = run_one_warp(&k, &[], &mut mem, u32::MAX);
+        assert_eq!(preds[0], 0x0000_ffff);
+        for lane in 0..32 {
+            let expect = if lane < 16 { 7 } else { 9 };
+            assert_eq!(regs[reg_idx(Reg(1), lane)], expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn divergence_if_then_else_reconverges() {
+        let mut a = KernelBuilder::new("t");
+        let (r0, r1, r2) = (a.reg(), a.reg(), a.reg());
+        let p = a.pred();
+        a.s2r(r0, SpecialReg::LaneId);
+        a.isetp(p, r0, 8u32, CmpOp::Lt, true);
+        a.if_then_else(
+            p,
+            false,
+            |a| a.mov(r1, 100u32),
+            |a| a.mov(r1, 200u32),
+        );
+        a.iadd(r2, r1, 1u32); // after reconvergence: all lanes execute
+        let k = a.build().unwrap();
+        let mut mem = GlobalMem::new(4096);
+        let (regs, _, _) = run_one_warp(&k, &[], &mut mem, u32::MAX);
+        for lane in 0..32 {
+            let expect = if lane < 8 { 101 } else { 201 };
+            assert_eq!(regs[reg_idx(Reg(2), lane)], expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn divergent_loop_trip_counts() {
+        // Each lane loops `lane+1` times, accumulating into r1.
+        let mut a = KernelBuilder::new("t");
+        let (r0, r1, r2) = (a.reg(), a.reg(), a.reg());
+        let p = a.pred();
+        a.s2r(r0, SpecialReg::LaneId);
+        a.mov(r1, 0u32);
+        a.mov(r2, 0u32);
+        a.loop_while(|a| {
+            a.iadd(r1, r1, 1u32);
+            a.iadd(r2, r2, 1u32);
+            a.isetp(p, r2, Operand::Reg(r0), CmpOp::Le, true);
+            (p, false)
+        });
+        let k = a.build().unwrap();
+        let mut mem = GlobalMem::new(4096);
+        let (regs, _, _) = run_one_warp(&k, &[], &mut mem, u32::MAX);
+        for lane in 0..32 {
+            assert_eq!(regs[reg_idx(Reg(1), lane)], lane as u32 + 1, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn global_load_store_roundtrip() {
+        let mut a = KernelBuilder::new("t");
+        let (r0, r1, r2) = (a.reg(), a.reg(), a.reg());
+        a.s2r(r0, SpecialReg::LaneId);
+        a.mov(r1, a.param(0));
+        a.iscadd(r1, r0, r1, 2); // addr = base + lane*4
+        a.ld(r2, MemSpace::Global, r1, 0);
+        a.iadd(r2, r2, 1000u32);
+        a.st(MemSpace::Global, r1, 0, r2);
+        let k = a.build().unwrap();
+        let mut mem = GlobalMem::new(4096);
+        mem.map(0, 4096);
+        for i in 0..32u32 {
+            mem.write_u32(256 + i * 4, i);
+        }
+        let (_, _, stats) = run_one_warp(&k, &[256], &mut mem, u32::MAX);
+        for i in 0..32u32 {
+            assert_eq!(mem.read_u32(256 + i * 4), i + 1000);
+        }
+        assert_eq!(stats.load_instrs, 32);
+        assert_eq!(stats.store_instrs, 32);
+    }
+
+    #[test]
+    fn illegal_address_is_due() {
+        let mut a = KernelBuilder::new("t");
+        let (r0, r1) = (a.reg(), a.reg());
+        a.mov(r0, 0x10u32); // unmapped
+        a.ld(r1, MemSpace::Global, r0, 0);
+        let k = a.build().unwrap();
+        let mut mem = GlobalMem::new(4096);
+        let mut w = Warp::new(0, 0, 0, 1, 0);
+        let mut regs = vec![0u32; k.num_regs as usize * WARP_SIZE];
+        let mut smem = vec![0u32; 1];
+        let mut stats = Stats::default();
+        let mut flat = FlatMem { mem: &mut mem };
+        let mut err = None;
+        for _ in 0..10 {
+            let mut ctx = ExecCtx {
+                kernel: &k,
+                params: &[],
+                ntid: 32,
+                nctaid: 1,
+                regs: &mut regs,
+                smem: &mut smem,
+                mem: &mut flat,
+                stats: &mut stats,
+                sw: None,
+                max_stack: 64,
+            };
+            match step_warp(&mut w, &mut ctx) {
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+                Ok(StepEvent::Done) => break,
+                Ok(_) => {}
+            }
+        }
+        assert_eq!(err, Some(DueKind::IllegalAddress { addr: 0x10 }));
+    }
+
+    #[test]
+    fn smem_roundtrip_and_bounds() {
+        let mut a = KernelBuilder::new("t");
+        let base = a.alloc_smem(128);
+        assert_eq!(base, 0);
+        let (r0, r1, r2) = (a.reg(), a.reg(), a.reg());
+        a.s2r(r0, SpecialReg::LaneId);
+        a.shl(r1, r0, 2u32);
+        a.st(MemSpace::Shared, r1, 0, r0);
+        a.ld(r2, MemSpace::Shared, r1, 0);
+        let k = a.build().unwrap();
+        let mut mem = GlobalMem::new(64);
+        let (regs, _, stats) = run_one_warp(&k, &[], &mut mem, u32::MAX);
+        for lane in 0..32 {
+            assert_eq!(regs[reg_idx(Reg(2), lane)], lane as u32);
+        }
+        assert_eq!(stats.smem_instrs, 64);
+    }
+
+    #[test]
+    fn smem_out_of_bounds_is_due() {
+        let mut a = KernelBuilder::new("t");
+        a.alloc_smem(16);
+        let (r0, r1) = (a.reg(), a.reg());
+        a.mov(r0, 64u32);
+        a.ld(r1, MemSpace::Shared, r0, 0);
+        let k = a.build().unwrap();
+        let mut w = Warp::new(0, 0, 0, 1, 0);
+        let mut regs = vec![0u32; k.num_regs as usize * WARP_SIZE];
+        let mut smem = vec![0u32; (k.smem_bytes / 4) as usize];
+        let mut stats = Stats::default();
+        let mut mem = GlobalMem::new(64);
+        let mut flat = FlatMem { mem: &mut mem };
+        let mut got = None;
+        for _ in 0..10 {
+            let mut ctx = ExecCtx {
+                kernel: &k,
+                params: &[],
+                ntid: 32,
+                nctaid: 1,
+                regs: &mut regs,
+                smem: &mut smem,
+                mem: &mut flat,
+                stats: &mut stats,
+                sw: None,
+                max_stack: 64,
+            };
+            match step_warp(&mut w, &mut ctx) {
+                Err(e) => {
+                    got = Some(e);
+                    break;
+                }
+                Ok(StepEvent::Done) => break,
+                Ok(_) => {}
+            }
+        }
+        assert_eq!(got, Some(DueKind::SmemOutOfBounds { off: 64 }));
+    }
+
+    #[test]
+    fn sw_fault_dest_value_flips_target_instruction() {
+        // Kernel: r1 = 5; r2 = r1 + 1. Inject into dynamic instr index 0
+        // (the MOV) of lane 3, bit 1: r1 becomes 7, so r2 = 8 in lane 3.
+        let mut a = KernelBuilder::new("t");
+        let (r1, r2) = (a.reg(), a.reg());
+        a.mov(r1, 5u32);
+        a.iadd(r2, r1, 1u32);
+        let k = a.build().unwrap();
+        let mut mem = GlobalMem::new(64);
+        let mut w = Warp::new(0, 0, 0, u32::MAX, 0);
+        let mut regs = vec![0u32; k.num_regs as usize * WARP_SIZE];
+        let mut smem = vec![0u32; 1];
+        let mut stats = Stats::default();
+        let mut inj = SwInjector::new(crate::fault::SwFault {
+            kind: SwFaultKind::DestValue,
+            target: 3, // lane 3 of the first eligible instruction
+            bit: 1, loc_pick: 0 });
+        let mut flat = FlatMem { mem: &mut mem };
+        loop {
+            let mut ctx = ExecCtx {
+                kernel: &k,
+                params: &[],
+                ntid: 32,
+                nctaid: 1,
+                regs: &mut regs,
+                smem: &mut smem,
+                mem: &mut flat,
+                stats: &mut stats,
+                sw: Some(&mut inj),
+                max_stack: 64,
+            };
+            if let StepEvent::Done = step_warp(&mut w, &mut ctx).unwrap() {
+                break;
+            }
+        }
+        assert!(inj.applied);
+        assert_eq!(regs[reg_idx(Reg(0), 3)], 7, "flipped destination value persists");
+        assert_eq!(regs[reg_idx(Reg(1), 3)], 8, "downstream reader sees the flip");
+        assert_eq!(regs[reg_idx(Reg(1), 2)], 6, "other lanes unaffected");
+    }
+
+    #[test]
+    fn sw_fault_src_transient_affects_single_instruction() {
+        // r0 = 4; r1 = r0 + 1; r2 = r0 + 2.
+        // Transient source fault on the *second* eligible source-reading
+        // instruction (r2 = r0+2) must leave r1 and r0 intact.
+        let mut a = KernelBuilder::new("t");
+        let (r0, r1, r2) = (a.reg(), a.reg(), a.reg());
+        a.mov(r0, 4u32);
+        a.iadd(r1, r0, 1u32);
+        a.iadd(r2, r0, 2u32);
+        let k = a.build().unwrap();
+        let mut mem = GlobalMem::new(64);
+        let mut w = Warp::new(0, 0, 0, 1, 0); // one lane
+        let mut regs = vec![0u32; k.num_regs as usize * WARP_SIZE];
+        let mut smem = vec![0u32; 1];
+        let mut stats = Stats::default();
+        let mut inj = SwInjector::new(crate::fault::SwFault {
+            kind: SwFaultKind::SrcTransient,
+            target: 1, // second src-reading dynamic instr (iadd r2)
+            bit: 0,    // 4 -> 5
+            loc_pick: 0,
+        });
+        let mut flat = FlatMem { mem: &mut mem };
+        loop {
+            let mut ctx = ExecCtx {
+                kernel: &k,
+                params: &[],
+                ntid: 32,
+                nctaid: 1,
+                regs: &mut regs,
+                smem: &mut smem,
+                mem: &mut flat,
+                stats: &mut stats,
+                sw: Some(&mut inj),
+                max_stack: 64,
+            };
+            if let StepEvent::Done = step_warp(&mut w, &mut ctx).unwrap() {
+                break;
+            }
+        }
+        assert!(inj.applied);
+        assert_eq!(regs[reg_idx(Reg(1), 0)], 5, "earlier instr unaffected");
+        assert_eq!(regs[reg_idx(Reg(2), 0)], 7, "target instr read flipped src (5+2)");
+        assert_eq!(regs[reg_idx(Reg(0), 0)], 4, "source restored after the instr");
+    }
+
+    #[test]
+    fn masked_exit_finishes_warp_partially() {
+        // Lanes < 4 exit early (via predicated EXIT), the rest write r1.
+        let mut a = KernelBuilder::new("t");
+        let (r0, r1) = (a.reg(), a.reg());
+        let p = a.pred();
+        a.s2r(r0, SpecialReg::LaneId);
+        a.isetp(p, r0, 4u32, CmpOp::Lt, true);
+        a.emit_guarded(Op::Exit, p, false);
+        a.mov(r1, 9u32);
+        let k = a.build().unwrap();
+        let mut mem = GlobalMem::new(64);
+        let (regs, _, _) = run_one_warp(&k, &[], &mut mem, 0xff);
+        for lane in 0..8 {
+            let expect = if lane < 4 { 0 } else { 9 };
+            assert_eq!(regs[reg_idx(Reg(1), lane)], expect, "lane {lane}");
+        }
+    }
+}

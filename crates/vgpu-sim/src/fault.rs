@@ -1,0 +1,171 @@
+//! Fault specifications for both abstraction layers.
+//!
+//! * [`UarchFault`] — a microarchitecture-level single-bit flip at a given
+//!   cycle in one of the five modeled hardware structures (the gpuFI-4
+//!   model of the paper: register files, shared memory, L1 data cache,
+//!   L1 texture cache, L2 cache).
+//! * [`SwFault`] — a software-level flip in the value produced (or read) by
+//!   one dynamic instruction (the NVBitFI model), plus the source-register
+//!   variants the paper proposes in Section V-B.
+
+/// The five hardware structures targeted by microarchitecture-level fault
+/// injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HwStructure {
+    RegFile,
+    Smem,
+    L1D,
+    L1T,
+    L2,
+}
+
+impl HwStructure {
+    pub const ALL: [HwStructure; 5] = [
+        HwStructure::RegFile,
+        HwStructure::Smem,
+        HwStructure::L1D,
+        HwStructure::L1T,
+        HwStructure::L2,
+    ];
+
+    /// Short label used in reports (matches the paper's figure labels).
+    pub fn label(&self) -> &'static str {
+        match self {
+            HwStructure::RegFile => "RF",
+            HwStructure::Smem => "SMEM",
+            HwStructure::L1D => "L1D",
+            HwStructure::L1T => "L1T",
+            HwStructure::L2 => "L2",
+        }
+    }
+
+    /// The cache structures (used for the AVF-Cache sub-metric of Fig. 5).
+    pub const CACHES: [HwStructure; 3] = [HwStructure::L1D, HwStructure::L1T, HwStructure::L2];
+}
+
+/// A single-bit microarchitecture-level fault.
+///
+/// `loc_pick` selects the flipped location *uniformly over the live
+/// population at the injection cycle* (`loc_pick % population`):
+/// for the register file and shared memory this is the set of
+/// currently-allocated entries (gpuFI-4 can only target live allocations —
+/// the derating factor of the AVF formula accounts for the rest), while for
+/// caches it is the entire data array, valid or not, as AVF methodology
+/// requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UarchFault {
+    /// Cycle (within the target launch) at which the flip occurs.
+    pub cycle: u64,
+    pub structure: HwStructure,
+    /// Uniform random location selector.
+    pub loc_pick: u64,
+    /// Bit within the selected word (RF/SMEM, 0..32) or byte (caches, the
+    /// low 3 bits are used).
+    pub bit: u8,
+}
+
+/// What a software-level fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwFaultKind {
+    /// NVBitFI default: flip a bit of the destination-register value of a
+    /// dynamic general-purpose instruction, after it executes. The flipped
+    /// value persists in the register until overwritten.
+    DestValue,
+    /// SVF-LD: like `DestValue` but only load instructions are eligible.
+    DestValueLoad,
+    /// Flip a source-register value for the duration of one dynamic
+    /// instruction only (the "instantaneous" software-level model whose
+    /// blind spot Section V-B describes).
+    SrcTransient,
+    /// Flip a source register in the register file so every later reader
+    /// observes it until the register is rewritten — the behaviour the
+    /// paper's proposed register-reuse analyzer would reconstruct.
+    SrcPersistent,
+    /// Flip a bit of an arbitrary *architectural register* of the warp
+    /// executing the target dynamic instruction (register chosen by
+    /// `loc_pick % num_regs`), before the instruction executes. This is a
+    /// fault-injection approximation of the **Program Vulnerability
+    /// Factor** (Sridharan & Kaeli) — the microarchitecture-independent,
+    /// architecturally-visible portion of AVF — sitting between the
+    /// dest-value SVF model and the full cross-layer AVF.
+    ArchState,
+}
+
+/// A software-level fault: flip `bit` in the value associated with the
+/// `target`-th *eligible* dynamic thread-instruction (eligibility depends
+/// on [`SwFaultKind`]). Dynamic instructions are counted per executing
+/// lane, in deterministic execution order, exactly as a binary
+/// instrumentation tool observes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwFault {
+    pub kind: SwFaultKind,
+    /// Index into the stream of eligible dynamic thread-instructions.
+    pub target: u64,
+    /// Bit to flip in the 32-bit value.
+    pub bit: u8,
+    /// Location selector for kinds that pick among several candidate
+    /// registers ([`SwFaultKind::ArchState`]); ignored otherwise.
+    pub loc_pick: u64,
+}
+
+/// Mutable state tracking a software fault during a run.
+#[derive(Debug, Clone)]
+pub struct SwInjector {
+    pub fault: SwFault,
+    /// Eligible dynamic thread-instructions seen so far.
+    pub counter: u64,
+    /// Set once the fault has been applied.
+    pub applied: bool,
+}
+
+impl SwInjector {
+    pub fn new(fault: SwFault) -> Self {
+        SwInjector { fault, counter: 0, applied: false }
+    }
+}
+
+/// Mutable state tracking a microarchitecture fault during a timed run.
+#[derive(Debug, Clone)]
+pub struct UarchInjector {
+    pub fault: UarchFault,
+    pub applied: bool,
+    /// Live-population size observed when the fault was applied (0 if the
+    /// structure had no live entries, in which case the flip was skipped
+    /// and the run is trivially fault-free).
+    pub population: u64,
+}
+
+impl UarchInjector {
+    pub fn new(fault: UarchFault) -> Self {
+        UarchInjector { fault, applied: false, population: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(HwStructure::RegFile.label(), "RF");
+        assert_eq!(HwStructure::Smem.label(), "SMEM");
+        assert_eq!(HwStructure::L2.label(), "L2");
+        assert_eq!(HwStructure::ALL.len(), 5);
+        assert_eq!(HwStructure::CACHES.len(), 3);
+    }
+
+    #[test]
+    fn injector_initial_state() {
+        let i = SwInjector::new(SwFault { kind: SwFaultKind::DestValue, target: 10, bit: 3, loc_pick: 0 });
+        assert_eq!(i.counter, 0);
+        assert!(!i.applied);
+        let u = UarchInjector::new(UarchFault {
+            cycle: 5,
+            structure: HwStructure::L2,
+            loc_pick: 99,
+            bit: 7,
+        });
+        assert!(!u.applied);
+        assert_eq!(u.population, 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! The functional engine: hardware-agnostic execution used for
+//! software-level (NVBitFI-model) fault injection and golden references.
+//!
+//! CTAs run sequentially; warps within a CTA run round-robin with a fixed
+//! quantum so barriers work. There are no caches, no latencies and no
+//! occupancy limits — exactly the abstraction level a binary-instrumentation
+//! injector sees, and the reason SVF campaigns are orders of magnitude
+//! cheaper than cross-layer AVF campaigns.
+
+use crate::due::{DueKind, LaunchAbort};
+use crate::exec::{step_warp, ExecCtx, FlatMem, StepEvent};
+use crate::fault::SwInjector;
+use crate::mem::GlobalMem;
+use crate::stats::Stats;
+use crate::warp::Warp;
+use vgpu_arch::{Kernel, LaunchConfig, WARP_SIZE};
+
+/// Instructions a warp may run before yielding to its siblings.
+const QUANTUM: u32 = 256;
+
+/// Run one kernel launch functionally. `budget_instrs` bounds the total
+/// thread-level dynamic instructions (timeout classification).
+pub fn run_functional(
+    mem: &mut GlobalMem,
+    kernel: &Kernel,
+    lc: &LaunchConfig,
+    mut sw: Option<&mut SwInjector>,
+    budget_instrs: u64,
+    max_stack: usize,
+) -> Result<Stats, LaunchAbort> {
+    let wpc = lc.warps_per_cta() as usize;
+    let regs_per_warp = kernel.num_regs as usize * WARP_SIZE;
+    let smem_words = (kernel.smem_bytes / 4).max(1) as usize;
+    let total_ctas = lc.num_ctas();
+
+    let mut stats = Stats::default();
+    let mut seq = 0u64;
+
+    for lin in 0..total_ctas {
+        let ctaid_x = (lin % lc.grid_x as u64) as u32;
+        let ctaid_y = (lin / lc.grid_x as u64) as u32;
+        let mut regs = vec![0u32; wpc * regs_per_warp];
+        let mut smem = vec![0u32; smem_words];
+        let mut warps: Vec<Warp> = (0..wpc)
+            .map(|wi| {
+                let first = wi as u32 * WARP_SIZE as u32;
+                let lanes = (lc.block_x - first).min(WARP_SIZE as u32);
+                let mask = if lanes >= 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+                let w = Warp::new(ctaid_x, ctaid_y, wi as u32, mask, seq);
+                seq += 1;
+                w
+            })
+            .collect();
+
+        let mut running = wpc as u32;
+        let mut arrived = 0u32;
+        while running > 0 {
+            let mut progressed = false;
+            for wi in 0..wpc {
+                if warps[wi].done || warps[wi].at_barrier {
+                    continue;
+                }
+                let rb = wi * regs_per_warp;
+                let mut quantum = QUANTUM;
+                loop {
+                    let mut flat = FlatMem { mem };
+                    let mut ctx = ExecCtx {
+                        kernel,
+                        params: &lc.params,
+                        ntid: lc.block_x,
+                        nctaid: lc.grid_x,
+                        regs: &mut regs[rb..rb + regs_per_warp],
+                        smem: &mut smem,
+                        mem: &mut flat,
+                        stats: &mut stats,
+                        sw: sw.as_deref_mut(),
+                        max_stack,
+                    };
+                    match step_warp(&mut warps[wi], &mut ctx)
+                        .map_err(LaunchAbort::Due)?
+                    {
+                        StepEvent::Done => {
+                            running -= 1;
+                            progressed = true;
+                            break;
+                        }
+                        StepEvent::Barrier => {
+                            warps[wi].at_barrier = true;
+                            arrived += 1;
+                            progressed = true;
+                            break;
+                        }
+                        StepEvent::Issued(_) => {
+                            progressed = true;
+                            quantum -= 1;
+                            if quantum == 0 {
+                                break;
+                            }
+                        }
+                    }
+                }
+                if stats.thread_instrs > budget_instrs {
+                    return Err(LaunchAbort::Timeout);
+                }
+            }
+            if running > 0 && arrived >= running {
+                arrived = 0;
+                for w in warps.iter_mut() {
+                    w.at_barrier = false;
+                }
+            } else if !progressed && running > 0 {
+                // Every live warp is stuck at a barrier that can never
+                // release (fault-corrupted control flow).
+                return Err(LaunchAbort::Due(DueKind::BarrierDeadlock));
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgpu_arch::{CmpOp, KernelBuilder, SpecialReg};
+
+    /// A kernel where the first warp exits before the barrier.
+    fn early_exit_kernel() -> Kernel {
+        let mut a = KernelBuilder::new("early_exit");
+        let (tid,) = (a.reg(),);
+        let p = a.pred();
+        a.s2r(tid, SpecialReg::TidX);
+        a.isetp(p, tid, 32u32, CmpOp::Lt, true);
+        a.emit_guarded(vgpu_arch::Op::Exit, p, false);
+        a.bar();
+        a.build().unwrap()
+    }
+
+    #[test]
+    fn barrier_counts_live_warps_only() {
+        // Warp 0 exits pre-barrier; the barrier must release for the one
+        // remaining warp (warp-level arrival counting, as on hardware) —
+        // the run completes rather than deadlocking.
+        let k = early_exit_kernel();
+        let mut mem = GlobalMem::new(4096);
+        mem.map(0, 4096);
+        let lc = LaunchConfig::new(1, 64, vec![]);
+        let r = run_functional(&mut mem, &k, &lc, None, u64::MAX / 2, 64);
+        assert!(r.is_ok(), "{r:?}");
+        let _ = DueKind::BarrierDeadlock; // deadlock is a defensive path
+    }
+
+    #[test]
+    fn instruction_budget_causes_timeout() {
+        let mut a = KernelBuilder::new("spin");
+        let (i,) = (a.reg(),);
+        let p = a.pred();
+        a.mov(i, 0u32);
+        a.loop_while(|a| {
+            a.iadd(i, i, 1u32);
+            a.isetp(p, i, 1_000_000u32, CmpOp::Lt, true);
+            (p, false)
+        });
+        let k = a.build().unwrap();
+        let mut mem = GlobalMem::new(4096);
+        let lc = LaunchConfig::new(1, 32, vec![]);
+        let r = run_functional(&mut mem, &k, &lc, None, 10_000, 64);
+        assert_eq!(r.unwrap_err(), LaunchAbort::Timeout);
+    }
+}

@@ -1,0 +1,258 @@
+//! The [`Gpu`] facade: device memory + caches + the two execution engines,
+//! with coherent host access between launches.
+
+use crate::cache::Cache;
+use crate::config::GpuConfig;
+pub use crate::due::LaunchAbort;
+use crate::fault::{SwInjector, UarchInjector};
+use crate::functional::run_functional;
+use crate::mem::GlobalMem;
+use crate::stats::Stats;
+use crate::timed::run_timed;
+use vgpu_arch::{Kernel, LaunchConfig};
+
+/// Which execution engine a [`Gpu`] uses.
+///
+/// * `Timed` — cycle-level microarchitecture simulation (gpuFI-4 / AVF side
+///   of the study).
+/// * `Functional` — hardware-agnostic execution (NVBitFI / SVF side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    Timed,
+    Functional,
+}
+
+/// Run budgets used for timeout classification. Golden runs should use
+/// [`Budget::unlimited`]; faulty runs derive budgets from the golden
+/// statistics (`timeout_factor ×` the golden cost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Cycle budget (timed engine).
+    pub cycles: u64,
+    /// Thread-level dynamic instruction budget (functional engine).
+    pub instrs: u64,
+}
+
+impl Budget {
+    pub fn unlimited() -> Self {
+        Budget { cycles: u64::MAX / 2, instrs: u64::MAX / 2 }
+    }
+}
+
+/// The fault (if any) injected into a launch.
+pub enum FaultPlan<'a> {
+    None,
+    /// Microarchitecture-level bit flip (timed engine only).
+    Uarch(&'a mut UarchInjector),
+    /// Software-level value flip (either engine; normally functional).
+    Sw(&'a mut SwInjector),
+}
+
+/// A virtual GPU: configuration, device memory, cache hierarchy, engines.
+///
+/// Cache contents persist across launches (as on hardware, where the L2 is
+/// shared across kernels of an application); L1s are invalidated at each
+/// kernel boundary by the timed engine. Host accessors are L2-coherent so
+/// host-side glue between kernels observes exactly what a `cudaMemcpy`
+/// would.
+pub struct Gpu {
+    pub cfg: GpuConfig,
+    mem: GlobalMem,
+    mode: Mode,
+    l1ds: Vec<Cache>,
+    l1ts: Vec<Cache>,
+    l2: Cache,
+}
+
+impl Gpu {
+    pub fn new(cfg: GpuConfig, mem: GlobalMem, mode: Mode) -> Self {
+        let l1ds = (0..cfg.num_sms).map(|_| Cache::new(cfg.l1d.clone())).collect();
+        let l1ts = (0..cfg.num_sms).map(|_| Cache::new(cfg.l1t.clone())).collect();
+        let l2 = Cache::new(cfg.l2.clone());
+        Gpu { cfg, mem, mode, l1ds, l1ts, l2 }
+    }
+
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Launch a kernel. Returns per-launch statistics, or the abort cause
+    /// (DUE / timeout) for classification.
+    pub fn launch(
+        &mut self,
+        kernel: &Kernel,
+        lc: &LaunchConfig,
+        fault: FaultPlan<'_>,
+        budget: &Budget,
+    ) -> Result<Stats, LaunchAbort> {
+        match self.mode {
+            Mode::Timed => {
+                let (uarch, sw) = match fault {
+                    FaultPlan::None => (None, None),
+                    FaultPlan::Uarch(u) => (Some(u), None),
+                    FaultPlan::Sw(s) => (None, Some(s)),
+                };
+                run_timed(
+                    &self.cfg,
+                    &mut self.mem,
+                    &mut self.l1ds,
+                    &mut self.l1ts,
+                    &mut self.l2,
+                    kernel,
+                    lc,
+                    uarch,
+                    sw,
+                    budget.cycles,
+                )
+            }
+            Mode::Functional => {
+                let sw = match fault {
+                    FaultPlan::None => None,
+                    FaultPlan::Sw(s) => Some(s),
+                    FaultPlan::Uarch(_) => {
+                        panic!("microarchitecture faults require the timed engine")
+                    }
+                };
+                run_functional(
+                    &mut self.mem,
+                    kernel,
+                    lc,
+                    sw,
+                    budget.instrs,
+                    self.cfg.max_stack_depth,
+                )
+            }
+        }
+    }
+
+    // ---- coherent host access ------------------------------------------
+
+    /// Host word read: sees the L2's copy if resident (timed mode).
+    pub fn host_read_u32(&self, addr: u32) -> u32 {
+        if self.mode == Mode::Timed {
+            if let Some(v) = self.l2.peek_word(addr) {
+                return v;
+            }
+        }
+        self.mem.read_u32(addr)
+    }
+
+    /// Host word write: updates DRAM and any resident L2 copy.
+    pub fn host_write_u32(&mut self, addr: u32, v: u32) {
+        self.mem.write_u32(addr, v);
+        if self.mode == Mode::Timed {
+            self.l2.poke_word(addr, v);
+        }
+    }
+
+    pub fn host_read_f32(&self, addr: u32) -> f32 {
+        f32::from_bits(self.host_read_u32(addr))
+    }
+
+    pub fn host_write_f32(&mut self, addr: u32, v: f32) {
+        self.host_write_u32(addr, v.to_bits());
+    }
+
+    /// Read `words` consecutive words starting at `addr`.
+    pub fn host_read_block(&self, addr: u32, words: u32) -> Vec<u32> {
+        (0..words).map(|i| self.host_read_u32(addr + i * 4)).collect()
+    }
+
+    /// Write a block of words starting at `addr`.
+    pub fn host_write_block(&mut self, addr: u32, data: &[u32]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.host_write_u32(addr + i as u32 * 4, v);
+        }
+    }
+
+    /// Direct access to the arena (tests, diagnostics).
+    pub fn mem(&self) -> &GlobalMem {
+        &self.mem
+    }
+
+    pub fn mem_mut(&mut self) -> &mut GlobalMem {
+        &mut self.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgpu_arch::{KernelBuilder, MemSpace, Operand};
+
+    fn store_kernel() -> vgpu_arch::Kernel {
+        // out[gid] = gid
+        let mut a = KernelBuilder::new("t");
+        let (gid, tmp, addr) = (a.reg(), a.reg(), a.reg());
+        a.linear_tid(gid, tmp);
+        a.mov(addr, a.param(0));
+        a.iscadd(addr, gid, Operand::Reg(addr), 2);
+        a.st(MemSpace::Global, addr, 0, gid);
+        a.build().unwrap()
+    }
+
+    fn fresh(mode: Mode) -> (Gpu, LaunchConfig, u32) {
+        let mut planner = crate::mem::ArenaPlanner::new();
+        let out = planner.alloc(64 * 4);
+        let mem = planner.build();
+        let gpu = Gpu::new(GpuConfig::default(), mem, mode);
+        (gpu, LaunchConfig::new(2, 32, vec![out]), out)
+    }
+
+    #[test]
+    fn budget_unlimited_is_huge() {
+        let b = Budget::unlimited();
+        assert!(b.cycles > 1 << 60);
+        assert!(b.instrs > 1 << 60);
+    }
+
+    #[test]
+    fn host_reads_see_l2_resident_writes_in_timed_mode() {
+        let k = store_kernel();
+        let (mut gpu, lc, out) = fresh(Mode::Timed);
+        gpu.launch(&k, &lc, FaultPlan::None, &Budget::unlimited()).unwrap();
+        for i in 0..64 {
+            assert_eq!(gpu.host_read_u32(out + i * 4), i);
+        }
+    }
+
+    #[test]
+    fn host_write_updates_resident_l2_copy() {
+        let k = store_kernel();
+        let (mut gpu, lc, out) = fresh(Mode::Timed);
+        gpu.launch(&k, &lc, FaultPlan::None, &Budget::unlimited()).unwrap();
+        // Output lines are dirty in L2; a host write must be visible to a
+        // subsequent host read (and to the next kernel through the L2).
+        gpu.host_write_u32(out + 8, 777);
+        assert_eq!(gpu.host_read_u32(out + 8), 777);
+    }
+
+    #[test]
+    fn block_accessors_roundtrip() {
+        let (mut gpu, _, out) = fresh(Mode::Functional);
+        gpu.host_write_block(out, &[1, 2, 3, 4]);
+        assert_eq!(gpu.host_read_block(out, 4), vec![1, 2, 3, 4]);
+        gpu.host_write_f32(out, 2.5);
+        assert_eq!(gpu.host_read_f32(out), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "timed engine")]
+    fn uarch_fault_in_functional_mode_panics() {
+        let k = store_kernel();
+        let (mut gpu, lc, _) = fresh(Mode::Functional);
+        let mut inj = crate::fault::UarchInjector::new(crate::fault::UarchFault {
+            cycle: 0,
+            structure: crate::fault::HwStructure::L2,
+            loc_pick: 0,
+            bit: 0,
+        });
+        let _ = gpu.launch(&k, &lc, FaultPlan::Uarch(&mut inj), &Budget::unlimited());
+    }
+
+    #[test]
+    fn mode_accessor() {
+        let (gpu, _, _) = fresh(Mode::Timed);
+        assert_eq!(gpu.mode(), Mode::Timed);
+    }
+}

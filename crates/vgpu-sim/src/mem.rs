@@ -1,0 +1,201 @@
+//! Global (device) memory: the DRAM arena plus the mapped-range table used
+//! to detect illegal accesses.
+//!
+//! Host code allocates buffers through [`ArenaPlanner`], which leaves guard
+//! gaps between allocations and starts above address 0 so that
+//! fault-corrupted pointers (including null-ish ones) are likely to land in
+//! unmapped territory and be classified as DUEs, as on real hardware.
+
+use crate::due::DueKind;
+
+/// Device memory arena with a mapped-range table.
+#[derive(Debug, Clone)]
+pub struct GlobalMem {
+    data: Vec<u8>,
+    /// Sorted, disjoint `[start, end)` mapped ranges.
+    mapped: Vec<(u32, u32)>,
+}
+
+impl GlobalMem {
+    /// Create an arena of `size` bytes, all initially unmapped.
+    pub fn new(size: u32) -> Self {
+        GlobalMem { data: vec![0u8; size as usize], mapped: Vec::new() }
+    }
+
+    /// Total arena size in bytes.
+    pub fn size(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    /// Mark `[start, start+len)` as a valid allocation. Ranges must not
+    /// overlap existing ones and must lie within the arena.
+    pub fn map(&mut self, start: u32, len: u32) {
+        let end = start.checked_add(len).expect("mapping overflows address space");
+        assert!(end as usize <= self.data.len(), "mapping outside arena");
+        let pos = self.mapped.partition_point(|&(s, _)| s < start);
+        if pos > 0 {
+            assert!(self.mapped[pos - 1].1 <= start, "overlapping mapping");
+        }
+        if pos < self.mapped.len() {
+            assert!(end <= self.mapped[pos].0, "overlapping mapping");
+        }
+        self.mapped.insert(pos, (start, end));
+    }
+
+    /// True if the aligned word at `addr` lies entirely in a mapped range.
+    pub fn is_mapped_word(&self, addr: u32) -> bool {
+        let pos = self.mapped.partition_point(|&(_, e)| e <= addr);
+        match self.mapped.get(pos) {
+            Some(&(s, e)) => s <= addr && addr as u64 + 4 <= e as u64,
+            None => false,
+        }
+    }
+
+    /// Validate a device word access: alignment then mapping.
+    pub fn check_word(&self, addr: u32) -> Result<(), DueKind> {
+        if addr % 4 != 0 {
+            return Err(DueKind::Misaligned { addr });
+        }
+        if !self.is_mapped_word(addr) {
+            return Err(DueKind::IllegalAddress { addr });
+        }
+        Ok(())
+    }
+
+    /// Read a word (caller must have validated the access).
+    #[inline]
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let i = addr as usize;
+        u32::from_le_bytes(self.data[i..i + 4].try_into().unwrap())
+    }
+
+    /// Write a word (caller must have validated the access).
+    #[inline]
+    pub fn write_u32(&mut self, addr: u32, v: u32) {
+        let i = addr as usize;
+        self.data[i..i + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Raw byte view of a line for cache fills (no mapping check: caches
+    /// may fetch whole lines that straddle guard gaps; only architectural
+    /// accesses are checked).
+    pub fn line(&self, addr: u32, len: u32) -> &[u8] {
+        &self.data[addr as usize..(addr + len) as usize]
+    }
+
+    /// Write a line back from a cache.
+    pub fn write_line(&mut self, addr: u32, bytes: &[u8]) {
+        self.data[addr as usize..addr as usize + bytes.len()].copy_from_slice(bytes);
+    }
+}
+
+/// Bump allocator producing guarded, 256-byte-aligned device allocations.
+#[derive(Debug)]
+pub struct ArenaPlanner {
+    cursor: u32,
+    guard: u32,
+    regions: Vec<(u32, u32)>,
+}
+
+impl ArenaPlanner {
+    /// Allocations start at `base` (kept well above zero).
+    pub fn new() -> Self {
+        ArenaPlanner { cursor: 0x1000, guard: 512, regions: Vec::new() }
+    }
+
+    /// Reserve `bytes` of device memory; returns the base address.
+    pub fn alloc(&mut self, bytes: u32) -> u32 {
+        assert!(bytes > 0, "zero-size allocation");
+        let base = self.cursor;
+        let len = bytes.div_ceil(4) * 4;
+        self.regions.push((base, len));
+        // 256-byte alignment keeps buffers line-aligned in the caches.
+        self.cursor = (base + len + self.guard).div_ceil(256) * 256;
+        base
+    }
+
+    /// Current high-water mark (exclusive end of the allocated space).
+    pub fn high_water(&self) -> u32 {
+        self.cursor
+    }
+
+    /// Build the arena: size it to the high-water mark (plus slack) and map
+    /// every allocation.
+    pub fn build(self) -> GlobalMem {
+        let size = (self.cursor + 0x1000).div_ceil(4096) * 4096;
+        let mut m = GlobalMem::new(size);
+        for (s, l) in self.regions {
+            m.map(s, l);
+        }
+        m
+    }
+}
+
+impl Default for ArenaPlanner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_check() {
+        let mut m = GlobalMem::new(4096);
+        m.map(256, 64);
+        assert!(m.is_mapped_word(256));
+        assert!(m.is_mapped_word(316)); // 256 + 60: last full word
+        assert!(!m.is_mapped_word(318));
+        assert!(!m.is_mapped_word(200));
+        assert!(m.check_word(256).is_ok());
+        assert_eq!(m.check_word(258), Err(DueKind::Misaligned { addr: 258 }));
+        assert_eq!(m.check_word(512), Err(DueKind::IllegalAddress { addr: 512 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlapping_map_panics() {
+        let mut m = GlobalMem::new(4096);
+        m.map(0, 128);
+        m.map(64, 128);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = GlobalMem::new(4096);
+        m.map(0, 128);
+        m.write_u32(8, 0xdead_beef);
+        assert_eq!(m.read_u32(8), 0xdead_beef);
+        assert_eq!(m.read_u32(12), 0);
+    }
+
+    #[test]
+    fn planner_leaves_guard_gaps() {
+        let mut p = ArenaPlanner::new();
+        let a = p.alloc(100);
+        let b = p.alloc(16);
+        assert!(b >= a + 100 + 512, "guard gap enforced");
+        assert_eq!(a % 256, 0);
+        assert_eq!(b % 256, 0);
+        let m = p.build();
+        assert!(m.is_mapped_word(a));
+        assert!(m.is_mapped_word(b));
+        // Guard gap between them is unmapped.
+        assert!(!m.is_mapped_word(a + 104));
+    }
+
+    #[test]
+    fn line_fill_roundtrip() {
+        let mut m = GlobalMem::new(4096);
+        m.map(0, 256);
+        m.write_u32(128, 0x11223344);
+        let line: Vec<u8> = m.line(128, 128).to_vec();
+        assert_eq!(&line[0..4], &0x11223344u32.to_le_bytes());
+        let mut edited = line.clone();
+        edited[4] = 0xff;
+        m.write_line(128, &edited);
+        assert_eq!(m.read_u32(132), 0xff);
+    }
+}

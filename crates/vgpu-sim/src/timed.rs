@@ -1,0 +1,610 @@
+//! The cycle-level engine: SMs, CTA occupancy limits, greedy-then-oldest
+//! warp scheduling, latency stalling, MSHR-backed caches, and
+//! microarchitecture-level fault application at a chosen cycle.
+//!
+//! Timing model: one instruction issues per SM per cycle; a warp that
+//! issues is busy until its instruction's latency elapses. Idle stretches
+//! are fast-forwarded to the next readiness event (clamped to the pending
+//! fault cycle so injections land at the exact requested cycle).
+
+use crate::cache::{ensure_l2, load_via, Cache};
+use crate::config::{GpuConfig, Latencies};
+use crate::due::{DueKind, LaunchAbort};
+use crate::exec::{step_warp, ExecCtx, GMem, IssueClass, StepEvent};
+use crate::fault::{HwStructure, SwInjector, UarchInjector};
+use crate::mem::GlobalMem;
+use crate::stats::Stats;
+use crate::warp::Warp;
+use vgpu_arch::{Kernel, LaunchConfig, WARP_SIZE};
+
+/// Timed global-memory interface: coalesces a warp's lane accesses into
+/// line accesses against the L1/L2 hierarchy.
+struct TimedGMem<'a> {
+    l1d: &'a mut Cache,
+    l1t: &'a mut Cache,
+    l2: &'a mut Cache,
+    mem: &'a mut GlobalMem,
+    lat: &'a Latencies,
+    now: u64,
+    mem_reads: &'a mut u64,
+    mem_writes: &'a mut u64,
+}
+
+impl GMem for TimedGMem<'_> {
+    fn load(
+        &mut self,
+        tex: bool,
+        mask: u32,
+        addrs: &[u32; WARP_SIZE],
+        out: &mut [u32; WARP_SIZE],
+    ) -> Result<u64, DueKind> {
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.mem.check_word(addrs[lane])?;
+        }
+        let l1 = if tex { &mut *self.l1t } else { &mut *self.l1d };
+        let lb = l1.geom().line_bytes;
+        let mut seen = [0u32; WARP_SIZE];
+        let mut n = 0usize;
+        let mut ready_max = self.now;
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let addr = addrs[lane];
+            let line = addr / lb;
+            let already = seen[..n].contains(&line);
+            if already {
+                // Same line touched earlier in this coalesced access; it is
+                // normally still resident, but an intervening fill in the
+                // same set may have evicted it — refetch in that case.
+                if let Some(idx) = l1.probe(line) {
+                    out[lane] = l1.read_word(idx, addr % lb);
+                    continue;
+                }
+            }
+            let r = load_via(
+                l1,
+                self.l2,
+                self.mem,
+                addr,
+                self.now,
+                self.lat,
+                self.mem_reads,
+                self.mem_writes,
+            );
+            out[lane] = r.value;
+            ready_max = ready_max.max(r.ready);
+            if !already {
+                seen[n] = line;
+                n += 1;
+            }
+        }
+        Ok(ready_max)
+    }
+
+    fn store(
+        &mut self,
+        mask: u32,
+        addrs: &[u32; WARP_SIZE],
+        vals: &[u32; WARP_SIZE],
+    ) -> Result<u64, DueKind> {
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.mem.check_word(addrs[lane])?;
+        }
+        let lb = self.l1d.geom().line_bytes;
+        let mut seen = [0u32; WARP_SIZE];
+        let mut n = 0usize;
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let addr = addrs[lane];
+            let line = addr / lb;
+            let off = addr % lb;
+            if !seen[..n].contains(&line) {
+                // One coalesced access per line for the statistics.
+                self.l1d.stats.accesses += 1;
+                if self.l1d.probe(line).is_none() {
+                    self.l1d.stats.misses += 1; // write-through, no allocate
+                }
+                ensure_l2(
+                    self.l2,
+                    self.mem,
+                    line,
+                    self.now,
+                    self.lat,
+                    self.mem_reads,
+                    self.mem_writes,
+                );
+                seen[n] = line;
+                n += 1;
+            }
+            if let Some(i1) = self.l1d.lookup(line) {
+                self.l1d.write_word(i1, off, vals[lane], false);
+            }
+            let i2 = match self.l2.probe(line) {
+                Some(i) => i,
+                None => {
+                    ensure_l2(
+                        self.l2,
+                        self.mem,
+                        line,
+                        self.now,
+                        self.lat,
+                        self.mem_reads,
+                        self.mem_writes,
+                    )
+                    .0
+                }
+            };
+            self.l2.write_word(i2, off, vals[lane], true);
+        }
+        Ok(self.now + self.lat.store as u64)
+    }
+}
+
+/// One CTA resident on an SM.
+struct CtaSlot {
+    warps_running: u32,
+    arrived: u32,
+}
+
+/// Per-SM state for one launch.
+struct SmState {
+    rf: Vec<u32>,
+    smem: Vec<u32>,
+    slots: Vec<Option<CtaSlot>>,
+    warps: Vec<Option<Warp>>,
+    /// Index of the warp issued last cycle (greedy-then-oldest policy).
+    last: Option<usize>,
+}
+
+/// Per-launch geometry derived from the kernel and launch config.
+struct Geometry {
+    wpc: u32,
+    regs_per_warp: u32,
+    regs_per_cta: u32,
+    smem_words_per_cta: u32,
+    slots_per_sm: u32,
+}
+
+fn geometry(cfg: &GpuConfig, kernel: &Kernel, lc: &LaunchConfig) -> Geometry {
+    let wpc = lc.warps_per_cta();
+    let regs_per_warp = kernel.num_regs as u32 * WARP_SIZE as u32;
+    let regs_per_cta = wpc * regs_per_warp;
+    let smem_words_per_cta = (kernel.smem_bytes / 4).max(1);
+    let by_threads = cfg.max_threads_per_sm / (wpc * WARP_SIZE as u32);
+    let by_rf = cfg.rf_regs_per_sm / regs_per_cta;
+    let by_smem = (cfg.smem_bytes_per_sm / 4) / smem_words_per_cta;
+    let slots_per_sm = cfg.max_ctas_per_sm.min(by_threads).min(by_rf).min(by_smem);
+    assert!(
+        slots_per_sm >= 1,
+        "kernel {} exceeds SM limits (block {}, regs {}, smem {}B)",
+        kernel.name,
+        lc.block_x,
+        kernel.num_regs,
+        kernel.smem_bytes
+    );
+    Geometry { wpc, regs_per_warp, regs_per_cta, smem_words_per_cta, slots_per_sm }
+}
+
+/// Place CTA `lin` into `slot` of `sm`.
+fn launch_cta(
+    sm: &mut SmState,
+    slot: usize,
+    lin: u64,
+    lc: &LaunchConfig,
+    g: &Geometry,
+    seq: &mut u64,
+) {
+    let ctaid_x = (lin % lc.grid_x as u64) as u32;
+    let ctaid_y = (lin / lc.grid_x as u64) as u32;
+    let rf_base = slot * g.regs_per_cta as usize;
+    sm.rf[rf_base..rf_base + g.regs_per_cta as usize].fill(0);
+    let sm_base = slot * g.smem_words_per_cta as usize;
+    sm.smem[sm_base..sm_base + g.smem_words_per_cta as usize].fill(0);
+    for wi in 0..g.wpc {
+        let first_thread = wi * WARP_SIZE as u32;
+        let lanes = (lc.block_x - first_thread).min(WARP_SIZE as u32);
+        let mask = if lanes >= 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+        let w = Warp::new(ctaid_x, ctaid_y, wi, mask, *seq);
+        *seq += 1;
+        sm.warps[slot * g.wpc as usize + wi as usize] = Some(w);
+    }
+    sm.slots[slot] = Some(CtaSlot { warps_running: g.wpc, arrived: 0 });
+}
+
+/// Apply a pending microarchitecture fault to the live machine state.
+fn apply_uarch(
+    inj: &mut UarchInjector,
+    sms: &mut [SmState],
+    l1ds: &mut [Cache],
+    l1ts: &mut [Cache],
+    l2: &mut Cache,
+    g: &Geometry,
+) {
+    inj.applied = true;
+    let bit = inj.fault.bit;
+    match inj.fault.structure {
+        HwStructure::RegFile | HwStructure::Smem => {
+            let is_rf = inj.fault.structure == HwStructure::RegFile;
+            let per_cta =
+                if is_rf { g.regs_per_cta as u64 } else { g.smem_words_per_cta as u64 };
+            let mut population = 0u64;
+            for sm in sms.iter() {
+                population += sm.slots.iter().flatten().count() as u64 * per_cta;
+            }
+            inj.population = population;
+            if population == 0 {
+                return; // nothing allocated at this cycle: trivially masked
+            }
+            let mut target = inj.fault.loc_pick % population;
+            for sm in sms.iter_mut() {
+                for (slot_idx, slot) in sm.slots.iter().enumerate() {
+                    if slot.is_none() {
+                        continue;
+                    }
+                    if target < per_cta {
+                        let idx = slot_idx as u64 * per_cta + target;
+                        if is_rf {
+                            sm.rf[idx as usize] ^= 1 << (bit % 32);
+                        } else {
+                            sm.smem[idx as usize] ^= 1 << (bit % 32);
+                        }
+                        return;
+                    }
+                    target -= per_cta;
+                }
+            }
+            unreachable!("population walk must land");
+        }
+        HwStructure::L1D | HwStructure::L1T => {
+            let caches = if inj.fault.structure == HwStructure::L1D { l1ds } else { l1ts };
+            let per = caches[0].data_bytes();
+            let total = per * caches.len() as u64;
+            inj.population = total * 8;
+            let byte = inj.fault.loc_pick % total;
+            caches[(byte / per) as usize].flip_bit(byte % per, bit);
+        }
+        HwStructure::L2 => {
+            inj.population = l2.data_bytes() * 8;
+            l2.flip_bit(inj.fault.loc_pick % l2.data_bytes(), bit);
+        }
+    }
+}
+
+/// Run one kernel launch on the timed engine.
+#[allow(clippy::too_many_arguments)]
+pub fn run_timed(
+    cfg: &GpuConfig,
+    mem: &mut GlobalMem,
+    l1ds: &mut [Cache],
+    l1ts: &mut [Cache],
+    l2: &mut Cache,
+    kernel: &Kernel,
+    lc: &LaunchConfig,
+    mut uarch: Option<&mut UarchInjector>,
+    mut sw: Option<&mut SwInjector>,
+    budget_cycles: u64,
+) -> Result<Stats, LaunchAbort> {
+    let g = geometry(cfg, kernel, lc);
+    let num_sms = cfg.num_sms as usize;
+    let mut sms: Vec<SmState> = (0..num_sms)
+        .map(|_| SmState {
+            rf: vec![0; cfg.rf_regs_per_sm as usize],
+            smem: vec![0; (cfg.smem_bytes_per_sm / 4) as usize],
+            slots: (0..g.slots_per_sm).map(|_| None).collect(),
+            warps: (0..g.slots_per_sm * g.wpc).map(|_| None).collect(),
+            last: None,
+        })
+        .collect();
+
+    let total_ctas = lc.num_ctas();
+    let mut next_cta = 0u64;
+    let mut done_ctas = 0u64;
+    let mut seq = 0u64;
+
+    // Initial CTA fill, round-robin over SMs.
+    'fill: for slot in 0..g.slots_per_sm as usize {
+        for sm in sms.iter_mut() {
+            if next_cta >= total_ctas {
+                break 'fill;
+            }
+            launch_cta(sm, slot, next_cta, lc, &g, &mut seq);
+            next_cta += 1;
+        }
+    }
+
+    let mut stats = Stats::default();
+    let l1d_start: Vec<_> = l1ds.iter().map(|c| c.stats).collect();
+    let l1t_start: Vec<_> = l1ts.iter().map(|c| c.stats).collect();
+    let l2_start = l2.stats;
+    let mut mem_reads = 0u64;
+    let mut mem_writes = 0u64;
+
+    let max_warps_hw = (cfg.max_threads_per_sm / WARP_SIZE as u32) as u64;
+    let mut cycle = 0u64;
+
+    let result: Result<(), LaunchAbort> = 'outer: loop {
+        // Apply a due microarchitecture fault before issuing at this cycle.
+        if let Some(inj) = uarch.as_deref_mut() {
+            if !inj.applied && cycle >= inj.fault.cycle {
+                apply_uarch(inj, &mut sms, l1ds, l1ts, l2, &g);
+            }
+        }
+
+        let mut issued_any = false;
+        let mut resident = 0u64;
+        for (smi, sm) in sms.iter_mut().enumerate() {
+            resident += sm.warps.iter().flatten().filter(|w| !w.done).count() as u64;
+
+            // Greedy-then-oldest pick.
+            let ready = |w: &Warp, cyc: u64| !w.done && !w.at_barrier && w.ready_at <= cyc;
+            let pick = match sm.last {
+                Some(wi)
+                    if sm.warps[wi].as_ref().is_some_and(|w| ready(w, cycle)) =>
+                {
+                    Some(wi)
+                }
+                _ => sm
+                    .warps
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, w)| w.as_ref().map(|w| (i, w)))
+                    .filter(|(_, w)| ready(w, cycle))
+                    .min_by_key(|(_, w)| w.seq)
+                    .map(|(i, _)| i),
+            };
+            let Some(wi) = pick else {
+                sm.last = None;
+                continue;
+            };
+
+            let mut warp = sm.warps[wi].take().expect("picked warp exists");
+            let slot_idx = wi / g.wpc as usize;
+            let rf_base = slot_idx * g.regs_per_cta as usize
+                + warp.warp_in_cta as usize * g.regs_per_warp as usize;
+            let smem_base = slot_idx * g.smem_words_per_cta as usize;
+            let (event, due) = {
+                let mut tg = TimedGMem {
+                    l1d: &mut l1ds[smi],
+                    l1t: &mut l1ts[smi],
+                    l2,
+                    mem,
+                    lat: &cfg.lat,
+                    now: cycle,
+                    mem_reads: &mut mem_reads,
+                    mem_writes: &mut mem_writes,
+                };
+                let mut ctx = ExecCtx {
+                    kernel,
+                    params: &lc.params,
+                    ntid: lc.block_x,
+                    nctaid: lc.grid_x,
+                    regs: &mut sm.rf
+                        [rf_base..rf_base + g.regs_per_warp as usize],
+                    smem: &mut sm.smem
+                        [smem_base..smem_base + g.smem_words_per_cta as usize],
+                    mem: &mut tg,
+                    stats: &mut stats,
+                    sw: sw.as_deref_mut(),
+                    max_stack: cfg.max_stack_depth,
+                };
+                match step_warp(&mut warp, &mut ctx) {
+                    Ok(ev) => (Some(ev), None),
+                    Err(e) => (None, Some(e)),
+                }
+            };
+            if let Some(e) = due {
+                break 'outer Err(LaunchAbort::Due(e));
+            }
+            issued_any = true;
+            let mut clear_greedy = true;
+            match event.unwrap() {
+                StepEvent::Issued(class) => {
+                    let latency = match class {
+                        IssueClass::Alu => cfg.lat.alu as u64,
+                        IssueClass::Sfu => cfg.lat.sfu as u64,
+                        IssueClass::Smem { extra_conflicts } => {
+                            cfg.lat.smem as u64
+                                + extra_conflicts as u64 * cfg.lat.smem_conflict as u64
+                        }
+                        IssueClass::Mem { ready } => ready.saturating_sub(cycle).max(1),
+                    };
+                    warp.ready_at = cycle + latency;
+                    sm.warps[wi] = Some(warp);
+                    sm.last = Some(wi);
+                    clear_greedy = false;
+                }
+                StepEvent::Barrier => {
+                    warp.at_barrier = true;
+                    warp.ready_at = cycle + cfg.lat.alu as u64;
+                    sm.warps[wi] = Some(warp);
+                    let slot = sm.slots[slot_idx].as_mut().expect("slot live");
+                    slot.arrived += 1;
+                    if slot.arrived >= slot.warps_running {
+                        slot.arrived = 0;
+                        let base = slot_idx * g.wpc as usize;
+                        for w in sm.warps[base..base + g.wpc as usize].iter_mut().flatten() {
+                            w.at_barrier = false;
+                        }
+                    }
+                }
+                StepEvent::Done => {
+                    sm.warps[wi] = None;
+                    let slot = sm.slots[slot_idx].as_mut().expect("slot live");
+                    slot.warps_running -= 1;
+                    if slot.warps_running == 0 {
+                        sm.slots[slot_idx] = None;
+                        done_ctas += 1;
+                        if next_cta < total_ctas {
+                            launch_cta(sm, slot_idx, next_cta, lc, &g, &mut seq);
+                            next_cta += 1;
+                        }
+                    } else if slot.arrived >= slot.warps_running {
+                        // Last non-waiting warp exited: release the barrier.
+                        slot.arrived = 0;
+                        let base = slot_idx * g.wpc as usize;
+                        for w in sm.warps[base..base + g.wpc as usize].iter_mut().flatten() {
+                            w.at_barrier = false;
+                        }
+                    }
+                }
+            }
+            if clear_greedy {
+                sm.last = None;
+            }
+        }
+
+        if done_ctas == total_ctas {
+            stats.resident_warp_cycles += resident;
+            stats.max_warp_cycles += num_sms as u64 * max_warps_hw;
+            cycle += 1;
+            break Ok(());
+        }
+
+        // Advance time: one cycle after an issue, else fast-forward to the
+        // next readiness event (clamped to a pending fault cycle).
+        let advance = if issued_any {
+            1
+        } else {
+            let mut nxt = u64::MAX;
+            for sm in &sms {
+                for w in sm.warps.iter().flatten() {
+                    if !w.done && !w.at_barrier && w.ready_at > cycle {
+                        nxt = nxt.min(w.ready_at);
+                    }
+                }
+            }
+            if nxt == u64::MAX {
+                break Err(LaunchAbort::Due(DueKind::BarrierDeadlock));
+            }
+            let mut target = nxt;
+            if let Some(inj) = uarch.as_deref() {
+                if !inj.applied && inj.fault.cycle > cycle {
+                    target = target.min(inj.fault.cycle);
+                }
+            }
+            target - cycle
+        };
+        stats.resident_warp_cycles += resident * advance;
+        stats.max_warp_cycles += num_sms as u64 * max_warps_hw * advance;
+        cycle += advance;
+        if cycle > budget_cycles {
+            break Err(LaunchAbort::Timeout);
+        }
+    };
+
+    // Kernel boundary: L1s are invalidated (write-through, nothing dirty).
+    for c in l1ds.iter_mut().chain(l1ts.iter_mut()) {
+        c.invalidate_all();
+    }
+
+    result?;
+
+    stats.cycles = cycle;
+    stats.mem_reads = mem_reads;
+    stats.mem_writes = mem_writes;
+    for (c, s0) in l1ds.iter().zip(&l1d_start) {
+        let mut d = c.stats;
+        sub_stats(&mut d, s0);
+        stats.l1d.add(&d);
+    }
+    for (c, s0) in l1ts.iter().zip(&l1t_start) {
+        let mut d = c.stats;
+        sub_stats(&mut d, s0);
+        stats.l1t.add(&d);
+    }
+    let mut d = l2.stats;
+    sub_stats(&mut d, &l2_start);
+    stats.l2.add(&d);
+    Ok(stats)
+}
+
+fn sub_stats(a: &mut crate::stats::CacheStats, b: &crate::stats::CacheStats) {
+    a.accesses -= b.accesses;
+    a.misses -= b.misses;
+    a.pending_hits -= b.pending_hits;
+    a.reservation_fails -= b.reservation_fails;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgpu_arch::KernelBuilder;
+
+    fn kernel_with(regs: u8, smem: u32) -> Kernel {
+        let mut a = KernelBuilder::new("g");
+        for i in 0..regs {
+            a.mov(vgpu_arch::Reg(i), 0u32);
+        }
+        if smem > 0 {
+            a.alloc_smem(smem);
+        }
+        a.build().unwrap()
+    }
+
+    #[test]
+    fn geometry_respects_all_limits() {
+        let cfg = GpuConfig::default();
+        // Thread-limited: 1024 threads/SM, block 256 → 4 CTAs.
+        let k = kernel_with(4, 0);
+        let lc = LaunchConfig::new(64, 256, vec![]);
+        let g = geometry(&cfg, &k, &lc);
+        assert_eq!(g.slots_per_sm, 4);
+        assert_eq!(g.wpc, 8);
+        assert_eq!(g.regs_per_warp, 4 * 32);
+
+        // RF-limited: 32 regs × 256 threads = 8192 regs/CTA, 65536 RF → 8,
+        // but thread cap (4) binds first; with block 64 the RF allows 32
+        // and max_ctas (16) binds.
+        let k = kernel_with(32, 0);
+        let lc = LaunchConfig::new(64, 64, vec![]);
+        let g = geometry(&cfg, &k, &lc);
+        assert_eq!(g.slots_per_sm, 16);
+
+        // SMEM-limited: 48 KiB per CTA of a 64 KiB SM → 1 slot.
+        let k = kernel_with(2, 48 * 1024);
+        let lc = LaunchConfig::new(8, 64, vec![]);
+        let g = geometry(&cfg, &k, &lc);
+        assert_eq!(g.slots_per_sm, 1);
+        assert_eq!(g.smem_words_per_cta, 48 * 1024 / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds SM limits")]
+    fn oversized_kernel_panics_at_launch_geometry() {
+        let cfg = GpuConfig::default();
+        let k = kernel_with(2, 80 * 1024); // > 64 KiB SMEM per SM
+        let lc = LaunchConfig::new(1, 32, vec![]);
+        geometry(&cfg, &k, &lc);
+    }
+
+    #[test]
+    fn partial_last_warp_gets_partial_mask() {
+        let cfg = GpuConfig::default();
+        let k = kernel_with(2, 0);
+        let lc = LaunchConfig::new(1, 40, vec![]); // 1 full warp + 8 lanes
+        let g = geometry(&cfg, &k, &lc);
+        let mut sm = SmState {
+            rf: vec![0; cfg.rf_regs_per_sm as usize],
+            smem: vec![0; (cfg.smem_bytes_per_sm / 4) as usize],
+            slots: (0..g.slots_per_sm).map(|_| None).collect(),
+            warps: (0..g.slots_per_sm * g.wpc).map(|_| None).collect(),
+            last: None,
+        };
+        let mut seq = 0;
+        launch_cta(&mut sm, 0, 0, &lc, &g, &mut seq);
+        let w0 = sm.warps[0].as_ref().unwrap();
+        let w1 = sm.warps[1].as_ref().unwrap();
+        assert_eq!(w0.init_mask, u32::MAX);
+        assert_eq!(w1.init_mask, 0xFF);
+        assert_eq!(seq, 2);
+    }
+}

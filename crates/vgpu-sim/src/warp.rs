@@ -1,0 +1,113 @@
+//! Warp state: the SIMT reconvergence stack and per-warp bookkeeping.
+
+/// One entry of the SIMT reconvergence stack: execute at `pc` with `mask`
+/// until reaching the reconvergence point `rpc`, then pop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackEntry {
+    pub pc: u32,
+    pub rpc: u32,
+    pub mask: u32,
+}
+
+/// Sentinel reconvergence PC for the base stack entry (never popped by the
+/// `pc == rpc` rule; the warp ends when all lanes have executed `EXIT`).
+pub const RPC_NONE: u32 = u32::MAX;
+
+/// Execution state of one warp.
+#[derive(Debug, Clone)]
+pub struct Warp {
+    pub stack: Vec<StackEntry>,
+    /// Per-predicate lane bitmasks (bit `l` of `preds[p]` = P_p of lane l).
+    pub preds: [u32; 4],
+    /// Lanes that executed `EXIT`.
+    pub exited: u32,
+    /// Lanes that exist (the last warp of a CTA may be partial).
+    pub init_mask: u32,
+    pub ctaid_x: u32,
+    pub ctaid_y: u32,
+    pub warp_in_cta: u32,
+    /// Cycle at which the warp may issue again (timed engine).
+    pub ready_at: u64,
+    pub at_barrier: bool,
+    pub done: bool,
+    /// Global launch order, used for oldest-first scheduling.
+    pub seq: u64,
+}
+
+impl Warp {
+    pub fn new(ctaid_x: u32, ctaid_y: u32, warp_in_cta: u32, init_mask: u32, seq: u64) -> Self {
+        debug_assert!(init_mask != 0, "warp with no lanes");
+        Warp {
+            stack: vec![StackEntry { pc: 0, rpc: RPC_NONE, mask: init_mask }],
+            preds: [0; 4],
+            exited: 0,
+            init_mask,
+            ctaid_x,
+            ctaid_y,
+            warp_in_cta,
+            ready_at: 0,
+            at_barrier: false,
+            done: false,
+            seq,
+        }
+    }
+
+    /// Pop exhausted/reconverged entries; returns `false` if the warp is
+    /// finished (stack empty).
+    pub fn settle(&mut self) -> bool {
+        while let Some(top) = self.stack.last() {
+            if top.mask & !self.exited == 0 || top.pc == top.rpc {
+                self.stack.pop();
+                continue;
+            }
+            return true;
+        }
+        self.done = true;
+        false
+    }
+
+    /// Currently live lanes of the top entry (callers must have `settle`d).
+    pub fn live_mask(&self) -> u32 {
+        self.stack.last().map_or(0, |t| t.mask & !self.exited)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_warp_full_stack() {
+        let w = Warp::new(2, 0, 1, 0xffff_ffff, 7);
+        assert_eq!(w.stack.len(), 1);
+        assert_eq!(w.live_mask(), 0xffff_ffff);
+        assert!(!w.done);
+        assert_eq!(w.seq, 7);
+    }
+
+    #[test]
+    fn settle_pops_reconverged_entries() {
+        let mut w = Warp::new(0, 0, 0, 0xf, 0);
+        w.stack.push(StackEntry { pc: 10, rpc: 10, mask: 0x3 });
+        assert!(w.settle());
+        assert_eq!(w.stack.len(), 1);
+        assert_eq!(w.live_mask(), 0xf);
+    }
+
+    #[test]
+    fn settle_pops_fully_exited_entries_and_finishes() {
+        let mut w = Warp::new(0, 0, 0, 0xf, 0);
+        w.exited = 0xf;
+        assert!(!w.settle());
+        assert!(w.done);
+        assert_eq!(w.live_mask(), 0);
+    }
+
+    #[test]
+    fn partial_exit_keeps_entry_live() {
+        let mut w = Warp::new(0, 0, 0, 0xf, 0);
+        w.exited = 0x3;
+        assert!(w.settle());
+        assert_eq!(w.live_mask(), 0xc);
+    }
+}

@@ -1,0 +1,165 @@
+//! Differential property tests: the cycle-level engine and the functional
+//! engine must compute identical architectural results for arbitrary
+//! programs, and fault injection must never break the machine (every run
+//! terminates in one of the four outcome classes).
+
+use proptest::prelude::*;
+use vgpu_arch::{CmpOp, Kernel, KernelBuilder, LaunchConfig, MemSpace, Operand, Reg};
+use vgpu_sim::{
+    ArenaPlanner, Budget, FaultPlan, Gpu, GpuConfig, HwStructure, Mode, SwFault, SwFaultKind,
+    SwInjector, UarchFault, UarchInjector,
+};
+
+/// A random but *safe* kernel: ALU soup over 6 data registers driven by
+/// lane identity, finished by a store of the mixed result — no wild
+/// addresses, no divergence hazards beyond predication.
+fn random_kernel(ops: &[u8], with_loop: bool) -> Kernel {
+    let mut a = KernelBuilder::new("prop");
+    let (gid, tmp, addr) = (a.reg(), a.reg(), a.reg());
+    let regs: Vec<Reg> = (0..6).map(|_| a.reg()).collect();
+    let p = a.pred();
+    a.linear_tid(gid, tmp);
+    for (i, &r) in regs.iter().enumerate() {
+        a.imad(r, gid, Operand::Imm((i as u32).wrapping_mul(2654435761)), Operand::Imm(i as u32 + 1));
+    }
+    let emit = |a: &mut KernelBuilder, code: u8| {
+        let d = regs[(code % 6) as usize];
+        let x = regs[((code >> 2) % 6) as usize];
+        let y = regs[((code >> 4) % 6) as usize];
+        match code % 8 {
+            0 => a.iadd(d, x, Operand::Reg(y)),
+            1 => a.imul(d, x, Operand::Reg(y)),
+            2 => a.xor(d, x, Operand::Reg(y)),
+            3 => a.iscadd(d, x, Operand::Reg(y), code % 5),
+            4 => a.fadd(d, x, Operand::Reg(y)),
+            5 => a.ffma(d, x, Operand::Reg(y), Operand::imm_f32(0.5)),
+            6 => a.shr(d, x, (code % 31) as u32),
+            _ => a.imax(d, x, Operand::Reg(y), true),
+        }
+    };
+    if with_loop {
+        let i = a.reg();
+        let q = a.pred();
+        a.mov(i, 0u32);
+        a.loop_while(|a| {
+            for &code in ops {
+                emit(a, code);
+            }
+            a.iadd(i, i, 1u32);
+            // Divergent trip count: lane-dependent bound.
+            a.and(tmp, gid, 3u32);
+            a.iadd(tmp, tmp, 1u32);
+            a.isetp(q, i, Operand::Reg(tmp), CmpOp::Lt, true);
+            (q, false)
+        });
+    } else {
+        for &code in ops {
+            emit(&mut a, code);
+        }
+    }
+    // Predicated mixing, then store the whole state.
+    a.isetp(p, gid, 17u32, CmpOp::Gt, true);
+    a.predicated(p, false, |a| a.xor(regs[0], regs[1], Operand::Reg(regs[2])));
+    let mut acc = regs[0];
+    for &r in &regs[1..] {
+        a.xor(acc, acc, Operand::Reg(r));
+        acc = regs[0];
+    }
+    a.mov(addr, a.param(0));
+    a.iscadd(addr, gid, Operand::Reg(addr), 2);
+    a.st(MemSpace::Global, addr, 0, regs[0]);
+    a.build().unwrap()
+}
+
+fn run(kernel: &Kernel, mode: Mode, n: u32) -> Vec<u32> {
+    let mut planner = ArenaPlanner::new();
+    let out = planner.alloc(n * 4);
+    let mem = planner.build();
+    let mut gpu = Gpu::new(GpuConfig::default(), mem, mode);
+    let lc = LaunchConfig::new(n / 64, 64, vec![out]);
+    gpu.launch(kernel, &lc, FaultPlan::None, &Budget::unlimited()).unwrap();
+    gpu.host_read_block(out, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Timed and functional engines agree on arbitrary ALU programs.
+    #[test]
+    fn engines_agree_on_random_programs(
+        ops in prop::collection::vec(any::<u8>(), 1..40),
+        with_loop in any::<bool>(),
+    ) {
+        let k = random_kernel(&ops, with_loop);
+        let n = 256;
+        prop_assert_eq!(run(&k, Mode::Timed, n), run(&k, Mode::Functional, n));
+    }
+
+    /// Any microarchitecture fault either completes (masked/SDC) or aborts
+    /// cleanly — the simulator must never panic, hang, or corrupt itself.
+    #[test]
+    fn uarch_faults_always_classify(
+        ops in prop::collection::vec(any::<u8>(), 1..20),
+        cycle_frac in 0.0f64..1.0,
+        pick in any::<u64>(),
+        bit in 0u8..32,
+        structure in 0usize..5,
+    ) {
+        let k = random_kernel(&ops, false);
+        let n = 256;
+        let golden = {
+            let mut planner = ArenaPlanner::new();
+            let out = planner.alloc(n * 4);
+            let mem = planner.build();
+            let mut gpu = Gpu::new(GpuConfig::default(), mem, Mode::Timed);
+            let lc = LaunchConfig::new(n / 64, 64, vec![out]);
+            gpu.launch(&k, &lc, FaultPlan::None, &Budget::unlimited()).unwrap()
+        };
+        let mut planner = ArenaPlanner::new();
+        let out = planner.alloc(n * 4);
+        let mem = planner.build();
+        let mut gpu = Gpu::new(GpuConfig::default(), mem, Mode::Timed);
+        let lc = LaunchConfig::new(n / 64, 64, vec![out]);
+        let mut inj = UarchInjector::new(UarchFault {
+            cycle: ((golden.cycles as f64) * cycle_frac) as u64,
+            structure: HwStructure::ALL[structure],
+            loc_pick: pick,
+            bit,
+        });
+        let budget = Budget { cycles: golden.cycles * 10 + 1000, instrs: u64::MAX / 2 };
+        // Either outcome is fine; not panicking/hanging is the property.
+        let _ = gpu.launch(&k, &lc, FaultPlan::Uarch(&mut inj), &budget);
+    }
+
+    /// Software faults likewise always classify, and a fault whose target
+    /// index lies inside the eligible stream is always applied.
+    #[test]
+    fn sw_faults_always_classify_and_apply(
+        ops in prop::collection::vec(any::<u8>(), 1..20),
+        frac in 0.0f64..1.0,
+        bit in 0u8..32,
+    ) {
+        let k = random_kernel(&ops, false);
+        let n = 256;
+        let golden = {
+            let mut planner = ArenaPlanner::new();
+            let out = planner.alloc(n * 4);
+            let mem = planner.build();
+            let mut gpu = Gpu::new(GpuConfig::default(), mem, Mode::Functional);
+            let lc = LaunchConfig::new(n / 64, 64, vec![out]);
+            gpu.launch(&k, &lc, FaultPlan::None, &Budget::unlimited()).unwrap()
+        };
+        let target = ((golden.gp_dest_instrs.saturating_sub(1)) as f64 * frac) as u64;
+        let mut planner = ArenaPlanner::new();
+        let out = planner.alloc(n * 4);
+        let mem = planner.build();
+        let mut gpu = Gpu::new(GpuConfig::default(), mem, Mode::Functional);
+        let lc = LaunchConfig::new(n / 64, 64, vec![out]);
+        let mut inj = SwInjector::new(SwFault { kind: SwFaultKind::DestValue, target, bit, loc_pick: 0 });
+        let budget = Budget { cycles: u64::MAX / 2, instrs: golden.thread_instrs * 10 + 1000 };
+        let res = gpu.launch(&k, &lc, FaultPlan::Sw(&mut inj), &budget);
+        if res.is_ok() {
+            prop_assert!(inj.applied, "in-stream target must fire");
+        }
+    }
+}

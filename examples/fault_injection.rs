@@ -1,0 +1,67 @@
+//! Statistical fault-injection campaign on one benchmark: the AVF vs SVF
+//! comparison of the paper, in miniature.
+//!
+//! ```sh
+//! cargo run --release --example fault_injection [-- <injections>]
+//! ```
+
+use gpu_reliability::prelude::*;
+use kernels::apps::hotspot::HotSpot;
+use relia::error_margin;
+use relia::Confidence;
+use vgpu_sim::HwStructure;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(150);
+    let cfg = CampaignCfg::new(n, n, 42);
+    println!(
+        "{n} injections per target → ±{:.2}% at 99% confidence (paper: 3000 → ±2.35%)\n",
+        error_margin(n, Confidence::C99) * 100.0
+    );
+
+    // Cross-layer AVF: bit flips in the five hardware structures of the
+    // cycle-level simulator, derated and size-weighted (Section II-B).
+    let avf = run_uarch_campaign(&HotSpot, &cfg, false);
+    println!("HotSpot, microarchitecture level (gpuFI-4 model):");
+    for k in &avf.kernels {
+        for &h in &HwStructure::ALL {
+            let r = k.avf(h);
+            println!(
+                "  {} {:<4}  FR={:>6.2}%  DF={:<6.4}  AVF={:>7.4}%  (sdc {:.4}%, to {:.4}%, due {:.4}%)",
+                k.kernel,
+                h.label(),
+                k.counts_of(h).counts.failure_rate() * 100.0,
+                k.df_of(h),
+                r.total() * 100.0,
+                r.sdc * 100.0,
+                r.timeout * 100.0,
+                r.due * 100.0
+            );
+        }
+    }
+    let a = avf.app_avf(&cfg.gpu);
+    println!("  chip AVF (size-weighted, cycle-weighted) = {:.4}%\n", a.total() * 100.0);
+
+    // Software level: destination-register value flips in the dynamic
+    // instruction stream (Section II-C).
+    let svf = run_sw_campaign(&HotSpot, &cfg, false);
+    for k in &svf.kernels {
+        let s = k.svf();
+        println!(
+            "HotSpot {} software level (NVBitFI model): SVF = {:.2}% (sdc {:.2}%, to {:.2}%, due {:.2}%), SVF-LD = {:.2}%",
+            k.kernel,
+            s.total() * 100.0,
+            s.sdc * 100.0,
+            s.timeout * 100.0,
+            s.due * 100.0,
+            k.svf_ld().total() * 100.0
+        );
+    }
+    println!(
+        "\nThe gap ({}x) is the paper's core point: software-level injection\n\
+         sees only live destination values and no hardware masking, so its\n\
+         absolute vulnerabilities — and often its *rankings* — diverge from\n\
+         the cross-layer ground truth.",
+        (svf.app_svf().total() / avf.app_avf(&cfg.gpu).total().max(1e-9)) as u32
+    );
+}

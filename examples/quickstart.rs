@@ -1,0 +1,88 @@
+//! Quickstart: write a GPU kernel with the assembler DSL, run it on both
+//! engines, and inject one fault at each abstraction layer.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gpu_reliability::prelude::*;
+use vgpu_sim::{ArenaPlanner, SwInjector, UarchInjector};
+
+fn main() {
+    // ---- 1. Write a kernel: out[i] = in[i] * in[i] ---------------------
+    let n: u32 = 1024;
+    let mut a = KernelBuilder::new("square");
+    let (gid, tmp, addr, v) = (a.reg(), a.reg(), a.reg(), a.reg());
+    let p = a.pred();
+    a.linear_tid(gid, tmp);
+    a.isetp(p, gid, n, CmpOp::Lt, true);
+    a.if_then(p, false, |a| {
+        a.mov(addr, a.param(0));
+        a.iscadd(addr, gid, Operand::Reg(addr), 2);
+        a.ld(v, MemSpace::Global, addr, 0);
+        a.fmul(v, v, Operand::Reg(v));
+        a.mov(addr, a.param(1));
+        a.iscadd(addr, gid, Operand::Reg(addr), 2);
+        a.st(MemSpace::Global, addr, 0, v);
+    });
+    let kernel = a.build().expect("kernel validates");
+    println!("{}", kernel.disassemble());
+
+    // ---- 2. Allocate device memory and launch (timed engine) ----------
+    let mut planner = ArenaPlanner::new();
+    let inp = planner.alloc(n * 4);
+    let out = planner.alloc(n * 4);
+    let mut mem = planner.build();
+    for i in 0..n {
+        mem.write_u32(inp + i * 4, (i as f32).to_bits());
+    }
+    let mut gpu = Gpu::new(GpuConfig::default(), mem, Mode::Timed);
+    let lc = LaunchConfig::new(n / 128, 128, vec![inp, out, n]);
+    let stats = gpu.launch(&kernel, &lc, FaultPlan::None, &Budget::unlimited()).unwrap();
+    assert_eq!(gpu.host_read_f32(out + 5 * 4), 25.0);
+    println!(
+        "timed run: {} cycles, {} warp instrs, occupancy {:.1}%, L1D miss rate {:.1}%",
+        stats.cycles,
+        stats.warp_instrs,
+        stats.occupancy() * 100.0,
+        stats.l1d.miss_rate() * 100.0
+    );
+
+    // ---- 3. Microarchitecture fault: flip one register-file bit --------
+    let build = |mode| {
+        let mut planner = ArenaPlanner::new();
+        let inp = planner.alloc(n * 4);
+        let out = planner.alloc(n * 4);
+        let mut mem = planner.build();
+        for i in 0..n {
+            mem.write_u32(inp + i * 4, (i as f32).to_bits());
+        }
+        (Gpu::new(GpuConfig::default(), mem, mode), LaunchConfig::new(n / 128, 128, vec![inp, out, n]), out)
+    };
+    let (mut gpu, lc, out) = build(Mode::Timed);
+    let mut inj = UarchInjector::new(UarchFault {
+        cycle: stats.cycles / 2,
+        structure: HwStructure::RegFile,
+        loc_pick: 0xDEAD_BEEF_1234,
+        bit: 30,
+    });
+    let budget = Budget { cycles: stats.cycles * 10, instrs: u64::MAX / 2 };
+    match gpu.launch(&kernel, &lc, FaultPlan::Uarch(&mut inj), &budget) {
+        Ok(_) => {
+            let corrupted = (0..n).filter(|&i| gpu.host_read_f32(out + i * 4) != (i * i) as f32).count();
+            println!("uarch RF fault (population {} regs): {corrupted} corrupted outputs", inj.population);
+        }
+        Err(abort) => println!("uarch RF fault crashed the kernel: {abort}"),
+    }
+
+    // ---- 4. Software-level fault: flip a destination-register value ----
+    let (mut gpu, lc, out) = build(Mode::Functional);
+    let mut inj = SwInjector::new(SwFault { kind: SwFaultKind::DestValue, target: 2000, bit: 28, loc_pick: 0 });
+    match gpu.launch(&kernel, &lc, FaultPlan::Sw(&mut inj), &Budget::unlimited()) {
+        Ok(_) => {
+            let corrupted = (0..n).filter(|&i| gpu.host_read_f32(out + i * 4) != (i * i) as f32).count();
+            println!("software fault at dynamic instruction 2000: {corrupted} corrupted outputs");
+        }
+        Err(abort) => println!("software fault crashed the kernel: {abort}"),
+    }
+}

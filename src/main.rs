@@ -1,0 +1,190 @@
+//! `gpu-reliability` — command-line front end for the reproduction.
+//!
+//! ```text
+//! gpu-reliability list
+//! gpu-reliability golden   --app VA [--tmr] [--functional] [--sms N]
+//! gpu-reliability campaign --app VA --layer avf|svf|pvf [-n N] [--tmr] [--seed S]
+//! ```
+
+use gpu_reliability::prelude::*;
+use relia::{error_margin, run_pvf_campaign, Confidence};
+use vgpu_sim::HwStructure;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  gpu-reliability list\n  gpu-reliability golden --app <NAME> [--tmr] [--functional] [--sms N]\n  gpu-reliability campaign --app <NAME> --layer avf|svf|pvf [-n N] [--tmr] [--seed S] [--sms N]"
+    );
+    std::process::exit(2)
+}
+
+struct Opts {
+    app: Option<String>,
+    layer: String,
+    n: usize,
+    seed: u64,
+    tmr: bool,
+    functional: bool,
+    sms: u32,
+}
+
+fn parse(args: &[String]) -> Opts {
+    let mut o = Opts {
+        app: None,
+        layer: "avf".into(),
+        n: 200,
+        seed: 0xC0FFEE,
+        tmr: false,
+        functional: false,
+        sms: 4,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--app" => {
+                o.app = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
+            "--layer" => {
+                o.layer = args.get(i + 1).unwrap_or_else(|| usage()).clone();
+                i += 2;
+            }
+            "-n" => {
+                o.n = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--seed" => {
+                o.seed = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--sms" => {
+                o.sms = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--tmr" => {
+                o.tmr = true;
+                i += 1;
+            }
+            "--functional" => {
+                o.functional = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    o
+}
+
+fn find_app(name: &str) -> Box<dyn Benchmark> {
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown app {name:?}; try `gpu-reliability list`");
+            std::process::exit(2)
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "list" => {
+            println!("{:<12} kernels", "app");
+            for b in all_benchmarks() {
+                println!("{:<12} {}", b.name(), b.kernels().join(" "));
+            }
+        }
+        "golden" => {
+            let o = parse(&args[1..]);
+            let app = find_app(o.app.as_deref().unwrap_or_else(|| usage()));
+            let mode = if o.functional { Mode::Functional } else { Mode::Timed };
+            let mut cfg = GpuConfig::volta_scaled(o.sms);
+            cfg.num_sms = o.sms;
+            let g = kernels::golden_run(
+                app.as_ref(),
+                &cfg,
+                Variant { mode, hardened: o.tmr },
+            );
+            println!(
+                "{} golden ({}{}): total cost {} ({}), {} launches, output {} words",
+                app.name(),
+                if o.functional { "functional" } else { "timed" },
+                if o.tmr { ", TMR" } else { "" },
+                g.total_cost,
+                if o.functional { "instrs" } else { "cycles" },
+                g.records.len(),
+                g.output.len()
+            );
+            for (i, r) in g.records.iter().enumerate() {
+                let s = &r.stats;
+                println!(
+                    "  #{i:<3} {}{}  cycles={:<8} warp_instrs={:<8} thr_instrs={:<9} occ={:>5.1}% l1d_mr={:>5.1}% l2_mr={:>5.1}%",
+                    app.kernels()[r.kernel_idx],
+                    if r.is_vote { "(vote)" } else { "" },
+                    s.cycles,
+                    s.warp_instrs,
+                    s.thread_instrs,
+                    s.occupancy() * 100.0,
+                    s.l1d.miss_rate() * 100.0,
+                    s.l2.miss_rate() * 100.0
+                );
+            }
+        }
+        "campaign" => {
+            let o = parse(&args[1..]);
+            let app = find_app(o.app.as_deref().unwrap_or_else(|| usage()));
+            let mut cfg = CampaignCfg::new(o.n, o.n, o.seed);
+            cfg.gpu = GpuConfig::volta_scaled(o.sms);
+            eprintln!(
+                "{} injections/target (±{:.2}% @99%)",
+                o.n,
+                error_margin(o.n, Confidence::C99) * 100.0
+            );
+            match o.layer.as_str() {
+                "avf" => {
+                    let r = relia::run_uarch_campaign(app.as_ref(), &cfg, o.tmr);
+                    for k in &r.kernels {
+                        let c = k.chip_avf(&cfg.gpu);
+                        print!(
+                            "{} {}: chip AVF {:.4}% (sdc {:.4}, to {:.4}, due {:.4})  per-structure:",
+                            r.app, k.kernel, c.total() * 100.0,
+                            c.sdc * 100.0, c.timeout * 100.0, c.due * 100.0
+                        );
+                        for h in HwStructure::ALL {
+                            print!(" {}={:.4}%", h.label(), k.avf(h).total() * 100.0);
+                        }
+                        println!();
+                    }
+                    println!("app AVF = {:.4}%", r.app_avf(&cfg.gpu).total() * 100.0);
+                }
+                "svf" => {
+                    let r = relia::run_sw_campaign(app.as_ref(), &cfg, o.tmr);
+                    for k in &r.kernels {
+                        let s = k.svf();
+                        println!(
+                            "{} {}: SVF {:.2}% (sdc {:.2}, to {:.2}, due {:.2})  SVF-LD {:.2}%",
+                            r.app, k.kernel, s.total() * 100.0,
+                            s.sdc * 100.0, s.timeout * 100.0, s.due * 100.0,
+                            k.svf_ld().total() * 100.0
+                        );
+                    }
+                    println!("app SVF = {:.2}%", r.app_svf().total() * 100.0);
+                }
+                "pvf" => {
+                    let r = run_pvf_campaign(app.as_ref(), &cfg, o.tmr);
+                    for k in &r.kernels {
+                        let s = k.pvf();
+                        println!(
+                            "{} {}: PVF {:.2}% (sdc {:.2}, to {:.2}, due {:.2})",
+                            r.app, k.kernel, s.total() * 100.0,
+                            s.sdc * 100.0, s.timeout * 100.0, s.due * 100.0
+                        );
+                    }
+                    println!("app PVF = {:.2}%", r.app_pvf().total() * 100.0);
+                }
+                _ => usage(),
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,133 @@
+//! Workspace integration tests: the cross-layer methodology end to end.
+
+use gpu_reliability::prelude::*;
+use kernels::apps::{scp::Scp, va::Va};
+use vgpu_sim::HwStructure;
+
+fn small_cfg() -> CampaignCfg {
+    CampaignCfg::new(60, 60, 0xABCD)
+}
+
+#[test]
+fn avf_is_much_smaller_than_svf() {
+    // The paper's first-order observation: full-system vulnerability is
+    // far below software-only vulnerability because of hardware masking
+    // and derating.
+    let cfg = small_cfg();
+    let avf = run_uarch_campaign(&Va, &cfg, false);
+    let svf = run_sw_campaign(&Va, &cfg, false);
+    let a = avf.app_avf(&cfg.gpu).total();
+    let s = svf.app_svf().total();
+    assert!(a > 0.0, "some hardware faults must matter");
+    assert!(s > 0.2, "software faults hit live state: {s}");
+    assert!(a < s / 3.0, "AVF {a} must be well below SVF {s}");
+}
+
+#[test]
+fn campaigns_are_deterministic() {
+    let cfg = small_cfg();
+    let a1 = run_uarch_campaign(&Va, &cfg, false);
+    let a2 = run_uarch_campaign(&Va, &cfg, false);
+    for (k1, k2) in a1.kernels.iter().zip(&a2.kernels) {
+        for &h in &HwStructure::ALL {
+            assert_eq!(
+                k1.counts_of(h).counts,
+                k2.counts_of(h).counts,
+                "{h:?} counts must be reproducible"
+            );
+        }
+    }
+    let s1 = run_sw_campaign(&Va, &cfg, false);
+    let s2 = run_sw_campaign(&Va, &cfg, false);
+    assert_eq!(s1.kernels[0].counts, s2.kernels[0].counts);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mut cfg = small_cfg();
+    let a1 = run_sw_campaign(&Va, &cfg, false);
+    cfg.seed ^= 0xFFFF;
+    let a2 = run_sw_campaign(&Va, &cfg, false);
+    assert_ne!(
+        a1.kernels[0].counts, a2.kernels[0].counts,
+        "different seeds should sample different faults"
+    );
+}
+
+#[test]
+fn derating_factors_are_sane() {
+    let cfg = small_cfg();
+    let avf = run_uarch_campaign(&Scp, &cfg, false);
+    let k = &avf.kernels[0];
+    for &h in &HwStructure::ALL {
+        let df = k.df_of(h);
+        assert!((0.0..=1.0).contains(&df), "{h:?} DF {df}");
+    }
+    // SCP uses shared memory and a modest register count: both live DFs
+    // are strictly between 0 and 1; cache DFs are exactly 1.
+    assert!(k.df_of(HwStructure::RegFile) > 0.0 && k.df_of(HwStructure::RegFile) < 1.0);
+    assert!(k.df_of(HwStructure::Smem) > 0.0 && k.df_of(HwStructure::Smem) < 1.0);
+    assert_eq!(k.df_of(HwStructure::L1D), 1.0);
+    assert_eq!(k.df_of(HwStructure::L2), 1.0);
+}
+
+#[test]
+fn chip_avf_is_a_convex_combination_of_structures() {
+    let cfg = small_cfg();
+    let avf = run_uarch_campaign(&Va, &cfg, false);
+    let k = &avf.kernels[0];
+    let chip = k.chip_avf(&cfg.gpu).total();
+    let min = HwStructure::ALL.iter().map(|&h| k.avf(h).total()).fold(f64::MAX, f64::min);
+    let max = HwStructure::ALL.iter().map(|&h| k.avf(h).total()).fold(0.0f64, f64::max);
+    assert!(chip >= min - 1e-12 && chip <= max + 1e-12, "{min} <= {chip} <= {max}");
+}
+
+#[test]
+fn tmr_eliminates_svf_sdcs_but_not_avf_sdcs_necessarily() {
+    // Insight #5, software side: under TMR, a single software-level value
+    // flip can corrupt at most one redundant copy, so the vote repairs it
+    // and SVF-SDC collapses (faults inside the vote kernel itself are the
+    // only residue).
+    let cfg = CampaignCfg::new(80, 80, 0x7777);
+    let base = run_sw_campaign(&Scp, &cfg, false);
+    let tmr = run_sw_campaign(&Scp, &cfg, true);
+    let sdc_base = base.app_svf().sdc;
+    let sdc_tmr = tmr.app_svf().sdc;
+    assert!(sdc_base > 0.1, "unprotected SCP has plenty of SDCs: {sdc_base}");
+    assert!(
+        sdc_tmr < sdc_base / 4.0,
+        "TMR must slash software-visible SDCs: {sdc_base} -> {sdc_tmr}"
+    );
+}
+
+#[test]
+fn outcome_population_is_exhaustive() {
+    // Every injection lands in exactly one of the four classes.
+    let cfg = small_cfg();
+    let avf = run_uarch_campaign(&Va, &cfg, false);
+    for k in &avf.kernels {
+        for (_, camp) in &k.per_structure {
+            assert_eq!(camp.counts.total() as usize, cfg.n_uarch);
+        }
+    }
+}
+
+#[test]
+fn trend_comparison_plumbs_through() {
+    let cfg = small_cfg();
+    let apps: Vec<&dyn Benchmark> = vec![&Va, &Scp];
+    let items: Vec<TrendItem> = apps
+        .iter()
+        .map(|b| {
+            let avf = run_uarch_campaign(*b, &cfg, false);
+            let svf = run_sw_campaign(*b, &cfg, false);
+            TrendItem {
+                name: b.name().to_string(),
+                a: avf.app_avf(&cfg.gpu).total(),
+                b: svf.app_svf().total(),
+            }
+        })
+        .collect();
+    let t = relia::compare_pairs(&items);
+    assert_eq!(t.total(), 1);
+}
