@@ -21,7 +21,9 @@ fn bench_cache(c: &mut Criterion) {
         let mut now = 10_000u64;
         b.iter(|| {
             now += 100;
-            load_via(&mut l1, &mut l2, &mut mem, 64, now, &cfg.lat, &mut mr, &mut mw)
+            load_via(
+                &mut l1, &mut l2, &mut mem, 64, now, &cfg.lat, &mut mr, &mut mw,
+            )
         })
     });
 
@@ -36,7 +38,9 @@ fn bench_cache(c: &mut Criterion) {
         b.iter(|| {
             addr = (addr + 128) & ((1 << 22) - 1);
             now += 500;
-            load_via(&mut l1, &mut l2, &mut mem, addr, now, &cfg.lat, &mut mr, &mut mw)
+            load_via(
+                &mut l1, &mut l2, &mut mem, addr, now, &cfg.lat, &mut mr, &mut mw,
+            )
         })
     });
 
@@ -51,7 +55,9 @@ fn bench_cache(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 4) & 0xFFFF;
             now += 100;
-            store_via(&mut l1, &mut l2, &mut mem, i, i, now, &cfg.lat, &mut mr, &mut mw)
+            store_via(
+                &mut l1, &mut l2, &mut mem, i, i, now, &cfg.lat, &mut mr, &mut mw,
+            )
         })
     });
     g.finish();

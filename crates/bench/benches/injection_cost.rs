@@ -40,7 +40,9 @@ fn bench_injections(c: &mut Criterion) {
             let fault = PlannedFault::Sw(SwFault {
                 kind: SwFaultKind::DestValue,
                 target: rng.gen_range(0..gf.records[ordinal].stats.gp_dest_instrs.max(1)),
-                bit: rng.gen_range(0..32), loc_pick: 0 });
+                bit: rng.gen_range(0..32),
+                loc_pick: 0,
+            });
             faulty_run(&HotSpot, &cfg, Variant::FUNCTIONAL, &gf, ordinal, fault)
         })
     });

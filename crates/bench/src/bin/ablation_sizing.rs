@@ -22,13 +22,21 @@ fn main() {
     let apps: [&dyn Benchmark; 3] = [&HotSpot, &Lud, &Scp];
     let mut t = Table::new(
         "Ablation: chip AVF under different GPU sizings, %",
-        &["SMs", "RF share", "App", "AVF", "AVF-RF", "AVF-L2", "rank(HotSpot>LUD)"],
+        &[
+            "SMs",
+            "RF share",
+            "App",
+            "AVF",
+            "AVF-RF",
+            "AVF-L2",
+            "rank(HotSpot>LUD)",
+        ],
     );
     for sms in [2u32, 4, 8] {
         let mut cfg = base_cfg.clone();
         cfg.gpu = GpuConfig::volta_scaled(sms);
-        let rf_share = cfg.gpu.structure_bits(HwStructure::RegFile) as f64
-            / cfg.gpu.total_bits() as f64;
+        let rf_share =
+            cfg.gpu.structure_bits(HwStructure::RegFile) as f64 / cfg.gpu.total_bits() as f64;
         let mut avfs = Vec::new();
         for app in apps {
             eprintln!("[ablation] {} SMs, {} ...", sms, app.name());
@@ -44,7 +52,11 @@ fn main() {
                 pct4(*avf),
                 pct4(r.app_avf_structure(HwStructure::RegFile).total()),
                 pct4(r.app_avf_structure(HwStructure::L2).total()),
-                if rank_holds { "yes".into() } else { "NO".into() },
+                if rank_holds {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
         }
     }

@@ -8,13 +8,18 @@
 //! * **Table I** — consistent/opposite trend counts over all pairs
 //!   (`results/tab1_trends.csv`).
 //!
-//! Options: `--n-uarch N --n-sw N --seed S --sms N`.
+//! Options: `--n-uarch N --n-sw N --seed S --sms N --events PATH`
+//! (plus the `RELIA_EVENTS` / `RELIA_METRICS` / `RELIA_PROGRESS`
+//! environment switches — see `bench::init_observability`).
 
-use bench::{cli_campaign_cfg, results_dir, run_baseline};
+use bench::{
+    cli_campaign_cfg, finish_observability, init_observability, results_dir, run_baseline,
+};
 use relia::{compare_pairs, error_margin, pct, pct4, Confidence, Table, TrendItem};
 use vgpu_sim::HwStructure;
 
 fn main() {
+    init_observability();
     let cfg = cli_campaign_cfg(300, 300);
     eprintln!(
         "n_uarch={} (±{:.2}% @99%), n_sw={} (±{:.2}% @99%)",
@@ -29,7 +34,17 @@ fn main() {
     // ---- Figure 1: application level --------------------------------
     let mut fig1 = Table::new(
         "Figure 1: application-level AVF (cross-layer) and SVF (software-only), %",
-        &["App", "AVF_SDC", "AVF_Timeout", "AVF_DUE", "AVF", "SVF_SDC", "SVF_Timeout", "SVF_DUE", "SVF"],
+        &[
+            "App",
+            "AVF_SDC",
+            "AVF_Timeout",
+            "AVF_DUE",
+            "AVF",
+            "SVF_SDC",
+            "SVF_Timeout",
+            "SVF_DUE",
+            "SVF",
+        ],
     );
     for (avf, svf) in &base.apps {
         let a = avf.app_avf(&cfg.gpu);
@@ -52,7 +67,17 @@ fn main() {
     // ---- Figure 2: kernel level --------------------------------------
     let mut fig2 = Table::new(
         "Figure 2: kernel-level AVF and SVF, %",
-        &["Kernel", "AVF_SDC", "AVF_Timeout", "AVF_DUE", "AVF", "SVF_SDC", "SVF_Timeout", "SVF_DUE", "SVF"],
+        &[
+            "Kernel",
+            "AVF_SDC",
+            "AVF_Timeout",
+            "AVF_DUE",
+            "AVF",
+            "SVF_SDC",
+            "SVF_Timeout",
+            "SVF_DUE",
+            "SVF",
+        ],
     );
     for (avf, svf) in &base.apps {
         for (ka, ks) in avf.kernels.iter().zip(&svf.kernels) {
@@ -72,12 +97,20 @@ fn main() {
         }
     }
     println!("{fig2}");
-    fig2.write_csv(dir.join("fig02_kernel_avf_svf.csv")).unwrap();
+    fig2.write_csv(dir.join("fig02_kernel_avf_svf.csv"))
+        .unwrap();
 
     // ---- Figure 4: AVF-RF vs SVF --------------------------------------
     let mut fig4 = Table::new(
         "Figure 4: AVF-RF (register file only) vs SVF, %",
-        &["App", "AVF-RF_SDC", "AVF-RF_Timeout", "AVF-RF_DUE", "AVF-RF", "SVF"],
+        &[
+            "App",
+            "AVF-RF_SDC",
+            "AVF-RF_Timeout",
+            "AVF-RF_DUE",
+            "AVF-RF",
+            "SVF",
+        ],
     );
     for (avf, svf) in &base.apps {
         let a = avf.app_avf_structure(HwStructure::RegFile);
@@ -96,7 +129,14 @@ fn main() {
     // ---- Figure 5: AVF-Cache vs SVF-LD --------------------------------
     let mut fig5 = Table::new(
         "Figure 5: AVF-Cache (L1D+L1T+L2) vs SVF-LD (load injections), %",
-        &["App", "AVF-Cache_SDC", "AVF-Cache_Timeout", "AVF-Cache_DUE", "AVF-Cache", "SVF-LD"],
+        &[
+            "App",
+            "AVF-Cache_SDC",
+            "AVF-Cache_Timeout",
+            "AVF-Cache_DUE",
+            "AVF-Cache",
+            "SVF-LD",
+        ],
     );
     for (avf, svf) in &base.apps {
         let a = avf.app_avf_cache(&cfg.gpu);
@@ -110,7 +150,8 @@ fn main() {
         ]);
     }
     println!("{fig5}");
-    fig5.write_csv(dir.join("fig05_avf_cache_vs_svf_ld.csv")).unwrap();
+    fig5.write_csv(dir.join("fig05_avf_cache_vs_svf_ld.csv"))
+        .unwrap();
 
     // ---- Table I: trend agreement --------------------------------------
     let app_items: Vec<TrendItem> = base
@@ -154,7 +195,13 @@ fn main() {
 
     let mut tab1 = Table::new(
         "Table I: consistent vs opposite vulnerability-ranking trends",
-        &["Comparison", "Consistent", "Opposite", "Consistent%", "Opposite%"],
+        &[
+            "Comparison",
+            "Consistent",
+            "Opposite",
+            "Consistent%",
+            "Opposite%",
+        ],
     );
     for (label, items) in [
         ("Application-Level", &app_items),
@@ -173,4 +220,6 @@ fn main() {
     }
     println!("{tab1}");
     tab1.write_csv(dir.join("tab1_trends.csv")).unwrap();
+
+    finish_observability();
 }

@@ -7,7 +7,10 @@ use vgpu_sim::GpuConfig;
 
 fn main() {
     let cfg = GpuConfig::default();
-    println!("{:<12} {:>10} {:>12} {:>10} {:>12} {:>10}", "app", "t_timed", "cycles", "t_func", "instrs", "speedup");
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>12} {:>10}",
+        "app", "t_timed", "cycles", "t_func", "instrs", "speedup"
+    );
     for b in all_benchmarks() {
         let t0 = Instant::now();
         let gt = golden_run(b.as_ref(), &cfg, Variant::TIMED);
@@ -17,7 +20,11 @@ fn main() {
         let df = t1.elapsed();
         println!(
             "{:<12} {:>9.1?} {:>12} {:>9.1?} {:>12} {:>9.1}x",
-            b.name(), dt, gt.total_cost, df, gf.total_cost,
+            b.name(),
+            dt,
+            gt.total_cost,
+            df,
+            gf.total_cost,
             dt.as_secs_f64() / df.as_secs_f64().max(1e-9)
         );
     }

@@ -32,20 +32,44 @@ fn main() {
         (
             "Figure 3a: HotSpot K1 vs LUD K1 (opposite trend)",
             "fig03a.csv",
-            KernelRef { bench: &HotSpot, k_idx: 0, label: "HotSpot K1" },
-            KernelRef { bench: &Lud, k_idx: 0, label: "LUD K1" },
+            KernelRef {
+                bench: &HotSpot,
+                k_idx: 0,
+                label: "HotSpot K1",
+            },
+            KernelRef {
+                bench: &Lud,
+                k_idx: 0,
+                label: "LUD K1",
+            },
         ),
         (
             "Figure 3b: LUD K2 vs LUD K1 (consistent trend)",
             "fig03b.csv",
-            KernelRef { bench: &Lud, k_idx: 1, label: "LUD K2" },
-            KernelRef { bench: &Lud, k_idx: 0, label: "LUD K1" },
+            KernelRef {
+                bench: &Lud,
+                k_idx: 1,
+                label: "LUD K2",
+            },
+            KernelRef {
+                bench: &Lud,
+                k_idx: 0,
+                label: "LUD K1",
+            },
         ),
         (
             "Figure 3c: VA K1 vs SCP K1 (opposite trend)",
             "fig03c.csv",
-            KernelRef { bench: &Va, k_idx: 0, label: "VA K1" },
-            KernelRef { bench: &Scp, k_idx: 0, label: "SCP K1" },
+            KernelRef {
+                bench: &Va,
+                k_idx: 0,
+                label: "VA K1",
+            },
+            KernelRef {
+                bench: &Scp,
+                k_idx: 0,
+                label: "SCP K1",
+            },
         ),
     ];
     for (title, csv, k1, k2) in pairs {
@@ -67,7 +91,14 @@ fn main() {
         let m1 = kernel_metrics(&g1, k1.k_idx, &cfg.gpu);
         let m2 = kernel_metrics(&g2, k2.k_idx, &cfg.gpu);
 
-        let mut t = Table::new(title, &["Metric", &format!("{} %", k1.label), &format!("{} %", k2.label)]);
+        let mut t = Table::new(
+            title,
+            &[
+                "Metric",
+                &format!("{} %", k1.label),
+                &format!("{} %", k2.label),
+            ],
+        );
         let share = |a: f64, b: f64| {
             if a + b == 0.0 {
                 (50.0, 50.0)
@@ -80,7 +111,11 @@ fn main() {
         let (a, b) = share(svf1, svf2);
         t.row(vec!["SVF".into(), format!("{a:.1}"), format!("{b:.1}")]);
         for (label, a, b) in normalized_pair(&m1, &m2) {
-            t.row(vec![label.to_string(), format!("{a:.1}"), format!("{b:.1}")]);
+            t.row(vec![
+                label.to_string(),
+                format!("{a:.1}"),
+                format!("{b:.1}"),
+            ]);
         }
         println!("{t}");
         t.write_csv(dir.join(csv)).unwrap();

@@ -36,7 +36,11 @@ fn main() {
         t.row(vec![
             format!("R{}", reg.0),
             format!("#{}", at + 1),
-            readers.iter().map(|&i| format!("#{}", i + 1)).collect::<Vec<_>>().join(" "),
+            readers
+                .iter()
+                .map(|&i| format!("#{}", i + 1))
+                .collect::<Vec<_>>()
+                .join(" "),
         ]);
     }
     println!("{t}");
@@ -47,7 +51,10 @@ fn main() {
         "Source-register injection: instantaneous (SrcTransient) vs reuse-replicating (SrcPersistent) failure rates, %",
         &["App", "FR transient", "FR persistent", "underestimation (pp)"],
     );
-    let variant = Variant { mode: Mode::Functional, hardened: false };
+    let variant = Variant {
+        mode: Mode::Functional,
+        hardened: false,
+    };
     for b in all_benchmarks() {
         eprintln!("[fig12] {} ...", b.name());
         let golden = golden_run(b.as_ref(), &cfg.gpu, variant);
@@ -85,7 +92,9 @@ fn main() {
                 let fault = PlannedFault::Sw(SwFault {
                     kind,
                     target: rng.gen_range(0..weight),
-                    bit: rng.gen_range(0..32), loc_pick: 0 });
+                    bit: rng.gen_range(0..32),
+                    loc_pick: 0,
+                });
                 let res = faulty_run(b.as_ref(), &cfg.gpu, variant, &golden, ordinal, fault);
                 counts.record(res.outcome);
                 let _ = Outcome::Masked;
@@ -100,5 +109,7 @@ fn main() {
         ]);
     }
     println!("{modes}");
-    modes.write_csv(dir.join("fig12_src_injection_modes.csv")).unwrap();
+    modes
+        .write_csv(dir.join("fig12_src_injection_modes.csv"))
+        .unwrap();
 }

@@ -12,14 +12,16 @@
 //! * **Figure 11** — control-path-affected masked runs (cycle-count
 //!   proxy) with/without hardening (`results/fig11_control_path.csv`).
 //!
-//! Options: `--n-uarch N --n-sw N --seed S`. TMR runs cost ~3.5× the
-//! unprotected ones, so defaults are smaller than `baseline_study`'s.
+//! Options: `--n-uarch N --n-sw N --seed S --events PATH`. TMR runs cost
+//! ~3.5× the unprotected ones, so defaults are smaller than
+//! `baseline_study`'s.
 
-use bench::{cli_campaign_cfg, results_dir};
+use bench::{cli_campaign_cfg, finish_observability, init_observability, results_dir};
 use kernels::all_benchmarks;
 use relia::{evaluate_hardening, pct, pct4, Table};
 
 fn main() {
+    init_observability();
     let cfg = cli_campaign_cfg(150, 150);
     let dir = results_dir();
     let gpu = cfg.gpu.clone();
@@ -76,7 +78,11 @@ fn main() {
                 pct(row.svf_base.total()),
                 pct(row.svf_tmr.total()),
             ]);
-            fig8.row(vec![name.clone(), pct4(row.avf_base.sdc), pct4(row.avf_tmr.sdc)]);
+            fig8.row(vec![
+                name.clone(),
+                pct4(row.avf_base.sdc),
+                pct4(row.avf_tmr.sdc),
+            ]);
             fig9.row(vec![
                 name.clone(),
                 pct4(row.avf_base.timeout),
@@ -109,7 +115,14 @@ fn main() {
     println!("{fig9}");
     // The paper's Figure 10 shows six representative kernels; print those,
     // the CSV has all of them.
-    let representative = ["LUD K2", "SCP K1", "NW K2", "BackProp K2", "SRADv1 K2", "K-Means K2"];
+    let representative = [
+        "LUD K2",
+        "SCP K1",
+        "NW K2",
+        "BackProp K2",
+        "SRADv1 K2",
+        "K-Means K2",
+    ];
     let mut fig10_print = Table::new(
         "Figure 10 (representative kernels): per-structure AVF before/after, %",
         &fig10.headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
@@ -122,9 +135,15 @@ fn main() {
     println!("{fig10_print}");
     println!("{fig11}");
 
-    fig7.write_csv(dir.join("fig07_hardened_avf_svf.csv")).unwrap();
+    fig7.write_csv(dir.join("fig07_hardened_avf_svf.csv"))
+        .unwrap();
     fig8.write_csv(dir.join("fig08_hardened_sdc.csv")).unwrap();
-    fig9.write_csv(dir.join("fig09_hardened_due_timeout.csv")).unwrap();
-    fig10.write_csv(dir.join("fig10_structure_breakdown.csv")).unwrap();
+    fig9.write_csv(dir.join("fig09_hardened_due_timeout.csv"))
+        .unwrap();
+    fig10
+        .write_csv(dir.join("fig10_structure_breakdown.csv"))
+        .unwrap();
     fig11.write_csv(dir.join("fig11_control_path.csv")).unwrap();
+
+    finish_observability();
 }

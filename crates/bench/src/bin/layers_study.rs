@@ -11,13 +11,14 @@
 //!   cache evictions, structure sizes).
 //!
 //! Writes `results/layers_study.csv`.
-//! Options: `--n-uarch N --n-sw N --seed S`.
+//! Options: `--n-uarch N --n-sw N --seed S --events PATH`.
 
-use bench::{cli_campaign_cfg, results_dir};
+use bench::{cli_campaign_cfg, finish_observability, init_observability, results_dir};
 use kernels::all_benchmarks;
 use relia::{pct, pct4, run_pvf_campaign, run_sw_campaign, run_uarch_campaign, Table, TrendItem};
 
 fn main() {
+    init_observability();
     let cfg = cli_campaign_cfg(100, 200);
     let dir = results_dir();
     let mut t = Table::new(
@@ -30,7 +31,9 @@ fn main() {
         eprintln!("[layers] {} ...", b.name());
         let svf = run_sw_campaign(b.as_ref(), &cfg, false).app_svf().total();
         let pvf = run_pvf_campaign(b.as_ref(), &cfg, false).app_pvf().total();
-        let avf = run_uarch_campaign(b.as_ref(), &cfg, false).app_avf(&cfg.gpu).total();
+        let avf = run_uarch_campaign(b.as_ref(), &cfg, false)
+            .app_avf(&cfg.gpu)
+            .total();
         t.row(vec![
             b.name().to_string(),
             pct(svf),
@@ -39,8 +42,16 @@ fn main() {
             format!("{:.2}x", svf / pvf.max(1e-9)),
             format!("{:.0}x", pvf / avf.max(1e-9)),
         ]);
-        items_sp.push(TrendItem { name: b.name().into(), a: svf, b: pvf });
-        items_pa.push(TrendItem { name: b.name().into(), a: pvf, b: avf });
+        items_sp.push(TrendItem {
+            name: b.name().into(),
+            a: svf,
+            b: pvf,
+        });
+        items_pa.push(TrendItem {
+            name: b.name().into(),
+            a: pvf,
+            b: avf,
+        });
     }
     println!("{t}");
     let sp = relia::compare_pairs(&items_sp);
@@ -55,4 +66,6 @@ fn main() {
         pa.total()
     );
     t.write_csv(dir.join("layers_study.csv")).unwrap();
+
+    finish_observability();
 }

@@ -11,8 +11,16 @@ fn main() {
         run_uarch_campaign(b.as_ref(), &cfg, false);
         let dt = t.elapsed().as_secs_f64();
         total += dt;
-        println!("{:<12} {:>6.2}s  ({:.1} ms/inj over {} inj)", b.name(), dt,
-                 dt * 1000.0 / (b.kernels().len() * 5 * 10) as f64, b.kernels().len() * 5 * 10);
+        println!(
+            "{:<12} {:>6.2}s  ({:.1} ms/inj over {} inj)",
+            b.name(),
+            dt,
+            dt * 1000.0 / (b.kernels().len() * 5 * 10) as f64,
+            b.kernels().len() * 5 * 10
+        );
     }
-    println!("TOTAL {total:.1}s at N=10 → scale ~{:.0}s per 100 N", total * 10.0);
+    println!(
+        "TOTAL {total:.1}s at N=10 → scale ~{:.0}s per 100 N",
+        total * 10.0
+    );
 }

@@ -16,15 +16,34 @@ fn main() {
         let ts = t.elapsed();
         println!("== {} (avf {ta:.1?}, svf {ts:.1?})", b.name());
         for (ka, ks) in avf.kernels.iter().zip(&svf.kernels) {
-            print!("  {}: chipAVF={:.4}% [", ka.kernel, ka.chip_avf(&cfg.gpu).total() * 100.0);
+            print!(
+                "  {}: chipAVF={:.4}% [",
+                ka.kernel,
+                ka.chip_avf(&cfg.gpu).total() * 100.0
+            );
             for h in HwStructure::ALL {
-                print!("{}={:.4}% (df {:.3}) ", h.label(), ka.avf(h).total() * 100.0, ka.df_of(h));
+                print!(
+                    "{}={:.4}% (df {:.3}) ",
+                    h.label(),
+                    ka.avf(h).total() * 100.0,
+                    ka.df_of(h)
+                );
             }
             println!("]");
             let s = ks.svf();
-            println!("     SVF={:.2}% (sdc {:.2}%, to {:.2}%, due {:.2}%), SVF-LD={:.2}%",
-                s.total()*100.0, s.sdc*100.0, s.timeout*100.0, s.due*100.0, ks.svf_ld().total()*100.0);
+            println!(
+                "     SVF={:.2}% (sdc {:.2}%, to {:.2}%, due {:.2}%), SVF-LD={:.2}%",
+                s.total() * 100.0,
+                s.sdc * 100.0,
+                s.timeout * 100.0,
+                s.due * 100.0,
+                ks.svf_ld().total() * 100.0
+            );
         }
-        println!("  appAVF={:.4}%  appSVF={:.2}%", avf.app_avf(&cfg.gpu).total()*100.0, svf.app_svf().total()*100.0);
+        println!(
+            "  appAVF={:.4}%  appSVF={:.2}%",
+            avf.app_avf(&cfg.gpu).total() * 100.0,
+            svf.app_svf().total() * 100.0
+        );
     }
 }

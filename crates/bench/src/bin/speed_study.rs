@@ -26,13 +26,26 @@ fn main() {
     let dir = results_dir();
     let mut t = Table::new(
         "Footnote 1: per-injection cost, AVF (cycle-level) vs SVF (software-level)",
-        &["App", "AVF us/inj", "SVF us/inj", "cost ratio", "x structures", "campaign ratio"],
+        &[
+            "App",
+            "AVF us/inj",
+            "SVF us/inj",
+            "cost ratio",
+            "x structures",
+            "campaign ratio",
+        ],
     );
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     for b in all_benchmarks() {
         eprintln!("[speed] {} ...", b.name());
-        let vt = Variant { mode: Mode::Timed, hardened: false };
-        let vf = Variant { mode: Mode::Functional, hardened: false };
+        let vt = Variant {
+            mode: Mode::Timed,
+            hardened: false,
+        };
+        let vf = Variant {
+            mode: Mode::Functional,
+            hardened: false,
+        };
         let gt = golden_run(b.as_ref(), &cfg.gpu, vt);
         let gf = golden_run(b.as_ref(), &cfg.gpu, vf);
 
@@ -57,7 +70,9 @@ fn main() {
             let fault = PlannedFault::Sw(SwFault {
                 kind: SwFaultKind::DestValue,
                 target: rng.gen_range(0..elig),
-                bit: rng.gen_range(0..32), loc_pick: 0 });
+                bit: rng.gen_range(0..32),
+                loc_pick: 0,
+            });
             faulty_run(b.as_ref(), &cfg.gpu, vf, &gf, ordinal, fault);
         }
         let svf_us = t1.elapsed().as_micros() as f64 / cfg.n_sw as f64;

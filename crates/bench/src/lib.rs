@@ -6,10 +6,11 @@
 
 use relia::CampaignCfg;
 
-/// Parse common CLI options: `--n-uarch N --n-sw N --seed S --sms N`.
-/// Defaults are sized so every figure regenerates in minutes on a laptop;
-/// pass larger counts to tighten confidence intervals (the paper used
-/// 3,000 injections per target at ±2.35%, 99% confidence).
+/// Parse common CLI options: `--n-uarch N --n-sw N --seed S --sms N
+/// --events PATH`. Defaults are sized so every figure regenerates in
+/// minutes on a laptop; pass larger counts to tighten confidence
+/// intervals (the paper used 3,000 injections per target at ±2.35%, 99%
+/// confidence). `--events` is consumed by [`init_observability`].
 pub fn cli_campaign_cfg(default_uarch: usize, default_sw: usize) -> CampaignCfg {
     let mut cfg = CampaignCfg::new(default_uarch, default_sw, 0xC0FF_EE00);
     let args: Vec<String> = std::env::args().collect();
@@ -21,13 +22,78 @@ pub fn cli_campaign_cfg(default_uarch: usize, default_sw: usize) -> CampaignCfg 
             "--n-sw" => cfg.n_sw = v.parse().expect("--n-sw takes a number"),
             "--seed" => cfg.seed = v.parse().expect("--seed takes a number"),
             "--sms" => {
-                cfg.gpu = vgpu_sim::GpuConfig::volta_scaled(v.parse().expect("--sms takes a number"))
+                cfg.gpu =
+                    vgpu_sim::GpuConfig::volta_scaled(v.parse().expect("--sms takes a number"))
             }
+            "--events" => {} // handled by init_observability
             other => panic!("unknown option {other}"),
         }
         i += 2;
     }
     cfg
+}
+
+/// Turn on observability from CLI/env before running campaigns:
+///
+/// * `--events PATH` or `RELIA_EVENTS=PATH` — JSONL event sink (one line
+///   per injection) plus the metrics registry;
+/// * `RELIA_METRICS=1` — metrics registry and phase timers alone;
+/// * `RELIA_PROGRESS=1`/`0` — force the stderr progress reporter on/off
+///   (default: on exactly when events or metrics are on).
+///
+/// With none of these set the campaigns run exactly as before: no files,
+/// no extra output, identical results (observability never touches the
+/// seeded RNG streams).
+pub fn init_observability() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.last().map(String::as_str) == Some("--events") {
+        eprintln!("error: --events requires a path");
+        std::process::exit(2);
+    }
+    let events_path = args
+        .windows(2)
+        .find(|w| w[0] == "--events")
+        .map(|w| w[1].clone())
+        .or_else(|| std::env::var("RELIA_EVENTS").ok().filter(|s| !s.is_empty()));
+    let metrics_on = std::env::var("RELIA_METRICS").is_ok_and(|v| v != "0");
+    let mut any = metrics_on;
+    if let Some(p) = &events_path {
+        if let Err(e) = obs::init_events(std::path::Path::new(p)) {
+            eprintln!("error: cannot open events file {p}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("[obs] writing events to {p}");
+        any = true;
+    }
+    if any {
+        obs::set_enabled(true);
+    }
+    let progress = match std::env::var("RELIA_PROGRESS").ok().as_deref() {
+        Some("0") => false,
+        Some(_) => true,
+        None => any,
+    };
+    if progress {
+        obs::progress::enable();
+    }
+}
+
+/// Print the final observability summary (metrics snapshot + phase
+/// profile) to stderr and flush/close the event sink. No-op when
+/// [`init_observability`] enabled nothing.
+pub fn finish_observability() {
+    obs::progress::finish();
+    if obs::enabled() {
+        let snap = obs::global().snapshot();
+        for t in relia::report::metrics_tables(&snap) {
+            eprintln!("{t}");
+        }
+        eprintln!("{}", relia::report::phase_table(&obs::phase_snapshot()));
+    }
+    if obs::events_enabled() {
+        obs::flush_events().expect("flush events");
+        obs::events::shutdown_events();
+    }
 }
 
 /// Results directory (repo-relative `results/`).
@@ -53,5 +119,8 @@ pub fn run_baseline(cfg: &CampaignCfg) -> BaselineResults {
             )
         })
         .collect();
-    BaselineResults { cfg: cfg.clone(), apps }
+    BaselineResults {
+        cfg: cfg.clone(),
+        apps,
+    }
 }

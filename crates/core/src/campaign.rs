@@ -14,6 +14,9 @@
 //! structure, trial), so campaigns are bit-reproducible at any thread
 //! count.
 
+use std::time::Instant;
+
+use obs::Phase;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -36,7 +39,12 @@ pub struct CampaignCfg {
 
 impl CampaignCfg {
     pub fn new(n_uarch: usize, n_sw: usize, seed: u64) -> Self {
-        CampaignCfg { gpu: GpuConfig::default(), n_uarch, n_sw, seed }
+        CampaignCfg {
+            gpu: GpuConfig::default(),
+            n_uarch,
+            n_sw,
+            seed,
+        }
     }
 }
 
@@ -44,7 +52,10 @@ impl CampaignCfg {
 fn derive_seed(base: u64, tags: &[u64]) -> u64 {
     let mut x = base ^ 0x9e37_79b9_7f4a_7c15;
     for &t in tags {
-        x ^= t.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(x << 6).wrapping_add(x >> 2);
+        x ^= t
+            .wrapping_add(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(x << 6)
+            .wrapping_add(x >> 2);
         x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
         x ^= x >> 31;
     }
@@ -55,6 +66,82 @@ fn str_tag(s: &str) -> u64 {
     s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
         (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
     })
+}
+
+/// Map a campaign outcome onto the obs reporting enum.
+fn outcome_class(o: Outcome) -> obs::OutcomeClass {
+    match o {
+        Outcome::Masked => obs::OutcomeClass::Masked,
+        Outcome::Sdc => obs::OutcomeClass::Sdc,
+        Outcome::Timeout => obs::OutcomeClass::Timeout,
+        Outcome::Due => obs::OutcomeClass::Due,
+    }
+}
+
+/// Whether any observability sink wants per-trial data. Hoisted out of
+/// the hot loop so disabled campaigns pay nothing per trial.
+fn observing() -> bool {
+    obs::enabled() || obs::events_enabled() || obs::progress::progress_enabled()
+}
+
+/// Record one finished injection everywhere observability wants it:
+/// outcome counters, wall-time histogram, JSONL event, progress line.
+/// Callers gate on [`observing`]; nothing here touches RNG streams, so
+/// campaign results are identical with observability on or off.
+#[allow(clippy::too_many_arguments)]
+fn observe_trial(
+    app: &str,
+    kernel: &str,
+    layer: &'static str,
+    target: &'static str,
+    trial: u64,
+    seed: u64,
+    bit: u8,
+    cycle: u64,
+    outcome: Outcome,
+    started: Instant,
+) {
+    let class = outcome_class(outcome);
+    let out_label = class.label();
+    let wall_us = started.elapsed().as_micros() as u64;
+    obs::time_phase(Phase::Classify, || {
+        obs::counter_add(
+            "injections_total",
+            &[
+                ("app", app),
+                ("kernel", kernel),
+                ("layer", layer),
+                ("target", target),
+                ("outcome", out_label),
+            ],
+            1,
+        );
+        // Coarse per-structure rollup for the end-of-run summary table.
+        obs::counter_add(
+            "outcomes_total",
+            &[("layer", layer), ("target", target), ("outcome", out_label)],
+            1,
+        );
+        obs::histogram_observe(
+            "injection_wall_us",
+            &[("app", app), ("layer", layer)],
+            &obs::WALL_US_BUCKETS,
+            wall_us,
+        );
+        obs::emit(&obs::InjectionEvent {
+            seed,
+            app,
+            kernel,
+            layer,
+            target,
+            trial,
+            bit,
+            cycle,
+            outcome: out_label,
+            wall_us,
+        });
+    });
+    obs::progress::record(class);
 }
 
 /// Pick an index from `weights` proportionally.
@@ -103,11 +190,19 @@ pub struct UarchKernelResult {
 
 impl UarchKernelResult {
     pub fn df_of(&self, h: HwStructure) -> f64 {
-        self.df.iter().find(|&&(s, _)| s == h).map_or(1.0, |&(_, d)| d)
+        self.df
+            .iter()
+            .find(|&&(s, _)| s == h)
+            .map_or(1.0, |&(_, d)| d)
     }
 
     pub fn counts_of(&self, h: HwStructure) -> &StructureCampaign {
-        &self.per_structure.iter().find(|&&(s, _)| s == h).expect("structure present").1
+        &self
+            .per_structure
+            .iter()
+            .find(|&&(s, _)| s == h)
+            .expect("structure present")
+            .1
     }
 
     /// AVF of one structure: per-class failure fractions × derating factor.
@@ -136,11 +231,19 @@ impl UarchKernelResult {
     /// Fraction of all injections that were masked with a disturbed cycle
     /// count (Figure 11).
     pub fn ctrl_affected_fraction(&self) -> f64 {
-        let total: u32 = self.per_structure.iter().map(|(_, c)| c.counts.total()).sum();
+        let total: u32 = self
+            .per_structure
+            .iter()
+            .map(|(_, c)| c.counts.total())
+            .sum();
         if total == 0 {
             return 0.0;
         }
-        let ctrl: u32 = self.per_structure.iter().map(|(_, c)| c.ctrl_affected_masked).sum();
+        let ctrl: u32 = self
+            .per_structure
+            .iter()
+            .map(|(_, c)| c.ctrl_affected_masked)
+            .sum();
         ctrl as f64 / total as f64
     }
 }
@@ -209,9 +312,14 @@ pub fn run_uarch_campaign(
     cfg: &CampaignCfg,
     hardened: bool,
 ) -> UarchAppResult {
-    let variant = Variant { mode: Mode::Timed, hardened };
-    let golden = golden_run(bench, &cfg.gpu, variant);
+    let variant = Variant {
+        mode: Mode::Timed,
+        hardened,
+    };
+    let golden = obs::time_phase(Phase::GoldenRun, || golden_run(bench, &cfg.gpu, variant));
     let app_tag = str_tag(bench.name());
+    let app_name = bench.name();
+    let obs_on = observing();
     let mut kernels = Vec::new();
     for (k_idx, k_name) in bench.kernels().iter().enumerate() {
         let windows: Vec<(usize, u64)> = golden
@@ -224,16 +332,47 @@ pub fn run_uarch_campaign(
         let cycles: u64 = windows.iter().map(|&(_, c)| c).sum();
         let mut per_structure = Vec::new();
         for &h in &HwStructure::ALL {
+            if obs::progress::progress_enabled() {
+                obs::progress::add_total(cfg.n_uarch as u64);
+            }
             let camp = (0..cfg.n_uarch)
                 .into_par_iter()
                 .map(|trial| {
+                    let t0 = obs_on.then(Instant::now);
                     let s = derive_seed(
                         cfg.seed,
                         &[app_tag, k_idx as u64, h as u64, trial as u64, 1],
                     );
-                    let mut rng = SmallRng::seed_from_u64(s);
-                    let Some((ordinal, launch_cycles)) = pick_weighted(&mut rng, &windows)
-                    else {
+                    let planned = obs::time_phase(Phase::FaultSetup, || {
+                        let mut rng = SmallRng::seed_from_u64(s);
+                        pick_weighted(&mut rng, &windows).map(|(ordinal, launch_cycles)| {
+                            (
+                                ordinal,
+                                UarchFault {
+                                    cycle: rng.gen_range(0..launch_cycles),
+                                    structure: h,
+                                    loc_pick: rng.gen(),
+                                    bit: rng.gen_range(0..32),
+                                },
+                            )
+                        })
+                    });
+                    let Some((ordinal, uf)) = planned else {
+                        // No eligible launch window: trivially masked.
+                        if let Some(t0) = t0 {
+                            observe_trial(
+                                app_name,
+                                k_name,
+                                "uarch",
+                                h.label(),
+                                trial as u64,
+                                s,
+                                0,
+                                0,
+                                Outcome::Masked,
+                                t0,
+                            );
+                        }
                         return StructureCampaign {
                             counts: {
                                 let mut c = ClassCounts::default();
@@ -243,13 +382,30 @@ pub fn run_uarch_campaign(
                             ctrl_affected_masked: 0,
                         };
                     };
-                    let fault = PlannedFault::Uarch(UarchFault {
-                        cycle: rng.gen_range(0..launch_cycles),
-                        structure: h,
-                        loc_pick: rng.gen(),
-                        bit: rng.gen_range(0..32),
+                    let res = obs::time_phase(Phase::FaultyRun, || {
+                        faulty_run(
+                            bench,
+                            &cfg.gpu,
+                            variant,
+                            &golden,
+                            ordinal,
+                            PlannedFault::Uarch(uf),
+                        )
                     });
-                    let res = faulty_run(bench, &cfg.gpu, variant, &golden, ordinal, fault);
+                    if let Some(t0) = t0 {
+                        observe_trial(
+                            app_name,
+                            k_name,
+                            "uarch",
+                            h.label(),
+                            trial as u64,
+                            s,
+                            uf.bit,
+                            uf.cycle,
+                            res.outcome,
+                            t0,
+                        );
+                    }
                     let mut counts = ClassCounts::default();
                     counts.record(res.outcome);
                     StructureCampaign {
@@ -278,7 +434,10 @@ pub fn run_uarch_campaign(
             n_per_structure: cfg.n_uarch,
         });
     }
-    UarchAppResult { app: bench.name().to_string(), kernels }
+    UarchAppResult {
+        app: bench.name().to_string(),
+        kernels,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -343,6 +502,7 @@ pub(crate) fn sw_subcampaign(
     variant: Variant,
     golden: &GoldenRun,
     k_idx: usize,
+    k_name: &str,
     kind: SwFaultKind,
     tag: u64,
 ) -> ClassCounts {
@@ -354,9 +514,7 @@ pub(crate) fn sw_subcampaign(
         .map(|(o, r)| {
             let w = match kind {
                 SwFaultKind::DestValue => r.stats.gp_dest_instrs,
-                SwFaultKind::SrcPersistent | SwFaultKind::SrcTransient => {
-                    r.stats.src_reg_instrs
-                }
+                SwFaultKind::SrcPersistent | SwFaultKind::SrcTransient => r.stats.src_reg_instrs,
                 SwFaultKind::DestValueLoad => r.stats.ld_dest_instrs,
                 SwFaultKind::ArchState => r.stats.thread_instrs,
             };
@@ -365,23 +523,74 @@ pub(crate) fn sw_subcampaign(
         .filter(|&(_, w)| w > 0)
         .collect();
     let app_tag = str_tag(bench.name());
+    let app_name = bench.name();
+    let obs_on = observing();
+    if obs::progress::progress_enabled() {
+        obs::progress::add_total(cfg.n_sw as u64);
+    }
     (0..cfg.n_sw)
         .into_par_iter()
         .map(|trial| {
+            let t0 = obs_on.then(Instant::now);
             let s = derive_seed(cfg.seed, &[app_tag, k_idx as u64, tag, trial as u64, 2]);
-            let mut rng = SmallRng::seed_from_u64(s);
             let mut counts = ClassCounts::default();
-            let Some((ordinal, weight)) = pick_weighted(&mut rng, &windows) else {
+            let planned = obs::time_phase(Phase::FaultSetup, || {
+                let mut rng = SmallRng::seed_from_u64(s);
+                pick_weighted(&mut rng, &windows).map(|(ordinal, weight)| {
+                    (
+                        ordinal,
+                        SwFault {
+                            kind,
+                            target: rng.gen_range(0..weight),
+                            bit: rng.gen_range(0..32),
+                            loc_pick: rng.gen(),
+                        },
+                    )
+                })
+            });
+            let Some((ordinal, sf)) = planned else {
+                // No eligible instruction stream: trivially masked.
+                if let Some(t0) = t0 {
+                    observe_trial(
+                        app_name,
+                        k_name,
+                        "sw",
+                        kind.label(),
+                        trial as u64,
+                        s,
+                        0,
+                        0,
+                        Outcome::Masked,
+                        t0,
+                    );
+                }
                 counts.record(Outcome::Masked);
                 return counts;
             };
-            let fault = PlannedFault::Sw(SwFault {
-                kind,
-                target: rng.gen_range(0..weight),
-                bit: rng.gen_range(0..32),
-                loc_pick: rng.gen(),
+            let res = obs::time_phase(Phase::FaultyRun, || {
+                faulty_run(
+                    bench,
+                    &cfg.gpu,
+                    variant,
+                    golden,
+                    ordinal,
+                    PlannedFault::Sw(sf),
+                )
             });
-            let res = faulty_run(bench, &cfg.gpu, variant, golden, ordinal, fault);
+            if let Some(t0) = t0 {
+                observe_trial(
+                    app_name,
+                    k_name,
+                    "sw",
+                    kind.label(),
+                    trial as u64,
+                    s,
+                    sf.bit,
+                    sf.target,
+                    res.outcome,
+                    t0,
+                );
+            }
             counts.record(res.outcome);
             counts
         })
@@ -394,8 +603,11 @@ pub(crate) fn sw_subcampaign(
 /// Run the software-level (NVBitFI model) campaign for one application:
 /// destination-value injections plus the load-only SVF-LD variant.
 pub fn run_sw_campaign(bench: &dyn Benchmark, cfg: &CampaignCfg, hardened: bool) -> SvfAppResult {
-    let variant = Variant { mode: Mode::Functional, hardened };
-    let golden = golden_run(bench, &cfg.gpu, variant);
+    let variant = Variant {
+        mode: Mode::Functional,
+        hardened,
+    };
+    let golden = obs::time_phase(Phase::GoldenRun, || golden_run(bench, &cfg.gpu, variant));
     let kernels = bench
         .kernels()
         .iter()
@@ -407,6 +619,7 @@ pub fn run_sw_campaign(bench: &dyn Benchmark, cfg: &CampaignCfg, hardened: bool)
                 variant,
                 &golden,
                 k_idx,
+                k_name,
                 SwFaultKind::DestValue,
                 10,
             );
@@ -416,14 +629,23 @@ pub fn run_sw_campaign(bench: &dyn Benchmark, cfg: &CampaignCfg, hardened: bool)
                 variant,
                 &golden,
                 k_idx,
+                k_name,
                 SwFaultKind::DestValueLoad,
                 11,
             );
             let instrs = golden.kernel_stats(k_idx).thread_instrs;
-            SvfKernelResult { kernel: k_name.to_string(), counts, counts_ld, instrs }
+            SvfKernelResult {
+                kernel: k_name.to_string(),
+                counts,
+                counts_ld,
+                instrs,
+            }
         })
         .collect();
-    SvfAppResult { app: bench.name().to_string(), kernels }
+    SvfAppResult {
+        app: bench.name().to_string(),
+        kernels,
+    }
 }
 
 #[cfg(test)]

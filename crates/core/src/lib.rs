@@ -52,5 +52,5 @@ pub use hardening::{evaluate_hardening, HardeningComparison};
 pub use metrics::{error_margin, ClassCounts, ClassRates, Confidence};
 pub use profile::{kernel_metrics, normalized_pair, UtilMetrics, METRIC_LABELS};
 pub use pvf::{run_pvf_campaign, PvfAppResult, PvfKernelResult};
-pub use report::{pct, pct4, Table};
+pub use report::{metrics_tables, pct, pct4, phase_table, RowArityError, Table};
 pub use trends::{compare_pairs, opposite_pairs, TrendCount, TrendItem};

@@ -72,7 +72,11 @@ impl ClassRates {
     }
 
     pub fn scale(&self, f: f64) -> ClassRates {
-        ClassRates { sdc: self.sdc * f, timeout: self.timeout * f, due: self.due * f }
+        ClassRates {
+            sdc: self.sdc * f,
+            timeout: self.timeout * f,
+            due: self.due * f,
+        }
     }
 
     pub fn add(&mut self, o: &ClassRates) {
@@ -156,7 +160,11 @@ mod tests {
 
     #[test]
     fn rates_scale_and_add() {
-        let r = ClassRates { sdc: 0.2, timeout: 0.1, due: 0.1 };
+        let r = ClassRates {
+            sdc: 0.2,
+            timeout: 0.1,
+            due: 0.1,
+        };
         let s = r.scale(0.5);
         assert!((s.total() - 0.2).abs() < 1e-12);
         let mut acc = ClassRates::default();

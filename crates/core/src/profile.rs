@@ -124,8 +124,16 @@ mod tests {
 
     #[test]
     fn normalization_shares_sum_to_100() {
-        let m1 = UtilMetrics { occupancy: 0.75, l1d_accesses: 300.0, ..Default::default() };
-        let m2 = UtilMetrics { occupancy: 0.25, l1d_accesses: 100.0, ..Default::default() };
+        let m1 = UtilMetrics {
+            occupancy: 0.75,
+            l1d_accesses: 300.0,
+            ..Default::default()
+        };
+        let m2 = UtilMetrics {
+            occupancy: 0.25,
+            l1d_accesses: 100.0,
+            ..Default::default()
+        };
         let rows = normalized_pair(&m1, &m2);
         assert_eq!(rows.len(), 16);
         for (label, a, b) in &rows {

@@ -54,7 +54,10 @@ impl PvfAppResult {
 
 /// Run the architectural-state (PVF approximation) campaign.
 pub fn run_pvf_campaign(bench: &dyn Benchmark, cfg: &CampaignCfg, hardened: bool) -> PvfAppResult {
-    let variant = kernels::Variant { mode: Mode::Functional, hardened };
+    let variant = kernels::Variant {
+        mode: Mode::Functional,
+        hardened,
+    };
     let golden = kernels::golden_run(bench, &cfg.gpu, variant);
     let kernels = bench
         .kernels()
@@ -67,6 +70,7 @@ pub fn run_pvf_campaign(bench: &dyn Benchmark, cfg: &CampaignCfg, hardened: bool
                 variant,
                 &golden,
                 k_idx,
+                k_name,
                 SwFaultKind::ArchState,
                 12,
             );
@@ -77,5 +81,8 @@ pub fn run_pvf_campaign(bench: &dyn Benchmark, cfg: &CampaignCfg, hardened: bool
             }
         })
         .collect();
-    PvfAppResult { app: bench.name().to_string(), kernels }
+    PvfAppResult {
+        app: bench.name().to_string(),
+        kernels,
+    }
 }

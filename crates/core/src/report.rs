@@ -4,6 +4,26 @@ use std::fmt;
 use std::io::Write as _;
 use std::path::Path;
 
+/// Row/header arity mismatch, reported by [`Table::try_row`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowArityError {
+    pub table: String,
+    pub expected: usize,
+    pub got: usize,
+}
+
+impl fmt::Display for RowArityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "table '{}': row has {} cells, header has {}",
+            self.table, self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for RowArityError {}
+
 /// A simple column-aligned table that also serializes to CSV.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -21,9 +41,23 @@ impl Table {
         }
     }
 
-    pub fn row(&mut self, cells: Vec<String>) {
-        debug_assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+    /// Append a row whose arity must match the header.
+    pub fn try_row(&mut self, cells: Vec<String>) -> Result<(), RowArityError> {
+        if cells.len() != self.headers.len() {
+            return Err(RowArityError {
+                table: self.title.clone(),
+                expected: self.headers.len(),
+                got: cells.len(),
+            });
+        }
         self.rows.push(cells);
+        Ok(())
+    }
+
+    /// Append a row, panicking on arity mismatch — the figure generators
+    /// build rows from fixed-size literals, so a mismatch is a bug.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.try_row(cells).unwrap();
     }
 
     fn widths(&self) -> Vec<usize> {
@@ -36,17 +70,25 @@ impl Table {
         w
     }
 
-    /// CSV serialization (quotes cells containing commas).
+    /// CSV serialization (RFC 4180: cells containing commas, quotes, or
+    /// line breaks are quoted, with embedded quotes doubled).
     pub fn to_csv(&self) -> String {
         let esc = |s: &str| {
-            if s.contains(',') || s.contains('"') {
+            if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
                 format!("\"{}\"", s.replace('"', "\"\""))
             } else {
                 s.to_string()
             }
         };
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
@@ -90,6 +132,61 @@ impl fmt::Display for Table {
     }
 }
 
+/// Render an obs registry snapshot as report tables: one for counters,
+/// one for gauges, one summarizing histograms (count / mean / p50 / p99).
+/// Empty sections are omitted; the `BTreeMap`-backed snapshot keeps the
+/// ordering deterministic.
+pub fn metrics_tables(snap: &obs::Snapshot) -> Vec<Table> {
+    let mut out = Vec::new();
+    if !snap.counters.is_empty() {
+        let mut t = Table::new("metrics: counters", &["counter", "value"]);
+        for (k, v) in &snap.counters {
+            t.row(vec![k.clone(), v.to_string()]);
+        }
+        out.push(t);
+    }
+    if !snap.gauges.is_empty() {
+        let mut t = Table::new("metrics: gauges", &["gauge", "value"]);
+        for (k, v) in &snap.gauges {
+            t.row(vec![k.clone(), v.to_string()]);
+        }
+        out.push(t);
+    }
+    if !snap.histograms.is_empty() {
+        let mut t = Table::new(
+            "metrics: histograms",
+            &["histogram", "count", "mean", "p50", "p99"],
+        );
+        let bound = |b: Option<u64>| b.map_or("inf".to_string(), |v| v.to_string());
+        for (k, h) in &snap.histograms {
+            t.row(vec![
+                k.clone(),
+                h.count.to_string(),
+                format!("{:.1}", h.mean()),
+                bound(h.quantile_bound(0.5)),
+                bound(h.quantile_bound(0.99)),
+            ]);
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// Render the campaign phase profile (golden run / fault setup / faulty
+/// run / classify) as a table. Phases that never ran are omitted.
+pub fn phase_table(phases: &[obs::PhaseSnapshot]) -> Table {
+    let mut t = Table::new("phase profile", &["phase", "calls", "total ms", "mean µs"]);
+    for p in phases.iter().filter(|p| p.calls > 0) {
+        t.row(vec![
+            p.phase.label().to_string(),
+            p.calls.to_string(),
+            format!("{:.1}", p.total_ms()),
+            format!("{:.1}", p.mean_us()),
+        ]);
+    }
+    t
+}
+
 /// Format a fraction as a percentage with two decimals ("12.34").
 pub fn pct(x: f64) -> String {
     format!("{:.2}", x * 100.0)
@@ -115,6 +212,57 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.starts_with("name,value\n"));
         assert!(csv.contains("\"20,5\""), "comma cell quoted: {csv}");
+    }
+
+    #[test]
+    fn csv_escapes_newlines_and_quotes() {
+        let mut t = Table::new("esc", &["a", "b"]);
+        t.row(vec!["line1\nline2".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"line1\nline2\""), "{csv}");
+        assert!(csv.contains("\"say \"\"hi\"\"\""), "{csv}");
+    }
+
+    #[test]
+    fn try_row_rejects_arity_mismatch() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        assert!(t.try_row(vec!["1".into(), "2".into()]).is_ok());
+        let err = t.try_row(vec!["only-one".into()]).unwrap_err();
+        assert_eq!(err.expected, 2);
+        assert_eq!(err.got, 1);
+        assert!(err.to_string().contains("demo"));
+        assert_eq!(t.rows.len(), 1, "bad row not appended");
+    }
+
+    #[test]
+    fn metrics_and_phase_tables_render() {
+        let r = obs::Registry::new();
+        r.counter_add("inj", &[("app", "VA")], 3);
+        r.gauge_set("workers", &[], 8);
+        r.histogram_observe("wall", &[], &[10, 100], 7);
+        let tables = metrics_tables(&r.snapshot());
+        assert_eq!(tables.len(), 3);
+        let text: String = tables.iter().map(|t| t.to_string()).collect();
+        assert!(text.contains("inj{app=VA}"));
+        assert!(text.contains("workers"));
+        assert!(text.contains("wall"));
+        assert!(metrics_tables(&obs::Registry::new().snapshot()).is_empty());
+
+        let phases = vec![
+            obs::PhaseSnapshot {
+                phase: obs::Phase::GoldenRun,
+                calls: 2,
+                total_ns: 4_000_000,
+            },
+            obs::PhaseSnapshot {
+                phase: obs::Phase::FaultyRun,
+                calls: 0,
+                total_ns: 0,
+            },
+        ];
+        let t = phase_table(&phases);
+        assert_eq!(t.rows.len(), 1, "idle phases omitted");
+        assert_eq!(t.rows[0][0], "golden_run");
     }
 
     #[test]

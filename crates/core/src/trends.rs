@@ -80,18 +80,29 @@ mod tests {
     use super::*;
 
     fn item(name: &str, a: f64, b: f64) -> TrendItem {
-        TrendItem { name: name.into(), a, b }
+        TrendItem {
+            name: name.into(),
+            a,
+            b,
+        }
     }
 
     #[test]
     fn counts_pairs_correctly() {
         // a ranks: x < y < z ; b ranks: x < z < y → (y,z) flips.
-        let items = vec![item("x", 1.0, 1.0), item("y", 2.0, 3.0), item("z", 3.0, 2.0)];
+        let items = vec![
+            item("x", 1.0, 1.0),
+            item("y", 2.0, 3.0),
+            item("z", 3.0, 2.0),
+        ];
         let t = compare_pairs(&items);
         assert_eq!(t.total(), 3);
         assert_eq!(t.consistent, 2);
         assert_eq!(t.opposite, 1);
-        assert_eq!(opposite_pairs(&items), vec![("y".to_string(), "z".to_string())]);
+        assert_eq!(
+            opposite_pairs(&items),
+            vec![("y".to_string(), "z".to_string())]
+        );
     }
 
     #[test]
@@ -105,15 +116,22 @@ mod tests {
     #[test]
     fn pair_count_matches_paper_sizes() {
         // 11 applications → 55 pairs; 23 kernels → 253 pairs.
-        let apps: Vec<TrendItem> = (0..11).map(|i| item(&format!("a{i}"), i as f64, 0.0)).collect();
+        let apps: Vec<TrendItem> = (0..11)
+            .map(|i| item(&format!("a{i}"), i as f64, 0.0))
+            .collect();
         assert_eq!(compare_pairs(&apps).total(), 55);
-        let kers: Vec<TrendItem> = (0..23).map(|i| item(&format!("k{i}"), i as f64, 0.0)).collect();
+        let kers: Vec<TrendItem> = (0..23)
+            .map(|i| item(&format!("k{i}"), i as f64, 0.0))
+            .collect();
         assert_eq!(compare_pairs(&kers).total(), 253);
     }
 
     #[test]
     fn percentages() {
-        let t = TrendCount { consistent: 32, opposite: 23 };
+        let t = TrendCount {
+            consistent: 32,
+            opposite: 23,
+        };
         assert!((t.consistent_pct() - 58.18).abs() < 0.01);
         assert!((t.opposite_pct() - 41.81).abs() < 0.01);
         assert_eq!(TrendCount::default().consistent_pct(), 0.0);

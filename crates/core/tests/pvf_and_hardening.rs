@@ -2,7 +2,9 @@
 //! (cheap app, low N — statistical shapes only).
 
 use kernels::apps::va::Va;
-use relia::{evaluate_hardening, run_pvf_campaign, run_sw_campaign, run_uarch_campaign, CampaignCfg};
+use relia::{
+    evaluate_hardening, run_pvf_campaign, run_sw_campaign, run_uarch_campaign, CampaignCfg,
+};
 use vgpu_sim::HwStructure;
 
 fn cfg(n: usize) -> CampaignCfg {
@@ -14,7 +16,9 @@ fn pvf_sits_between_avf_and_svf() {
     let cfg = cfg(80);
     let svf = run_sw_campaign(&Va, &cfg, false).app_svf().total();
     let pvf = run_pvf_campaign(&Va, &cfg, false).app_pvf().total();
-    let avf = run_uarch_campaign(&Va, &cfg, false).app_avf(&cfg.gpu).total();
+    let avf = run_uarch_campaign(&Va, &cfg, false)
+        .app_avf(&cfg.gpu)
+        .total();
     assert!(
         svf > pvf && pvf > avf,
         "expected SVF ({svf:.3}) > PVF ({pvf:.3}) > AVF ({avf:.4})"

@@ -1,0 +1,196 @@
+//! Vendored, dependency-free stand-in for `criterion`.
+//!
+//! The build sandbox has no crates.io access, so the workspace vendors the
+//! subset of the criterion 0.5 API its benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], per-group
+//! `sample_size` / `warm_up_time` / `measurement_time`, `bench_function`
+//! and [`Bencher::iter`]. Instead of criterion's statistical machinery it
+//! reports min / mean / max wall time per iteration — enough to compare
+//! hot paths between commits without external dependencies.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\nbench group: {name}");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            sample_size: 30,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("ad-hoc");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// A named set of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'c> {
+    _c: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let id = id.into();
+        if b.samples.is_empty() {
+            eprintln!("  {}/{id}: no samples", self.name);
+            return self;
+        }
+        let min = b.samples.iter().copied().min().unwrap();
+        let max = b.samples.iter().copied().max().unwrap();
+        let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+        eprintln!(
+            "  {}/{id}: [{} {} {}] ({} samples)",
+            self.name,
+            fmt_dur(min),
+            fmt_dur(mean),
+            fmt_dur(max),
+            b.samples.len()
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Passed to the closure given to `bench_function`.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time the routine: warm up, then collect up to `sample_size` samples
+    /// within the measurement budget.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Batch so that very fast routines still get a measurable sample.
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 10_000) as u64;
+        let run_start = Instant::now();
+        self.samples.clear();
+        while self.samples.len() < self.sample_size && run_start.elapsed() < self.measurement {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / batch as u32);
+        }
+    }
+}
+
+/// Expands to a function running each benchmark in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Expands to `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(5));
+        g.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        g.finish();
+    }
+
+    criterion_group!(benches, demo);
+
+    #[test]
+    fn harness_runs_and_samples() {
+        benches();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(fmt_dur(Duration::from_nanos(10)).contains("ns"));
+        assert!(fmt_dur(Duration::from_micros(10)).contains("µs"));
+        assert!(fmt_dur(Duration::from_millis(10)).contains("ms"));
+        assert!(fmt_dur(Duration::from_secs(10)).contains("s"));
+    }
+}

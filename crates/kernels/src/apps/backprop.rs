@@ -34,13 +34,20 @@ pub fn kernel_layerforward() -> Kernel {
     let s_mat = a.alloc_smem(BLOCK * 4); // 16x16 product matrix
     debug_assert_eq!(s_in, 0);
     let roff = tmr::prologue(&mut a);
-    let (tid, row, col, gin, addr, v, w) =
-        (a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg());
+    let (tid, row, col, gin, addr, v, w) = (
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+    );
     let p = a.pred();
     a.s2r(tid, SpecialReg::TidX);
     a.shr(row, tid, HID.trailing_zeros()); // input row within group
     a.and(col, tid, HID - 1); // hidden unit
-    // gin = ctaid * 16 + row: the global input index this row covers.
+                              // gin = ctaid * 16 + row: the global input index this row covers.
     a.s2r(gin, SpecialReg::CtaIdX);
     a.shl(gin, gin, HID.trailing_zeros());
     a.iadd(gin, gin, Operand::Reg(row));
@@ -101,8 +108,15 @@ pub fn kernel_layerforward() -> Kernel {
 pub fn kernel_adjust() -> Kernel {
     let mut a = KernelBuilder::new("backprop_k2_adjust_weights");
     let roff = tmr::prologue(&mut a);
-    let (gid, tmp, addr, w, ow, inp, dl) =
-        (a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg());
+    let (gid, tmp, addr, w, ow, inp, dl) = (
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+    );
     let p = a.pred();
     gid_guard(&mut a, gid, tmp, p, 4);
     a.if_then(p, false, |a| {
@@ -115,7 +129,7 @@ pub fn kernel_adjust() -> Kernel {
         a.ld(dl, MemSpace::Global, addr, 0); // delta[j]
         elem_addr(a, addr, roff, 1, gid, 2);
         a.ld(ow, MemSpace::Global, addr, 0); // oldw
-        // new_dw = ETA*delta*input + MOMENTUM*oldw
+                                             // new_dw = ETA*delta*input + MOMENTUM*oldw
         a.fmul(dl, dl, Operand::imm_f32(ETA));
         a.fmul(dl, dl, Operand::Reg(inp));
         a.ffma(dl, ow, Operand::imm_f32(MOMENTUM), Operand::Reg(dl));
@@ -154,14 +168,13 @@ impl Benchmark for BackProp {
     fn run(&self, ctl: &mut RunCtl) -> Result<(), AppAbort> {
         let nw = N_IN * HID;
         let bufs = ctl.alloc(&[
-            N_IN * 4,        // input
-            nw * 4,          // weights
+            N_IN * 4,         // input
+            nw * 4,           // weights
             GROUPS * HID * 4, // partial sums
-            nw * 4,          // old deltas
-            HID * 4,         // hidden deltas (host-computed)
+            nw * 4,           // old deltas
+            HID * 4,          // hidden deltas (host-computed)
         ]);
-        let (input, weights, partial, oldw, deltas) =
-            (bufs[0], bufs[1], bufs[2], bufs[3], bufs[4]);
+        let (input, weights, partial, oldw, deltas) = (bufs[0], bufs[1], bufs[2], bufs[3], bufs[4]);
         for i in 0..N_IN {
             ctl.write_f32(input + i * 4, input_unit(i));
         }
@@ -184,7 +197,13 @@ impl Benchmark for BackProp {
             let delta = (0.5 - h) * h * (1.0 - h);
             ctl.write_f32(deltas + j * 4, delta);
         }
-        ctl.launch(1, &k2, nw / BLOCK, BLOCK, vec![weights, oldw, input, deltas, nw])?;
+        ctl.launch(
+            1,
+            &k2,
+            nw / BLOCK,
+            BLOCK,
+            vec![weights, oldw, input, deltas, nw],
+        )?;
         ctl.vote(1, &[(weights, nw), (oldw, nw)])?;
         ctl.set_outputs(&[(weights, nw), (oldw, nw)]);
         Ok(())

@@ -59,8 +59,15 @@ pub fn graph() -> (Vec<u32>, Vec<u32>) {
 pub fn kernel_expand() -> Kernel {
     let mut a = KernelBuilder::new("bfs_k1_expand");
     let roff = tmr::prologue(&mut a);
-    let (gid, tmp, addr, j, end, nb, cost) =
-        (a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg());
+    let (gid, tmp, addr, j, end, nb, cost) = (
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+    );
     let (p, q, r) = (a.pred(), a.pred(), a.pred());
     gid_guard(&mut a, gid, tmp, p, 6);
     a.if_then(p, false, |a| {
@@ -158,8 +165,9 @@ impl Benchmark for Bfs {
             NODES * 4,       // cost
             4,               // over flag
         ]);
-        let (b_starts, b_edges, mask, upd, visited, cost, over) =
-            (bufs[0], bufs[1], bufs[2], bufs[3], bufs[4], bufs[5], bufs[6]);
+        let (b_starts, b_edges, mask, upd, visited, cost, over) = (
+            bufs[0], bufs[1], bufs[2], bufs[3], bufs[4], bufs[5], bufs[6],
+        );
         for (i, &s) in starts.iter().enumerate() {
             ctl.write_u32(b_starts + i as u32 * 4, s);
         }
@@ -177,10 +185,19 @@ impl Benchmark for Bfs {
         let grid = NODES / BLOCK;
         for _ in 0..MAX_LEVELS {
             ctl.write_u32(over, 0);
-            ctl.launch(0, &k1, grid, BLOCK, vec![b_starts, b_edges, mask, upd, visited, cost, NODES])?;
+            ctl.launch(
+                0,
+                &k1,
+                grid,
+                BLOCK,
+                vec![b_starts, b_edges, mask, upd, visited, cost, NODES],
+            )?;
             ctl.vote(0, &[(cost, NODES), (upd, NODES), (mask, NODES)])?;
             ctl.launch(1, &k2, grid, BLOCK, vec![mask, upd, visited, over, NODES])?;
-            ctl.vote(1, &[(mask, NODES), (visited, NODES), (upd, NODES), (over, 1)])?;
+            ctl.vote(
+                1,
+                &[(mask, NODES), (visited, NODES), (upd, NODES), (over, 1)],
+            )?;
             if ctl.read_u32(over) == 0 {
                 break;
             }
@@ -226,7 +243,10 @@ mod tests {
         assert_eq!(e1, e2);
         let cost = cpu_reference();
         let reached = cost.iter().filter(|&&c| c != u32::MAX).count();
-        assert!(reached > NODES as usize / 2, "graph too disconnected: {reached}");
+        assert!(
+            reached > NODES as usize / 2,
+            "graph too disconnected: {reached}"
+        );
     }
 
     #[test]

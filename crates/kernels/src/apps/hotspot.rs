@@ -124,7 +124,7 @@ pub fn kernel() -> Kernel {
     a.ld(v, MemSpace::Shared, idx, 4); // east
     a.fadd(acc, acc, Operand::Reg(v));
     a.ffma(acc, t0, Operand::imm_f32(-4.0), Operand::Reg(acc)); // Σneigh - 4t
-    // new = t + K_DIFF*acc + K_POWER*power[g] + K_AMB*(T_AMB - t)
+                                                                // new = t + K_DIFF*acc + K_POWER*power[g] + K_AMB*(T_AMB - t)
     a.ffma(t1, acc, Operand::imm_f32(K_DIFF), Operand::Reg(t0));
     a.shl(idx, gr, W.trailing_zeros());
     a.iadd(idx, idx, Operand::Reg(gc));

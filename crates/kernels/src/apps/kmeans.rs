@@ -137,7 +137,13 @@ impl Benchmark for KMeans {
         ctl.launch(0, &k1, grid, BLOCK, vec![flipped, features, NPOINTS])?;
         ctl.vote(0, &[(features, nf)])?;
         for _ in 0..ITERS {
-            ctl.launch(1, &k2, grid, BLOCK, vec![features, clusters, membership, NPOINTS])?;
+            ctl.launch(
+                1,
+                &k2,
+                grid,
+                BLOCK,
+                vec![features, clusters, membership, NPOINTS],
+            )?;
             ctl.vote(1, &[(membership, NPOINTS)])?;
             // Host: recompute centroids (guarded against corrupted indices).
             let mut sums = vec![0.0f32; (NCLUST * NFEAT) as usize];
@@ -146,8 +152,7 @@ impl Benchmark for KMeans {
                 let m = ctl.read_u32(membership + pnt * 4) % NCLUST;
                 counts[m as usize] += 1;
                 for f in 0..NFEAT {
-                    sums[(m * NFEAT + f) as usize] +=
-                        ctl.read_f32(flipped + (pnt * NFEAT + f) * 4);
+                    sums[(m * NFEAT + f) as usize] += ctl.read_f32(flipped + (pnt * NFEAT + f) * 4);
                 }
             }
             for c in 0..NCLUST {
@@ -234,7 +239,10 @@ mod tests {
         let f = golden_run(&KMeans, &GpuConfig::default(), Variant::FUNCTIONAL);
         let t = golden_run(&KMeans, &GpuConfig::default(), Variant::TIMED);
         assert_eq!(f.output, t.output);
-        assert!(t.app_stats().l1t.accesses > 0, "K2 reads features via texture");
+        assert!(
+            t.app_stats().l1t.accesses > 0,
+            "K2 reads features via texture"
+        );
     }
 
     #[test]

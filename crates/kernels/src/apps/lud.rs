@@ -122,8 +122,16 @@ pub fn kernel_perimeter() -> Kernel {
     let s_col = a.alloc_smem(B * B * 4);
     debug_assert_eq!(s_dia, 0);
     let roff = tmr::prologue(&mut a);
-    let (tx, idx2, addr, v, t0, t1, idx, gcol) =
-        (a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg());
+    let (tx, idx2, addr, v, t0, t1, idx, gcol) = (
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+    );
     let p = a.pred();
     a.s2r(tx, SpecialReg::TidX);
     // Cooperatively load the diagonal block: 8 entries per thread.
@@ -281,8 +289,17 @@ pub fn kernel_internal() -> Kernel {
     let s_b = a.alloc_smem(B * B * 4); // L strip left of the target tile
     debug_assert_eq!(s_a, 0);
     let roff = tmr::prologue(&mut a);
-    let (tid, tx, ty, bx, by, addr, v, t0, acc) =
-        (a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg());
+    let (tid, tx, ty, bx, by, addr, v, t0, acc) = (
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+    );
     let p = a.pred();
     a.s2r(tid, SpecialReg::TidX);
     a.and(tx, tid, B - 1);
@@ -397,7 +414,9 @@ impl Benchmark for Lud {
 pub fn cpu_reference() -> Vec<f32> {
     let n = N as usize;
     let b = B as usize;
-    let mut m: Vec<f32> = (0..N).flat_map(|i| (0..N).map(move |j| input(i, j))).collect();
+    let mut m: Vec<f32> = (0..N)
+        .flat_map(|i| (0..N).map(move |j| input(i, j)))
+        .collect();
     for k in 0..NB as usize {
         let kb = k * b;
         // Diagonal.
@@ -522,7 +541,12 @@ mod tests {
         let t = golden_run(&Lud, &GpuConfig::default(), Variant::TIMED);
         assert_eq!(f.output, t.output);
         // K1 x4, K2 x3, K3 x3 launches.
-        let count = |i| t.records.iter().filter(|r| r.kernel_idx == i && !r.is_vote).count();
+        let count = |i| {
+            t.records
+                .iter()
+                .filter(|r| r.kernel_idx == i && !r.is_vote)
+                .count()
+        };
         assert_eq!((count(0), count(1), count(2)), (4, 3, 3));
     }
 

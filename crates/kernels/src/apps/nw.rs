@@ -271,8 +271,16 @@ mod tests {
         let t = golden_run(&Nw, &GpuConfig::default(), Variant::TIMED);
         assert_eq!(f.output, t.output);
         // K1 runs NB diagonals, K2 NB-1.
-        let k1 = t.records.iter().filter(|r| r.kernel_idx == 0 && !r.is_vote).count();
-        let k2 = t.records.iter().filter(|r| r.kernel_idx == 1 && !r.is_vote).count();
+        let k1 = t
+            .records
+            .iter()
+            .filter(|r| r.kernel_idx == 0 && !r.is_vote)
+            .count();
+        let k2 = t
+            .records
+            .iter()
+            .filter(|r| r.kernel_idx == 1 && !r.is_vote)
+            .count();
         assert_eq!((k1, k2), (NB as usize, NB as usize - 1));
     }
 

@@ -31,8 +31,15 @@ pub fn kernel() -> Kernel {
     let s_prev = a.alloc_smem(BLOCK * 4);
     let s_next = a.alloc_smem(BLOCK * 4);
     let roff = tmr::prologue(&mut a);
-    let (tx, xidx, addr, v, l, r, u) =
-        (a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg());
+    let (tx, xidx, addr, v, l, r, u) = (
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+    );
     let (p_in, p, q) = (a.pred(), a.pred(), a.pred());
     a.s2r(tx, SpecialReg::TidX);
     // xidx = ctaid*STRIDE + tx - PYRAMID (may be out of range at edges).

@@ -24,8 +24,15 @@ pub fn kernel() -> Kernel {
     let smem = a.alloc_smem(BLOCK * 4);
     debug_assert_eq!(smem, 0);
     let roff = tmr::prologue(&mut a);
-    let (tid, acc, i, idx, pa, va, vb) =
-        (a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg());
+    let (tid, acc, i, idx, pa, va, vb) = (
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+    );
     let p = a.pred();
     a.s2r(tid, SpecialReg::TidX);
     a.mov(acc, 0.0f32);

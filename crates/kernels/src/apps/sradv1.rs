@@ -372,8 +372,9 @@ pub fn cpu_reference() -> Vec<f32> {
         for b in 0..RBLOCKS as usize {
             let base = b * BLOCK as usize;
             let mut t1: Vec<f32> = (0..BLOCK as usize).map(|t| img[base + t]).collect();
-            let mut t2: Vec<f32> =
-                (0..BLOCK as usize).map(|t| img[base + t] * img[base + t]).collect();
+            let mut t2: Vec<f32> = (0..BLOCK as usize)
+                .map(|t| img[base + t] * img[base + t])
+                .collect();
             let mut s = BLOCK as usize / 2;
             while s >= 1 {
                 for t in 0..s {
@@ -398,8 +399,7 @@ pub fn cpu_reference() -> Vec<f32> {
             let (r, c) = (g / w, g % w);
             let jc = img[g];
             let nb = |rr: i32, ccc: i32| {
-                img[(rr.clamp(0, w as i32 - 1) as usize) * w
-                    + ccc.clamp(0, w as i32 - 1) as usize]
+                img[(rr.clamp(0, w as i32 - 1) as usize) * w + ccc.clamp(0, w as i32 - 1) as usize]
             };
             let d_n = jc.mul_add(-1.0, nb(r as i32 - 1, c as i32));
             let d_s = jc.mul_add(-1.0, nb(r as i32 + 1, c as i32));

@@ -112,8 +112,16 @@ pub fn kernel1() -> Kernel {
     let roff = tmr::prologue(&mut a);
     let (tid, r, c, gr, gc) = (a.reg(), a.reg(), a.reg(), a.reg(), a.reg());
     let (tmp, addr, jc, g2, l) = (a.reg(), a.reg(), a.reg(), a.reg(), a.reg());
-    let (dn, ds, dw, de, num, den, q, gidx) =
-        (a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg());
+    let (dn, ds, dw, de, num, den, q, gidx) = (
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+        a.reg(),
+    );
     coords(&mut a, tid, r, c, gr, gc);
     // Stage the tile: smem[tid] = I[gr*W + gc].
     a.shl(gidx, gr, W.trailing_zeros());
@@ -254,7 +262,13 @@ impl Benchmark for SradV2 {
             let mean = total / NE as f32;
             let var = total2 / NE as f32 - mean * mean;
             let q0sqr = var / (mean * mean);
-            ctl.launch(0, &k1, grid, BLOCK, vec![img, dn, ds, dw, de, c, q0sqr.to_bits()])?;
+            ctl.launch(
+                0,
+                &k1,
+                grid,
+                BLOCK,
+                vec![img, dn, ds, dw, de, c, q0sqr.to_bits()],
+            )?;
             ctl.vote(0, &[(dn, NE), (ds, NE), (dw, NE), (de, NE), (c, NE)])?;
             ctl.launch(1, &k2, grid, BLOCK, vec![img, dn, ds, dw, de, c])?;
             ctl.vote(1, &[(img, NE)])?;
@@ -288,8 +302,7 @@ pub fn cpu_reference() -> Vec<f32> {
             let (r, c) = (g / w, g % w);
             let jc = img[g];
             let nb = |rr: i32, ccc: i32| {
-                img[(rr.clamp(0, w as i32 - 1) as usize) * w
-                    + ccc.clamp(0, w as i32 - 1) as usize]
+                img[(rr.clamp(0, w as i32 - 1) as usize) * w + ccc.clamp(0, w as i32 - 1) as usize]
             };
             let d_n = jc.mul_add(-1.0, nb(r as i32 - 1, c as i32));
             let d_s = jc.mul_add(-1.0, nb(r as i32 + 1, c as i32));

@@ -175,7 +175,10 @@ impl RunCtl {
     /// whole set is triplicated at a uniform stride and a vote-flag word is
     /// appended.
     pub fn alloc(&mut self, sizes: &[u32]) -> Vec<u32> {
-        assert!(self.gpu.is_none(), "alloc must be called exactly once, first");
+        assert!(
+            self.gpu.is_none(),
+            "alloc must be called exactly once, first"
+        );
         let mut planner = ArenaPlanner::new();
         let addrs: Vec<u32> = sizes.iter().map(|&s| planner.alloc(s)).collect();
         if self.hardened {
@@ -200,11 +203,15 @@ impl RunCtl {
     }
 
     fn gpu(&self) -> &Gpu {
-        self.gpu.as_ref().expect("alloc() must run before device access")
+        self.gpu
+            .as_ref()
+            .expect("alloc() must run before device access")
     }
 
     fn gpu_mut(&mut self) -> &mut Gpu {
-        self.gpu.as_mut().expect("alloc() must run before device access")
+        self.gpu
+            .as_mut()
+            .expect("alloc() must run before device access")
     }
 
     /// True when running the TMR-hardened variant.
@@ -331,14 +338,24 @@ impl RunCtl {
                 });
                 Ok(())
             }
-            CtlMode::Faulty { target_launch, fault, budgets, app_budget, applied } => {
-                let mut budget = budgets
-                    .get(ordinal)
-                    .copied()
-                    .unwrap_or(Budget { cycles: 1 << 22, instrs: 1 << 26 });
+            CtlMode::Faulty {
+                target_launch,
+                fault,
+                budgets,
+                app_budget,
+                applied,
+            } => {
+                let mut budget = budgets.get(ordinal).copied().unwrap_or(Budget {
+                    cycles: 1 << 22,
+                    instrs: 1 << 26,
+                });
                 // Whole-app backstop: never exceed the remaining budget.
-                budget.cycles = budget.cycles.min(app_budget.cycles.saturating_sub(self.total_cost));
-                budget.instrs = budget.instrs.min(app_budget.instrs.saturating_sub(self.total_cost));
+                budget.cycles = budget
+                    .cycles
+                    .min(app_budget.cycles.saturating_sub(self.total_cost));
+                budget.instrs = budget
+                    .instrs
+                    .min(app_budget.instrs.saturating_sub(self.total_cost));
                 if budget.cycles == 0 || budget.instrs == 0 {
                     return Err(AppAbort::Launch(LaunchAbort::Timeout));
                 }
@@ -405,10 +422,22 @@ pub struct Variant {
 }
 
 impl Variant {
-    pub const TIMED: Variant = Variant { mode: Mode::Timed, hardened: false };
-    pub const FUNCTIONAL: Variant = Variant { mode: Mode::Functional, hardened: false };
-    pub const TIMED_TMR: Variant = Variant { mode: Mode::Timed, hardened: true };
-    pub const FUNCTIONAL_TMR: Variant = Variant { mode: Mode::Functional, hardened: true };
+    pub const TIMED: Variant = Variant {
+        mode: Mode::Timed,
+        hardened: false,
+    };
+    pub const FUNCTIONAL: Variant = Variant {
+        mode: Mode::Functional,
+        hardened: false,
+    };
+    pub const TIMED_TMR: Variant = Variant {
+        mode: Mode::Timed,
+        hardened: true,
+    };
+    pub const FUNCTIONAL_TMR: Variant = Variant {
+        mode: Mode::Functional,
+        hardened: true,
+    };
 }
 
 /// Run `bench` fault-free, recording per-launch statistics and the output.
@@ -421,7 +450,11 @@ pub fn golden_run(bench: &dyn Benchmark, cfg: &GpuConfig, variant: Variant) -> G
     bench
         .run(&mut ctl)
         .unwrap_or_else(|e| panic!("golden run of {} aborted: {e:?}", bench.name()));
-    assert!(!ctl.outputs.is_empty(), "{} registered no outputs", bench.name());
+    assert!(
+        !ctl.outputs.is_empty(),
+        "{} registered no outputs",
+        bench.name()
+    );
     GoldenRun {
         output: ctl.snapshot_outputs(),
         records: ctl.records,
@@ -461,7 +494,13 @@ pub fn faulty_run(
         cfg.clone(),
         variant.mode,
         variant.hardened,
-        CtlMode::Faulty { target_launch, fault, budgets, app_budget, applied: false },
+        CtlMode::Faulty {
+            target_launch,
+            fault,
+            budgets,
+            app_budget,
+            applied: false,
+        },
     );
     let run = bench.run(&mut ctl);
     let applied = match &ctl.ctl {
@@ -471,10 +510,22 @@ pub fn faulty_run(
     match run {
         Ok(()) => {
             let out = ctl.snapshot_outputs();
-            let corrupted_words =
-                out.iter().zip(&golden.output).filter(|(a, b)| a != b).count() as u32;
-            let outcome = if corrupted_words == 0 { Outcome::Masked } else { Outcome::Sdc };
-            RunResult { outcome, total_cost: ctl.total_cost, applied, corrupted_words }
+            let corrupted_words = out
+                .iter()
+                .zip(&golden.output)
+                .filter(|(a, b)| a != b)
+                .count() as u32;
+            let outcome = if corrupted_words == 0 {
+                Outcome::Masked
+            } else {
+                Outcome::Sdc
+            };
+            RunResult {
+                outcome,
+                total_cost: ctl.total_cost,
+                applied,
+                corrupted_words,
+            }
         }
         Err(AppAbort::Launch(LaunchAbort::Timeout)) => RunResult {
             outcome: Outcome::Timeout,
@@ -507,7 +558,11 @@ mod tests {
         let mk = |kernel_idx, cycles, instrs| LaunchRecord {
             kernel_idx,
             is_vote: false,
-            stats: Stats { cycles, thread_instrs: instrs, ..Default::default() },
+            stats: Stats {
+                cycles,
+                thread_instrs: instrs,
+                ..Default::default()
+            },
             threads: 64,
             ctas: 2,
             num_regs: 8,

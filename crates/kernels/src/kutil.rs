@@ -31,7 +31,9 @@ pub fn hash_f32(seed: u64, i: u64) -> f32 {
 
 /// Deterministic pseudo-random `u32` in `[0, bound)`.
 pub fn hash_u32(seed: u64, i: u64, bound: u32) -> u32 {
-    let mut x = seed.wrapping_mul(0xc2b2_ae3d_27d4_eb4f).wrapping_add(i.wrapping_mul(0x165667b19e3779f9));
+    let mut x = seed
+        .wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
+        .wrapping_add(i.wrapping_mul(0x165667b19e3779f9));
     x ^= x >> 29;
     x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x ^= x >> 32;

@@ -66,8 +66,17 @@ mod tests {
         assert_eq!(total_kernels(), 23, "23 kernels");
         let names: Vec<_> = benches.iter().map(|b| b.name()).collect();
         for expect in [
-            "SRADv1", "SRADv2", "K-Means", "HotSpot", "LUD", "SCP", "VA", "NW", "PathFinder",
-            "BackProp", "BFS",
+            "SRADv1",
+            "SRADv2",
+            "K-Means",
+            "HotSpot",
+            "LUD",
+            "SCP",
+            "VA",
+            "NW",
+            "PathFinder",
+            "BackProp",
+            "BFS",
         ] {
             assert!(names.contains(&expect), "missing {expect}");
         }

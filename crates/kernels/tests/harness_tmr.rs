@@ -120,7 +120,10 @@ fn planted_sw_fault_in_output_value_is_an_sdc() {
     // VA: the FADD destination is the output value; a high bit flip in a
     // mid-stream FADD must surface as SDC.
     let cfg = GpuConfig::default();
-    let variant = Variant { mode: Mode::Functional, hardened: false };
+    let variant = Variant {
+        mode: Mode::Functional,
+        hardened: false,
+    };
     let golden = golden_run(&Va, &cfg, variant);
     let mut sdcs = 0;
     let elig = golden.records[0].stats.gp_dest_instrs;
@@ -137,7 +140,9 @@ fn planted_sw_fault_in_output_value_is_an_sdc() {
             PlannedFault::Sw(SwFault {
                 kind: SwFaultKind::DestValue,
                 target: elig * t / 40 + t,
-                bit: 30, loc_pick: 0 }),
+                bit: 30,
+                loc_pick: 0,
+            }),
         );
         assert!(res.applied);
         if res.outcome == Outcome::Sdc {
@@ -150,7 +155,10 @@ fn planted_sw_fault_in_output_value_is_an_sdc() {
 #[test]
 fn fault_beyond_stream_is_masked_and_not_applied() {
     let cfg = GpuConfig::default();
-    let variant = Variant { mode: Mode::Functional, hardened: false };
+    let variant = Variant {
+        mode: Mode::Functional,
+        hardened: false,
+    };
     let golden = golden_run(&Va, &cfg, variant);
     let res = faulty_run(
         &Va,
@@ -158,7 +166,12 @@ fn fault_beyond_stream_is_masked_and_not_applied() {
         variant,
         &golden,
         0,
-        PlannedFault::Sw(SwFault { kind: SwFaultKind::DestValue, target: u64::MAX / 2, bit: 0, loc_pick: 0 }),
+        PlannedFault::Sw(SwFault {
+            kind: SwFaultKind::DestValue,
+            target: u64::MAX / 2,
+            bit: 0,
+            loc_pick: 0,
+        }),
     );
     assert_eq!(res.outcome, Outcome::Masked);
     assert!(!res.applied, "target past the eligible stream never fires");
@@ -167,7 +180,10 @@ fn fault_beyond_stream_is_masked_and_not_applied() {
 #[test]
 fn uarch_fault_after_kernel_end_is_masked() {
     let cfg = GpuConfig::default();
-    let variant = Variant { mode: Mode::Timed, hardened: false };
+    let variant = Variant {
+        mode: Mode::Timed,
+        hardened: false,
+    };
     let golden = golden_run(&Va, &cfg, variant);
     let res = faulty_run(
         &Va,

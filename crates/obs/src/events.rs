@@ -1,0 +1,368 @@
+//! Structured JSONL event sink: one line per injection.
+//!
+//! The serializer is hand-rolled (no serde in the sandbox) and the format
+//! is one flat JSON object per line, so downstream analysis — SDC-pattern
+//! studies in the style of Tung et al., two-level SDC estimation à la
+//! Hari et al. — can regenerate per-injection telemetry with any JSON
+//! reader. [`parse_line`] provides a minimal reader for tests and
+//! in-repo tooling.
+//!
+//! The sink is process-global and off by default; while off, [`emit`] is
+//! a single relaxed atomic load. Event emission never perturbs campaign
+//! RNG streams, so results are identical with the sink on or off.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+static EVENTS_ON: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+
+/// One fault-injection trial, as recorded in the event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectionEvent<'a> {
+    /// Per-trial derived seed (reproduces the trial exactly).
+    pub seed: u64,
+    pub app: &'a str,
+    pub kernel: &'a str,
+    /// Abstraction layer: `"uarch"` (AVF side) or `"sw"` (SVF side).
+    pub layer: &'a str,
+    /// Hardware structure label (uarch) or fault-kind label (sw).
+    pub target: &'a str,
+    /// Trial ordinal within its (kernel, target) sub-campaign.
+    pub trial: u64,
+    /// Flipped bit position.
+    pub bit: u8,
+    /// Injection cycle (uarch) or eligible-instruction index (sw).
+    pub cycle: u64,
+    /// Outcome class label: `masked` / `sdc` / `timeout` / `due`.
+    pub outcome: &'a str,
+    /// Wall-clock time of the whole trial, microseconds.
+    pub wall_us: u64,
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl InjectionEvent<'_> {
+    /// Serialize as a single JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(160);
+        s.push('{');
+        let num = |s: &mut String, k: &str, v: u64, first: bool| {
+            if !first {
+                s.push(',');
+            }
+            push_json_str(s, k);
+            s.push(':');
+            s.push_str(&v.to_string());
+        };
+        let st = |s: &mut String, k: &str, v: &str| {
+            s.push(',');
+            push_json_str(s, k);
+            s.push(':');
+            push_json_str(s, v);
+        };
+        num(&mut s, "seed", self.seed, true);
+        st(&mut s, "app", self.app);
+        st(&mut s, "kernel", self.kernel);
+        st(&mut s, "layer", self.layer);
+        st(&mut s, "target", self.target);
+        num(&mut s, "trial", self.trial, false);
+        num(&mut s, "bit", self.bit as u64, false);
+        num(&mut s, "cycle", self.cycle, false);
+        st(&mut s, "outcome", self.outcome);
+        num(&mut s, "wall_us", self.wall_us, false);
+        s.push('}');
+        s
+    }
+}
+
+/// Open (truncate) `path` and start recording events.
+pub fn init_events(path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let f = File::create(path)?;
+    *SINK.lock().unwrap() = Some(BufWriter::new(f));
+    EVENTS_ON.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Whether a sink is installed and recording.
+pub fn events_enabled() -> bool {
+    EVENTS_ON.load(Ordering::Relaxed)
+}
+
+/// Record one event; no-op while no sink is installed.
+pub fn emit(ev: &InjectionEvent) {
+    if !events_enabled() {
+        return;
+    }
+    let line = ev.to_json();
+    let mut guard = SINK.lock().unwrap();
+    if let Some(w) = guard.as_mut() {
+        // A full disk mid-campaign should not abort the science run;
+        // drop the line (the final flush reports failure via Result).
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.write_all(b"\n");
+    }
+}
+
+/// Flush buffered events to disk.
+pub fn flush_events() -> std::io::Result<()> {
+    if let Some(w) = SINK.lock().unwrap().as_mut() {
+        w.flush()?;
+    }
+    Ok(())
+}
+
+/// Flush, close, and disable the sink.
+pub fn shutdown_events() {
+    EVENTS_ON.store(false, Ordering::Relaxed);
+    if let Some(mut w) = SINK.lock().unwrap().take() {
+        let _ = w.flush();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader (flat objects of strings/numbers), for round-trip
+// tests and in-repo analysis of event logs.
+// ---------------------------------------------------------------------
+
+/// A parsed JSON scalar. Numbers keep their raw text so 64-bit integers
+/// (seeds!) survive without `f64` precision loss.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Str(String),
+    Num(String),
+    Bool(bool),
+    Null,
+}
+
+impl JsonValue {
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSONL line: a flat object of string / number / bool / null
+/// values. Returns the fields in source order. `None` on malformed input
+/// or nested structures.
+pub fn parse_line(line: &str) -> Option<Vec<(String, JsonValue)>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut out = Vec::new();
+    if chars.next()? != '{' {
+        return None;
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                break;
+            }
+            ',' => {
+                chars.next();
+                continue;
+            }
+            _ => {}
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let val = match chars.peek()? {
+            '"' => JsonValue::Str(parse_string(&mut chars)?),
+            't' | 'f' | 'n' => {
+                let mut word = String::new();
+                while chars.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+                    word.push(chars.next().unwrap());
+                }
+                match word.as_str() {
+                    "true" => JsonValue::Bool(true),
+                    "false" => JsonValue::Bool(false),
+                    "null" => JsonValue::Null,
+                    _ => return None,
+                }
+            }
+            _ => {
+                let mut num = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || "+-.eE".contains(c) {
+                        num.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                // Validate syntax eagerly; keep the raw text.
+                num.parse::<f64>().ok()?;
+                JsonValue::Num(num)
+            }
+        };
+        out.push((key, val));
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return None; // trailing garbage
+    }
+    Some(out)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars>) {
+    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut s = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(s),
+            '\\' => match chars.next()? {
+                '"' => s.push('"'),
+                '\\' => s.push('\\'),
+                '/' => s.push('/'),
+                'n' => s.push('\n'),
+                'r' => s.push('\r'),
+                't' => s.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    s.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => s.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event() -> InjectionEvent<'static> {
+        InjectionEvent {
+            seed: 0xDEAD_BEEF_1234_5678,
+            app: "HotSpot",
+            kernel: "K1",
+            layer: "uarch",
+            target: "L1D",
+            trial: 42,
+            bit: 17,
+            cycle: 123_456,
+            outcome: "sdc",
+            wall_us: 950,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let line = event().to_json();
+        let fields = parse_line(&line).expect("parses");
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(get("seed").unwrap().as_u64(), Some(0xDEAD_BEEF_1234_5678));
+        assert_eq!(get("app").unwrap().as_str(), Some("HotSpot"));
+        assert_eq!(get("kernel").unwrap().as_str(), Some("K1"));
+        assert_eq!(get("layer").unwrap().as_str(), Some("uarch"));
+        assert_eq!(get("target").unwrap().as_str(), Some("L1D"));
+        assert_eq!(get("trial").unwrap().as_u64(), Some(42));
+        assert_eq!(get("bit").unwrap().as_u64(), Some(17));
+        assert_eq!(get("cycle").unwrap().as_u64(), Some(123_456));
+        assert_eq!(get("outcome").unwrap().as_str(), Some("sdc"));
+        assert_eq!(get("wall_us").unwrap().as_u64(), Some(950));
+        assert_eq!(fields.len(), 10);
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\te\u{1}");
+        let parsed = parse_string(&mut s.chars().peekable()).unwrap();
+        assert_eq!(parsed, "a\"b\\c\nd\te\u{1}");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_line("").is_none());
+        assert!(parse_line("{\"a\":}").is_none());
+        assert!(parse_line("{\"a\":1} trailing").is_none());
+        assert!(parse_line("[1,2]").is_none());
+        assert!(parse_line("{\"a\":1,\"b\":\"x\", \"c\":true,\"d\":null}").is_some());
+    }
+
+    #[test]
+    fn sink_lifecycle_writes_lines() {
+        let _guard = crate::testutil::lock();
+        let dir = std::env::temp_dir().join("obs_events_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("events.jsonl");
+
+        // Disabled: emit is a no-op, file never created.
+        shutdown_events();
+        emit(&event());
+        assert!(!path.exists());
+
+        init_events(&path).unwrap();
+        assert!(events_enabled());
+        emit(&event());
+        emit(&event());
+        shutdown_events();
+        assert!(!events_enabled());
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in lines {
+            assert!(parse_line(l).is_some(), "unparseable: {l}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,69 @@
+//! # obs — observability for fault-injection campaigns
+//!
+//! A dependency-free metrics / events / profiling layer for the
+//! statistical campaigns this repo runs (tens of thousands of independent
+//! injections, fanned out over worker threads). Everything is built on
+//! `std` atomics and mutexes; there is no crates.io dependency by design
+//! (the build sandbox has no registry access).
+//!
+//! Four pieces, all behind a single process-global switch so disabled
+//! campaigns pay one relaxed atomic load per call site:
+//!
+//! * [`registry`] — a thread-safe metrics registry: monotonic counters,
+//!   gauges, and fixed-bucket histograms, keyed by metric name plus
+//!   `key=value` labels (e.g. `app`/`kernel`/`structure`).
+//! * [`span`] — phase timers. Campaign trials pass through the phases
+//!   golden run → fault setup → faulty run → classification; totals are
+//!   aggregated across rayon workers with atomics.
+//! * [`events`] — a structured JSONL sink writing one line per injection
+//!   (seed, app, kernel, target, bit, cycle, outcome, wall time). The
+//!   serializer is hand-rolled; [`events::parse_line`] parses lines back
+//!   for tests and post-hoc analysis.
+//! * [`progress`] — a throttled stderr progress reporter with running
+//!   outcome-class rates.
+//!
+//! Enabling any of this never changes campaign *results*: nothing here
+//! touches the seeded RNG streams, so runs are bit-identical with
+//! observability on or off (guarded by a test in `crates/core`).
+
+pub mod events;
+pub mod progress;
+pub mod registry;
+pub mod span;
+
+pub use events::{emit, events_enabled, flush_events, init_events, InjectionEvent};
+pub use progress::OutcomeClass;
+pub use registry::{
+    counter_add, enabled, gauge_set, global, histogram_observe, set_enabled, Histogram,
+    HistogramSnapshot, Registry, Snapshot,
+};
+pub use span::{phase_snapshot, time_phase, Phase, PhaseSnapshot};
+
+/// Bucket upper bounds (µs) for injection wall-time histograms:
+/// sub-millisecond through multi-second, roughly ×2.5 per step.
+pub const WALL_US_BUCKETS: [u64; 12] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+];
+
+/// Reset every global sub-system — intended for tests that need a clean
+/// slate within one process.
+pub fn reset_for_test() {
+    registry::set_enabled(false);
+    registry::global().clear();
+    span::reset();
+    progress::reset();
+    events::shutdown_events();
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::{Mutex, MutexGuard};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    /// Unit tests that touch the global switches/sinks grab this so they
+    /// don't interleave under the parallel test runner.
+    pub fn lock() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

@@ -71,7 +71,10 @@ impl KernelBuilder {
 
     /// Allocate the next free predicate register (max 4).
     pub fn pred(&mut self) -> Pred {
-        assert!(self.next_pred < crate::NUM_PREDS, "predicate allocator exhausted");
+        assert!(
+            self.next_pred < crate::NUM_PREDS,
+            "predicate allocator exhausted"
+        );
         let p = Pred(self.next_pred);
         self.next_pred += 1;
         p
@@ -97,7 +100,10 @@ impl KernelBuilder {
 
     /// Emit a raw (optionally ambient-guarded) op.
     pub fn emit(&mut self, op: Op) {
-        self.instrs.push(Instr { op, guard: self.ambient });
+        self.instrs.push(Instr {
+            op,
+            guard: self.ambient,
+        });
     }
 
     /// Emit `op` under an explicit guard, ignoring the ambient guard.
@@ -133,17 +139,39 @@ impl KernelBuilder {
         self.emit(Op::IMul { d, a, b: b.into() });
     }
     pub fn imad(&mut self, d: Reg, a: Reg, b: impl Into<Operand>, c: impl Into<Operand>) {
-        self.emit(Op::IMad { d, a, b: b.into(), c: c.into() });
+        self.emit(Op::IMad {
+            d,
+            a,
+            b: b.into(),
+            c: c.into(),
+        });
     }
     /// `d = (a << shift) + b` — the scaled-index addressing idiom.
     pub fn iscadd(&mut self, d: Reg, a: Reg, b: impl Into<Operand>, shift: u8) {
-        self.emit(Op::IScAdd { d, a, b: b.into(), shift });
+        self.emit(Op::IScAdd {
+            d,
+            a,
+            b: b.into(),
+            shift,
+        });
     }
     pub fn imin(&mut self, d: Reg, a: Reg, b: impl Into<Operand>, signed: bool) {
-        self.emit(Op::IMnMx { d, a, b: b.into(), max: false, signed });
+        self.emit(Op::IMnMx {
+            d,
+            a,
+            b: b.into(),
+            max: false,
+            signed,
+        });
     }
     pub fn imax(&mut self, d: Reg, a: Reg, b: impl Into<Operand>, signed: bool) {
-        self.emit(Op::IMnMx { d, a, b: b.into(), max: true, signed });
+        self.emit(Op::IMnMx {
+            d,
+            a,
+            b: b.into(),
+            max: true,
+            signed,
+        });
     }
     pub fn shl(&mut self, d: Reg, a: Reg, b: impl Into<Operand>) {
         self.emit(Op::Shl { d, a, b: b.into() });
@@ -170,13 +198,28 @@ impl KernelBuilder {
         self.emit(Op::FMul { d, a, b: b.into() });
     }
     pub fn ffma(&mut self, d: Reg, a: Reg, b: impl Into<Operand>, c: impl Into<Operand>) {
-        self.emit(Op::FFma { d, a, b: b.into(), c: c.into() });
+        self.emit(Op::FFma {
+            d,
+            a,
+            b: b.into(),
+            c: c.into(),
+        });
     }
     pub fn fmin(&mut self, d: Reg, a: Reg, b: impl Into<Operand>) {
-        self.emit(Op::FMnMx { d, a, b: b.into(), max: false });
+        self.emit(Op::FMnMx {
+            d,
+            a,
+            b: b.into(),
+            max: false,
+        });
     }
     pub fn fmax(&mut self, d: Reg, a: Reg, b: impl Into<Operand>) {
-        self.emit(Op::FMnMx { d, a, b: b.into(), max: true });
+        self.emit(Op::FMnMx {
+            d,
+            a,
+            b: b.into(),
+            max: true,
+        });
     }
     pub fn frcp(&mut self, d: Reg, a: Reg) {
         self.emit(Op::FRcp { d, a });
@@ -200,16 +243,40 @@ impl KernelBuilder {
         self.emit(Op::F2I { d, a });
     }
     pub fn isetp(&mut self, p: Pred, a: Reg, b: impl Into<Operand>, cmp: CmpOp, signed: bool) {
-        self.emit(Op::ISetP { p, a, b: b.into(), cmp, signed });
+        self.emit(Op::ISetP {
+            p,
+            a,
+            b: b.into(),
+            cmp,
+            signed,
+        });
     }
     pub fn fsetp(&mut self, p: Pred, a: Reg, b: impl Into<Operand>, cmp: CmpOp) {
-        self.emit(Op::FSetP { p, a, b: b.into(), cmp });
+        self.emit(Op::FSetP {
+            p,
+            a,
+            b: b.into(),
+            cmp,
+        });
     }
     pub fn psetp(&mut self, p: Pred, a: Pred, b: Pred, op: BoolOp, na: bool, nb: bool) {
-        self.emit(Op::PSetP { p, a, b, op, na, nb });
+        self.emit(Op::PSetP {
+            p,
+            a,
+            b,
+            op,
+            na,
+            nb,
+        });
     }
     pub fn sel(&mut self, d: Reg, a: Reg, b: impl Into<Operand>, p: Pred, neg: bool) {
-        self.emit(Op::Sel { d, a, b: b.into(), p, neg });
+        self.emit(Op::Sel {
+            d,
+            a,
+            b: b.into(),
+            p,
+            neg,
+        });
     }
     pub fn ld(&mut self, d: Reg, space: MemSpace, a: Reg, off: i32) {
         self.emit(Op::Ld { d, space, a, off });
@@ -242,7 +309,14 @@ impl KernelBuilder {
     pub fn if_then(&mut self, pred: Pred, negate: bool, body: impl FnOnce(&mut Self)) {
         // Lanes failing the condition jump to the end; reconvergence there.
         let bra_pc = self.instrs.len();
-        self.emit_guarded(Op::Bra { target: 0, reconv: 0 }, pred, !negate);
+        self.emit_guarded(
+            Op::Bra {
+                target: 0,
+                reconv: 0,
+            },
+            pred,
+            !negate,
+        );
         body(self);
         let end = self.here();
         if let Op::Bra { target, reconv } = &mut self.instrs[bra_pc].op {
@@ -261,10 +335,20 @@ impl KernelBuilder {
         else_body: impl FnOnce(&mut Self),
     ) {
         let bra_to_else = self.instrs.len();
-        self.emit_guarded(Op::Bra { target: 0, reconv: 0 }, pred, !negate);
+        self.emit_guarded(
+            Op::Bra {
+                target: 0,
+                reconv: 0,
+            },
+            pred,
+            !negate,
+        );
         then_body(self);
         let bra_to_end = self.instrs.len();
-        self.emit(Op::Bra { target: 0, reconv: 0 });
+        self.emit(Op::Bra {
+            target: 0,
+            reconv: 0,
+        });
         let else_start = self.here();
         else_body(self);
         let end = self.here();
@@ -285,7 +369,14 @@ impl KernelBuilder {
         let start = self.here();
         let (pred, negate) = body(self);
         let reconv = self.here() + 1;
-        self.emit_guarded(Op::Bra { target: start, reconv }, pred, negate);
+        self.emit_guarded(
+            Op::Bra {
+                target: start,
+                reconv,
+            },
+            pred,
+            negate,
+        );
     }
 
     /// Finish the kernel: appends `EXIT` if missing, computes the register
@@ -365,12 +456,7 @@ mod tests {
         let r = a.reg();
         let p = a.pred();
         a.isetp(p, r, 0u32, CmpOp::Eq, true);
-        a.if_then_else(
-            p,
-            false,
-            |a| a.mov(r, 1u32),
-            |a| a.mov(r, 2u32),
-        );
+        a.if_then_else(p, false, |a| a.mov(r, 1u32), |a| a.mov(r, 2u32));
         let k = a.build().unwrap();
         // 0 isetp, 1 bra->else(4) rc=5, 2 mov(then), 3 bra->5 rc=5, 4 mov(else), 5 exit
         match k.instrs[1].op {
@@ -387,7 +473,10 @@ mod tests {
             }
             ref o => panic!("{o:?}"),
         }
-        assert!(k.instrs[3].guard.is_none(), "jump over else is unconditional");
+        assert!(
+            k.instrs[3].guard.is_none(),
+            "jump over else is unconditional"
+        );
     }
 
     #[test]
@@ -433,7 +522,13 @@ mod tests {
         a.linear_tid(d, t);
         let k = a.build().unwrap();
         assert_eq!(k.len(), 6); // 5 + exit
-        assert!(matches!(k.instrs[0].op, Op::S2R { sr: SpecialReg::CtaIdX, .. }));
+        assert!(matches!(
+            k.instrs[0].op,
+            Op::S2R {
+                sr: SpecialReg::CtaIdX,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl Instr {
     }
 
     pub fn guarded(op: Op, pred: Pred, negate: bool) -> Self {
-        Instr { op, guard: Some(Guard::new(pred, negate)) }
+        Instr {
+            op,
+            guard: Some(Guard::new(pred, negate)),
+        }
     }
 }
 
@@ -65,7 +68,13 @@ impl fmt::Display for Op {
             IMul { d, a, b } => write!(f, "IMUL {d}, {a}, {b}"),
             IMad { d, a, b, c } => write!(f, "IMAD {d}, {a}, {b}, {c}"),
             IScAdd { d, a, b, shift } => write!(f, "ISCADD {d}, {a}, {b}, {shift:#x}"),
-            IMnMx { d, a, b, max, signed } => {
+            IMnMx {
+                d,
+                a,
+                b,
+                max,
+                signed,
+            } => {
                 let m = if *max { "MAX" } else { "MIN" };
                 let s = if *signed { "S32" } else { "U32" };
                 write!(f, "IMNMX.{m}.{s} {d}, {a}, {b}")
@@ -80,7 +89,11 @@ impl fmt::Display for Op {
             FMul { d, a, b } => write!(f, "FMUL {d}, {a}, {b}"),
             FFma { d, a, b, c } => write!(f, "FFMA {d}, {a}, {b}, {c}"),
             FMnMx { d, a, b, max } => {
-                write!(f, "FMNMX.{} {d}, {a}, {b}", if *max { "MAX" } else { "MIN" })
+                write!(
+                    f,
+                    "FMNMX.{} {d}, {a}, {b}",
+                    if *max { "MAX" } else { "MIN" }
+                )
             }
             FRcp { d, a } => write!(f, "MUFU.RCP {d}, {a}"),
             FSqrt { d, a } => write!(f, "MUFU.SQRT {d}, {a}"),
@@ -89,12 +102,25 @@ impl fmt::Display for Op {
             FAbs { d, a } => write!(f, "FABS {d}, {a}"),
             I2F { d, a } => write!(f, "I2F {d}, {a}"),
             F2I { d, a } => write!(f, "F2I {d}, {a}"),
-            ISetP { p, a, b, cmp, signed } => {
+            ISetP {
+                p,
+                a,
+                b,
+                cmp,
+                signed,
+            } => {
                 let s = if *signed { "S32" } else { "U32" };
                 write!(f, "ISETP.{cmp}.{s} {p}, {a}, {b}")
             }
             FSetP { p, a, b, cmp } => write!(f, "FSETP.{cmp} {p}, {a}, {b}"),
-            PSetP { p, a, b, op, na, nb } => {
+            PSetP {
+                p,
+                a,
+                b,
+                op,
+                na,
+                nb,
+            } => {
                 let o = match op {
                     crate::op::BoolOp::And => "AND",
                     crate::op::BoolOp::Or => "OR",
@@ -109,10 +135,20 @@ impl fmt::Display for Op {
                 write!(f, "SEL {d}, {a}, {b}, {n}{p}")
             }
             Ld { d, space, a, off } => {
-                write!(f, "LD.{space} {d}, [{a}{}{:#x}]", if *off < 0 { "-" } else { "+" }, off.unsigned_abs())
+                write!(
+                    f,
+                    "LD.{space} {d}, [{a}{}{:#x}]",
+                    if *off < 0 { "-" } else { "+" },
+                    off.unsigned_abs()
+                )
             }
             St { space, a, off, v } => {
-                write!(f, "ST.{space} [{a}{}{:#x}], {v}", if *off < 0 { "-" } else { "+" }, off.unsigned_abs())
+                write!(
+                    f,
+                    "ST.{space} [{a}{}{:#x}], {v}",
+                    if *off < 0 { "-" } else { "+" },
+                    off.unsigned_abs()
+                )
             }
             Bar => write!(f, "BAR.SYNC 0x0"),
             Bra { target, reconv } => write!(f, "BRA {target:#x} (reconv {reconv:#x})"),
@@ -132,7 +168,10 @@ mod tests {
         let i = Instr::guarded(Op::Exit, Pred(0), true);
         assert_eq!(i.to_string(), "@!P0 EXIT");
         let i = Instr::guarded(
-            Op::Mov { d: Reg(1), a: Operand::Imm(0x10) },
+            Op::Mov {
+                d: Reg(1),
+                a: Operand::Imm(0x10),
+            },
             Pred(3),
             false,
         );
@@ -141,9 +180,19 @@ mod tests {
 
     #[test]
     fn memory_display() {
-        let i = Instr::new(Op::Ld { d: Reg(3), space: MemSpace::Global, a: Reg(2), off: 4 });
+        let i = Instr::new(Op::Ld {
+            d: Reg(3),
+            space: MemSpace::Global,
+            a: Reg(2),
+            off: 4,
+        });
         assert_eq!(i.to_string(), "LD.GLOBAL R3, [R2+0x4]");
-        let i = Instr::new(Op::St { space: MemSpace::Shared, a: Reg(2), off: -8, v: Reg(1) });
+        let i = Instr::new(Op::St {
+            space: MemSpace::Shared,
+            a: Reg(2),
+            off: -8,
+            v: Reg(1),
+        });
         assert_eq!(i.to_string(), "ST.SHARED [R2-0x8], R1");
     }
 }

@@ -68,7 +68,12 @@ impl Kernel {
         num_regs: u8,
         smem_bytes: u32,
     ) -> Result<Self, ValidateError> {
-        let k = Kernel { name: name.into(), instrs, num_regs, smem_bytes };
+        let k = Kernel {
+            name: name.into(),
+            instrs,
+            num_regs,
+            smem_bytes,
+        };
         k.validate()?;
         Ok(k)
     }
@@ -84,7 +89,9 @@ impl Kernel {
             return Err(ValidateError::MissingExit);
         }
         if self.smem_bytes % 4 != 0 {
-            return Err(ValidateError::SmemUnaligned { smem_bytes: self.smem_bytes });
+            return Err(ValidateError::SmemUnaligned {
+                smem_bytes: self.smem_bytes,
+            });
         }
         let len = self.instrs.len() as u32;
         for (pc, instr) in self.instrs.iter().enumerate() {
@@ -95,7 +102,11 @@ impl Kernel {
             }
             let check_reg = |r: Reg| -> Result<(), ValidateError> {
                 if r.0 >= self.num_regs {
-                    Err(ValidateError::RegOutOfRange { pc, reg: r, num_regs: self.num_regs })
+                    Err(ValidateError::RegOutOfRange {
+                        pc,
+                        reg: r,
+                        num_regs: self.num_regs,
+                    })
                 } else {
                     Ok(())
                 }
@@ -124,7 +135,10 @@ impl Kernel {
                         return Err(ValidateError::PredOutOfRange { pc, pred: p.0 });
                     }
                 }
-                Op::St { space: crate::op::MemSpace::Tex, .. } => {
+                Op::St {
+                    space: crate::op::MemSpace::Tex,
+                    ..
+                } => {
                     return Err(ValidateError::StoreToTexture { pc });
                 }
                 Op::Bra { target, reconv } => {
@@ -156,7 +170,11 @@ impl Kernel {
     pub fn disassemble(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
-        let _ = writeln!(s, ".kernel {} (regs={}, smem={}B)", self.name, self.num_regs, self.smem_bytes);
+        let _ = writeln!(
+            s,
+            ".kernel {} (regs={}, smem={}B)",
+            self.name, self.num_regs, self.smem_bytes
+        );
         for (pc, i) in self.instrs.iter().enumerate() {
             let _ = writeln!(s, "  #{pc:<4} {i}");
         }
@@ -181,7 +199,12 @@ pub struct LaunchConfig {
 
 impl LaunchConfig {
     pub fn new(grid_x: u32, block_x: u32, params: Vec<u32>) -> Self {
-        LaunchConfig { grid_x, grid_y: 1, block_x, params }
+        LaunchConfig {
+            grid_x,
+            grid_y: 1,
+            block_x,
+            params,
+        }
     }
 
     /// Total CTAs launched.
@@ -212,38 +235,72 @@ mod tests {
 
     #[test]
     fn empty_kernel_rejected() {
-        assert_eq!(Kernel::new("k", vec![], 4, 0).unwrap_err(), ValidateError::Empty);
+        assert_eq!(
+            Kernel::new("k", vec![], 4, 0).unwrap_err(),
+            ValidateError::Empty
+        );
     }
 
     #[test]
     fn missing_exit_rejected() {
-        let i = Instr::new(Op::Mov { d: Reg(0), a: Operand::Imm(0) });
-        assert_eq!(Kernel::new("k", vec![i], 4, 0).unwrap_err(), ValidateError::MissingExit);
+        let i = Instr::new(Op::Mov {
+            d: Reg(0),
+            a: Operand::Imm(0),
+        });
+        assert_eq!(
+            Kernel::new("k", vec![i], 4, 0).unwrap_err(),
+            ValidateError::MissingExit
+        );
     }
 
     #[test]
     fn reg_out_of_range_rejected() {
-        let i = Instr::new(Op::Mov { d: Reg(9), a: Operand::Imm(0) });
+        let i = Instr::new(Op::Mov {
+            d: Reg(9),
+            a: Operand::Imm(0),
+        });
         let err = Kernel::new("k", vec![i, exit()], 4, 0).unwrap_err();
-        assert!(matches!(err, ValidateError::RegOutOfRange { reg: Reg(9), .. }));
+        assert!(matches!(
+            err,
+            ValidateError::RegOutOfRange { reg: Reg(9), .. }
+        ));
     }
 
     #[test]
     fn source_reg_out_of_range_rejected() {
-        let i = Instr::new(Op::IAdd { d: Reg(0), a: Reg(7), b: Operand::Imm(1) });
+        let i = Instr::new(Op::IAdd {
+            d: Reg(0),
+            a: Reg(7),
+            b: Operand::Imm(1),
+        });
         let err = Kernel::new("k", vec![i, exit()], 4, 0).unwrap_err();
-        assert!(matches!(err, ValidateError::RegOutOfRange { reg: Reg(7), .. }));
+        assert!(matches!(
+            err,
+            ValidateError::RegOutOfRange { reg: Reg(7), .. }
+        ));
     }
 
     #[test]
     fn branch_bounds_checked() {
-        let i = Instr::new(Op::Bra { target: 5, reconv: 1 });
+        let i = Instr::new(Op::Bra {
+            target: 5,
+            reconv: 1,
+        });
         let err = Kernel::new("k", vec![i, exit()], 4, 0).unwrap_err();
-        assert!(matches!(err, ValidateError::BranchOutOfRange { target: 5, .. }));
+        assert!(matches!(
+            err,
+            ValidateError::BranchOutOfRange { target: 5, .. }
+        ));
 
-        let i = Instr::new(Op::Bra { target: 1, reconv: 9 });
+        let i = Instr::new(Op::Bra {
+            target: 1,
+            reconv: 9,
+        });
         let err = Kernel::new("k", vec![i, exit()], 4, 0).unwrap_err();
-        assert!(matches!(err, ValidateError::ReconvOutOfRange { reconv: 9, .. }));
+        assert!(matches!(
+            err,
+            ValidateError::ReconvOutOfRange { reconv: 9, .. }
+        ));
     }
 
     #[test]
@@ -262,7 +319,10 @@ mod tests {
     #[test]
     fn valid_kernel_accepted() {
         let instrs = vec![
-            Instr::new(Op::Mov { d: Reg(0), a: Operand::Imm(1) }),
+            Instr::new(Op::Mov {
+                d: Reg(0),
+                a: Operand::Imm(1),
+            }),
             exit(),
         ];
         let k = Kernel::new("ok", instrs, 4, 16).unwrap();
@@ -273,7 +333,12 @@ mod tests {
 
     #[test]
     fn launch_config_arithmetic() {
-        let lc = LaunchConfig { grid_x: 10, grid_y: 3, block_x: 100, params: vec![] };
+        let lc = LaunchConfig {
+            grid_x: 10,
+            grid_y: 3,
+            block_x: 100,
+            params: vec![],
+        };
         assert_eq!(lc.num_ctas(), 30);
         assert_eq!(lc.num_threads(), 3000);
         assert_eq!(lc.warps_per_cta(), 4);

@@ -165,11 +165,27 @@ pub enum Op {
     /// `d = a * b` (wrapping, low 32 bits).
     IMul { d: Reg, a: Reg, b: Operand },
     /// `d = a * b + c` (wrapping).
-    IMad { d: Reg, a: Reg, b: Operand, c: Operand },
+    IMad {
+        d: Reg,
+        a: Reg,
+        b: Operand,
+        c: Operand,
+    },
     /// `d = (a << shift) + b` — SASS `ISCADD`, the scaled-index address form.
-    IScAdd { d: Reg, a: Reg, b: Operand, shift: u8 },
+    IScAdd {
+        d: Reg,
+        a: Reg,
+        b: Operand,
+        shift: u8,
+    },
     /// `d = min(a,b)` or `max(a,b)`, signed or unsigned.
-    IMnMx { d: Reg, a: Reg, b: Operand, max: bool, signed: bool },
+    IMnMx {
+        d: Reg,
+        a: Reg,
+        b: Operand,
+        max: bool,
+        signed: bool,
+    },
     /// Logical shift left.
     Shl { d: Reg, a: Reg, b: Operand },
     /// Logical shift right.
@@ -187,9 +203,19 @@ pub enum Op {
     /// `d = a * b` (f32).
     FMul { d: Reg, a: Reg, b: Operand },
     /// `d = a * b + c` (f32 fused multiply-add).
-    FFma { d: Reg, a: Reg, b: Operand, c: Operand },
+    FFma {
+        d: Reg,
+        a: Reg,
+        b: Operand,
+        c: Operand,
+    },
     /// `d = min/max(a,b)` (f32).
-    FMnMx { d: Reg, a: Reg, b: Operand, max: bool },
+    FMnMx {
+        d: Reg,
+        a: Reg,
+        b: Operand,
+        max: bool,
+    },
     /// `d = 1.0 / a` (f32) — SFU op.
     FRcp { d: Reg, a: Reg },
     /// `d = sqrt(a)` (f32) — SFU op.
@@ -207,18 +233,52 @@ pub enum Op {
     /// `cvt.rzi.s32.f32` saturation behaviour closely enough).
     F2I { d: Reg, a: Reg },
     /// `p = a <cmp> b` on integers.
-    ISetP { p: Pred, a: Reg, b: Operand, cmp: CmpOp, signed: bool },
+    ISetP {
+        p: Pred,
+        a: Reg,
+        b: Operand,
+        cmp: CmpOp,
+        signed: bool,
+    },
     /// `p = a <cmp> b` on f32 (ordered; comparisons with NaN are false,
     /// except `Ne` which is true).
-    FSetP { p: Pred, a: Reg, b: Operand, cmp: CmpOp },
+    FSetP {
+        p: Pred,
+        a: Reg,
+        b: Operand,
+        cmp: CmpOp,
+    },
     /// `p = (a ^ na) <bool> (b ^ nb)`.
-    PSetP { p: Pred, a: Pred, b: Pred, op: BoolOp, na: bool, nb: bool },
+    PSetP {
+        p: Pred,
+        a: Pred,
+        b: Pred,
+        op: BoolOp,
+        na: bool,
+        nb: bool,
+    },
     /// `d = (p ^ neg) ? a : b`.
-    Sel { d: Reg, a: Reg, b: Operand, p: Pred, neg: bool },
+    Sel {
+        d: Reg,
+        a: Reg,
+        b: Operand,
+        p: Pred,
+        neg: bool,
+    },
     /// `d = [a + off]` (32-bit load from `space`).
-    Ld { d: Reg, space: MemSpace, a: Reg, off: i32 },
+    Ld {
+        d: Reg,
+        space: MemSpace,
+        a: Reg,
+        off: i32,
+    },
     /// `[a + off] = v` (32-bit store to `space`).
-    St { space: MemSpace, a: Reg, off: i32, v: Reg },
+    St {
+        space: MemSpace,
+        a: Reg,
+        off: i32,
+        v: Reg,
+    },
     /// CTA-wide barrier (`BAR.SYNC 0`).
     Bar,
     /// Branch to `target`; `reconv` is the immediate-post-dominator
@@ -233,13 +293,33 @@ impl Op {
     pub fn dst_reg(&self) -> Option<Reg> {
         use Op::*;
         match *self {
-            S2R { d, .. } | Mov { d, .. } | IAdd { d, .. } | ISub { d, .. }
-            | IMul { d, .. } | IMad { d, .. } | IScAdd { d, .. } | IMnMx { d, .. }
-            | Shl { d, .. } | Shr { d, .. } | And { d, .. } | Or { d, .. }
-            | Xor { d, .. } | Not { d, .. } | FAdd { d, .. } | FMul { d, .. }
-            | FFma { d, .. } | FMnMx { d, .. } | FRcp { d, .. } | FSqrt { d, .. }
-            | FExp { d, .. } | FLog { d, .. } | FAbs { d, .. } | I2F { d, .. } | F2I { d, .. }
-            | Sel { d, .. } | Ld { d, .. } => Some(d),
+            S2R { d, .. }
+            | Mov { d, .. }
+            | IAdd { d, .. }
+            | ISub { d, .. }
+            | IMul { d, .. }
+            | IMad { d, .. }
+            | IScAdd { d, .. }
+            | IMnMx { d, .. }
+            | Shl { d, .. }
+            | Shr { d, .. }
+            | And { d, .. }
+            | Or { d, .. }
+            | Xor { d, .. }
+            | Not { d, .. }
+            | FAdd { d, .. }
+            | FMul { d, .. }
+            | FFma { d, .. }
+            | FMnMx { d, .. }
+            | FRcp { d, .. }
+            | FSqrt { d, .. }
+            | FExp { d, .. }
+            | FLog { d, .. }
+            | FAbs { d, .. }
+            | I2F { d, .. }
+            | F2I { d, .. }
+            | Sel { d, .. }
+            | Ld { d, .. } => Some(d),
             _ => None,
         }
     }
@@ -256,11 +336,21 @@ impl Op {
         match self {
             S2R { .. } | Bar | Bra { .. } | Exit | PSetP { .. } => {}
             Mov { a, .. } => push_op(a, &mut v),
-            IAdd { a, b, .. } | ISub { a, b, .. } | IMul { a, b, .. }
-            | IMnMx { a, b, .. } | Shl { a, b, .. } | Shr { a, b, .. }
-            | And { a, b, .. } | Or { a, b, .. } | Xor { a, b, .. }
-            | FAdd { a, b, .. } | FMul { a, b, .. } | FMnMx { a, b, .. }
-            | ISetP { a, b, .. } | FSetP { a, b, .. } | Sel { a, b, .. } => {
+            IAdd { a, b, .. }
+            | ISub { a, b, .. }
+            | IMul { a, b, .. }
+            | IMnMx { a, b, .. }
+            | Shl { a, b, .. }
+            | Shr { a, b, .. }
+            | And { a, b, .. }
+            | Or { a, b, .. }
+            | Xor { a, b, .. }
+            | FAdd { a, b, .. }
+            | FMul { a, b, .. }
+            | FMnMx { a, b, .. }
+            | ISetP { a, b, .. }
+            | FSetP { a, b, .. }
+            | Sel { a, b, .. } => {
                 v.push(*a);
                 push_op(b, &mut v);
             }
@@ -273,8 +363,14 @@ impl Op {
                 push_op(b, &mut v);
                 push_op(c, &mut v);
             }
-            Not { a, .. } | FRcp { a, .. } | FSqrt { a, .. } | FExp { a, .. }
-            | FLog { a, .. } | FAbs { a, .. } | I2F { a, .. } | F2I { a, .. } => v.push(*a),
+            Not { a, .. }
+            | FRcp { a, .. }
+            | FSqrt { a, .. }
+            | FExp { a, .. }
+            | FLog { a, .. }
+            | FAbs { a, .. }
+            | I2F { a, .. }
+            | F2I { a, .. } => v.push(*a),
             Ld { a, .. } => v.push(*a),
             St { a, v: val, .. } => {
                 v.push(*a);
@@ -351,7 +447,12 @@ mod tests {
         assert_eq!(op.dst_reg(), Some(Reg(4)));
         assert_eq!(op.src_regs(), vec![Reg(0), Reg(3)]);
 
-        let st = Op::St { space: MemSpace::Global, a: Reg(2), off: 4, v: Reg(5) };
+        let st = Op::St {
+            space: MemSpace::Global,
+            a: Reg(2),
+            off: 4,
+            v: Reg(5),
+        };
         assert_eq!(st.dst_reg(), None);
         assert_eq!(st.src_regs(), vec![Reg(2), Reg(5)]);
         assert!(st.is_mem());
@@ -360,10 +461,30 @@ mod tests {
 
     #[test]
     fn gp_dest_classification() {
-        assert!(Op::Mov { d: Reg(0), a: Operand::Imm(1) }.has_gp_dest());
+        assert!(Op::Mov {
+            d: Reg(0),
+            a: Operand::Imm(1)
+        }
+        .has_gp_dest());
         assert!(!Op::Bar.has_gp_dest());
-        assert!(!Op::Bra { target: 0, reconv: 1 }.has_gp_dest());
-        assert!(!Op::St { space: MemSpace::Shared, a: Reg(0), off: 0, v: Reg(1) }.has_gp_dest());
-        assert!(Op::Ld { d: Reg(1), space: MemSpace::Global, a: Reg(0), off: 0 }.has_gp_dest());
+        assert!(!Op::Bra {
+            target: 0,
+            reconv: 1
+        }
+        .has_gp_dest());
+        assert!(!Op::St {
+            space: MemSpace::Shared,
+            a: Reg(0),
+            off: 0,
+            v: Reg(1)
+        }
+        .has_gp_dest());
+        assert!(Op::Ld {
+            d: Reg(1),
+            space: MemSpace::Global,
+            a: Reg(0),
+            off: 0
+        }
+        .has_gp_dest());
     }
 }

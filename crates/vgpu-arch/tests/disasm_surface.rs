@@ -12,41 +12,164 @@ fn d(op: Op) -> String {
 fn every_op_form_disassembles_as_documented() {
     let r = Reg;
     let cases: Vec<(Op, &str)> = vec![
-        (Op::S2R { d: r(0), sr: SpecialReg::NCtaIdX }, "S2R R0, SR_NCTAID.X"),
-        (Op::S2R { d: r(1), sr: SpecialReg::LaneId }, "S2R R1, SR_LANEID"),
-        (Op::Mov { d: r(2), a: Operand::Const(3) }, "MOV R2, c[0x0][0xc]"),
-        (Op::IAdd { d: r(0), a: r(1), b: Operand::Imm(16) }, "IADD R0, R1, 0x10"),
-        (Op::ISub { d: r(0), a: r(1), b: Operand::Reg(r(2)) }, "ISUB R0, R1, R2"),
-        (Op::IMul { d: r(0), a: r(1), b: Operand::Imm(3) }, "IMUL R0, R1, 0x3"),
         (
-            Op::IMad { d: r(4), a: r(0), b: Operand::Const(0x53), c: Operand::Reg(r(3)) },
+            Op::S2R {
+                d: r(0),
+                sr: SpecialReg::NCtaIdX,
+            },
+            "S2R R0, SR_NCTAID.X",
+        ),
+        (
+            Op::S2R {
+                d: r(1),
+                sr: SpecialReg::LaneId,
+            },
+            "S2R R1, SR_LANEID",
+        ),
+        (
+            Op::Mov {
+                d: r(2),
+                a: Operand::Const(3),
+            },
+            "MOV R2, c[0x0][0xc]",
+        ),
+        (
+            Op::IAdd {
+                d: r(0),
+                a: r(1),
+                b: Operand::Imm(16),
+            },
+            "IADD R0, R1, 0x10",
+        ),
+        (
+            Op::ISub {
+                d: r(0),
+                a: r(1),
+                b: Operand::Reg(r(2)),
+            },
+            "ISUB R0, R1, R2",
+        ),
+        (
+            Op::IMul {
+                d: r(0),
+                a: r(1),
+                b: Operand::Imm(3),
+            },
+            "IMUL R0, R1, 0x3",
+        ),
+        (
+            Op::IMad {
+                d: r(4),
+                a: r(0),
+                b: Operand::Const(0x53),
+                c: Operand::Reg(r(3)),
+            },
             "IMAD R4, R0, c[0x0][0x14c], R3",
         ),
         (
-            Op::IScAdd { d: r(3), a: r(0), b: Operand::Const(0x50), shift: 2 },
+            Op::IScAdd {
+                d: r(3),
+                a: r(0),
+                b: Operand::Const(0x50),
+                shift: 2,
+            },
             "ISCADD R3, R0, c[0x0][0x140], 0x2",
         ),
         (
-            Op::IMnMx { d: r(0), a: r(1), b: Operand::Imm(0), max: false, signed: true },
+            Op::IMnMx {
+                d: r(0),
+                a: r(1),
+                b: Operand::Imm(0),
+                max: false,
+                signed: true,
+            },
             "IMNMX.MIN.S32 R0, R1, 0x0",
         ),
         (
-            Op::IMnMx { d: r(0), a: r(1), b: Operand::Imm(0), max: true, signed: false },
+            Op::IMnMx {
+                d: r(0),
+                a: r(1),
+                b: Operand::Imm(0),
+                max: true,
+                signed: false,
+            },
             "IMNMX.MAX.U32 R0, R1, 0x0",
         ),
-        (Op::Shl { d: r(0), a: r(1), b: Operand::Imm(2) }, "SHL R0, R1, 0x2"),
-        (Op::Shr { d: r(0), a: r(1), b: Operand::Imm(2) }, "SHR R0, R1, 0x2"),
-        (Op::And { d: r(0), a: r(1), b: Operand::Imm(7) }, "LOP.AND R0, R1, 0x7"),
-        (Op::Or { d: r(0), a: r(1), b: Operand::Imm(7) }, "LOP.OR R0, R1, 0x7"),
-        (Op::Xor { d: r(0), a: r(1), b: Operand::Imm(7) }, "LOP.XOR R0, R1, 0x7"),
-        (Op::Not { d: r(0), a: r(1) }, "LOP.NOT R0, R1"),
-        (Op::FAdd { d: r(0), a: r(1), b: Operand::Reg(r(2)) }, "FADD R0, R1, R2"),
-        (Op::FMul { d: r(0), a: r(1), b: Operand::Reg(r(2)) }, "FMUL R0, R1, R2"),
         (
-            Op::FFma { d: r(0), a: r(1), b: Operand::Reg(r(2)), c: Operand::Reg(r(3)) },
+            Op::Shl {
+                d: r(0),
+                a: r(1),
+                b: Operand::Imm(2),
+            },
+            "SHL R0, R1, 0x2",
+        ),
+        (
+            Op::Shr {
+                d: r(0),
+                a: r(1),
+                b: Operand::Imm(2),
+            },
+            "SHR R0, R1, 0x2",
+        ),
+        (
+            Op::And {
+                d: r(0),
+                a: r(1),
+                b: Operand::Imm(7),
+            },
+            "LOP.AND R0, R1, 0x7",
+        ),
+        (
+            Op::Or {
+                d: r(0),
+                a: r(1),
+                b: Operand::Imm(7),
+            },
+            "LOP.OR R0, R1, 0x7",
+        ),
+        (
+            Op::Xor {
+                d: r(0),
+                a: r(1),
+                b: Operand::Imm(7),
+            },
+            "LOP.XOR R0, R1, 0x7",
+        ),
+        (Op::Not { d: r(0), a: r(1) }, "LOP.NOT R0, R1"),
+        (
+            Op::FAdd {
+                d: r(0),
+                a: r(1),
+                b: Operand::Reg(r(2)),
+            },
+            "FADD R0, R1, R2",
+        ),
+        (
+            Op::FMul {
+                d: r(0),
+                a: r(1),
+                b: Operand::Reg(r(2)),
+            },
+            "FMUL R0, R1, R2",
+        ),
+        (
+            Op::FFma {
+                d: r(0),
+                a: r(1),
+                b: Operand::Reg(r(2)),
+                c: Operand::Reg(r(3)),
+            },
             "FFMA R0, R1, R2, R3",
         ),
-        (Op::FMnMx { d: r(0), a: r(1), b: Operand::Reg(r(2)), max: true }, "FMNMX.MAX R0, R1, R2"),
+        (
+            Op::FMnMx {
+                d: r(0),
+                a: r(1),
+                b: Operand::Reg(r(2)),
+                max: true,
+            },
+            "FMNMX.MAX R0, R1, R2",
+        ),
         (Op::FRcp { d: r(0), a: r(1) }, "MUFU.RCP R0, R1"),
         (Op::FSqrt { d: r(0), a: r(1) }, "MUFU.SQRT R0, R1"),
         (Op::FExp { d: r(0), a: r(1) }, "MUFU.EX2 R0, R1"),
@@ -55,25 +178,71 @@ fn every_op_form_disassembles_as_documented() {
         (Op::I2F { d: r(0), a: r(1) }, "I2F R0, R1"),
         (Op::F2I { d: r(0), a: r(1) }, "F2I R0, R1"),
         (
-            Op::ISetP { p: Pred(1), a: r(0), b: Operand::Imm(4), cmp: CmpOp::Ge, signed: false },
+            Op::ISetP {
+                p: Pred(1),
+                a: r(0),
+                b: Operand::Imm(4),
+                cmp: CmpOp::Ge,
+                signed: false,
+            },
             "ISETP.GE.U32 P1, R0, 0x4",
         ),
         (
-            Op::FSetP { p: Pred(0), a: r(0), b: Operand::Reg(r(1)), cmp: CmpOp::Ne },
+            Op::FSetP {
+                p: Pred(0),
+                a: r(0),
+                b: Operand::Reg(r(1)),
+                cmp: CmpOp::Ne,
+            },
             "FSETP.NE P0, R0, R1",
         ),
         (
-            Op::PSetP { p: Pred(0), a: Pred(1), b: Pred(2), op: BoolOp::Or, na: true, nb: false },
+            Op::PSetP {
+                p: Pred(0),
+                a: Pred(1),
+                b: Pred(2),
+                op: BoolOp::Or,
+                na: true,
+                nb: false,
+            },
             "PSETP.OR P0, !P1, P2",
         ),
         (
-            Op::Sel { d: r(0), a: r(1), b: Operand::Reg(r(2)), p: Pred(3), neg: true },
+            Op::Sel {
+                d: r(0),
+                a: r(1),
+                b: Operand::Reg(r(2)),
+                p: Pred(3),
+                neg: true,
+            },
             "SEL R0, R1, R2, !P3",
         ),
-        (Op::Ld { d: r(0), space: MemSpace::Tex, a: r(1), off: 8 }, "LD.TEX R0, [R1+0x8]"),
-        (Op::St { space: MemSpace::Global, a: r(1), off: 0, v: r(2) }, "ST.GLOBAL [R1+0x0], R2"),
+        (
+            Op::Ld {
+                d: r(0),
+                space: MemSpace::Tex,
+                a: r(1),
+                off: 8,
+            },
+            "LD.TEX R0, [R1+0x8]",
+        ),
+        (
+            Op::St {
+                space: MemSpace::Global,
+                a: r(1),
+                off: 0,
+                v: r(2),
+            },
+            "ST.GLOBAL [R1+0x0], R2",
+        ),
         (Op::Bar, "BAR.SYNC 0x0"),
-        (Op::Bra { target: 4, reconv: 9 }, "BRA 0x4 (reconv 0x9)"),
+        (
+            Op::Bra {
+                target: 4,
+                reconv: 9,
+            },
+            "BRA 0x4 (reconv 0x9)",
+        ),
         (Op::Exit, "EXIT"),
     ];
     for (op, want) in cases {

@@ -15,35 +15,40 @@ fn arb_alu_op(nregs: u8) -> impl Strategy<Value = Op> {
         (0u16..8).prop_map(Operand::Const),
     ];
     prop_oneof![
-        (reg.clone(), reg.clone(), operand.clone())
-            .prop_map(|(d, a, b)| Op::IAdd { d, a, b }),
-        (reg.clone(), reg.clone(), operand.clone())
-            .prop_map(|(d, a, b)| Op::ISub { d, a, b }),
-        (reg.clone(), reg.clone(), operand.clone())
-            .prop_map(|(d, a, b)| Op::IMul { d, a, b }),
+        (reg.clone(), reg.clone(), operand.clone()).prop_map(|(d, a, b)| Op::IAdd { d, a, b }),
+        (reg.clone(), reg.clone(), operand.clone()).prop_map(|(d, a, b)| Op::ISub { d, a, b }),
+        (reg.clone(), reg.clone(), operand.clone()).prop_map(|(d, a, b)| Op::IMul { d, a, b }),
         (reg.clone(), reg.clone(), operand.clone(), operand.clone())
             .prop_map(|(d, a, b, c)| Op::IMad { d, a, b, c }),
         (reg.clone(), reg.clone(), operand.clone(), 0u8..31)
             .prop_map(|(d, a, b, shift)| Op::IScAdd { d, a, b, shift }),
-        (reg.clone(), reg.clone(), operand.clone())
-            .prop_map(|(d, a, b)| Op::And { d, a, b }),
-        (reg.clone(), reg.clone(), operand.clone())
-            .prop_map(|(d, a, b)| Op::Xor { d, a, b }),
-        (reg.clone(), reg.clone(), operand.clone())
-            .prop_map(|(d, a, b)| Op::Shl { d, a, b }),
-        (reg.clone(), reg.clone(), operand.clone())
-            .prop_map(|(d, a, b)| Op::FAdd { d, a, b }),
+        (reg.clone(), reg.clone(), operand.clone()).prop_map(|(d, a, b)| Op::And { d, a, b }),
+        (reg.clone(), reg.clone(), operand.clone()).prop_map(|(d, a, b)| Op::Xor { d, a, b }),
+        (reg.clone(), reg.clone(), operand.clone()).prop_map(|(d, a, b)| Op::Shl { d, a, b }),
+        (reg.clone(), reg.clone(), operand.clone()).prop_map(|(d, a, b)| Op::FAdd { d, a, b }),
         (reg.clone(), reg.clone(), operand.clone(), operand.clone())
             .prop_map(|(d, a, b, c)| Op::FFma { d, a, b, c }),
         (reg.clone(), reg.clone()).prop_map(|(d, a)| Op::FSqrt { d, a }),
         (reg.clone(), reg.clone()).prop_map(|(d, a)| Op::Not { d, a }),
-        reg.clone().prop_map(|d| Op::S2R { d, sr: SpecialReg::TidX }),
-        (0u8..4, reg.clone(), operand.clone())
-            .prop_map(|(p, a, b)| Op::ISetP { p: Pred(p), a, b, cmp: CmpOp::Lt, signed: true }),
-        (0u8..4, 0u8..4, 0u8..4)
-            .prop_map(|(p, a, b)| Op::PSetP {
-                p: Pred(p), a: Pred(a), b: Pred(b), op: BoolOp::And, na: false, nb: false
-            }),
+        reg.clone().prop_map(|d| Op::S2R {
+            d,
+            sr: SpecialReg::TidX
+        }),
+        (0u8..4, reg.clone(), operand.clone()).prop_map(|(p, a, b)| Op::ISetP {
+            p: Pred(p),
+            a,
+            b,
+            cmp: CmpOp::Lt,
+            signed: true
+        }),
+        (0u8..4, 0u8..4, 0u8..4).prop_map(|(p, a, b)| Op::PSetP {
+            p: Pred(p),
+            a: Pred(a),
+            b: Pred(b),
+            op: BoolOp::And,
+            na: false,
+            nb: false
+        }),
     ]
 }
 

@@ -149,7 +149,10 @@ impl Cache {
     /// Outstanding-fill readiness for `line_addr`, if any fill is still in
     /// flight at `now`.
     pub fn mshr_ready(&self, line_addr: u32, now: u64) -> Option<u64> {
-        self.mshr.iter().find(|&&(l, r)| l == line_addr && r > now).map(|&(_, r)| r)
+        self.mshr
+            .iter()
+            .find(|&&(l, r)| l == line_addr && r > now)
+            .map(|&(_, r)| r)
     }
 
     /// Try to allocate an MSHR for a new outstanding fill. Prunes completed
@@ -296,7 +299,10 @@ pub fn load_via(
             }
             None => now + lat.l1_hit as u64,
         };
-        return AccessResult { value: l1.read_word(idx, off), ready };
+        return AccessResult {
+            value: l1.read_word(idx, off),
+            ready,
+        };
     }
     l1.stats.misses += 1;
     let (l2_idx, l2_ready) = ensure_l2(l2, mem, line_addr, now, lat, mem_reads, mem_writes);
@@ -310,7 +316,10 @@ pub fn load_via(
         l1.stats.reservation_fails += 1;
         ready += lat.mshr_fail as u64;
     }
-    AccessResult { value: l1.read_word(victim, off), ready }
+    AccessResult {
+        value: l1.read_word(victim, off),
+        ready,
+    }
 }
 
 /// Store one word: write-through the L1D, write-back allocate in L2.
@@ -346,7 +355,12 @@ mod tests {
     use super::*;
 
     fn small_geom() -> CacheGeom {
-        CacheGeom { bytes: 1024, line_bytes: 128, ways: 2, mshrs: 2 }
+        CacheGeom {
+            bytes: 1024,
+            line_bytes: 128,
+            ways: 2,
+            mshrs: 2,
+        }
     }
 
     fn lat() -> Latencies {
@@ -399,7 +413,12 @@ mod tests {
     #[test]
     fn load_miss_then_hit() {
         let mut l1 = Cache::new(small_geom());
-        let mut l2 = Cache::new(CacheGeom { bytes: 4096, line_bytes: 128, ways: 4, mshrs: 4 });
+        let mut l2 = Cache::new(CacheGeom {
+            bytes: 4096,
+            line_bytes: 128,
+            ways: 4,
+            mshrs: 4,
+        });
         let mut mem = mem_with(256, 0xabcd);
         let (mut mr, mut mw) = (0, 0);
         let r = load_via(&mut l1, &mut l2, &mut mem, 256, 0, &lat(), &mut mr, &mut mw);
@@ -410,7 +429,16 @@ mod tests {
         assert_eq!(mr, 1);
 
         // Second access after the fill completes: plain L1 hit.
-        let r2 = load_via(&mut l1, &mut l2, &mut mem, 260, 10_000, &lat(), &mut mr, &mut mw);
+        let r2 = load_via(
+            &mut l1,
+            &mut l2,
+            &mut mem,
+            260,
+            10_000,
+            &lat(),
+            &mut mr,
+            &mut mw,
+        );
         assert_eq!(r2.value, 0);
         assert_eq!(r2.ready, 10_000 + 30);
         assert_eq!(l1.stats.misses, 1);
@@ -421,7 +449,12 @@ mod tests {
     #[test]
     fn pending_hit_waits_for_fill() {
         let mut l1 = Cache::new(small_geom());
-        let mut l2 = Cache::new(CacheGeom { bytes: 4096, line_bytes: 128, ways: 4, mshrs: 4 });
+        let mut l2 = Cache::new(CacheGeom {
+            bytes: 4096,
+            line_bytes: 128,
+            ways: 4,
+            mshrs: 4,
+        });
         let mut mem = mem_with(0, 5);
         let (mut mr, mut mw) = (0, 0);
         let r = load_via(&mut l1, &mut l2, &mut mem, 0, 0, &lat(), &mut mr, &mut mw);
@@ -434,11 +467,25 @@ mod tests {
     #[test]
     fn mshr_exhaustion_counts_reservation_fail() {
         let mut l1 = Cache::new(small_geom()); // 2 MSHRs
-        let mut l2 = Cache::new(CacheGeom { bytes: 8192, line_bytes: 128, ways: 4, mshrs: 16 });
+        let mut l2 = Cache::new(CacheGeom {
+            bytes: 8192,
+            line_bytes: 128,
+            ways: 4,
+            mshrs: 16,
+        });
         let mut mem = mem_with(0, 1);
         let (mut mr, mut mw) = (0, 0);
         for i in 0..3u32 {
-            load_via(&mut l1, &mut l2, &mut mem, i * 128, 0, &lat(), &mut mr, &mut mw);
+            load_via(
+                &mut l1,
+                &mut l2,
+                &mut mem,
+                i * 128,
+                0,
+                &lat(),
+                &mut mr,
+                &mut mw,
+            );
         }
         assert_eq!(l1.stats.reservation_fails, 1);
     }
@@ -446,12 +493,27 @@ mod tests {
     #[test]
     fn store_write_through_keeps_l1_clean_and_dirties_l2() {
         let mut l1 = Cache::new(small_geom());
-        let mut l2 = Cache::new(CacheGeom { bytes: 4096, line_bytes: 128, ways: 4, mshrs: 4 });
+        let mut l2 = Cache::new(CacheGeom {
+            bytes: 4096,
+            line_bytes: 128,
+            ways: 4,
+            mshrs: 4,
+        });
         let mut mem = mem_with(0, 0);
         let (mut mr, mut mw) = (0, 0);
         // Load first so the line is in both levels.
         load_via(&mut l1, &mut l2, &mut mem, 0, 0, &lat(), &mut mr, &mut mw);
-        store_via(&mut l1, &mut l2, &mut mem, 0, 42, 1000, &lat(), &mut mr, &mut mw);
+        store_via(
+            &mut l1,
+            &mut l2,
+            &mut mem,
+            0,
+            42,
+            1000,
+            &lat(),
+            &mut mr,
+            &mut mw,
+        );
         let i1 = l1.probe(0).unwrap();
         assert!(!l1.line_dirty(i1), "write-through L1 stays clean");
         assert_eq!(l1.read_word(i1, 0), 42, "L1 copy updated");
@@ -468,10 +530,25 @@ mod tests {
     #[test]
     fn store_miss_does_not_allocate_in_l1() {
         let mut l1 = Cache::new(small_geom());
-        let mut l2 = Cache::new(CacheGeom { bytes: 4096, line_bytes: 128, ways: 4, mshrs: 4 });
+        let mut l2 = Cache::new(CacheGeom {
+            bytes: 4096,
+            line_bytes: 128,
+            ways: 4,
+            mshrs: 4,
+        });
         let mut mem = mem_with(0, 0);
         let (mut mr, mut mw) = (0, 0);
-        store_via(&mut l1, &mut l2, &mut mem, 0, 9, 0, &lat(), &mut mr, &mut mw);
+        store_via(
+            &mut l1,
+            &mut l2,
+            &mut mem,
+            0,
+            9,
+            0,
+            &lat(),
+            &mut mr,
+            &mut mw,
+        );
         assert_eq!(l1.probe(0), None, "no write-allocate in L1");
         assert!(l2.probe(0).is_some(), "write-allocate in L2");
     }
@@ -482,20 +559,61 @@ mod tests {
         // L1 line, evict it by loading conflicting lines, reload — the
         // fault is gone.
         let mut l1 = Cache::new(small_geom()); // 4 sets, 2 ways
-        let mut l2 = Cache::new(CacheGeom { bytes: 16384, line_bytes: 128, ways: 8, mshrs: 16 });
+        let mut l2 = Cache::new(CacheGeom {
+            bytes: 16384,
+            line_bytes: 128,
+            ways: 8,
+            mshrs: 16,
+        });
         let mut mem = mem_with(0, 0x1111);
         let (mut mr, mut mw) = (0, 0);
         load_via(&mut l1, &mut l2, &mut mem, 0, 0, &lat(), &mut mr, &mut mw);
         let idx = l1.probe(0).unwrap();
         let byte_index = idx as u64 * 128;
         l1.flip_bit(byte_index, 1); // value becomes 0x1113
-        let r = load_via(&mut l1, &mut l2, &mut mem, 0, 1000, &lat(), &mut mr, &mut mw);
+        let r = load_via(
+            &mut l1,
+            &mut l2,
+            &mut mem,
+            0,
+            1000,
+            &lat(),
+            &mut mr,
+            &mut mw,
+        );
         assert_eq!(r.value, 0x1113, "fault visible while resident");
         // Evict set 0 by loading two other lines mapping to it (lines 4, 8).
-        load_via(&mut l1, &mut l2, &mut mem, 4 * 128, 2000, &lat(), &mut mr, &mut mw);
-        load_via(&mut l1, &mut l2, &mut mem, 8 * 128, 3000, &lat(), &mut mr, &mut mw);
+        load_via(
+            &mut l1,
+            &mut l2,
+            &mut mem,
+            4 * 128,
+            2000,
+            &lat(),
+            &mut mr,
+            &mut mw,
+        );
+        load_via(
+            &mut l1,
+            &mut l2,
+            &mut mem,
+            8 * 128,
+            3000,
+            &lat(),
+            &mut mr,
+            &mut mw,
+        );
         assert_eq!(l1.probe(0), None, "faulty line evicted");
-        let r = load_via(&mut l1, &mut l2, &mut mem, 0, 9000, &lat(), &mut mr, &mut mw);
+        let r = load_via(
+            &mut l1,
+            &mut l2,
+            &mut mem,
+            0,
+            9000,
+            &lat(),
+            &mut mr,
+            &mut mw,
+        );
         assert_eq!(r.value, 0x1111, "clean eviction masked the fault");
     }
 
@@ -503,18 +621,55 @@ mod tests {
     fn dirty_l2_eviction_propagates_fault_to_dram() {
         // Converse scenario: a fault in a *dirty* L2 line is written back
         // and corrupts memory even though no instruction ever reads it.
-        let geom = CacheGeom { bytes: 512, line_bytes: 128, ways: 2, mshrs: 4 }; // 2 sets
+        let geom = CacheGeom {
+            bytes: 512,
+            line_bytes: 128,
+            ways: 2,
+            mshrs: 4,
+        }; // 2 sets
         let mut l1 = Cache::new(small_geom());
         let mut l2 = Cache::new(geom);
         let mut mem = mem_with(0, 0);
         let (mut mr, mut mw) = (0, 0);
-        store_via(&mut l1, &mut l2, &mut mem, 0, 0x10, 0, &lat(), &mut mr, &mut mw);
+        store_via(
+            &mut l1,
+            &mut l2,
+            &mut mem,
+            0,
+            0x10,
+            0,
+            &lat(),
+            &mut mr,
+            &mut mw,
+        );
         let idx = l2.probe(0).unwrap();
         l2.flip_bit(idx as u64 * 128, 0); // 0x10 -> 0x11
-        // Evict line 0 from L2: load lines 2 and 4 (set 0 of 2 sets).
-        load_via(&mut l1, &mut l2, &mut mem, 2 * 128, 100, &lat(), &mut mr, &mut mw);
-        load_via(&mut l1, &mut l2, &mut mem, 4 * 128, 200, &lat(), &mut mr, &mut mw);
-        assert_eq!(mem.read_u32(0), 0x11, "dirty write-back carried the flipped bit");
+                                          // Evict line 0 from L2: load lines 2 and 4 (set 0 of 2 sets).
+        load_via(
+            &mut l1,
+            &mut l2,
+            &mut mem,
+            2 * 128,
+            100,
+            &lat(),
+            &mut mr,
+            &mut mw,
+        );
+        load_via(
+            &mut l1,
+            &mut l2,
+            &mut mem,
+            4 * 128,
+            200,
+            &lat(),
+            &mut mr,
+            &mut mw,
+        );
+        assert_eq!(
+            mem.read_u32(0),
+            0x11,
+            "dirty write-back carried the flipped bit"
+        );
         assert!(mw >= 1);
     }
 

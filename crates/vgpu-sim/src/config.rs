@@ -88,9 +88,24 @@ impl GpuConfig {
             max_ctas_per_sm: 16,
             rf_regs_per_sm: 65536, // 256 KiB
             smem_bytes_per_sm: 65536,
-            l1d: CacheGeom { bytes: 32 * 1024, line_bytes: 128, ways: 4, mshrs: 16 },
-            l1t: CacheGeom { bytes: 16 * 1024, line_bytes: 128, ways: 4, mshrs: 8 },
-            l2: CacheGeom { bytes: 128 * 1024 * num_sms, line_bytes: 128, ways: 8, mshrs: 32 },
+            l1d: CacheGeom {
+                bytes: 32 * 1024,
+                line_bytes: 128,
+                ways: 4,
+                mshrs: 16,
+            },
+            l1t: CacheGeom {
+                bytes: 16 * 1024,
+                line_bytes: 128,
+                ways: 4,
+                mshrs: 8,
+            },
+            l2: CacheGeom {
+                bytes: 128 * 1024 * num_sms,
+                line_bytes: 128,
+                ways: 8,
+                mshrs: 32,
+            },
             lat: Latencies {
                 alu: 4,
                 sfu: 16,
@@ -122,7 +137,10 @@ impl GpuConfig {
 
     /// Total bit count over all five modeled structures.
     pub fn total_bits(&self) -> u64 {
-        HwStructure::ALL.iter().map(|&h| self.structure_bits(h)).sum()
+        HwStructure::ALL
+            .iter()
+            .map(|&h| self.structure_bits(h))
+            .sum()
     }
 }
 
@@ -138,7 +156,12 @@ mod tests {
 
     #[test]
     fn cache_geometry_arithmetic() {
-        let g = CacheGeom { bytes: 32 * 1024, line_bytes: 128, ways: 4, mshrs: 16 };
+        let g = CacheGeom {
+            bytes: 32 * 1024,
+            line_bytes: 128,
+            ways: 4,
+            mshrs: 16,
+        };
         assert_eq!(g.lines(), 256);
         assert_eq!(g.sets(), 64);
         assert_eq!(g.data_bits(), 32 * 1024 * 8);
@@ -158,7 +181,12 @@ mod tests {
         // structure and therefore dominates chip AVF.
         let c = GpuConfig::default();
         let rf = c.structure_bits(HwStructure::RegFile);
-        for h in [HwStructure::Smem, HwStructure::L1D, HwStructure::L1T, HwStructure::L2] {
+        for h in [
+            HwStructure::Smem,
+            HwStructure::L1D,
+            HwStructure::L1T,
+            HwStructure::L2,
+        ] {
             assert!(rf > c.structure_bits(h), "RF must dominate {h:?}");
         }
         assert!(rf as f64 / c.total_bits() as f64 > 0.4);

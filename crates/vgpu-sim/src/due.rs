@@ -67,7 +67,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(DueKind::IllegalAddress { addr: 0x40 }.to_string().contains("0x40"));
+        assert!(DueKind::IllegalAddress { addr: 0x40 }
+            .to_string()
+            .contains("0x40"));
         assert!(DueKind::BarrierDeadlock.to_string().contains("deadlock"));
         assert!(DueKind::BadPc { pc: 0x99 }.to_string().contains("0x99"));
     }

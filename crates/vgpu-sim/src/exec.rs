@@ -43,9 +43,13 @@ pub enum IssueClass {
     Sfu,
     /// Shared-memory access; `extra_conflicts` = serialized extra bank
     /// passes beyond the first.
-    Smem { extra_conflicts: u32 },
+    Smem {
+        extra_conflicts: u32,
+    },
     /// Global/texture access; `ready` is the absolute completion cycle.
-    Mem { ready: u64 },
+    Mem {
+        ready: u64,
+    },
 }
 
 /// Outcome of stepping a warp once.
@@ -102,7 +106,10 @@ fn read_op(regs: &[u32], params: &[u32], o: &Operand, lane: usize) -> u32 {
         Operand::Reg(r) => read_reg(regs, *r, lane),
         Operand::Imm(v) => *v,
         Operand::Const(i) => {
-            debug_assert!((*i as usize) < params.len(), "constant bank index out of range");
+            debug_assert!(
+                (*i as usize) < params.len(),
+                "constant bank index out of range"
+            );
             params.get(*i as usize).copied().unwrap_or(0)
         }
     }
@@ -158,11 +165,15 @@ pub fn step_warp<M: GMem>(w: &mut Warp, ctx: &mut ExecCtx<'_, M>) -> Result<Step
             let eligible = match sw.fault.kind {
                 SwFaultKind::DestValue => op.has_gp_dest(),
                 SwFaultKind::DestValueLoad => {
-                    matches!(op, Op::Ld { space: MemSpace::Global | MemSpace::Tex, .. })
+                    matches!(
+                        op,
+                        Op::Ld {
+                            space: MemSpace::Global | MemSpace::Tex,
+                            ..
+                        }
+                    )
                 }
-                SwFaultKind::SrcTransient | SwFaultKind::SrcPersistent => {
-                    !op.src_regs().is_empty()
-                }
+                SwFaultKind::SrcTransient | SwFaultKind::SrcPersistent => !op.src_regs().is_empty(),
                 SwFaultKind::ArchState => true,
             };
             if eligible {
@@ -209,11 +220,24 @@ pub fn step_warp<M: GMem>(w: &mut Warp, ctx: &mut ExecCtx<'_, M>) -> Result<Step
 
     // ---- instruction-class statistics ----------------------------------
     match op {
-        Op::Ld { space: MemSpace::Global | MemSpace::Tex, .. } => {
+        Op::Ld {
+            space: MemSpace::Global | MemSpace::Tex,
+            ..
+        } => {
             ctx.stats.load_instrs += n_active;
         }
-        Op::St { space: MemSpace::Global, .. } => ctx.stats.store_instrs += n_active,
-        Op::Ld { space: MemSpace::Shared, .. } | Op::St { space: MemSpace::Shared, .. } => {
+        Op::St {
+            space: MemSpace::Global,
+            ..
+        } => ctx.stats.store_instrs += n_active,
+        Op::Ld {
+            space: MemSpace::Shared,
+            ..
+        }
+        | Op::St {
+            space: MemSpace::Shared,
+            ..
+        } => {
             ctx.stats.smem_instrs += n_active;
         }
         _ => {}
@@ -221,7 +245,13 @@ pub fn step_warp<M: GMem>(w: &mut Warp, ctx: &mut ExecCtx<'_, M>) -> Result<Step
     if op.has_gp_dest() {
         ctx.stats.gp_dest_instrs += n_active;
     }
-    if matches!(op, Op::Ld { space: MemSpace::Global | MemSpace::Tex, .. }) {
+    if matches!(
+        op,
+        Op::Ld {
+            space: MemSpace::Global | MemSpace::Tex,
+            ..
+        }
+    ) {
         ctx.stats.ld_dest_instrs += n_active;
     }
     if !op.src_regs().is_empty() {
@@ -298,7 +328,13 @@ pub fn step_warp<M: GMem>(w: &mut Warp, ctx: &mut ExecCtx<'_, M>) -> Result<Step
             let sh = *shift as u32 & 31;
             alu2!(*d, *a, b, lane, |x: u32, y: u32| (x << sh).wrapping_add(y))
         }
-        Op::IMnMx { d, a, b, max, signed } => {
+        Op::IMnMx {
+            d,
+            a,
+            b,
+            max,
+            signed,
+        } => {
             let (mx, sg) = (*max, *signed);
             alu2!(*d, *a, b, lane, |x: u32, y: u32| {
                 if sg {
@@ -313,10 +349,18 @@ pub fn step_warp<M: GMem>(w: &mut Warp, ctx: &mut ExecCtx<'_, M>) -> Result<Step
         }
         // NVIDIA shifts clamp: amounts >= 32 yield 0.
         Op::Shl { d, a, b } => {
-            alu2!(*d, *a, b, lane, |x: u32, y: u32| if y >= 32 { 0 } else { x << y })
+            alu2!(*d, *a, b, lane, |x: u32, y: u32| if y >= 32 {
+                0
+            } else {
+                x << y
+            })
         }
         Op::Shr { d, a, b } => {
-            alu2!(*d, *a, b, lane, |x: u32, y: u32| if y >= 32 { 0 } else { x >> y })
+            alu2!(*d, *a, b, lane, |x: u32, y: u32| if y >= 32 {
+                0
+            } else {
+                x >> y
+            })
         }
         Op::And { d, a, b } => alu2!(*d, *a, b, lane, |x: u32, y: u32| x & y),
         Op::Or { d, a, b } => alu2!(*d, *a, b, lane, |x: u32, y: u32| x | y),
@@ -371,7 +415,13 @@ pub fn step_warp<M: GMem>(w: &mut Warp, ctx: &mut ExecCtx<'_, M>) -> Result<Step
         Op::FAbs { d, a } => alu1!(*d, *a, lane, |x: u32| x & 0x7fff_ffff),
         Op::I2F { d, a } => alu1!(*d, *a, lane, |x: u32| fb(x as i32 as f32)),
         Op::F2I { d, a } => alu1!(*d, *a, lane, |x: u32| f(x) as i32 as u32),
-        Op::ISetP { p, a, b, cmp, signed } => {
+        Op::ISetP {
+            p,
+            a,
+            b,
+            cmp,
+            signed,
+        } => {
             lanes!(lane, {
                 let av = read_reg(ctx.regs, *a, lane);
                 let bv = read_op(ctx.regs, ctx.params, b, lane);
@@ -403,20 +453,38 @@ pub fn step_warp<M: GMem>(w: &mut Warp, ctx: &mut ExecCtx<'_, M>) -> Result<Step
             });
             IssueClass::Alu
         }
-        Op::PSetP { p, a, b, op: bop, na, nb } => {
-            let am = if *na { !w.preds[a.0 as usize] } else { w.preds[a.0 as usize] };
-            let bm = if *nb { !w.preds[b.0 as usize] } else { w.preds[b.0 as usize] };
+        Op::PSetP {
+            p,
+            a,
+            b,
+            op: bop,
+            na,
+            nb,
+        } => {
+            let am = if *na {
+                !w.preds[a.0 as usize]
+            } else {
+                w.preds[a.0 as usize]
+            };
+            let bm = if *nb {
+                !w.preds[b.0 as usize]
+            } else {
+                w.preds[b.0 as usize]
+            };
             let rm = match bop {
                 vgpu_arch::BoolOp::And => am & bm,
                 vgpu_arch::BoolOp::Or => am | bm,
                 vgpu_arch::BoolOp::Xor => am ^ bm,
             };
-            w.preds[p.0 as usize] =
-                (w.preds[p.0 as usize] & !exec_mask) | (rm & exec_mask);
+            w.preds[p.0 as usize] = (w.preds[p.0 as usize] & !exec_mask) | (rm & exec_mask);
             IssueClass::Alu
         }
         Op::Sel { d, a, b, p, neg } => {
-            let pm = if *neg { !w.preds[p.0 as usize] } else { w.preds[p.0 as usize] };
+            let pm = if *neg {
+                !w.preds[p.0 as usize]
+            } else {
+                w.preds[p.0 as usize]
+            };
             lanes!(lane, {
                 let v = if pm & (1 << lane) != 0 {
                     read_reg(ctx.regs, *a, lane)
@@ -435,13 +503,13 @@ pub fn step_warp<M: GMem>(w: &mut Warp, ctx: &mut ExecCtx<'_, M>) -> Result<Step
             MemSpace::Global | MemSpace::Tex => {
                 let mut addrs = [0u32; WARP_SIZE];
                 lanes!(lane, {
-                    addrs[lane] =
-                        read_reg(ctx.regs, *a, lane).wrapping_add(*off as u32);
+                    addrs[lane] = read_reg(ctx.regs, *a, lane).wrapping_add(*off as u32);
                 });
                 let mut out = [0u32; WARP_SIZE];
                 if exec_mask != 0 {
                     let ready =
-                        ctx.mem.load(*space == MemSpace::Tex, exec_mask, &addrs, &mut out)?;
+                        ctx.mem
+                            .load(*space == MemSpace::Tex, exec_mask, &addrs, &mut out)?;
                     lanes!(lane, {
                         ctx.regs[reg_idx(*d, lane)] = out[lane];
                     });
@@ -458,8 +526,7 @@ pub fn step_warp<M: GMem>(w: &mut Warp, ctx: &mut ExecCtx<'_, M>) -> Result<Step
                 let mut addrs = [0u32; WARP_SIZE];
                 let mut vals = [0u32; WARP_SIZE];
                 lanes!(lane, {
-                    addrs[lane] =
-                        read_reg(ctx.regs, *a, lane).wrapping_add(*off as u32);
+                    addrs[lane] = read_reg(ctx.regs, *a, lane).wrapping_add(*off as u32);
                     vals[lane] = read_reg(ctx.regs, *v, lane);
                 });
                 if exec_mask != 0 {
@@ -491,10 +558,18 @@ pub fn step_warp<M: GMem>(w: &mut Warp, ctx: &mut ExecCtx<'_, M>) -> Result<Step
                 top.mask = live;
                 let rpc = *reconv;
                 if pc + 1 != rpc {
-                    w.stack.push(StackEntry { pc: pc + 1, rpc, mask: fall });
+                    w.stack.push(StackEntry {
+                        pc: pc + 1,
+                        rpc,
+                        mask: fall,
+                    });
                 }
                 if *target != rpc {
-                    w.stack.push(StackEntry { pc: *target, rpc, mask: taken });
+                    w.stack.push(StackEntry {
+                        pc: *target,
+                        rpc,
+                        mask: taken,
+                    });
                 }
                 if w.stack.len() > ctx.max_stack {
                     return Err(DueKind::StackOverflow);
@@ -572,7 +647,9 @@ fn smem_access<M: GMem>(
     }
     let _ = w;
     let max_per_bank = *bank_counts.iter().max().unwrap() as u32;
-    Ok(IssueClass::Smem { extra_conflicts: max_per_bank.saturating_sub(1) })
+    Ok(IssueClass::Smem {
+        extra_conflicts: max_per_bank.saturating_sub(1),
+    })
 }
 
 /// Flat (uncached) memory used by the functional engine.
@@ -716,12 +793,7 @@ mod tests {
         let p = a.pred();
         a.s2r(r0, SpecialReg::LaneId);
         a.isetp(p, r0, 8u32, CmpOp::Lt, true);
-        a.if_then_else(
-            p,
-            false,
-            |a| a.mov(r1, 100u32),
-            |a| a.mov(r1, 200u32),
-        );
+        a.if_then_else(p, false, |a| a.mov(r1, 100u32), |a| a.mov(r1, 200u32));
         a.iadd(r2, r1, 1u32); // after reconvergence: all lanes execute
         let k = a.build().unwrap();
         let mut mem = GlobalMem::new(4096);
@@ -894,7 +966,9 @@ mod tests {
         let mut inj = SwInjector::new(crate::fault::SwFault {
             kind: SwFaultKind::DestValue,
             target: 3, // lane 3 of the first eligible instruction
-            bit: 1, loc_pick: 0 });
+            bit: 1,
+            loc_pick: 0,
+        });
         let mut flat = FlatMem { mem: &mut mem };
         loop {
             let mut ctx = ExecCtx {
@@ -914,8 +988,16 @@ mod tests {
             }
         }
         assert!(inj.applied);
-        assert_eq!(regs[reg_idx(Reg(0), 3)], 7, "flipped destination value persists");
-        assert_eq!(regs[reg_idx(Reg(1), 3)], 8, "downstream reader sees the flip");
+        assert_eq!(
+            regs[reg_idx(Reg(0), 3)],
+            7,
+            "flipped destination value persists"
+        );
+        assert_eq!(
+            regs[reg_idx(Reg(1), 3)],
+            8,
+            "downstream reader sees the flip"
+        );
         assert_eq!(regs[reg_idx(Reg(1), 2)], 6, "other lanes unaffected");
     }
 
@@ -961,8 +1043,16 @@ mod tests {
         }
         assert!(inj.applied);
         assert_eq!(regs[reg_idx(Reg(1), 0)], 5, "earlier instr unaffected");
-        assert_eq!(regs[reg_idx(Reg(2), 0)], 7, "target instr read flipped src (5+2)");
-        assert_eq!(regs[reg_idx(Reg(0), 0)], 4, "source restored after the instr");
+        assert_eq!(
+            regs[reg_idx(Reg(2), 0)],
+            7,
+            "target instr read flipped src (5+2)"
+        );
+        assert_eq!(
+            regs[reg_idx(Reg(0), 0)],
+            4,
+            "source restored after the instr"
+        );
     }
 
     #[test]

@@ -91,6 +91,19 @@ pub enum SwFaultKind {
     ArchState,
 }
 
+impl SwFaultKind {
+    /// Stable identifier used in metric labels and event logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SwFaultKind::DestValue => "dest_value",
+            SwFaultKind::DestValueLoad => "dest_value_ld",
+            SwFaultKind::SrcTransient => "src_transient",
+            SwFaultKind::SrcPersistent => "src_persistent",
+            SwFaultKind::ArchState => "arch_state",
+        }
+    }
+}
+
 /// A software-level fault: flip `bit` in the value associated with the
 /// `target`-th *eligible* dynamic thread-instruction (eligibility depends
 /// on [`SwFaultKind`]). Dynamic instructions are counted per executing
@@ -120,7 +133,11 @@ pub struct SwInjector {
 
 impl SwInjector {
     pub fn new(fault: SwFault) -> Self {
-        SwInjector { fault, counter: 0, applied: false }
+        SwInjector {
+            fault,
+            counter: 0,
+            applied: false,
+        }
     }
 }
 
@@ -137,7 +154,11 @@ pub struct UarchInjector {
 
 impl UarchInjector {
     pub fn new(fault: UarchFault) -> Self {
-        UarchInjector { fault, applied: false, population: 0 }
+        UarchInjector {
+            fault,
+            applied: false,
+            population: 0,
+        }
     }
 }
 
@@ -156,7 +177,12 @@ mod tests {
 
     #[test]
     fn injector_initial_state() {
-        let i = SwInjector::new(SwFault { kind: SwFaultKind::DestValue, target: 10, bit: 3, loc_pick: 0 });
+        let i = SwInjector::new(SwFault {
+            kind: SwFaultKind::DestValue,
+            target: 10,
+            bit: 3,
+            loc_pick: 0,
+        });
         assert_eq!(i.counter, 0);
         assert!(!i.applied);
         let u = UarchInjector::new(UarchFault {

@@ -45,7 +45,11 @@ pub fn run_functional(
             .map(|wi| {
                 let first = wi as u32 * WARP_SIZE as u32;
                 let lanes = (lc.block_x - first).min(WARP_SIZE as u32);
-                let mask = if lanes >= 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+                let mask = if lanes >= 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << lanes) - 1
+                };
                 let w = Warp::new(ctaid_x, ctaid_y, wi as u32, mask, seq);
                 seq += 1;
                 w
@@ -76,9 +80,7 @@ pub fn run_functional(
                         sw: sw.as_deref_mut(),
                         max_stack,
                     };
-                    match step_warp(&mut warps[wi], &mut ctx)
-                        .map_err(LaunchAbort::Due)?
-                    {
+                    match step_warp(&mut warps[wi], &mut ctx).map_err(LaunchAbort::Due)? {
                         StepEvent::Done => {
                             running -= 1;
                             progressed = true;

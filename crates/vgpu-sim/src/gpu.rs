@@ -35,7 +35,10 @@ pub struct Budget {
 
 impl Budget {
     pub fn unlimited() -> Self {
-        Budget { cycles: u64::MAX / 2, instrs: u64::MAX / 2 }
+        Budget {
+            cycles: u64::MAX / 2,
+            instrs: u64::MAX / 2,
+        }
     }
 }
 
@@ -66,10 +69,21 @@ pub struct Gpu {
 
 impl Gpu {
     pub fn new(cfg: GpuConfig, mem: GlobalMem, mode: Mode) -> Self {
-        let l1ds = (0..cfg.num_sms).map(|_| Cache::new(cfg.l1d.clone())).collect();
-        let l1ts = (0..cfg.num_sms).map(|_| Cache::new(cfg.l1t.clone())).collect();
+        let l1ds = (0..cfg.num_sms)
+            .map(|_| Cache::new(cfg.l1d.clone()))
+            .collect();
+        let l1ts = (0..cfg.num_sms)
+            .map(|_| Cache::new(cfg.l1t.clone()))
+            .collect();
         let l2 = Cache::new(cfg.l2.clone());
-        Gpu { cfg, mem, mode, l1ds, l1ts, l2 }
+        Gpu {
+            cfg,
+            mem,
+            mode,
+            l1ds,
+            l1ts,
+            l2,
+        }
     }
 
     pub fn mode(&self) -> Mode {
@@ -79,6 +93,48 @@ impl Gpu {
     /// Launch a kernel. Returns per-launch statistics, or the abort cause
     /// (DUE / timeout) for classification.
     pub fn launch(
+        &mut self,
+        kernel: &Kernel,
+        lc: &LaunchConfig,
+        fault: FaultPlan<'_>,
+        budget: &Budget,
+    ) -> Result<Stats, LaunchAbort> {
+        let res = self.launch_inner(kernel, lc, fault, budget);
+        if obs::enabled() {
+            self.export_metrics(&res);
+        }
+        res
+    }
+
+    /// Export per-launch simulator counters into the global obs registry,
+    /// labeled by engine mode. Only called while observability is on.
+    fn export_metrics(&self, res: &Result<Stats, LaunchAbort>) {
+        let mode = match self.mode {
+            Mode::Timed => "timed",
+            Mode::Functional => "functional",
+        };
+        let labels: &[(&str, &str)] = &[("mode", mode)];
+        obs::counter_add("sim_launches_total", labels, 1);
+        match res {
+            Ok(s) => {
+                obs::counter_add("sim_cycles_total", labels, s.cycles);
+                obs::counter_add("sim_issue_cycles_total", labels, s.issue_cycles);
+                obs::counter_add("sim_stall_cycles_total", labels, s.stall_cycles);
+                obs::counter_add("sim_thread_instrs_total", labels, s.thread_instrs);
+                obs::counter_add("sim_mem_reads_total", labels, s.mem_reads);
+                obs::counter_add("sim_mem_writes_total", labels, s.mem_writes);
+            }
+            Err(abort) => {
+                let cause = match abort {
+                    LaunchAbort::Timeout => "timeout",
+                    LaunchAbort::Due(_) => "due",
+                };
+                obs::counter_add("sim_aborts_total", &[("mode", mode), ("cause", cause)], 1);
+            }
+        }
+    }
+
+    fn launch_inner(
         &mut self,
         kernel: &Kernel,
         lc: &LaunchConfig,
@@ -155,7 +211,9 @@ impl Gpu {
 
     /// Read `words` consecutive words starting at `addr`.
     pub fn host_read_block(&self, addr: u32, words: u32) -> Vec<u32> {
-        (0..words).map(|i| self.host_read_u32(addr + i * 4)).collect()
+        (0..words)
+            .map(|i| self.host_read_u32(addr + i * 4))
+            .collect()
     }
 
     /// Write a block of words starting at `addr`.
@@ -210,7 +268,8 @@ mod tests {
     fn host_reads_see_l2_resident_writes_in_timed_mode() {
         let k = store_kernel();
         let (mut gpu, lc, out) = fresh(Mode::Timed);
-        gpu.launch(&k, &lc, FaultPlan::None, &Budget::unlimited()).unwrap();
+        gpu.launch(&k, &lc, FaultPlan::None, &Budget::unlimited())
+            .unwrap();
         for i in 0..64 {
             assert_eq!(gpu.host_read_u32(out + i * 4), i);
         }
@@ -220,7 +279,8 @@ mod tests {
     fn host_write_updates_resident_l2_copy() {
         let k = store_kernel();
         let (mut gpu, lc, out) = fresh(Mode::Timed);
-        gpu.launch(&k, &lc, FaultPlan::None, &Budget::unlimited()).unwrap();
+        gpu.launch(&k, &lc, FaultPlan::None, &Budget::unlimited())
+            .unwrap();
         // Output lines are dirty in L2; a host write must be visible to a
         // subsequent host read (and to the next kernel through the L2).
         gpu.host_write_u32(out + 8, 777);

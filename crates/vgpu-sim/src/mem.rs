@@ -19,7 +19,10 @@ pub struct GlobalMem {
 impl GlobalMem {
     /// Create an arena of `size` bytes, all initially unmapped.
     pub fn new(size: u32) -> Self {
-        GlobalMem { data: vec![0u8; size as usize], mapped: Vec::new() }
+        GlobalMem {
+            data: vec![0u8; size as usize],
+            mapped: Vec::new(),
+        }
     }
 
     /// Total arena size in bytes.
@@ -30,7 +33,9 @@ impl GlobalMem {
     /// Mark `[start, start+len)` as a valid allocation. Ranges must not
     /// overlap existing ones and must lie within the arena.
     pub fn map(&mut self, start: u32, len: u32) {
-        let end = start.checked_add(len).expect("mapping overflows address space");
+        let end = start
+            .checked_add(len)
+            .expect("mapping overflows address space");
         assert!(end as usize <= self.data.len(), "mapping outside arena");
         let pos = self.mapped.partition_point(|&(s, _)| s < start);
         if pos > 0 {
@@ -100,7 +105,11 @@ pub struct ArenaPlanner {
 impl ArenaPlanner {
     /// Allocations start at `base` (kept well above zero).
     pub fn new() -> Self {
-        ArenaPlanner { cursor: 0x1000, guard: 512, regions: Vec::new() }
+        ArenaPlanner {
+            cursor: 0x1000,
+            guard: 512,
+            regions: Vec::new(),
+        }
     }
 
     /// Reserve `bytes` of device memory; returns the base address.
@@ -151,7 +160,10 @@ mod tests {
         assert!(!m.is_mapped_word(200));
         assert!(m.check_word(256).is_ok());
         assert_eq!(m.check_word(258), Err(DueKind::Misaligned { addr: 258 }));
-        assert_eq!(m.check_word(512), Err(DueKind::IllegalAddress { addr: 512 }));
+        assert_eq!(
+            m.check_word(512),
+            Err(DueKind::IllegalAddress { addr: 512 })
+        );
     }
 
     #[test]

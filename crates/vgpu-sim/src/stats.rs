@@ -34,6 +34,11 @@ impl CacheStats {
 pub struct Stats {
     /// Cycles (timed mode only; 0 in functional mode).
     pub cycles: u64,
+    /// Cycles where at least one warp issued (timed mode only).
+    pub issue_cycles: u64,
+    /// Cycles where no warp could issue — all stalled on scoreboard or
+    /// memory (timed mode only). `issue_cycles + stall_cycles == cycles`.
+    pub stall_cycles: u64,
     /// Warp-level instructions issued.
     pub warp_instrs: u64,
     /// Thread-level dynamic instructions (warp instruction × active lanes).
@@ -76,9 +81,20 @@ impl Stats {
         }
     }
 
+    /// Fraction of cycles with at least one issuing warp, in [0, 1].
+    pub fn issue_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.issue_cycles as f64 / self.cycles as f64
+        }
+    }
+
     /// Accumulate another launch's statistics.
     pub fn add(&mut self, o: &Stats) {
         self.cycles += o.cycles;
+        self.issue_cycles += o.issue_cycles;
+        self.stall_cycles += o.stall_cycles;
         self.warp_instrs += o.warp_instrs;
         self.thread_instrs += o.thread_instrs;
         self.load_instrs += o.load_instrs;
@@ -105,29 +121,64 @@ mod tests {
     fn miss_rate_handles_zero_accesses() {
         let c = CacheStats::default();
         assert_eq!(c.miss_rate(), 0.0);
-        let c = CacheStats { accesses: 10, misses: 3, ..Default::default() };
+        let c = CacheStats {
+            accesses: 10,
+            misses: 3,
+            ..Default::default()
+        };
         assert!((c.miss_rate() - 0.3).abs() < 1e-12);
     }
 
     #[test]
     fn occupancy_ratio() {
-        let s = Stats { resident_warp_cycles: 50, max_warp_cycles: 200, ..Default::default() };
+        let s = Stats {
+            resident_warp_cycles: 50,
+            max_warp_cycles: 200,
+            ..Default::default()
+        };
         assert!((s.occupancy() - 0.25).abs() < 1e-12);
         assert_eq!(Stats::default().occupancy(), 0.0);
     }
 
     #[test]
     fn add_accumulates_all_fields() {
-        let mut a = Stats { cycles: 1, warp_instrs: 2, thread_instrs: 3, ..Default::default() };
+        let mut a = Stats {
+            cycles: 1,
+            warp_instrs: 2,
+            thread_instrs: 3,
+            ..Default::default()
+        };
         a.l1d.accesses = 5;
-        let mut b = Stats { cycles: 10, warp_instrs: 20, thread_instrs: 30, ..Default::default() };
+        a.issue_cycles = 1;
+        let mut b = Stats {
+            cycles: 10,
+            warp_instrs: 20,
+            thread_instrs: 30,
+            ..Default::default()
+        };
         b.l1d.accesses = 50;
         b.mem_reads = 7;
+        b.issue_cycles = 6;
+        b.stall_cycles = 4;
         a.add(&b);
         assert_eq!(a.cycles, 11);
         assert_eq!(a.warp_instrs, 22);
         assert_eq!(a.thread_instrs, 33);
         assert_eq!(a.l1d.accesses, 55);
         assert_eq!(a.mem_reads, 7);
+        assert_eq!(a.issue_cycles, 7);
+        assert_eq!(a.stall_cycles, 4);
+    }
+
+    #[test]
+    fn issue_utilization_ratio() {
+        let s = Stats {
+            cycles: 10,
+            issue_cycles: 4,
+            stall_cycles: 6,
+            ..Default::default()
+        };
+        assert!((s.issue_utilization() - 0.4).abs() < 1e-12);
+        assert_eq!(Stats::default().issue_utilization(), 0.0);
     }
 }

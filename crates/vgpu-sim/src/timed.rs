@@ -191,7 +191,13 @@ fn geometry(cfg: &GpuConfig, kernel: &Kernel, lc: &LaunchConfig) -> Geometry {
         kernel.num_regs,
         kernel.smem_bytes
     );
-    Geometry { wpc, regs_per_warp, regs_per_cta, smem_words_per_cta, slots_per_sm }
+    Geometry {
+        wpc,
+        regs_per_warp,
+        regs_per_cta,
+        smem_words_per_cta,
+        slots_per_sm,
+    }
 }
 
 /// Place CTA `lin` into `slot` of `sm`.
@@ -212,12 +218,19 @@ fn launch_cta(
     for wi in 0..g.wpc {
         let first_thread = wi * WARP_SIZE as u32;
         let lanes = (lc.block_x - first_thread).min(WARP_SIZE as u32);
-        let mask = if lanes >= 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+        let mask = if lanes >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << lanes) - 1
+        };
         let w = Warp::new(ctaid_x, ctaid_y, wi, mask, *seq);
         *seq += 1;
         sm.warps[slot * g.wpc as usize + wi as usize] = Some(w);
     }
-    sm.slots[slot] = Some(CtaSlot { warps_running: g.wpc, arrived: 0 });
+    sm.slots[slot] = Some(CtaSlot {
+        warps_running: g.wpc,
+        arrived: 0,
+    });
 }
 
 /// Apply a pending microarchitecture fault to the live machine state.
@@ -234,8 +247,11 @@ fn apply_uarch(
     match inj.fault.structure {
         HwStructure::RegFile | HwStructure::Smem => {
             let is_rf = inj.fault.structure == HwStructure::RegFile;
-            let per_cta =
-                if is_rf { g.regs_per_cta as u64 } else { g.smem_words_per_cta as u64 };
+            let per_cta = if is_rf {
+                g.regs_per_cta as u64
+            } else {
+                g.smem_words_per_cta as u64
+            };
             let mut population = 0u64;
             for sm in sms.iter() {
                 population += sm.slots.iter().flatten().count() as u64 * per_cta;
@@ -265,7 +281,11 @@ fn apply_uarch(
             unreachable!("population walk must land");
         }
         HwStructure::L1D | HwStructure::L1T => {
-            let caches = if inj.fault.structure == HwStructure::L1D { l1ds } else { l1ts };
+            let caches = if inj.fault.structure == HwStructure::L1D {
+                l1ds
+            } else {
+                l1ts
+            };
             let per = caches[0].data_bytes();
             let total = per * caches.len() as u64;
             inj.population = total * 8;
@@ -347,11 +367,7 @@ pub fn run_timed(
             // Greedy-then-oldest pick.
             let ready = |w: &Warp, cyc: u64| !w.done && !w.at_barrier && w.ready_at <= cyc;
             let pick = match sm.last {
-                Some(wi)
-                    if sm.warps[wi].as_ref().is_some_and(|w| ready(w, cycle)) =>
-                {
-                    Some(wi)
-                }
+                Some(wi) if sm.warps[wi].as_ref().is_some_and(|w| ready(w, cycle)) => Some(wi),
                 _ => sm
                     .warps
                     .iter()
@@ -387,10 +403,8 @@ pub fn run_timed(
                     params: &lc.params,
                     ntid: lc.block_x,
                     nctaid: lc.grid_x,
-                    regs: &mut sm.rf
-                        [rf_base..rf_base + g.regs_per_warp as usize],
-                    smem: &mut sm.smem
-                        [smem_base..smem_base + g.smem_words_per_cta as usize],
+                    regs: &mut sm.rf[rf_base..rf_base + g.regs_per_warp as usize],
+                    smem: &mut sm.smem[smem_base..smem_base + g.smem_words_per_cta as usize],
                     mem: &mut tg,
                     stats: &mut stats,
                     sw: sw.as_deref_mut(),
@@ -465,6 +479,7 @@ pub fn run_timed(
         if done_ctas == total_ctas {
             stats.resident_warp_cycles += resident;
             stats.max_warp_cycles += num_sms as u64 * max_warps_hw;
+            stats.issue_cycles += 1; // the Done event implies an issue
             cycle += 1;
             break Ok(());
         }
@@ -493,6 +508,11 @@ pub fn run_timed(
             }
             target - cycle
         };
+        if issued_any {
+            stats.issue_cycles += 1;
+        } else {
+            stats.stall_cycles += advance;
+        }
         stats.resident_warp_cycles += resident * advance;
         stats.max_warp_cycles += num_sms as u64 * max_warps_hw * advance;
         cycle += advance;

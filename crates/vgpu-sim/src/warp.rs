@@ -38,7 +38,11 @@ impl Warp {
     pub fn new(ctaid_x: u32, ctaid_y: u32, warp_in_cta: u32, init_mask: u32, seq: u64) -> Self {
         debug_assert!(init_mask != 0, "warp with no lanes");
         Warp {
-            stack: vec![StackEntry { pc: 0, rpc: RPC_NONE, mask: init_mask }],
+            stack: vec![StackEntry {
+                pc: 0,
+                rpc: RPC_NONE,
+                mask: init_mask,
+            }],
             preds: [0; 4],
             exited: 0,
             init_mask,
@@ -88,7 +92,11 @@ mod tests {
     #[test]
     fn settle_pops_reconverged_entries() {
         let mut w = Warp::new(0, 0, 0, 0xf, 0);
-        w.stack.push(StackEntry { pc: 10, rpc: 10, mask: 0x3 });
+        w.stack.push(StackEntry {
+            pc: 10,
+            rpc: 10,
+            mask: 0x3,
+        });
         assert!(w.settle());
         assert_eq!(w.stack.len(), 1);
         assert_eq!(w.live_mask(), 0xf);

@@ -24,7 +24,12 @@ fn saxpy_kernel() -> vgpu_arch::Kernel {
         a.ld(yv, MemSpace::Global, ya, 0);
         let coef = a.reg();
         a.mov(coef, a.param(2));
-        a.ffma(yv, xv, vgpu_arch::Operand::Reg(coef), vgpu_arch::Operand::Reg(yv));
+        a.ffma(
+            yv,
+            xv,
+            vgpu_arch::Operand::Reg(coef),
+            vgpu_arch::Operand::Reg(yv),
+        );
         a.st(MemSpace::Global, ya, 0, yv);
     });
     a.build().unwrap()
@@ -90,16 +95,28 @@ fn saxpy_setup(mode: Mode, n: u32) -> SaxpySetup {
     }
     let gpu = Gpu::new(GpuConfig::default(), mem, mode);
     let lc = LaunchConfig::new(n.div_ceil(128), 128, vec![x, y, 3.0f32.to_bits(), n]);
-    SaxpySetup { gpu, lc, y_addr: y, n }
+    SaxpySetup {
+        gpu,
+        lc,
+        y_addr: y,
+        n,
+    }
 }
 
 #[test]
 fn saxpy_functional_correct() {
     let k = saxpy_kernel();
     let mut s = saxpy_setup(Mode::Functional, 1000);
-    let stats = s.gpu.launch(&k, &s.lc, FaultPlan::None, &Budget::unlimited()).unwrap();
+    let stats = s
+        .gpu
+        .launch(&k, &s.lc, FaultPlan::None, &Budget::unlimited())
+        .unwrap();
     for i in 0..s.n {
-        assert_eq!(s.gpu.host_read_f32(s.y_addr + i * 4), 3.0 * i as f32 + 2.0, "i={i}");
+        assert_eq!(
+            s.gpu.host_read_f32(s.y_addr + i * 4),
+            3.0 * i as f32 + 2.0,
+            "i={i}"
+        );
     }
     assert_eq!(stats.cycles, 0, "functional mode has no cycle model");
     assert!(stats.thread_instrs > 0);
@@ -113,8 +130,13 @@ fn saxpy_timed_matches_functional() {
     let n = 1000;
     let mut f = saxpy_setup(Mode::Functional, n);
     let mut t = saxpy_setup(Mode::Timed, n);
-    f.gpu.launch(&k, &f.lc, FaultPlan::None, &Budget::unlimited()).unwrap();
-    let ts = t.gpu.launch(&k, &t.lc, FaultPlan::None, &Budget::unlimited()).unwrap();
+    f.gpu
+        .launch(&k, &f.lc, FaultPlan::None, &Budget::unlimited())
+        .unwrap();
+    let ts = t
+        .gpu
+        .launch(&k, &t.lc, FaultPlan::None, &Budget::unlimited())
+        .unwrap();
     for i in 0..n {
         assert_eq!(
             t.gpu.host_read_u32(t.y_addr + i * 4),
@@ -149,8 +171,10 @@ fn reduce_with_barrier_timed_and_functional_agree() {
     };
     let (mut fg, flc, fout) = build(Mode::Functional);
     let (mut tg, tlc, tout) = build(Mode::Timed);
-    fg.launch(&k, &flc, FaultPlan::None, &Budget::unlimited()).unwrap();
-    tg.launch(&k, &tlc, FaultPlan::None, &Budget::unlimited()).unwrap();
+    fg.launch(&k, &flc, FaultPlan::None, &Budget::unlimited())
+        .unwrap();
+    tg.launch(&k, &tlc, FaultPlan::None, &Budget::unlimited())
+        .unwrap();
     for c in 0..n_ctas {
         let expect: u32 = (0..block).map(|t| (c * block + t) % 17).sum();
         assert_eq!(fg.host_read_u32(fout + c * 4), expect, "functional cta {c}");
@@ -163,7 +187,9 @@ fn timed_run_is_deterministic() {
     let k = saxpy_kernel();
     let run = || {
         let mut s = saxpy_setup(Mode::Timed, 512);
-        s.gpu.launch(&k, &s.lc, FaultPlan::None, &Budget::unlimited()).unwrap()
+        s.gpu
+            .launch(&k, &s.lc, FaultPlan::None, &Budget::unlimited())
+            .unwrap()
     };
     let a = run();
     let b = run();
@@ -175,7 +201,9 @@ fn uarch_rf_fault_changes_or_masks_but_never_panics() {
     let k = saxpy_kernel();
     let golden = {
         let mut s = saxpy_setup(Mode::Timed, 512);
-        s.gpu.launch(&k, &s.lc, FaultPlan::None, &Budget::unlimited()).unwrap()
+        s.gpu
+            .launch(&k, &s.lc, FaultPlan::None, &Budget::unlimited())
+            .unwrap()
     };
     let mut outcomes = [0u32; 3]; // masked, sdc, aborted
     for trial in 0..40u64 {
@@ -186,13 +214,19 @@ fn uarch_rf_fault_changes_or_masks_but_never_panics() {
             loc_pick: trial.wrapping_mul(0x9e37_79b9_7f4a_7c15),
             bit: (trial % 32) as u8,
         });
-        let budget = Budget { cycles: golden.cycles * 10 + 1000, instrs: u64::MAX / 2 };
+        let budget = Budget {
+            cycles: golden.cycles * 10 + 1000,
+            instrs: u64::MAX / 2,
+        };
         match s.gpu.launch(&k, &s.lc, FaultPlan::Uarch(&mut inj), &budget) {
             Ok(_) => {
                 assert!(inj.applied);
                 let mut sdc = false;
                 let mut clean = saxpy_setup(Mode::Timed, 512);
-                clean.gpu.launch(&k, &clean.lc, FaultPlan::None, &Budget::unlimited()).unwrap();
+                clean
+                    .gpu
+                    .launch(&k, &clean.lc, FaultPlan::None, &Budget::unlimited())
+                    .unwrap();
                 for i in 0..512 {
                     if s.gpu.host_read_u32(s.y_addr + i * 4)
                         != clean.gpu.host_read_u32(clean.y_addr + i * 4)
@@ -209,7 +243,10 @@ fn uarch_rf_fault_changes_or_masks_but_never_panics() {
     // With real register-file faults some runs must be masked; usually at
     // least one corrupts data or crashes.
     assert!(outcomes[0] > 0, "some faults must be masked: {outcomes:?}");
-    assert!(outcomes[1] + outcomes[2] > 0, "some faults must be visible: {outcomes:?}");
+    assert!(
+        outcomes[1] + outcomes[2] > 0,
+        "some faults must be visible: {outcomes:?}"
+    );
 }
 
 #[test]
@@ -222,7 +259,9 @@ fn uarch_cache_fault_applies_to_whole_array() {
         loc_pick: 123_456_789,
         bit: 3,
     });
-    let _ = s.gpu.launch(&k, &s.lc, FaultPlan::Uarch(&mut inj), &Budget::unlimited());
+    let _ = s
+        .gpu
+        .launch(&k, &s.lc, FaultPlan::Uarch(&mut inj), &Budget::unlimited());
     assert!(inj.applied);
     let cfg = GpuConfig::default();
     assert_eq!(inj.population, cfg.l2.bytes as u64 * 8);
@@ -233,7 +272,10 @@ fn sw_fault_in_functional_mode() {
     let k = saxpy_kernel();
     // Golden eligible-instruction count.
     let mut g = saxpy_setup(Mode::Functional, 256);
-    let gs = g.gpu.launch(&k, &g.lc, FaultPlan::None, &Budget::unlimited()).unwrap();
+    let gs = g
+        .gpu
+        .launch(&k, &g.lc, FaultPlan::None, &Budget::unlimited())
+        .unwrap();
     assert!(gs.gp_dest_instrs > 0);
     let mut hit_any_sdc = false;
     for t in 0..20 {
@@ -241,9 +283,17 @@ fn sw_fault_in_functional_mode() {
         let mut inj = SwInjector::new(SwFault {
             kind: SwFaultKind::DestValue,
             target: (t * 131) % gs.gp_dest_instrs,
-            bit: 30, loc_pick: 0 });
-        let budget = Budget { cycles: u64::MAX / 2, instrs: gs.thread_instrs * 10 + 1000 };
-        if s.gpu.launch(&k, &s.lc, FaultPlan::Sw(&mut inj), &budget).is_ok() {
+            bit: 30,
+            loc_pick: 0,
+        });
+        let budget = Budget {
+            cycles: u64::MAX / 2,
+            instrs: gs.thread_instrs * 10 + 1000,
+        };
+        if s.gpu
+            .launch(&k, &s.lc, FaultPlan::Sw(&mut inj), &budget)
+            .is_ok()
+        {
             assert!(inj.applied, "target index within population must apply");
             for i in 0..256 {
                 if s.gpu.host_read_f32(s.y_addr + i * 4) != 3.0 * i as f32 + 2.0 {
@@ -252,7 +302,10 @@ fn sw_fault_in_functional_mode() {
             }
         }
     }
-    assert!(hit_any_sdc, "high-bit flips of live values must corrupt some output");
+    assert!(
+        hit_any_sdc,
+        "high-bit flips of live values must corrupt some output"
+    );
 }
 
 #[test]
@@ -261,7 +314,15 @@ fn timeout_classification() {
     let mut s = saxpy_setup(Mode::Timed, 1024);
     let err = s
         .gpu
-        .launch(&k, &s.lc, FaultPlan::None, &Budget { cycles: 10, instrs: u64::MAX / 2 })
+        .launch(
+            &k,
+            &s.lc,
+            FaultPlan::None,
+            &Budget {
+                cycles: 10,
+                instrs: u64::MAX / 2,
+            },
+        )
         .unwrap_err();
     assert_eq!(err, vgpu_sim::LaunchAbort::Timeout);
 }
@@ -270,7 +331,9 @@ fn timeout_classification() {
 fn l2_persists_across_launches_and_host_reads_are_coherent() {
     let k = saxpy_kernel();
     let mut s = saxpy_setup(Mode::Timed, 256);
-    s.gpu.launch(&k, &s.lc, FaultPlan::None, &Budget::unlimited()).unwrap();
+    s.gpu
+        .launch(&k, &s.lc, FaultPlan::None, &Budget::unlimited())
+        .unwrap();
     // Outputs live in dirty L2 lines; the host must still see them.
     for i in 0..256 {
         assert_eq!(s.gpu.host_read_f32(s.y_addr + i * 4), 3.0 * i as f32 + 2.0);

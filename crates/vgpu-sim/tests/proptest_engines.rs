@@ -20,7 +20,12 @@ fn random_kernel(ops: &[u8], with_loop: bool) -> Kernel {
     let p = a.pred();
     a.linear_tid(gid, tmp);
     for (i, &r) in regs.iter().enumerate() {
-        a.imad(r, gid, Operand::Imm((i as u32).wrapping_mul(2654435761)), Operand::Imm(i as u32 + 1));
+        a.imad(
+            r,
+            gid,
+            Operand::Imm((i as u32).wrapping_mul(2654435761)),
+            Operand::Imm(i as u32 + 1),
+        );
     }
     let emit = |a: &mut KernelBuilder, code: u8| {
         let d = regs[(code % 6) as usize];
@@ -77,7 +82,8 @@ fn run(kernel: &Kernel, mode: Mode, n: u32) -> Vec<u32> {
     let mem = planner.build();
     let mut gpu = Gpu::new(GpuConfig::default(), mem, mode);
     let lc = LaunchConfig::new(n / 64, 64, vec![out]);
-    gpu.launch(kernel, &lc, FaultPlan::None, &Budget::unlimited()).unwrap();
+    gpu.launch(kernel, &lc, FaultPlan::None, &Budget::unlimited())
+        .unwrap();
     gpu.host_read_block(out, n)
 }
 

@@ -12,7 +12,10 @@ use relia::Confidence;
 use vgpu_sim::HwStructure;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(150);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
     let cfg = CampaignCfg::new(n, n, 42);
     println!(
         "{n} injections per target → ±{:.2}% at 99% confidence (paper: 3000 → ±2.35%)\n",
@@ -40,7 +43,10 @@ fn main() {
         }
     }
     let a = avf.app_avf(&cfg.gpu);
-    println!("  chip AVF (size-weighted, cycle-weighted) = {:.4}%\n", a.total() * 100.0);
+    println!(
+        "  chip AVF (size-weighted, cycle-weighted) = {:.4}%\n",
+        a.total() * 100.0
+    );
 
     // Software level: destination-register value flips in the dynamic
     // instruction stream (Section II-C).

@@ -38,7 +38,9 @@ fn main() {
     }
     let mut gpu = Gpu::new(GpuConfig::default(), mem, Mode::Timed);
     let lc = LaunchConfig::new(n / 128, 128, vec![inp, out, n]);
-    let stats = gpu.launch(&kernel, &lc, FaultPlan::None, &Budget::unlimited()).unwrap();
+    let stats = gpu
+        .launch(&kernel, &lc, FaultPlan::None, &Budget::unlimited())
+        .unwrap();
     assert_eq!(gpu.host_read_f32(out + 5 * 4), 25.0);
     println!(
         "timed run: {} cycles, {} warp instrs, occupancy {:.1}%, L1D miss rate {:.1}%",
@@ -57,7 +59,11 @@ fn main() {
         for i in 0..n {
             mem.write_u32(inp + i * 4, (i as f32).to_bits());
         }
-        (Gpu::new(GpuConfig::default(), mem, mode), LaunchConfig::new(n / 128, 128, vec![inp, out, n]), out)
+        (
+            Gpu::new(GpuConfig::default(), mem, mode),
+            LaunchConfig::new(n / 128, 128, vec![inp, out, n]),
+            out,
+        )
     };
     let (mut gpu, lc, out) = build(Mode::Timed);
     let mut inj = UarchInjector::new(UarchFault {
@@ -66,21 +72,36 @@ fn main() {
         loc_pick: 0xDEAD_BEEF_1234,
         bit: 30,
     });
-    let budget = Budget { cycles: stats.cycles * 10, instrs: u64::MAX / 2 };
+    let budget = Budget {
+        cycles: stats.cycles * 10,
+        instrs: u64::MAX / 2,
+    };
     match gpu.launch(&kernel, &lc, FaultPlan::Uarch(&mut inj), &budget) {
         Ok(_) => {
-            let corrupted = (0..n).filter(|&i| gpu.host_read_f32(out + i * 4) != (i * i) as f32).count();
-            println!("uarch RF fault (population {} regs): {corrupted} corrupted outputs", inj.population);
+            let corrupted = (0..n)
+                .filter(|&i| gpu.host_read_f32(out + i * 4) != (i * i) as f32)
+                .count();
+            println!(
+                "uarch RF fault (population {} regs): {corrupted} corrupted outputs",
+                inj.population
+            );
         }
         Err(abort) => println!("uarch RF fault crashed the kernel: {abort}"),
     }
 
     // ---- 4. Software-level fault: flip a destination-register value ----
     let (mut gpu, lc, out) = build(Mode::Functional);
-    let mut inj = SwInjector::new(SwFault { kind: SwFaultKind::DestValue, target: 2000, bit: 28, loc_pick: 0 });
+    let mut inj = SwInjector::new(SwFault {
+        kind: SwFaultKind::DestValue,
+        target: 2000,
+        bit: 28,
+        loc_pick: 0,
+    });
     match gpu.launch(&kernel, &lc, FaultPlan::Sw(&mut inj), &Budget::unlimited()) {
         Ok(_) => {
-            let corrupted = (0..n).filter(|&i| gpu.host_read_f32(out + i * 4) != (i * i) as f32).count();
+            let corrupted = (0..n)
+                .filter(|&i| gpu.host_read_f32(out + i * 4) != (i * i) as f32)
+                .count();
             println!("software fault at dynamic instruction 2000: {corrupted} corrupted outputs");
         }
         Err(abort) => println!("software fault crashed the kernel: {abort}"),

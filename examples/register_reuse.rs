@@ -22,25 +22,37 @@ fn main() {
     let readers = readers_until_redef(&k, 3, Reg(0));
     println!(
         "a fault in R0 of #4 must be replicated to: {}",
-        readers.iter().map(|&i| format!("#{}", i + 1)).collect::<Vec<_>>().join(", ")
+        readers
+            .iter()
+            .map(|&i| format!("#{}", i + 1))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     assert_eq!(readers, vec![4, 6], "the paper's red circles: #5 and #7");
 
     // Quantify: transient (single-instruction) source faults vs
     // persistent (reuse-replicated) ones on a real benchmark.
     let gpu = GpuConfig::default();
-    let variant = Variant { mode: Mode::Functional, hardened: false };
+    let variant = Variant {
+        mode: Mode::Functional,
+        hardened: false,
+    };
     let golden = golden_run(&Va, &gpu, variant);
     let elig = golden.records[0].stats.src_reg_instrs;
     let mut rng = SmallRng::seed_from_u64(99);
     let mut fr = [0.0f64; 2];
-    for (mi, kind) in [SwFaultKind::SrcTransient, SwFaultKind::SrcPersistent].into_iter().enumerate() {
+    for (mi, kind) in [SwFaultKind::SrcTransient, SwFaultKind::SrcPersistent]
+        .into_iter()
+        .enumerate()
+    {
         let mut counts = ClassCounts::default();
         for _ in 0..200 {
             let fault = PlannedFault::Sw(SwFault {
                 kind,
                 target: rng.gen_range(0..elig),
-                bit: rng.gen_range(0..32), loc_pick: 0 });
+                bit: rng.gen_range(0..32),
+                loc_pick: 0,
+            });
             counts.record(faulty_run(&Va, &gpu, variant, &golden, 0, fault).outcome);
         }
         fr[mi] = counts.failure_rate();

@@ -12,14 +12,20 @@ use kernels::golden_run;
 use vgpu_sim::GpuConfig;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(150);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
     let cfg = CampaignCfg::new(n, n, 7);
     let gpu = GpuConfig::default();
 
     // The transform itself: same application, hardened harness.
     let plain = golden_run(&Scp, &gpu, Variant::TIMED);
     let tmr = golden_run(&Scp, &gpu, Variant::TIMED_TMR);
-    assert_eq!(plain.output, tmr.output, "TMR must not change fault-free results");
+    assert_eq!(
+        plain.output, tmr.output,
+        "TMR must not change fault-free results"
+    );
     println!(
         "SCP fault-free: {} cycles unprotected, {} cycles with TMR ({:.2}x; the paper's ~3x cost)",
         plain.total_cost,
@@ -38,12 +44,36 @@ fn main() {
     let (ab, at) = (avf_base.app_avf(&gpu), avf_tmr.app_avf(&gpu));
     let (sb, st) = (svf_base.app_svf(), svf_tmr.app_svf());
     println!("                 unprotected   TMR-hardened");
-    println!("AVF  total       {:>9.4}%   {:>9.4}%", ab.total() * 100.0, at.total() * 100.0);
-    println!("AVF  SDC         {:>9.4}%   {:>9.4}%", ab.sdc * 100.0, at.sdc * 100.0);
-    println!("AVF  DUE         {:>9.4}%   {:>9.4}%", ab.due * 100.0, at.due * 100.0);
-    println!("SVF  total       {:>9.2}%   {:>9.2}%", sb.total() * 100.0, st.total() * 100.0);
-    println!("SVF  SDC         {:>9.2}%   {:>9.2}%", sb.sdc * 100.0, st.sdc * 100.0);
-    println!("SVF  DUE         {:>9.2}%   {:>9.2}%", sb.due * 100.0, st.due * 100.0);
+    println!(
+        "AVF  total       {:>9.4}%   {:>9.4}%",
+        ab.total() * 100.0,
+        at.total() * 100.0
+    );
+    println!(
+        "AVF  SDC         {:>9.4}%   {:>9.4}%",
+        ab.sdc * 100.0,
+        at.sdc * 100.0
+    );
+    println!(
+        "AVF  DUE         {:>9.4}%   {:>9.4}%",
+        ab.due * 100.0,
+        at.due * 100.0
+    );
+    println!(
+        "SVF  total       {:>9.2}%   {:>9.2}%",
+        sb.total() * 100.0,
+        st.total() * 100.0
+    );
+    println!(
+        "SVF  SDC         {:>9.2}%   {:>9.2}%",
+        sb.sdc * 100.0,
+        st.sdc * 100.0
+    );
+    println!(
+        "SVF  DUE         {:>9.2}%   {:>9.2}%",
+        sb.due * 100.0,
+        st.due * 100.0
+    );
     println!(
         "\nInsight #5 of the paper: the software-level view declares SDCs\n\
          eliminated, while the cross-layer view still finds some (faults in\n\

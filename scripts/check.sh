@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: run before every push (referenced from ROADMAP.md).
+#
+#   scripts/check.sh
+#
+# Builds the whole workspace in release mode, runs the full test suite,
+# and verifies rustfmt cleanliness. Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "tier-1 gate: OK"

@@ -49,15 +49,24 @@ fn parse(args: &[String]) -> Opts {
                 i += 2;
             }
             "-n" => {
-                o.n = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                o.n = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--seed" => {
-                o.seed = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                o.seed = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--sms" => {
-                o.sms = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                o.sms = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--tmr" => {
@@ -97,13 +106,20 @@ fn main() {
         "golden" => {
             let o = parse(&args[1..]);
             let app = find_app(o.app.as_deref().unwrap_or_else(|| usage()));
-            let mode = if o.functional { Mode::Functional } else { Mode::Timed };
+            let mode = if o.functional {
+                Mode::Functional
+            } else {
+                Mode::Timed
+            };
             let mut cfg = GpuConfig::volta_scaled(o.sms);
             cfg.num_sms = o.sms;
             let g = kernels::golden_run(
                 app.as_ref(),
                 &cfg,
-                Variant { mode, hardened: o.tmr },
+                Variant {
+                    mode,
+                    hardened: o.tmr,
+                },
             );
             println!(
                 "{} golden ({}{}): total cost {} ({}), {} launches, output {} words",
@@ -163,8 +179,12 @@ fn main() {
                         let s = k.svf();
                         println!(
                             "{} {}: SVF {:.2}% (sdc {:.2}, to {:.2}, due {:.2})  SVF-LD {:.2}%",
-                            r.app, k.kernel, s.total() * 100.0,
-                            s.sdc * 100.0, s.timeout * 100.0, s.due * 100.0,
+                            r.app,
+                            k.kernel,
+                            s.total() * 100.0,
+                            s.sdc * 100.0,
+                            s.timeout * 100.0,
+                            s.due * 100.0,
                             k.svf_ld().total() * 100.0
                         );
                     }
@@ -176,8 +196,12 @@ fn main() {
                         let s = k.pvf();
                         println!(
                             "{} {}: PVF {:.2}% (sdc {:.2}, to {:.2}, due {:.2})",
-                            r.app, k.kernel, s.total() * 100.0,
-                            s.sdc * 100.0, s.timeout * 100.0, s.due * 100.0
+                            r.app,
+                            k.kernel,
+                            s.total() * 100.0,
+                            s.sdc * 100.0,
+                            s.timeout * 100.0,
+                            s.due * 100.0
                         );
                     }
                     println!("app PVF = {:.2}%", r.app_pvf().total() * 100.0);

@@ -77,9 +77,18 @@ fn chip_avf_is_a_convex_combination_of_structures() {
     let avf = run_uarch_campaign(&Va, &cfg, false);
     let k = &avf.kernels[0];
     let chip = k.chip_avf(&cfg.gpu).total();
-    let min = HwStructure::ALL.iter().map(|&h| k.avf(h).total()).fold(f64::MAX, f64::min);
-    let max = HwStructure::ALL.iter().map(|&h| k.avf(h).total()).fold(0.0f64, f64::max);
-    assert!(chip >= min - 1e-12 && chip <= max + 1e-12, "{min} <= {chip} <= {max}");
+    let min = HwStructure::ALL
+        .iter()
+        .map(|&h| k.avf(h).total())
+        .fold(f64::MAX, f64::min);
+    let max = HwStructure::ALL
+        .iter()
+        .map(|&h| k.avf(h).total())
+        .fold(0.0f64, f64::max);
+    assert!(
+        chip >= min - 1e-12 && chip <= max + 1e-12,
+        "{min} <= {chip} <= {max}"
+    );
 }
 
 #[test]
@@ -93,7 +102,10 @@ fn tmr_eliminates_svf_sdcs_but_not_avf_sdcs_necessarily() {
     let tmr = run_sw_campaign(&Scp, &cfg, true);
     let sdc_base = base.app_svf().sdc;
     let sdc_tmr = tmr.app_svf().sdc;
-    assert!(sdc_base > 0.1, "unprotected SCP has plenty of SDCs: {sdc_base}");
+    assert!(
+        sdc_base > 0.1,
+        "unprotected SCP has plenty of SDCs: {sdc_base}"
+    );
     assert!(
         sdc_tmr < sdc_base / 4.0,
         "TMR must slash software-visible SDCs: {sdc_base} -> {sdc_tmr}"

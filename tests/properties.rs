@@ -3,7 +3,9 @@
 use proptest::prelude::*;
 use vgpu_arch::{CmpOp, KernelBuilder, MemSpace, Operand};
 use vgpu_sim::cache::{load_via, store_via, Cache};
-use vgpu_sim::{ArenaPlanner, Budget, CacheGeom, FaultPlan, GlobalMem, Gpu, GpuConfig, Latencies, Mode};
+use vgpu_sim::{
+    ArenaPlanner, Budget, CacheGeom, FaultPlan, GlobalMem, Gpu, GpuConfig, Latencies, Mode,
+};
 
 fn test_lat() -> Latencies {
     GpuConfig::default().lat
