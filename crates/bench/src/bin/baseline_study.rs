@@ -8,9 +8,11 @@
 //! * **Table I** — consistent/opposite trend counts over all pairs
 //!   (`results/tab1_trends.csv`).
 //!
-//! Options: `--n-uarch N --n-sw N --seed S --sms N --events PATH`
-//! (plus the `RELIA_EVENTS` / `RELIA_METRICS` / `RELIA_PROGRESS`
-//! environment switches — see `bench::init_observability`).
+//! Options: `--n-uarch N --n-sw N --seed S --sms N --events PATH`,
+//! watchdog: `--wall-limit-us N --cycle-limit N --no-retry`
+//! (docs/CAMPAIGNS.md; plus the `RELIA_EVENTS` / `RELIA_METRICS` /
+//! `RELIA_PROGRESS` environment switches — see
+//! `bench::init_observability`).
 
 use bench::{
     cli_campaign_cfg, finish_observability, init_observability, results_dir, run_baseline,

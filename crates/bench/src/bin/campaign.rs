@@ -1,0 +1,399 @@
+//! Sharded campaign driver: split one fault-injection campaign across
+//! processes/machines, checkpoint while running, resume after a kill, and
+//! merge shard outputs back into the single-shot result.
+//!
+//! ```text
+//! campaign run   --app VA --layer uarch --shards 4 --shard-index 0 \
+//!                --checkpoint shard0.jsonl [--resume shard0.jsonl]
+//! campaign merge --app VA --layer uarch shard0.jsonl shard1.jsonl ...
+//! campaign smoke
+//! ```
+//!
+//! Plans are deterministic (docs/CAMPAIGNS.md): every shard derives the
+//! same explicit trial list from `--seed`, so any disjoint cover of the
+//! plan — 1 shard or 40, interrupted and resumed or not — merges to the
+//! byte-identical `UarchAppResult`/`SvfAppResult`.
+//!
+//! Common options: `--n N --seed S --sms N --hardened --events PATH`,
+//! watchdog knobs `--wall-limit-us N --cycle-limit N --no-retry`.
+//! `run` additionally takes `--checkpoint-every K` (default 64) and
+//! `--limit L` (stop after L new trials, leaving a resumable checkpoint).
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use bench::{finish_observability, init_observability};
+use kernels::{all_benchmarks, Benchmark};
+use relia::checkpoint::CheckpointHeader;
+use relia::plan::{prepare_sw_campaign, prepare_uarch_campaign, Layer, PreparedCampaign};
+use relia::{
+    assemble_sw, assemble_uarch, execute_shard, load_checkpoint, pct, records_fingerprint,
+    CampaignCfg, EngineCfg, EngineError, Table, TrialRecord,
+};
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(2);
+}
+
+/// Everything both `run` and `merge` need to rebuild the plan.
+struct CommonOpts {
+    app: Option<String>,
+    layer: Layer,
+    cfg: CampaignCfg,
+    hardened: bool,
+    /// Non-flag positional arguments (merge's shard files).
+    positional: Vec<String>,
+}
+
+fn parse_common(args: &[String]) -> CommonOpts {
+    let mut o = CommonOpts {
+        app: None,
+        layer: Layer::Uarch,
+        cfg: CampaignCfg::new(100, 100, 0xC0FF_EE00),
+        hardened: false,
+        positional: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--hardened" => {
+                o.hardened = true;
+                i += 1;
+                continue;
+            }
+            "--no-retry" => {
+                o.cfg.watchdog.retry_on_panic = false;
+                i += 1;
+                continue;
+            }
+            a if !a.starts_with("--") => {
+                o.positional.push(a.to_string());
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        let Some(v) = args.get(i + 1) else {
+            die(&format!("option {} requires a value", args[i]));
+        };
+        let parse_num = |what: &str| -> u64 {
+            v.parse()
+                .unwrap_or_else(|_| die(&format!("{what} takes a number, got {v:?}")))
+        };
+        match args[i].as_str() {
+            "--app" => o.app = Some(v.clone()),
+            "--layer" => {
+                o.layer = Layer::from_label(v)
+                    .unwrap_or_else(|| die(&format!("--layer must be uarch or sw, got {v:?}")))
+            }
+            "--n" => {
+                let n = parse_num("--n") as usize;
+                o.cfg.n_uarch = n;
+                o.cfg.n_sw = n;
+            }
+            "--seed" => o.cfg.seed = parse_num("--seed"),
+            "--sms" => o.cfg.gpu = vgpu_sim::GpuConfig::volta_scaled(parse_num("--sms") as u32),
+            "--wall-limit-us" => o.cfg.watchdog.wall_us_limit = Some(parse_num("--wall-limit-us")),
+            "--cycle-limit" => o.cfg.watchdog.cycle_limit = Some(parse_num("--cycle-limit")),
+            "--events" => {} // handled by init_observability
+            other => die(&format!("unknown option {other}")),
+        }
+        i += 2;
+    }
+    o
+}
+
+fn find_bench(name: &str) -> Box<dyn Benchmark> {
+    let mut all = all_benchmarks();
+    match all.iter().position(|b| b.name().eq_ignore_ascii_case(name)) {
+        Some(i) => all.swap_remove(i),
+        None => {
+            let names: Vec<&str> = all.iter().map(|b| b.name()).collect();
+            die(&format!(
+                "unknown app {name:?}; available: {}",
+                names.join(", ")
+            ));
+        }
+    }
+}
+
+fn prepare<'a>(bench: &'a dyn Benchmark, o: &CommonOpts) -> PreparedCampaign<'a> {
+    match o.layer {
+        Layer::Uarch => prepare_uarch_campaign(bench, &o.cfg, o.hardened),
+        Layer::Sw => prepare_sw_campaign(bench, &o.cfg, o.hardened),
+    }
+}
+
+/// Print the assembled result of a fully covered plan.
+fn print_result(prep: &PreparedCampaign, records: &[TrialRecord]) {
+    match prep.plan.layer {
+        Layer::Uarch => {
+            let res = assemble_uarch(prep, records).unwrap_or_else(|e| die(&e.to_string()));
+            let mut t = Table::new(
+                &format!("{} — chip AVF per kernel (%)", res.app),
+                &["Kernel", "SDC", "Timeout", "DUE", "AVF"],
+            );
+            for k in &res.kernels {
+                let a = k.chip_avf(&prep.cfg.gpu);
+                t.row(vec![
+                    k.kernel.clone(),
+                    pct(a.sdc),
+                    pct(a.timeout),
+                    pct(a.due),
+                    pct(a.total()),
+                ]);
+            }
+            let app = res.app_avf(&prep.cfg.gpu);
+            t.row(vec![
+                "app".into(),
+                pct(app.sdc),
+                pct(app.timeout),
+                pct(app.due),
+                pct(app.total()),
+            ]);
+            println!("{t}");
+        }
+        Layer::Sw => {
+            let res = assemble_sw(prep, records).unwrap_or_else(|e| die(&e.to_string()));
+            let mut t = Table::new(
+                &format!("{} — SVF per kernel (%)", res.app),
+                &["Kernel", "SDC", "Timeout", "DUE", "SVF", "SVF-LD"],
+            );
+            for k in &res.kernels {
+                let s = k.svf();
+                t.row(vec![
+                    k.kernel.clone(),
+                    pct(s.sdc),
+                    pct(s.timeout),
+                    pct(s.due),
+                    pct(s.total()),
+                    pct(k.svf_ld().total()),
+                ]);
+            }
+            let app = res.app_svf();
+            t.row(vec![
+                "app".into(),
+                pct(app.sdc),
+                pct(app.timeout),
+                pct(app.due),
+                pct(app.total()),
+                pct(res.app_svf_ld().total()),
+            ]);
+            println!("{t}");
+        }
+    }
+    println!("result fingerprint: {:#018x}", records_fingerprint(records));
+}
+
+fn cmd_run(args: &[String]) {
+    let mut shards = 1usize;
+    let mut shard_index = 0usize;
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut resume: Option<PathBuf> = None;
+    let mut every = relia::DEFAULT_CHECKPOINT_EVERY;
+    let mut limit: Option<usize> = None;
+    // Peel off run-specific flags, forward the rest to the common parser.
+    fn value<'a>(args: &'a [String], i: usize) -> &'a str {
+        args.get(i + 1)
+            .unwrap_or_else(|| die(&format!("option {} requires a value", args[i])))
+    }
+    fn num(args: &[String], i: usize) -> u64 {
+        let v = value(args, i);
+        v.parse()
+            .unwrap_or_else(|_| die(&format!("{} takes a number, got {v:?}", args[i])))
+    }
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shards" => shards = num(args, i) as usize,
+            "--shard-index" => shard_index = num(args, i) as usize,
+            "--checkpoint-every" => every = num(args, i) as usize,
+            "--limit" => limit = Some(num(args, i) as usize),
+            "--checkpoint" => checkpoint = Some(PathBuf::from(value(args, i))),
+            "--resume" => resume = Some(PathBuf::from(value(args, i))),
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+                continue;
+            }
+        }
+        i += 2;
+    }
+    let o = parse_common(&rest);
+    if !o.positional.is_empty() {
+        die(&format!("unexpected argument {:?}", o.positional[0]));
+    }
+    if shards == 0 {
+        die("--shards must be at least 1");
+    }
+    if shard_index >= shards {
+        die(&format!(
+            "--shard-index {shard_index} out of range for --shards {shards} (valid: 0..={})",
+            shards - 1
+        ));
+    }
+    let Some(app) = &o.app else {
+        die("run requires --app NAME");
+    };
+    let bench = find_bench(app);
+    let prep = prepare(bench.as_ref(), &o);
+    let eng = EngineCfg {
+        shards,
+        shard_index,
+        checkpoint,
+        checkpoint_every: every,
+        resume,
+        trial_limit: limit,
+    };
+    eprintln!(
+        "[campaign] {} {} plan: {} trials, fingerprint {:#018x}, shard {}/{} ({} trials)",
+        prep.plan.app,
+        prep.plan.layer.label(),
+        prep.plan.len(),
+        prep.plan.fingerprint(),
+        shard_index,
+        shards,
+        relia::shard_trials(prep.plan.len(), shards, shard_index).len(),
+    );
+    let records = match execute_shard(&prep, &eng) {
+        Ok(r) => r,
+        Err(e @ EngineError::AlreadyComplete { .. }) => {
+            die(&format!("{e}; nothing to resume"));
+        }
+        Err(e) => die(&e.to_string()),
+    };
+    let my = relia::shard_trials(prep.plan.len(), shards, shard_index);
+    if records.len() == prep.plan.len() {
+        print_result(&prep, &records);
+    } else {
+        println!(
+            "shard {}/{}: {}/{} trials classified, fingerprint {:#018x}{}",
+            shard_index,
+            shards,
+            records.len(),
+            my.len(),
+            records_fingerprint(&records),
+            if records.len() < my.len() {
+                " (partial — resume to finish)"
+            } else {
+                " (merge with the other shards for results)"
+            }
+        );
+    }
+}
+
+fn cmd_merge(args: &[String]) {
+    let o = parse_common(args);
+    if o.positional.is_empty() {
+        die("merge requires at least one shard checkpoint file");
+    }
+    let Some(app) = &o.app else {
+        die("merge requires --app NAME (to rebuild the plan)");
+    };
+    let bench = find_bench(app);
+    let prep = prepare(bench.as_ref(), &o);
+    let expect = CheckpointHeader::for_plan(&prep.plan, 1, 0);
+    let mut records = Vec::new();
+    let mut first: Option<CheckpointHeader> = None;
+    for path in &o.positional {
+        let ck = load_checkpoint(std::path::Path::new(path))
+            .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        if ck.header.fingerprint != expect.fingerprint {
+            die(&format!(
+                "{path}: fingerprint {:#x} does not match this plan ({:#x}) — \
+                 different app/layer/n/seed/sms/hardened?",
+                ck.header.fingerprint, expect.fingerprint
+            ));
+        }
+        match &first {
+            None => first = Some(ck.header.clone()),
+            Some(h) if !h.same_plan(&ck.header) => {
+                die(&format!(
+                    "{path}: shard header disagrees with {}",
+                    o.positional[0]
+                ));
+            }
+            Some(h) if h.shard_index == ck.header.shard_index && o.positional.len() > 1 => {
+                die(&format!(
+                    "{path}: duplicate shard index {}",
+                    ck.header.shard_index
+                ));
+            }
+            _ => {}
+        }
+        records.extend(ck.records);
+    }
+    // complete_outcomes inside assemble rejects gaps/duplicates, so a
+    // missing shard or a doubly-supplied file fails loudly here.
+    print_result(&prep, &records);
+}
+
+/// Tiny end-to-end gate for scripts/check.sh: a 2-shard run through real
+/// checkpoint files must merge to the single-shot result.
+fn cmd_smoke() {
+    let dir = std::env::temp_dir().join(format!("relia_campaign_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = CampaignCfg::new(6, 6, 0x5A5A);
+    let bench = find_bench("VA");
+    for (layer, label) in [(Layer::Uarch, "uarch"), (Layer::Sw, "sw")] {
+        let o = CommonOpts {
+            app: Some("VA".into()),
+            layer,
+            cfg: cfg.clone(),
+            hardened: false,
+            positional: Vec::new(),
+        };
+        let prep = prepare(bench.as_ref(), &o);
+        let single = execute_shard(&prep, &EngineCfg::single_shot()).unwrap();
+        let mut merged = Vec::new();
+        for idx in 0..2 {
+            let path = dir.join(format!("{label}-{idx}.jsonl"));
+            let eng = EngineCfg {
+                checkpoint: Some(path.clone()),
+                ..EngineCfg::sharded(2, idx)
+            };
+            execute_shard(&prep, &eng).unwrap();
+            merged.extend(load_checkpoint(&path).unwrap().records);
+        }
+        let fp_single = records_fingerprint(&single);
+        let fp_merged = records_fingerprint(&merged);
+        if fp_single != fp_merged {
+            die(&format!(
+                "smoke failed ({label}): merged fingerprint {fp_merged:#x} != single-shot {fp_single:#x}"
+            ));
+        }
+        match layer {
+            Layer::Uarch => {
+                if assemble_uarch(&prep, &merged).unwrap()
+                    != assemble_uarch(&prep, &single).unwrap()
+                {
+                    die(&format!("smoke failed ({label}): assembled results differ"));
+                }
+            }
+            Layer::Sw => {
+                if assemble_sw(&prep, &merged).unwrap() != assemble_sw(&prep, &single).unwrap() {
+                    die(&format!("smoke failed ({label}): assembled results differ"));
+                }
+            }
+        }
+        println!("smoke {label}: 2-shard merge == single-shot ({fp_single:#018x})");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(sub) = args.get(1) else {
+        die("usage: campaign <run|merge|smoke> [options] (see docs/CAMPAIGNS.md)");
+    };
+    init_observability();
+    match sub.as_str() {
+        "run" => cmd_run(&args[2..]),
+        "merge" => cmd_merge(&args[2..]),
+        "smoke" => cmd_smoke(),
+        other => die(&format!("unknown subcommand {other:?} (run|merge|smoke)")),
+    }
+    finish_observability();
+}

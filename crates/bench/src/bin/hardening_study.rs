@@ -12,9 +12,10 @@
 //! * **Figure 11** — control-path-affected masked runs (cycle-count
 //!   proxy) with/without hardening (`results/fig11_control_path.csv`).
 //!
-//! Options: `--n-uarch N --n-sw N --seed S --events PATH`. TMR runs cost
-//! ~3.5× the unprotected ones, so defaults are smaller than
-//! `baseline_study`'s.
+//! Options: `--n-uarch N --n-sw N --seed S --events PATH`, watchdog:
+//! `--wall-limit-us N --cycle-limit N --no-retry` (docs/CAMPAIGNS.md).
+//! TMR runs cost ~3.5× the unprotected ones, so defaults are smaller
+//! than `baseline_study`'s.
 
 use bench::{cli_campaign_cfg, finish_observability, init_observability, results_dir};
 use kernels::all_benchmarks;

@@ -11,7 +11,8 @@
 //!   cache evictions, structure sizes).
 //!
 //! Writes `results/layers_study.csv`.
-//! Options: `--n-uarch N --n-sw N --seed S --events PATH`.
+//! Options: `--n-uarch N --n-sw N --seed S --events PATH`, watchdog:
+//! `--wall-limit-us N --cycle-limit N --no-retry` (docs/CAMPAIGNS.md).
 
 use bench::{cli_campaign_cfg, finish_observability, init_observability, results_dir};
 use kernels::all_benchmarks;

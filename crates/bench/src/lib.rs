@@ -7,16 +7,27 @@
 use relia::CampaignCfg;
 
 /// Parse common CLI options: `--n-uarch N --n-sw N --seed S --sms N
-/// --events PATH`. Defaults are sized so every figure regenerates in
-/// minutes on a laptop; pass larger counts to tighten confidence
-/// intervals (the paper used 3,000 injections per target at ±2.35%, 99%
-/// confidence). `--events` is consumed by [`init_observability`].
+/// --events PATH`, plus the per-injection watchdog knobs
+/// `--wall-limit-us N --cycle-limit N --no-retry` (see docs/CAMPAIGNS.md;
+/// all limits default to off so results stay bit-reproducible). Defaults
+/// are sized so every figure regenerates in minutes on a laptop; pass
+/// larger counts to tighten confidence intervals (the paper used 3,000
+/// injections per target at ±2.35%, 99% confidence). `--events` is
+/// consumed by [`init_observability`].
 pub fn cli_campaign_cfg(default_uarch: usize, default_sw: usize) -> CampaignCfg {
     let mut cfg = CampaignCfg::new(default_uarch, default_sw, 0xC0FF_EE00);
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
-    while i + 1 < args.len() {
-        let v = &args[i + 1];
+    while i < args.len() {
+        // Valueless flags first, then `--flag VALUE` pairs.
+        if args[i] == "--no-retry" {
+            cfg.watchdog.retry_on_panic = false;
+            i += 1;
+            continue;
+        }
+        let Some(v) = args.get(i + 1) else {
+            panic!("option {} requires a value", args[i]);
+        };
         match args[i].as_str() {
             "--n-uarch" => cfg.n_uarch = v.parse().expect("--n-uarch takes a number"),
             "--n-sw" => cfg.n_sw = v.parse().expect("--n-sw takes a number"),
@@ -24,6 +35,13 @@ pub fn cli_campaign_cfg(default_uarch: usize, default_sw: usize) -> CampaignCfg 
             "--sms" => {
                 cfg.gpu =
                     vgpu_sim::GpuConfig::volta_scaled(v.parse().expect("--sms takes a number"))
+            }
+            "--wall-limit-us" => {
+                cfg.watchdog.wall_us_limit =
+                    Some(v.parse().expect("--wall-limit-us takes a number"))
+            }
+            "--cycle-limit" => {
+                cfg.watchdog.cycle_limit = Some(v.parse().expect("--cycle-limit takes a number"))
             }
             "--events" => {} // handled by init_observability
             other => panic!("unknown option {other}"),

@@ -1,30 +1,77 @@
-//! Statistical fault-injection campaigns at both abstraction layers.
+//! Statistical fault-injection campaigns at both abstraction layers,
+//! executed by a resumable, shardable engine.
 //!
-//! * [`run_uarch_campaign`] — the gpuFI-4 side: uniform single-bit flips
-//!   over (cycle × hardware-structure location), one campaign of
-//!   `n_uarch` injections per (kernel, structure), derating factors, and
-//!   the AVF math of Section II-B.
-//! * [`run_sw_campaign`] — the NVBitFI side: uniform single-bit flips over
-//!   the dynamic destination-register value stream (plus the load-only
-//!   SVF-LD variant) and the SVF math of Section II-C.
+//! The campaign machinery is split into three stages:
 //!
-//! Campaigns are embarrassingly parallel: each injection is an independent
-//! end-to-end application run, distributed over cores with rayon. All
-//! randomness derives from splitmix-style hashing of (seed, app, kernel,
-//! structure, trial), so campaigns are bit-reproducible at any thread
-//! count.
+//! 1. **Plan** ([`crate::plan`]) — a golden run plus the deterministic
+//!    expansion of the configuration into an explicit trial list (seed →
+//!    (kernel, structure/instruction, bit, cycle) for every injection).
+//! 2. **Execute** ([`execute_shard`]) — run any strided shard of the plan
+//!    in parallel, optionally journaling every classified trial to a
+//!    JSONL checkpoint ([`crate::checkpoint`]) and skipping trials an
+//!    interrupted run already finished (`resume`). A per-injection
+//!    [`Watchdog`] bounds pathological trials.
+//! 3. **Assemble** ([`assemble_uarch`] / [`assemble_sw`]) — fold any
+//!    complete set of trial records (one shard's worth at a time, or a
+//!    merge of many) into the AVF/SVF result types. Because outcome
+//!    counts are integer sums and every trial's fault is fixed at plan
+//!    time, merged shard outputs are identical to a single-shot run.
+//!
+//! [`run_uarch_campaign`] and [`run_sw_campaign`] — the gpuFI-4 (AVF) and
+//! NVBitFI (SVF) methodologies of Sections II-B/II-C — are now thin
+//! wrappers: prepare, execute the whole plan as one shard, assemble.
+//! All randomness still derives from splitmix-style hashing of
+//! (seed, app, kernel, structure, trial), so campaigns are
+//! bit-reproducible at any thread count *and any shard count*.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use obs::Phase;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
-use kernels::{faulty_run, golden_run, Benchmark, GoldenRun, Outcome, PlannedFault, Variant};
-use vgpu_sim::{GpuConfig, HwStructure, Mode, SwFault, SwFaultKind, UarchFault};
+use kernels::{faulty_run, Benchmark, Outcome, PlannedFault};
+use vgpu_sim::{GpuConfig, HwStructure, SwFaultKind};
 
+use crate::checkpoint::{
+    load_checkpoint, CheckpointError, CheckpointHeader, CheckpointWriter, TrialRecord,
+    DEFAULT_CHECKPOINT_EVERY,
+};
 use crate::metrics::{ClassCounts, ClassRates};
+use crate::plan::{
+    derive_seed, prepare_sw_campaign, prepare_uarch_campaign, shard_trials, CampaignPlan, Layer,
+    PreparedCampaign, TrialTarget,
+};
+
+/// Per-injection watchdog: bounds how long one pathological trial can
+/// hold a shard hostage. All limits are off by default so watchdog-free
+/// campaigns stay bit-reproducible; see docs/CAMPAIGNS.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watchdog {
+    /// Wall-clock budget per injection in microseconds; a trial that
+    /// finishes over budget is reclassified as Timeout. `None` disables.
+    pub wall_us_limit: Option<u64>,
+    /// Cycle (timed) / instruction (functional) budget per injection on
+    /// top of the harness's golden-derived budgets; a trial whose total
+    /// cost exceeds it is reclassified as Timeout. `None` disables.
+    pub cycle_limit: Option<u64>,
+    /// Retry a trial once if the harness panics; a second panic
+    /// classifies the trial as Timeout instead of wedging the shard.
+    pub retry_on_panic: bool,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog {
+            wall_us_limit: None,
+            cycle_limit: None,
+            retry_on_panic: true,
+        }
+    }
+}
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -35,6 +82,7 @@ pub struct CampaignCfg {
     /// Injections per kernel (per fault kind) in SVF campaigns.
     pub n_sw: usize,
     pub seed: u64,
+    pub watchdog: Watchdog,
 }
 
 impl CampaignCfg {
@@ -44,28 +92,9 @@ impl CampaignCfg {
             n_uarch,
             n_sw,
             seed,
+            watchdog: Watchdog::default(),
         }
     }
-}
-
-/// Deterministic per-trial seed derivation.
-fn derive_seed(base: u64, tags: &[u64]) -> u64 {
-    let mut x = base ^ 0x9e37_79b9_7f4a_7c15;
-    for &t in tags {
-        x ^= t
-            .wrapping_add(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(x << 6)
-            .wrapping_add(x >> 2);
-        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        x ^= x >> 31;
-    }
-    x
-}
-
-fn str_tag(s: &str) -> u64 {
-    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-    })
 }
 
 /// Map a campaign outcome onto the obs reporting enum.
@@ -144,20 +173,350 @@ fn observe_trial(
     obs::progress::record(class);
 }
 
-/// Pick an index from `weights` proportionally.
-fn pick_weighted(rng: &mut SmallRng, weights: &[(usize, u64)]) -> Option<(usize, u64)> {
-    let total: u64 = weights.iter().map(|&(_, w)| w).sum();
-    if total == 0 {
-        return None;
-    }
-    let mut x = rng.gen_range(0..total);
-    for &(idx, w) in weights {
-        if x < w {
-            return Some((idx, w));
+// ---------------------------------------------------------------------
+// Execution engine
+// ---------------------------------------------------------------------
+
+/// How to execute a prepared campaign: which shard of the plan, where to
+/// checkpoint, what to resume from.
+#[derive(Debug, Clone)]
+pub struct EngineCfg {
+    /// Total shards the plan is partitioned into (>= 1).
+    pub shards: usize,
+    /// This process's shard (0-based, < `shards`).
+    pub shard_index: usize,
+    /// Journal every classified trial to this JSONL file (truncated).
+    pub checkpoint: Option<PathBuf>,
+    /// Classified trials between checkpoint flushes.
+    pub checkpoint_every: usize,
+    /// Resume from (and keep appending to) this checkpoint file,
+    /// skipping trials it already classifies. Wins over `checkpoint`.
+    pub resume: Option<PathBuf>,
+    /// Stop after this many *newly executed* trials, leaving a resumable
+    /// checkpoint behind — interruption simulation and incremental runs.
+    pub trial_limit: Option<usize>,
+}
+
+impl EngineCfg {
+    /// One shard covering the whole plan, no files.
+    pub fn single_shot() -> Self {
+        EngineCfg {
+            shards: 1,
+            shard_index: 0,
+            checkpoint: None,
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            resume: None,
+            trial_limit: None,
         }
-        x -= w;
     }
-    unreachable!("weighted pick ran past total");
+
+    /// Shard `index` of `shards`, no files.
+    pub fn sharded(shards: usize, index: usize) -> Self {
+        EngineCfg {
+            shards,
+            shard_index: index,
+            ..EngineCfg::single_shot()
+        }
+    }
+}
+
+impl Default for EngineCfg {
+    fn default() -> Self {
+        EngineCfg::single_shot()
+    }
+}
+
+/// Why the engine refused to execute or assemble.
+#[derive(Debug)]
+pub enum EngineError {
+    Io(std::io::Error),
+    Checkpoint(CheckpointError),
+    /// A checkpoint/shard header does not match the plan being executed
+    /// (different seed, app, GPU config, shard slice, or code revision).
+    PlanMismatch(String),
+    /// The resumed checkpoint already classifies every trial of its shard.
+    AlreadyComplete {
+        done: usize,
+    },
+    /// A record's plan index is outside the plan or this shard's slice.
+    ForeignTrial {
+        idx: usize,
+    },
+    /// Two records claim the same plan index.
+    DuplicateTrial {
+        idx: usize,
+    },
+    /// The record set does not cover the plan.
+    IncompleteCover {
+        missing: usize,
+        total: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Io(e) => write!(f, "campaign I/O error: {e}"),
+            EngineError::Checkpoint(e) => write!(f, "{e}"),
+            EngineError::PlanMismatch(why) => write!(f, "plan mismatch: {why}"),
+            EngineError::AlreadyComplete { done } => {
+                write!(f, "checkpoint already complete ({done} trials classified)")
+            }
+            EngineError::ForeignTrial { idx } => {
+                write!(f, "trial record {idx} does not belong to this plan/shard")
+            }
+            EngineError::DuplicateTrial { idx } => {
+                write!(f, "duplicate record for trial {idx}")
+            }
+            EngineError::IncompleteCover { missing, total } => {
+                write!(f, "records cover only {}/{total} trials", total - missing)
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for EngineError {
+    fn from(e: CheckpointError) -> Self {
+        EngineError::Checkpoint(e)
+    }
+}
+
+/// Run one planned trial end to end: faulty run under the watchdog,
+/// observability, classification.
+fn run_one_trial(prep: &PreparedCampaign, t: &crate::plan::PlannedTrial) -> TrialRecord {
+    let wd = prep.cfg.watchdog;
+    let layer = prep.plan.layer.label();
+    let obs_on = observing();
+    let t0 = (obs_on || wd.wall_us_limit.is_some()).then(Instant::now);
+    let (mut outcome, cost_differs) = match &t.fault {
+        // No eligible fault population: trivially masked.
+        None => (Outcome::Masked, false),
+        Some((ordinal, pf)) => {
+            let attempt = || {
+                obs::time_phase(Phase::FaultyRun, || {
+                    faulty_run(
+                        prep.bench,
+                        &prep.cfg.gpu,
+                        prep.variant,
+                        &prep.golden,
+                        *ordinal,
+                        *pf,
+                    )
+                })
+            };
+            let mut res = catch_unwind(AssertUnwindSafe(attempt)).ok();
+            if res.is_none() && wd.retry_on_panic {
+                obs::counter_add("watchdog_retries_total", &[("layer", layer)], 1);
+                res = catch_unwind(AssertUnwindSafe(attempt)).ok();
+            }
+            match res {
+                None => {
+                    obs::counter_add("watchdog_panic_timeouts_total", &[("layer", layer)], 1);
+                    (Outcome::Timeout, false)
+                }
+                Some(r) => {
+                    let mut o = r.outcome;
+                    if wd.cycle_limit.is_some_and(|l| r.total_cost > l) && o != Outcome::Timeout {
+                        obs::counter_add("watchdog_cycle_timeouts_total", &[("layer", layer)], 1);
+                        o = Outcome::Timeout;
+                    }
+                    (o, r.total_cost != prep.golden.total_cost)
+                }
+            }
+        }
+    };
+    let wall_us = t0.map_or(0, |i| i.elapsed().as_micros() as u64);
+    if wd.wall_us_limit.is_some_and(|l| wall_us > l) && outcome != Outcome::Timeout {
+        obs::counter_add("watchdog_wall_timeouts_total", &[("layer", layer)], 1);
+        outcome = Outcome::Timeout;
+    }
+    if let (true, Some(t0)) = (obs_on, t0) {
+        let (bit, cycle) = match &t.fault {
+            None => (0, 0),
+            Some((_, PlannedFault::Uarch(u))) => (u.bit, u.cycle),
+            Some((_, PlannedFault::Sw(s))) => (s.bit, s.target),
+        };
+        observe_trial(
+            &prep.plan.app,
+            prep.bench.kernels()[t.kernel_idx],
+            layer,
+            t.target.label(),
+            t.trial as u64,
+            t.seed,
+            bit,
+            cycle,
+            outcome,
+            t0,
+        );
+    }
+    TrialRecord {
+        idx: t.index,
+        outcome,
+        // The Figure-11 control-path proxy: a masked run whose total cost
+        // differs from golden had its control path disturbed.
+        ctrl: outcome == Outcome::Masked && cost_differs,
+        wall_us,
+    }
+}
+
+/// Execute one strided shard of a prepared campaign, in parallel.
+///
+/// Returns the shard's classified trials in plan order — records loaded
+/// from a resumed checkpoint plus everything newly executed. With
+/// `eng.checkpoint`/`eng.resume` set, every classified trial is journaled
+/// so an interruption at any point (including mid-line) loses at most
+/// `checkpoint_every` trials.
+pub fn execute_shard(
+    prep: &PreparedCampaign,
+    eng: &EngineCfg,
+) -> Result<Vec<TrialRecord>, EngineError> {
+    let plan = &prep.plan;
+    let my = shard_trials(plan.len(), eng.shards, eng.shard_index);
+    let header = CheckpointHeader::for_plan(plan, eng.shards, eng.shard_index);
+    let mut slots: Vec<Option<TrialRecord>> = vec![None; plan.len()];
+
+    let mut writer: Option<CheckpointWriter> = None;
+    if let Some(rp) = &eng.resume {
+        let ck = load_checkpoint(rp)?;
+        if ck.header != header {
+            return Err(EngineError::PlanMismatch(format!(
+                "checkpoint {} was written by a different campaign \
+                 (fingerprint {:#x} vs plan {:#x}, shard {}/{} vs {}/{})",
+                rp.display(),
+                ck.header.fingerprint,
+                header.fingerprint,
+                ck.header.shard_index,
+                ck.header.shards,
+                header.shard_index,
+                header.shards,
+            )));
+        }
+        let mut done = 0usize;
+        for r in &ck.records {
+            if r.idx >= plan.len() || r.idx % eng.shards != eng.shard_index {
+                return Err(EngineError::ForeignTrial { idx: r.idx });
+            }
+            if slots[r.idx].replace(*r).is_some() {
+                return Err(EngineError::DuplicateTrial { idx: r.idx });
+            }
+            done += 1;
+        }
+        if done >= my.len() {
+            return Err(EngineError::AlreadyComplete { done });
+        }
+        obs::counter_add(
+            "campaign_resume_skipped_total",
+            &[("layer", plan.layer.label())],
+            done as u64,
+        );
+        obs::emit_campaign(&obs::CampaignEvent {
+            kind: "resume",
+            app: &plan.app,
+            layer: plan.layer.label(),
+            shard: eng.shard_index as u64,
+            shards: eng.shards as u64,
+            done: done as u64,
+            total: my.len() as u64,
+        });
+        writer = Some(CheckpointWriter::recreate(rp, &ck, eng.checkpoint_every)?);
+    } else if let Some(cp) = &eng.checkpoint {
+        writer = Some(CheckpointWriter::create(cp, &header, eng.checkpoint_every)?);
+    }
+
+    let remaining: Vec<usize> = my.iter().copied().filter(|&i| slots[i].is_none()).collect();
+    let todo = eng
+        .trial_limit
+        .map_or(remaining.len(), |l| l.min(remaining.len()));
+    if obs::progress::progress_enabled() {
+        obs::progress::add_total(todo as u64);
+    }
+    obs::emit_campaign(&obs::CampaignEvent {
+        kind: "shard_start",
+        app: &plan.app,
+        layer: plan.layer.label(),
+        shard: eng.shard_index as u64,
+        shards: eng.shards as u64,
+        done: (my.len() - remaining.len()) as u64,
+        total: my.len() as u64,
+    });
+
+    let writer = Mutex::new(writer);
+    let new_records: Vec<TrialRecord> = remaining[..todo]
+        .par_iter()
+        .map(|&idx| -> Result<TrialRecord, std::io::Error> {
+            let rec = run_one_trial(prep, &prep.plan.trials[idx]);
+            if let Some(w) = writer.lock().unwrap().as_mut() {
+                w.record(&rec)?;
+            }
+            Ok(rec)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if let Some(w) = writer.into_inner().unwrap() {
+        w.finish()?;
+    }
+
+    for r in new_records {
+        slots[r.idx] = Some(r);
+    }
+    let out: Vec<TrialRecord> = my.iter().filter_map(|&i| slots[i]).collect();
+    obs::emit_campaign(&obs::CampaignEvent {
+        kind: "shard_done",
+        app: &plan.app,
+        layer: plan.layer.label(),
+        shard: eng.shard_index as u64,
+        shards: eng.shards as u64,
+        done: out.len() as u64,
+        total: my.len() as u64,
+    });
+    Ok(out)
+}
+
+/// Validate that `records` exactly cover `plan` (no gaps, no duplicates,
+/// no foreign indices) and return them indexed by plan position.
+fn complete_outcomes(
+    plan: &CampaignPlan,
+    records: &[TrialRecord],
+) -> Result<Vec<TrialRecord>, EngineError> {
+    let mut slots: Vec<Option<TrialRecord>> = vec![None; plan.len()];
+    for &r in records {
+        if r.idx >= plan.len() {
+            return Err(EngineError::ForeignTrial { idx: r.idx });
+        }
+        if slots[r.idx].replace(r).is_some() {
+            return Err(EngineError::DuplicateTrial { idx: r.idx });
+        }
+    }
+    let missing = slots.iter().filter(|s| s.is_none()).count();
+    if missing > 0 {
+        return Err(EngineError::IncompleteCover {
+            missing,
+            total: plan.len(),
+        });
+    }
+    Ok(slots.into_iter().map(Option::unwrap).collect())
+}
+
+/// Order-insensitive digest of a record set — two runs that classified
+/// the same trials the same way agree on it regardless of shard layout.
+/// Used by the shard-merge smoke gate and printed by `campaign merge`.
+pub fn records_fingerprint(records: &[TrialRecord]) -> u64 {
+    let mut acc = 0u64;
+    for r in records {
+        // XOR-combine per-record hashes so ordering doesn't matter.
+        acc ^= derive_seed(
+            0x5ca1_ab1e,
+            &[r.idx as u64, r.outcome as u64, r.ctrl as u64],
+        );
+    }
+    acc
 }
 
 // ---------------------------------------------------------------------
@@ -165,7 +524,7 @@ fn pick_weighted(rng: &mut SmallRng, weights: &[(usize, u64)]) -> Option<(usize,
 // ---------------------------------------------------------------------
 
 /// Per-(kernel, structure) campaign outcome.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StructureCampaign {
     pub counts: ClassCounts,
     /// Masked runs whose total cycle count differs from golden — the
@@ -174,7 +533,7 @@ pub struct StructureCampaign {
 }
 
 /// Everything measured about one kernel at the microarchitecture level.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UarchKernelResult {
     /// Kernel display name ("K1", ...).
     pub kernel: String,
@@ -249,7 +608,7 @@ impl UarchKernelResult {
 }
 
 /// Microarchitecture-level results for a whole application.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UarchAppResult {
     pub app: String,
     pub kernels: Vec<UarchKernelResult>,
@@ -286,7 +645,12 @@ impl UarchAppResult {
 /// launches (Section II-B):
 /// `DF = size_per_thread × num_threads / system_size`
 /// (per-CTA for shared memory), clamped to 1.
-fn derating_factor(golden: &GoldenRun, kernel_idx: usize, gpu: &GpuConfig, h: HwStructure) -> f64 {
+fn derating_factor(
+    golden: &kernels::GoldenRun,
+    kernel_idx: usize,
+    gpu: &GpuConfig,
+    h: HwStructure,
+) -> f64 {
     let mut weighted = 0.0f64;
     let mut cycles = 0u64;
     for r in golden.records.iter().filter(|r| r.kernel_idx == kernel_idx) {
@@ -306,138 +670,78 @@ fn derating_factor(golden: &GoldenRun, kernel_idx: usize, gpu: &GpuConfig, h: Hw
     }
 }
 
-/// Run the cross-layer (gpuFI-4 model) campaign for one application.
+/// Fold a complete record set into the microarchitecture-level result.
+/// `records` may come from one single-shot run, a merge of disjoint
+/// shards, or a resumed checkpoint — the result is identical.
+pub fn assemble_uarch(
+    prep: &PreparedCampaign,
+    records: &[TrialRecord],
+) -> Result<UarchAppResult, EngineError> {
+    if prep.plan.layer != Layer::Uarch {
+        return Err(EngineError::PlanMismatch(
+            "assemble_uarch on a software-level plan".into(),
+        ));
+    }
+    let outs = complete_outcomes(&prep.plan, records)?;
+    let n_kernels = prep.bench.kernels().len();
+    let mut acc = vec![vec![StructureCampaign::default(); HwStructure::ALL.len()]; n_kernels];
+    for (t, r) in prep.plan.trials.iter().zip(&outs) {
+        let TrialTarget::Structure(h) = t.target else {
+            unreachable!("uarch plans only target structures");
+        };
+        let pos = HwStructure::ALL.iter().position(|&x| x == h).unwrap();
+        let sc = &mut acc[t.kernel_idx][pos];
+        sc.counts.record(r.outcome);
+        sc.ctrl_affected_masked += r.ctrl as u32;
+    }
+    let kernels = prep
+        .bench
+        .kernels()
+        .iter()
+        .enumerate()
+        .map(|(k_idx, k_name)| {
+            let cycles: u64 = prep
+                .golden
+                .records
+                .iter()
+                .filter(|r| r.kernel_idx == k_idx)
+                .map(|r| r.stats.cycles)
+                .sum();
+            let per_structure = HwStructure::ALL
+                .iter()
+                .zip(&acc[k_idx])
+                .map(|(&h, &c)| (h, c))
+                .collect();
+            let df = HwStructure::ALL
+                .iter()
+                .map(|&h| (h, derating_factor(&prep.golden, k_idx, &prep.cfg.gpu, h)))
+                .collect();
+            UarchKernelResult {
+                kernel: k_name.to_string(),
+                per_structure,
+                df,
+                cycles,
+                n_per_structure: prep.cfg.n_uarch,
+            }
+        })
+        .collect();
+    Ok(UarchAppResult {
+        app: prep.plan.app.clone(),
+        kernels,
+    })
+}
+
+/// Run the cross-layer (gpuFI-4 model) campaign for one application:
+/// plan, execute as a single shard, assemble.
 pub fn run_uarch_campaign(
     bench: &dyn Benchmark,
     cfg: &CampaignCfg,
     hardened: bool,
 ) -> UarchAppResult {
-    let variant = Variant {
-        mode: Mode::Timed,
-        hardened,
-    };
-    let golden = obs::time_phase(Phase::GoldenRun, || golden_run(bench, &cfg.gpu, variant));
-    let app_tag = str_tag(bench.name());
-    let app_name = bench.name();
-    let obs_on = observing();
-    let mut kernels = Vec::new();
-    for (k_idx, k_name) in bench.kernels().iter().enumerate() {
-        let windows: Vec<(usize, u64)> = golden
-            .records
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.kernel_idx == k_idx && r.stats.cycles > 0)
-            .map(|(o, r)| (o, r.stats.cycles))
-            .collect();
-        let cycles: u64 = windows.iter().map(|&(_, c)| c).sum();
-        let mut per_structure = Vec::new();
-        for &h in &HwStructure::ALL {
-            if obs::progress::progress_enabled() {
-                obs::progress::add_total(cfg.n_uarch as u64);
-            }
-            let camp = (0..cfg.n_uarch)
-                .into_par_iter()
-                .map(|trial| {
-                    let t0 = obs_on.then(Instant::now);
-                    let s = derive_seed(
-                        cfg.seed,
-                        &[app_tag, k_idx as u64, h as u64, trial as u64, 1],
-                    );
-                    let planned = obs::time_phase(Phase::FaultSetup, || {
-                        let mut rng = SmallRng::seed_from_u64(s);
-                        pick_weighted(&mut rng, &windows).map(|(ordinal, launch_cycles)| {
-                            (
-                                ordinal,
-                                UarchFault {
-                                    cycle: rng.gen_range(0..launch_cycles),
-                                    structure: h,
-                                    loc_pick: rng.gen(),
-                                    bit: rng.gen_range(0..32),
-                                },
-                            )
-                        })
-                    });
-                    let Some((ordinal, uf)) = planned else {
-                        // No eligible launch window: trivially masked.
-                        if let Some(t0) = t0 {
-                            observe_trial(
-                                app_name,
-                                k_name,
-                                "uarch",
-                                h.label(),
-                                trial as u64,
-                                s,
-                                0,
-                                0,
-                                Outcome::Masked,
-                                t0,
-                            );
-                        }
-                        return StructureCampaign {
-                            counts: {
-                                let mut c = ClassCounts::default();
-                                c.record(Outcome::Masked);
-                                c
-                            },
-                            ctrl_affected_masked: 0,
-                        };
-                    };
-                    let res = obs::time_phase(Phase::FaultyRun, || {
-                        faulty_run(
-                            bench,
-                            &cfg.gpu,
-                            variant,
-                            &golden,
-                            ordinal,
-                            PlannedFault::Uarch(uf),
-                        )
-                    });
-                    if let Some(t0) = t0 {
-                        observe_trial(
-                            app_name,
-                            k_name,
-                            "uarch",
-                            h.label(),
-                            trial as u64,
-                            s,
-                            uf.bit,
-                            uf.cycle,
-                            res.outcome,
-                            t0,
-                        );
-                    }
-                    let mut counts = ClassCounts::default();
-                    counts.record(res.outcome);
-                    StructureCampaign {
-                        counts,
-                        ctrl_affected_masked: (res.outcome == Outcome::Masked
-                            && res.total_cost != golden.total_cost)
-                            as u32,
-                    }
-                })
-                .reduce(StructureCampaign::default, |mut a, b| {
-                    a.counts.add(&b.counts);
-                    a.ctrl_affected_masked += b.ctrl_affected_masked;
-                    a
-                });
-            per_structure.push((h, camp));
-        }
-        let df = HwStructure::ALL
-            .iter()
-            .map(|&h| (h, derating_factor(&golden, k_idx, &cfg.gpu, h)))
-            .collect();
-        kernels.push(UarchKernelResult {
-            kernel: k_name.to_string(),
-            per_structure,
-            df,
-            cycles,
-            n_per_structure: cfg.n_uarch,
-        });
-    }
-    UarchAppResult {
-        app: bench.name().to_string(),
-        kernels,
-    }
+    let prep = prepare_uarch_campaign(bench, cfg, hardened);
+    let records = execute_shard(&prep, &EngineCfg::single_shot())
+        .expect("single-shot execution performs no checkpoint I/O");
+    assemble_uarch(&prep, &records).expect("a single shard covers the whole plan")
 }
 
 // ---------------------------------------------------------------------
@@ -445,7 +749,7 @@ pub fn run_uarch_campaign(
 // ---------------------------------------------------------------------
 
 /// Software-level results for one kernel.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SvfKernelResult {
     pub kernel: String,
     /// Destination-value injections (NVBitFI default).
@@ -468,7 +772,7 @@ impl SvfKernelResult {
 }
 
 /// Software-level results for a whole application.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SvfAppResult {
     pub app: String,
     pub kernels: Vec<SvfKernelResult>,
@@ -495,183 +799,128 @@ impl SvfAppResult {
     }
 }
 
-/// One SVF sub-campaign over a kernel with a given eligibility.
-pub(crate) fn sw_subcampaign(
-    bench: &dyn Benchmark,
-    cfg: &CampaignCfg,
-    variant: Variant,
-    golden: &GoldenRun,
-    k_idx: usize,
-    k_name: &str,
-    kind: SwFaultKind,
-    tag: u64,
-) -> ClassCounts {
-    let windows: Vec<(usize, u64)> = golden
-        .records
+/// Fold a complete record set of any software-level plan into per-kernel,
+/// per-sub-campaign outcome counts, indexed `[kernel][position in
+/// plan.sw_kinds]`. The generic assembly behind [`assemble_sw`] and the
+/// PVF campaign.
+pub fn assemble_sw_counts(
+    prep: &PreparedCampaign,
+    records: &[TrialRecord],
+) -> Result<Vec<Vec<ClassCounts>>, EngineError> {
+    if prep.plan.layer != Layer::Sw {
+        return Err(EngineError::PlanMismatch(
+            "assemble_sw on a microarchitecture-level plan".into(),
+        ));
+    }
+    let outs = complete_outcomes(&prep.plan, records)?;
+    let kinds = &prep.plan.sw_kinds;
+    let n_kernels = prep.bench.kernels().len();
+    let mut acc = vec![vec![ClassCounts::default(); kinds.len()]; n_kernels];
+    for (t, r) in prep.plan.trials.iter().zip(&outs) {
+        let TrialTarget::Fault(kind) = t.target else {
+            unreachable!("sw plans only target fault kinds");
+        };
+        let pos = kinds.iter().position(|&(k, _)| k == kind).unwrap();
+        acc[t.kernel_idx][pos].record(r.outcome);
+    }
+    Ok(acc)
+}
+
+/// Fold a complete record set of the standard SVF plan (dest-value +
+/// dest-value-load) into the software-level result.
+pub fn assemble_sw(
+    prep: &PreparedCampaign,
+    records: &[TrialRecord],
+) -> Result<SvfAppResult, EngineError> {
+    let expected = [
+        (SwFaultKind::DestValue, 10),
+        (SwFaultKind::DestValueLoad, 11),
+    ];
+    if prep.plan.sw_kinds != expected {
+        return Err(EngineError::PlanMismatch(
+            "assemble_sw expects the standard dest-value + dest-value-ld plan".into(),
+        ));
+    }
+    let counts = assemble_sw_counts(prep, records)?;
+    let kernels = prep
+        .bench
+        .kernels()
         .iter()
         .enumerate()
-        .filter(|(_, r)| r.kernel_idx == k_idx)
-        .map(|(o, r)| {
-            let w = match kind {
-                SwFaultKind::DestValue => r.stats.gp_dest_instrs,
-                SwFaultKind::SrcPersistent | SwFaultKind::SrcTransient => r.stats.src_reg_instrs,
-                SwFaultKind::DestValueLoad => r.stats.ld_dest_instrs,
-                SwFaultKind::ArchState => r.stats.thread_instrs,
-            };
-            (o, w)
+        .map(|(k_idx, k_name)| SvfKernelResult {
+            kernel: k_name.to_string(),
+            counts: counts[k_idx][0],
+            counts_ld: counts[k_idx][1],
+            instrs: prep.golden.kernel_stats(k_idx).thread_instrs,
         })
-        .filter(|&(_, w)| w > 0)
         .collect();
-    let app_tag = str_tag(bench.name());
-    let app_name = bench.name();
-    let obs_on = observing();
-    if obs::progress::progress_enabled() {
-        obs::progress::add_total(cfg.n_sw as u64);
-    }
-    (0..cfg.n_sw)
-        .into_par_iter()
-        .map(|trial| {
-            let t0 = obs_on.then(Instant::now);
-            let s = derive_seed(cfg.seed, &[app_tag, k_idx as u64, tag, trial as u64, 2]);
-            let mut counts = ClassCounts::default();
-            let planned = obs::time_phase(Phase::FaultSetup, || {
-                let mut rng = SmallRng::seed_from_u64(s);
-                pick_weighted(&mut rng, &windows).map(|(ordinal, weight)| {
-                    (
-                        ordinal,
-                        SwFault {
-                            kind,
-                            target: rng.gen_range(0..weight),
-                            bit: rng.gen_range(0..32),
-                            loc_pick: rng.gen(),
-                        },
-                    )
-                })
-            });
-            let Some((ordinal, sf)) = planned else {
-                // No eligible instruction stream: trivially masked.
-                if let Some(t0) = t0 {
-                    observe_trial(
-                        app_name,
-                        k_name,
-                        "sw",
-                        kind.label(),
-                        trial as u64,
-                        s,
-                        0,
-                        0,
-                        Outcome::Masked,
-                        t0,
-                    );
-                }
-                counts.record(Outcome::Masked);
-                return counts;
-            };
-            let res = obs::time_phase(Phase::FaultyRun, || {
-                faulty_run(
-                    bench,
-                    &cfg.gpu,
-                    variant,
-                    golden,
-                    ordinal,
-                    PlannedFault::Sw(sf),
-                )
-            });
-            if let Some(t0) = t0 {
-                observe_trial(
-                    app_name,
-                    k_name,
-                    "sw",
-                    kind.label(),
-                    trial as u64,
-                    s,
-                    sf.bit,
-                    sf.target,
-                    res.outcome,
-                    t0,
-                );
-            }
-            counts.record(res.outcome);
-            counts
-        })
-        .reduce(ClassCounts::default, |mut a, b| {
-            a.add(&b);
-            a
-        })
+    Ok(SvfAppResult {
+        app: prep.plan.app.clone(),
+        kernels,
+    })
 }
 
 /// Run the software-level (NVBitFI model) campaign for one application:
 /// destination-value injections plus the load-only SVF-LD variant.
 pub fn run_sw_campaign(bench: &dyn Benchmark, cfg: &CampaignCfg, hardened: bool) -> SvfAppResult {
-    let variant = Variant {
-        mode: Mode::Functional,
-        hardened,
-    };
-    let golden = obs::time_phase(Phase::GoldenRun, || golden_run(bench, &cfg.gpu, variant));
-    let kernels = bench
-        .kernels()
-        .iter()
-        .enumerate()
-        .map(|(k_idx, k_name)| {
-            let counts = sw_subcampaign(
-                bench,
-                cfg,
-                variant,
-                &golden,
-                k_idx,
-                k_name,
-                SwFaultKind::DestValue,
-                10,
-            );
-            let counts_ld = sw_subcampaign(
-                bench,
-                cfg,
-                variant,
-                &golden,
-                k_idx,
-                k_name,
-                SwFaultKind::DestValueLoad,
-                11,
-            );
-            let instrs = golden.kernel_stats(k_idx).thread_instrs;
-            SvfKernelResult {
-                kernel: k_name.to_string(),
-                counts,
-                counts_ld,
-                instrs,
-            }
-        })
-        .collect();
-    SvfAppResult {
-        app: bench.name().to_string(),
-        kernels,
-    }
+    let prep = prepare_sw_campaign(bench, cfg, hardened);
+    let records = execute_shard(&prep, &EngineCfg::single_shot())
+        .expect("single-shot execution performs no checkpoint I/O");
+    assemble_sw(&prep, &records).expect("a single shard covers the whole plan")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kernels::apps::va::Va;
 
     #[test]
-    fn seeds_are_deterministic_and_spread() {
-        let a = derive_seed(1, &[2, 3, 4]);
-        assert_eq!(a, derive_seed(1, &[2, 3, 4]));
-        assert_ne!(a, derive_seed(1, &[2, 3, 5]));
-        assert_ne!(a, derive_seed(2, &[2, 3, 4]));
-        assert_ne!(str_tag("VA"), str_tag("NW"));
+    fn single_shot_sharded_and_limited_runs_agree() {
+        let cfg = CampaignCfg::new(10, 10, 0xFEED);
+        let single = run_sw_campaign(&Va, &cfg, false);
+        let prep = prepare_sw_campaign(&Va, &cfg, false);
+        let mut recs = Vec::new();
+        for i in 0..4 {
+            recs.extend(execute_shard(&prep, &EngineCfg::sharded(4, i)).unwrap());
+        }
+        assert_eq!(assemble_sw(&prep, &recs).unwrap(), single);
+        assert_eq!(
+            records_fingerprint(&recs),
+            records_fingerprint(&execute_shard(&prep, &EngineCfg::single_shot()).unwrap())
+        );
     }
 
     #[test]
-    fn weighted_pick_respects_weights() {
-        let mut rng = SmallRng::seed_from_u64(7);
-        let weights = vec![(0usize, 0u64), (1, 90), (2, 10)];
-        let mut hits = [0u32; 3];
-        for _ in 0..1000 {
-            let (idx, _) = pick_weighted(&mut rng, &weights).unwrap();
-            hits[idx] += 1;
-        }
-        assert_eq!(hits[0], 0, "zero-weight never picked");
-        assert!(hits[1] > 800, "{hits:?}");
-        assert!(pick_weighted(&mut rng, &[(0, 0)]).is_none());
+    fn assembly_rejects_gaps_and_duplicates() {
+        let cfg = CampaignCfg::new(4, 4, 1);
+        let prep = prepare_sw_campaign(&Va, &cfg, false);
+        let recs = execute_shard(&prep, &EngineCfg::single_shot()).unwrap();
+        assert!(matches!(
+            assemble_sw(&prep, &recs[1..]),
+            Err(EngineError::IncompleteCover { missing: 1, .. })
+        ));
+        let mut dup = recs.clone();
+        dup.push(recs[0]);
+        assert!(matches!(
+            assemble_sw(&prep, &dup),
+            Err(EngineError::DuplicateTrial { idx: 0 })
+        ));
+        let mut foreign = recs.clone();
+        foreign[0].idx = prep.plan.len();
+        assert!(matches!(
+            assemble_sw(&prep, &foreign),
+            Err(EngineError::ForeignTrial { .. })
+        ));
+    }
+
+    #[test]
+    fn trial_limit_executes_exactly_that_many() {
+        let cfg = CampaignCfg::new(4, 4, 2);
+        let prep = prepare_sw_campaign(&Va, &cfg, false);
+        let eng = EngineCfg {
+            trial_limit: Some(3),
+            ..EngineCfg::single_shot()
+        };
+        assert_eq!(execute_shard(&prep, &eng).unwrap().len(), 3);
     }
 }

@@ -36,8 +36,10 @@
 //! ```
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod hardening;
 pub mod metrics;
+pub mod plan;
 pub mod profile;
 pub mod pvf;
 pub mod report;
@@ -45,11 +47,20 @@ pub mod reuse;
 pub mod trends;
 
 pub use campaign::{
-    run_sw_campaign, run_uarch_campaign, CampaignCfg, SvfAppResult, SvfKernelResult,
-    UarchAppResult, UarchKernelResult,
+    assemble_sw, assemble_sw_counts, assemble_uarch, execute_shard, records_fingerprint,
+    run_sw_campaign, run_uarch_campaign, CampaignCfg, EngineCfg, EngineError, SvfAppResult,
+    SvfKernelResult, UarchAppResult, UarchKernelResult, Watchdog,
+};
+pub use checkpoint::{
+    load_checkpoint, Checkpoint, CheckpointError, CheckpointHeader, CheckpointWriter, TrialRecord,
+    DEFAULT_CHECKPOINT_EVERY,
 };
 pub use hardening::{evaluate_hardening, HardeningComparison};
 pub use metrics::{error_margin, ClassCounts, ClassRates, Confidence};
+pub use plan::{
+    prepare_sw_campaign, prepare_sw_kinds, prepare_uarch_campaign, shard_trials, CampaignPlan,
+    Layer, PlannedTrial, PreparedCampaign, TrialTarget,
+};
 pub use profile::{kernel_metrics, normalized_pair, UtilMetrics, METRIC_LABELS};
 pub use pvf::{run_pvf_campaign, PvfAppResult, PvfKernelResult};
 pub use report::{metrics_tables, pct, pct4, phase_table, RowArityError, Table};

@@ -1,0 +1,440 @@
+//! Deterministic injection plans: seed → explicit trial list.
+//!
+//! A [`CampaignPlan`] expands a campaign configuration into the complete,
+//! ordered list of trials it will run — for each trial the derived seed,
+//! the targeted launch, and the fully resolved fault (structure/
+//! instruction, bit, cycle). Because every trial is fixed up front from
+//! `(seed, app, kernel, target, trial)` alone, the plan is identical no
+//! matter how execution is split: across rayon workers, across
+//! `--shards M --shard-index i` processes, or across an interruption and
+//! a `--resume`. [`shard_trials`] partitions a plan into disjoint strided
+//! slices, and [`CampaignPlan::fingerprint`] condenses the whole trial
+//! list into one u64 so checkpoints and shard outputs can prove they came
+//! from the same plan before being merged.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use kernels::{golden_run, Benchmark, GoldenRun, PlannedFault, Variant};
+use obs::Phase;
+use vgpu_sim::{HwStructure, Mode, SwFault, SwFaultKind, UarchFault};
+
+use crate::campaign::CampaignCfg;
+
+/// Abstraction layer of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// Microarchitecture-level (gpuFI-4 model, AVF side).
+    Uarch,
+    /// Software-level (NVBitFI model, SVF/PVF side).
+    Sw,
+}
+
+impl Layer {
+    /// Stable identifier used in metric labels, events, and checkpoints.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Layer::Uarch => "uarch",
+            Layer::Sw => "sw",
+        }
+    }
+
+    pub fn from_label(s: &str) -> Option<Layer> {
+        match s {
+            "uarch" => Some(Layer::Uarch),
+            "sw" => Some(Layer::Sw),
+            _ => None,
+        }
+    }
+}
+
+/// What one trial targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialTarget {
+    /// A hardware structure (uarch campaigns).
+    Structure(HwStructure),
+    /// A software fault kind (sw campaigns).
+    Fault(SwFaultKind),
+}
+
+impl TrialTarget {
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrialTarget::Structure(h) => h.label(),
+            TrialTarget::Fault(k) => k.label(),
+        }
+    }
+}
+
+/// One fully resolved injection trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedTrial {
+    /// Global index into [`CampaignPlan::trials`] — the identity used by
+    /// checkpoints and shard merging.
+    pub index: usize,
+    /// Index into [`Benchmark::kernels`].
+    pub kernel_idx: usize,
+    pub target: TrialTarget,
+    /// Ordinal within its (kernel, target) sub-campaign.
+    pub trial: usize,
+    /// Per-trial derived seed (reproduces the trial exactly).
+    pub seed: u64,
+    /// Resolved fault: (golden launch ordinal, fault). `None` means the
+    /// target population was empty and the trial is trivially masked.
+    pub fault: Option<(usize, PlannedFault)>,
+}
+
+/// The complete, deterministic trial list of one campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    pub app: String,
+    pub layer: Layer,
+    pub seed: u64,
+    pub hardened: bool,
+    /// Injections per (kernel, target) sub-campaign.
+    pub n_per_target: usize,
+    /// Software fault kinds with their seed-derivation tags, in
+    /// sub-campaign order (empty for uarch plans).
+    pub sw_kinds: Vec<(SwFaultKind, u64)>,
+    pub trials: Vec<PlannedTrial>,
+}
+
+impl CampaignPlan {
+    pub fn len(&self) -> usize {
+        self.trials.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.trials.is_empty()
+    }
+
+    /// Order-sensitive digest of the plan: campaign identity plus, for
+    /// every trial, its derived seed and resolved fault coordinates. Two
+    /// runs agree on this u64 exactly when they would execute the same
+    /// injections in the same slots, so checkpoint resume and shard merge
+    /// use it to reject outputs from a different seed, app, GPU
+    /// configuration, or code revision of the planner.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = derive_seed(
+            self.seed,
+            &[
+                str_tag(&self.app),
+                str_tag(self.layer.label()),
+                self.hardened as u64,
+                self.n_per_target as u64,
+                self.trials.len() as u64,
+            ],
+        );
+        for t in &self.trials {
+            let (ord, a, b, c) = match &t.fault {
+                None => (0, 0, 0, 0),
+                Some((ordinal, PlannedFault::Uarch(u))) => {
+                    (*ordinal as u64 + 1, u.cycle, u.loc_pick, u.bit as u64)
+                }
+                Some((ordinal, PlannedFault::Sw(s))) => {
+                    (*ordinal as u64 + 1, s.target, s.loc_pick, s.bit as u64)
+                }
+            };
+            h = derive_seed(h, &[t.seed, ord, a, b, c]);
+        }
+        h
+    }
+}
+
+/// A plan bound to everything needed to execute it: the benchmark, the
+/// campaign configuration, and the golden run its faults were resolved
+/// against. Produced by [`prepare_uarch_campaign`] / [`prepare_sw_campaign`],
+/// consumed by [`crate::campaign::execute_shard`] and the `assemble_*`
+/// folds.
+pub struct PreparedCampaign<'a> {
+    pub bench: &'a dyn Benchmark,
+    pub cfg: CampaignCfg,
+    pub variant: Variant,
+    pub golden: GoldenRun,
+    pub plan: CampaignPlan,
+}
+
+/// Strided shard partition: shard `index` of `shards` owns plan indices
+/// `index, index + shards, index + 2·shards, …`. For any `(len, shards)`
+/// the shards form a disjoint cover of `0..len` (guarded by a property
+/// test), so merging all shard outputs reconstructs the whole campaign.
+pub fn shard_trials(len: usize, shards: usize, index: usize) -> Vec<usize> {
+    assert!(shards >= 1, "shards must be >= 1");
+    assert!(
+        index < shards,
+        "shard index {index} out of range for {shards} shards"
+    );
+    (index..len).step_by(shards).collect()
+}
+
+/// Deterministic per-trial seed derivation (splitmix-style hashing).
+pub(crate) fn derive_seed(base: u64, tags: &[u64]) -> u64 {
+    let mut x = base ^ 0x9e37_79b9_7f4a_7c15;
+    for &t in tags {
+        x ^= t
+            .wrapping_add(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(x << 6)
+            .wrapping_add(x >> 2);
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 31;
+    }
+    x
+}
+
+pub(crate) fn str_tag(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+/// Pick an index from `weights` proportionally.
+pub(crate) fn pick_weighted(rng: &mut SmallRng, weights: &[(usize, u64)]) -> Option<(usize, u64)> {
+    let total: u64 = weights.iter().map(|&(_, w)| w).sum();
+    if total == 0 {
+        return None;
+    }
+    let mut x = rng.gen_range(0..total);
+    for &(idx, w) in weights {
+        if x < w {
+            return Some((idx, w));
+        }
+        x -= w;
+    }
+    unreachable!("weighted pick ran past total");
+}
+
+/// Run the golden execution and expand the microarchitecture-level (AVF)
+/// campaign into its full trial list: every (kernel, structure) pair gets
+/// `n_uarch` trials, each resolved to a (launch, cycle, location, bit)
+/// flip by the same seed derivation the monolithic campaign loop used —
+/// so executing the plan in any partition reproduces `run_uarch_campaign`
+/// exactly.
+pub fn prepare_uarch_campaign<'a>(
+    bench: &'a dyn Benchmark,
+    cfg: &CampaignCfg,
+    hardened: bool,
+) -> PreparedCampaign<'a> {
+    let variant = Variant {
+        mode: Mode::Timed,
+        hardened,
+    };
+    let golden = obs::time_phase(Phase::GoldenRun, || golden_run(bench, &cfg.gpu, variant));
+    let app_tag = str_tag(bench.name());
+    let n_kernels = bench.kernels().len();
+    let mut trials = Vec::with_capacity(n_kernels * HwStructure::ALL.len() * cfg.n_uarch);
+    obs::time_phase(Phase::FaultSetup, || {
+        for k_idx in 0..n_kernels {
+            let windows: Vec<(usize, u64)> = golden
+                .records
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.kernel_idx == k_idx && r.stats.cycles > 0)
+                .map(|(o, r)| (o, r.stats.cycles))
+                .collect();
+            for &h in &HwStructure::ALL {
+                for trial in 0..cfg.n_uarch {
+                    let s = derive_seed(
+                        cfg.seed,
+                        &[app_tag, k_idx as u64, h as u64, trial as u64, 1],
+                    );
+                    let mut rng = SmallRng::seed_from_u64(s);
+                    let fault =
+                        pick_weighted(&mut rng, &windows).map(|(ordinal, launch_cycles)| {
+                            (
+                                ordinal,
+                                PlannedFault::Uarch(UarchFault {
+                                    cycle: rng.gen_range(0..launch_cycles),
+                                    structure: h,
+                                    loc_pick: rng.gen(),
+                                    bit: rng.gen_range(0..32),
+                                }),
+                            )
+                        });
+                    trials.push(PlannedTrial {
+                        index: trials.len(),
+                        kernel_idx: k_idx,
+                        target: TrialTarget::Structure(h),
+                        trial,
+                        seed: s,
+                        fault,
+                    });
+                }
+            }
+        }
+    });
+    PreparedCampaign {
+        bench,
+        cfg: cfg.clone(),
+        variant,
+        golden,
+        plan: CampaignPlan {
+            app: bench.name().to_string(),
+            layer: Layer::Uarch,
+            seed: cfg.seed,
+            hardened,
+            n_per_target: cfg.n_uarch,
+            sw_kinds: Vec::new(),
+            trials,
+        },
+    }
+}
+
+/// The standard software-level (SVF) campaign: destination-value
+/// injections plus the load-only SVF-LD variant.
+pub fn prepare_sw_campaign<'a>(
+    bench: &'a dyn Benchmark,
+    cfg: &CampaignCfg,
+    hardened: bool,
+) -> PreparedCampaign<'a> {
+    prepare_sw_kinds(
+        bench,
+        cfg,
+        hardened,
+        &[
+            (SwFaultKind::DestValue, 10),
+            (SwFaultKind::DestValueLoad, 11),
+        ],
+    )
+}
+
+/// Software-level plan over an explicit set of (fault kind, seed tag)
+/// sub-campaigns — the generalization behind [`prepare_sw_campaign`] and
+/// the PVF campaign. Tags feed the seed derivation and must match the
+/// historical constants (10 = dest-value, 11 = dest-value-load,
+/// 12 = arch-state) for results to stay comparable across versions.
+pub fn prepare_sw_kinds<'a>(
+    bench: &'a dyn Benchmark,
+    cfg: &CampaignCfg,
+    hardened: bool,
+    kinds: &[(SwFaultKind, u64)],
+) -> PreparedCampaign<'a> {
+    let variant = Variant {
+        mode: Mode::Functional,
+        hardened,
+    };
+    let golden = obs::time_phase(Phase::GoldenRun, || golden_run(bench, &cfg.gpu, variant));
+    let app_tag = str_tag(bench.name());
+    let n_kernels = bench.kernels().len();
+    let mut trials = Vec::with_capacity(n_kernels * kinds.len() * cfg.n_sw);
+    obs::time_phase(Phase::FaultSetup, || {
+        for k_idx in 0..n_kernels {
+            for &(kind, tag) in kinds {
+                let windows: Vec<(usize, u64)> = golden
+                    .records
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.kernel_idx == k_idx)
+                    .map(|(o, r)| {
+                        let w = match kind {
+                            SwFaultKind::DestValue => r.stats.gp_dest_instrs,
+                            SwFaultKind::SrcPersistent | SwFaultKind::SrcTransient => {
+                                r.stats.src_reg_instrs
+                            }
+                            SwFaultKind::DestValueLoad => r.stats.ld_dest_instrs,
+                            SwFaultKind::ArchState => r.stats.thread_instrs,
+                        };
+                        (o, w)
+                    })
+                    .filter(|&(_, w)| w > 0)
+                    .collect();
+                for trial in 0..cfg.n_sw {
+                    let s = derive_seed(cfg.seed, &[app_tag, k_idx as u64, tag, trial as u64, 2]);
+                    let mut rng = SmallRng::seed_from_u64(s);
+                    let fault = pick_weighted(&mut rng, &windows).map(|(ordinal, weight)| {
+                        (
+                            ordinal,
+                            PlannedFault::Sw(SwFault {
+                                kind,
+                                target: rng.gen_range(0..weight),
+                                bit: rng.gen_range(0..32),
+                                loc_pick: rng.gen(),
+                            }),
+                        )
+                    });
+                    trials.push(PlannedTrial {
+                        index: trials.len(),
+                        kernel_idx: k_idx,
+                        target: TrialTarget::Fault(kind),
+                        trial,
+                        seed: s,
+                        fault,
+                    });
+                }
+            }
+        }
+    });
+    PreparedCampaign {
+        bench,
+        cfg: cfg.clone(),
+        variant,
+        golden,
+        plan: CampaignPlan {
+            app: bench.name().to_string(),
+            layer: Layer::Sw,
+            seed: cfg.seed,
+            hardened,
+            n_per_target: cfg.n_sw,
+            sw_kinds: kinds.to_vec(),
+            trials,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernels::apps::va::Va;
+
+    #[test]
+    fn seeds_are_deterministic_and_spread() {
+        let a = derive_seed(1, &[2, 3, 4]);
+        assert_eq!(a, derive_seed(1, &[2, 3, 4]));
+        assert_ne!(a, derive_seed(1, &[2, 3, 5]));
+        assert_ne!(a, derive_seed(2, &[2, 3, 4]));
+        assert_ne!(str_tag("VA"), str_tag("NW"));
+    }
+
+    #[test]
+    fn weighted_pick_respects_weights() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let weights = vec![(0usize, 0u64), (1, 90), (2, 10)];
+        let mut hits = [0u32; 3];
+        for _ in 0..1000 {
+            let (idx, _) = pick_weighted(&mut rng, &weights).unwrap();
+            hits[idx] += 1;
+        }
+        assert_eq!(hits[0], 0, "zero-weight never picked");
+        assert!(hits[1] > 800, "{hits:?}");
+        assert!(pick_weighted(&mut rng, &[(0, 0)]).is_none());
+    }
+
+    #[test]
+    fn shard_partition_covers_small_cases() {
+        assert_eq!(shard_trials(5, 2, 0), vec![0, 2, 4]);
+        assert_eq!(shard_trials(5, 2, 1), vec![1, 3]);
+        assert_eq!(shard_trials(0, 3, 2), Vec::<usize>::new());
+        assert_eq!(shard_trials(4, 1, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn plans_are_reproducible_and_seed_sensitive() {
+        let cfg = CampaignCfg::new(12, 12, 0xBEEF);
+        let a = prepare_uarch_campaign(&Va, &cfg, false);
+        let b = prepare_uarch_campaign(&Va, &cfg, false);
+        assert_eq!(a.plan.trials, b.plan.trials);
+        assert_eq!(a.plan.fingerprint(), b.plan.fingerprint());
+
+        let mut cfg2 = cfg.clone();
+        cfg2.seed ^= 1;
+        let c = prepare_uarch_campaign(&Va, &cfg2, false);
+        assert_ne!(a.plan.fingerprint(), c.plan.fingerprint());
+
+        let s = prepare_sw_campaign(&Va, &cfg, false);
+        assert_ne!(a.plan.fingerprint(), s.plan.fingerprint());
+        assert_eq!(
+            s.plan.len(),
+            Va.kernels().len() * 2 * cfg.n_sw,
+            "dest-value and dest-value-ld sub-campaigns"
+        );
+    }
+}

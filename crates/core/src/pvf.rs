@@ -13,10 +13,11 @@
 //! *hardware masking and derating* (PVF→AVF).
 
 use kernels::Benchmark;
-use vgpu_sim::{Mode, SwFaultKind};
+use vgpu_sim::SwFaultKind;
 
-use crate::campaign::{sw_subcampaign, CampaignCfg};
+use crate::campaign::{assemble_sw_counts, execute_shard, CampaignCfg, EngineCfg};
 use crate::metrics::{ClassCounts, ClassRates};
+use crate::plan::prepare_sw_kinds;
 
 /// PVF measurements for one kernel.
 #[derive(Debug, Clone)]
@@ -52,33 +53,21 @@ impl PvfAppResult {
     }
 }
 
-/// Run the architectural-state (PVF approximation) campaign.
+/// Run the architectural-state (PVF approximation) campaign through the
+/// sharded engine — one single-shot shard of an ArchState-only plan.
 pub fn run_pvf_campaign(bench: &dyn Benchmark, cfg: &CampaignCfg, hardened: bool) -> PvfAppResult {
-    let variant = kernels::Variant {
-        mode: Mode::Functional,
-        hardened,
-    };
-    let golden = kernels::golden_run(bench, &cfg.gpu, variant);
+    let prep = prepare_sw_kinds(bench, cfg, hardened, &[(SwFaultKind::ArchState, 12)]);
+    let records = execute_shard(&prep, &EngineCfg::single_shot())
+        .expect("single-shot execution performs no checkpoint I/O");
+    let counts = assemble_sw_counts(&prep, &records).expect("a single shard covers the whole plan");
     let kernels = bench
         .kernels()
         .iter()
         .enumerate()
-        .map(|(k_idx, k_name)| {
-            let counts = sw_subcampaign(
-                bench,
-                cfg,
-                variant,
-                &golden,
-                k_idx,
-                k_name,
-                SwFaultKind::ArchState,
-                12,
-            );
-            PvfKernelResult {
-                kernel: k_name.to_string(),
-                counts,
-                instrs: golden.kernel_stats(k_idx).thread_instrs,
-            }
+        .map(|(k_idx, k_name)| PvfKernelResult {
+            kernel: k_name.to_string(),
+            counts: counts[k_idx][0],
+            instrs: prep.golden.kernel_stats(k_idx).thread_instrs,
         })
         .collect();
     PvfAppResult {

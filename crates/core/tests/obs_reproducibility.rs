@@ -64,13 +64,29 @@ fn event_sink_and_metrics_do_not_change_outcomes() {
         "observability changed campaign outcomes"
     );
 
-    // One parseable JSONL record per injection.
+    // One parseable JSONL record per injection, plus the campaign
+    // lifecycle records the engine journals (shard_start + shard_done for
+    // each of the two single-shot campaigns).
     let n_kernels = base_u.kernels.len();
     let expected =
         n_kernels * vgpu_sim::HwStructure::ALL.len() * cfg.n_uarch + n_kernels * 2 * cfg.n_sw;
     let text = std::fs::read_to_string(&events_path).unwrap();
-    let lines: Vec<&str> = text.lines().collect();
+    let mut lines = Vec::new();
+    let mut campaign_lines = 0usize;
+    for line in text.lines() {
+        let fields = obs::events::parse_line(line)
+            .unwrap_or_else(|| panic!("unparseable event line: {line}"));
+        if fields
+            .iter()
+            .any(|(k, v)| k == "record" && v.as_str() == Some("campaign"))
+        {
+            campaign_lines += 1;
+        } else {
+            lines.push(line);
+        }
+    }
     assert_eq!(lines.len(), expected, "one event per injection");
+    assert_eq!(campaign_lines, 4, "shard_start + shard_done per campaign");
     let mut event_outcomes = std::collections::BTreeMap::new();
     for line in &lines {
         let fields = obs::events::parse_line(line)

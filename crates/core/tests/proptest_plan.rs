@@ -1,0 +1,151 @@
+//! Property tests for the sharded campaign engine's two foundations:
+//!
+//! * strided shard partitioning is a *disjoint cover* of the plan for any
+//!   (shard count, plan length) — no trial is dropped or run twice, which
+//!   is what makes merged shard outputs equal the single-shot result;
+//! * the JSONL checkpoint codec is a round-trip fixpoint, including
+//!   recovery from a torn (interrupted mid-write) final line.
+
+use proptest::prelude::*;
+use relia::checkpoint::{
+    checkpoint_to_string, parse_checkpoint, Checkpoint, CheckpointError, CheckpointHeader,
+    TrialRecord,
+};
+use relia::plan::{shard_trials, Layer};
+
+fn outcome_of(tag: u8) -> kernels::Outcome {
+    match tag % 4 {
+        0 => kernels::Outcome::Masked,
+        1 => kernels::Outcome::Sdc,
+        2 => kernels::Outcome::Timeout,
+        _ => kernels::Outcome::Due,
+    }
+}
+
+/// Build a structurally valid checkpoint from proptest-generated parts.
+fn checkpoint(
+    app: &str,
+    layer_uarch: bool,
+    seed: u64,
+    hardened: bool,
+    trials: Vec<(u32, u8, bool, u32)>,
+) -> Checkpoint {
+    let records: Vec<TrialRecord> = trials
+        .iter()
+        .map(|&(idx, out, ctrl, wall)| TrialRecord {
+            idx: idx as usize,
+            outcome: outcome_of(out),
+            ctrl,
+            wall_us: wall as u64,
+        })
+        .collect();
+    Checkpoint {
+        header: CheckpointHeader {
+            app: app.to_string(),
+            layer: if layer_uarch { Layer::Uarch } else { Layer::Sw },
+            seed,
+            hardened,
+            n_per_target: records.len().max(1),
+            trials: 1 + records.iter().map(|r| r.idx).max().unwrap_or(0),
+            shards: 3,
+            shard_index: 1,
+            fingerprint: seed.rotate_left(17) ^ 0xFEED,
+        },
+        records,
+    }
+}
+
+proptest! {
+    /// For arbitrary (plan length, shard count), the shards partition
+    /// 0..len exactly: disjoint, complete, each sorted and owned by the
+    /// right shard.
+    #[test]
+    fn shard_partition_is_a_disjoint_cover(len in 0usize..400, shards in 1usize..17) {
+        let mut seen = vec![0u32; len];
+        for i in 0..shards {
+            let mine = shard_trials(len, shards, i);
+            let mut prev: Option<usize> = None;
+            for &idx in &mine {
+                prop_assert!(idx < len, "index {idx} out of plan");
+                prop_assert_eq!(idx % shards, i, "index {} landed in wrong shard", idx);
+                prop_assert!(prev.is_none_or(|p| p < idx), "shard slice must be ascending");
+                prev = Some(idx);
+                seen[idx] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "every trial exactly once: {seen:?}");
+    }
+
+    /// Shard sizes are balanced to within one trial — no shard can starve.
+    #[test]
+    fn shard_sizes_are_balanced(len in 0usize..400, shards in 1usize..17) {
+        let sizes: Vec<usize> = (0..shards).map(|i| shard_trials(len, shards, i).len()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "unbalanced shards: {sizes:?}");
+        prop_assert_eq!(sizes.iter().sum::<usize>(), len);
+    }
+
+    /// serialize → parse → serialize is a fixpoint, for arbitrary header
+    /// fields (including apps needing JSON string escaping) and records.
+    #[test]
+    fn checkpoint_roundtrip_is_a_fixpoint(
+        // Printable ASCII, including `"` and `\` so escaping is exercised.
+        app_bytes in prop::collection::vec(0x20u8..0x7f, 0..12),
+        layer_uarch in any::<bool>(),
+        seed in any::<u64>(),
+        hardened in any::<bool>(),
+        trials in prop::collection::vec((any::<u32>(), any::<u8>(), any::<bool>(), any::<u32>()), 0..40),
+    ) {
+        let app = String::from_utf8(app_bytes).unwrap();
+        let ck = checkpoint(&app, layer_uarch, seed, hardened, trials);
+        let text = checkpoint_to_string(&ck);
+        let back = parse_checkpoint(&text).unwrap();
+        prop_assert_eq!(&back, &ck, "parse must invert serialize");
+        prop_assert_eq!(checkpoint_to_string(&back), text, "fixpoint");
+    }
+
+    /// Truncating a checkpoint anywhere — as a kill -9 mid-write would —
+    /// either recovers an exact prefix of the records (torn final line
+    /// dropped) or fails with MissingHeader when the cut beheaded the
+    /// file. It never invents or corrupts a record.
+    #[test]
+    fn truncated_checkpoint_recovers_a_prefix(
+        app_bytes in prop::collection::vec(b'a'..=b'z', 1..8),
+        seed in any::<u64>(),
+        trials in prop::collection::vec((any::<u32>(), any::<u8>(), any::<bool>(), any::<u32>()), 1..30),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let app = String::from_utf8(app_bytes).unwrap();
+        let ck = checkpoint(&app, true, seed, false, trials);
+        let text = checkpoint_to_string(&ck);
+        let cut = (text.len() as f64 * cut_frac) as usize;
+        match parse_checkpoint(&text[..cut]) {
+            Ok(rec) => {
+                prop_assert_eq!(&rec.header, &ck.header, "header survives or parse fails");
+                prop_assert!(rec.records.len() <= ck.records.len());
+                prop_assert_eq!(
+                    rec.records.as_slice(),
+                    &ck.records[..rec.records.len()],
+                    "recovered records are an exact prefix"
+                );
+            }
+            Err(CheckpointError::MissingHeader) => {
+                // Legal only when the cut happened inside the header line.
+                let header_end = text.find('\n').unwrap() + 1;
+                prop_assert!(cut < header_end, "complete header must parse (cut={cut})");
+            }
+            Err(e) => prop_assert!(false, "unexpected error on truncation: {e}"),
+        }
+    }
+}
+
+#[test]
+fn shard_cover_holds_at_awkward_exact_points() {
+    // Deterministic spot checks at the boundaries proptest may skip.
+    for (len, shards) in [(0, 1), (0, 5), (1, 1), (1, 4), (5, 5), (7, 3), (16, 16)] {
+        let total: usize = (0..shards)
+            .map(|i| shard_trials(len, shards, i).len())
+            .sum();
+        assert_eq!(total, len, "len={len} shards={shards}");
+    }
+}

@@ -114,7 +114,7 @@ impl GoldenRun {
 }
 
 /// The fault to inject into one specific launch of the application.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlannedFault {
     Uarch(UarchFault),
     Sw(SwFault),

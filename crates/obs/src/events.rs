@@ -43,7 +43,10 @@ pub struct InjectionEvent<'a> {
     pub wall_us: u64,
 }
 
-fn push_json_str(out: &mut String, s: &str) {
+/// JSON string literal serializer shared by every JSONL writer in the
+/// workspace (events here, campaign checkpoints in `crates/core`), so all
+/// record shapes escape identically and [`parse_line`] reads them all.
+pub fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -111,12 +114,7 @@ pub fn events_enabled() -> bool {
     EVENTS_ON.load(Ordering::Relaxed)
 }
 
-/// Record one event; no-op while no sink is installed.
-pub fn emit(ev: &InjectionEvent) {
-    if !events_enabled() {
-        return;
-    }
-    let line = ev.to_json();
+fn write_line(line: &str) {
     let mut guard = SINK.lock().unwrap();
     if let Some(w) = guard.as_mut() {
         // A full disk mid-campaign should not abort the science run;
@@ -124,6 +122,57 @@ pub fn emit(ev: &InjectionEvent) {
         let _ = w.write_all(line.as_bytes());
         let _ = w.write_all(b"\n");
     }
+}
+
+/// Record one event; no-op while no sink is installed.
+pub fn emit(ev: &InjectionEvent) {
+    if !events_enabled() {
+        return;
+    }
+    write_line(&ev.to_json());
+}
+
+/// A campaign lifecycle event: shard start/finish, checkpoint resume,
+/// merge. Distinguished from injection lines by `"record":"campaign"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignEvent<'a> {
+    /// `"shard_start"` / `"shard_done"` / `"resume"` / `"merge"`.
+    pub kind: &'a str,
+    pub app: &'a str,
+    /// `"uarch"` or `"sw"`.
+    pub layer: &'a str,
+    pub shard: u64,
+    pub shards: u64,
+    /// Trials already classified (loaded from a checkpoint on resume).
+    pub done: u64,
+    /// Trials owned by this shard.
+    pub total: u64,
+}
+
+impl CampaignEvent<'_> {
+    /// Serialize as a single JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str("{\"record\":\"campaign\",\"kind\":");
+        push_json_str(&mut s, self.kind);
+        s.push_str(",\"app\":");
+        push_json_str(&mut s, self.app);
+        s.push_str(",\"layer\":");
+        push_json_str(&mut s, self.layer);
+        s.push_str(&format!(
+            ",\"shard\":{},\"shards\":{},\"done\":{},\"total\":{}}}",
+            self.shard, self.shards, self.done, self.total
+        ));
+        s
+    }
+}
+
+/// Record one campaign lifecycle event; no-op while no sink is installed.
+pub fn emit_campaign(ev: &CampaignEvent) {
+    if !events_enabled() {
+        return;
+    }
+    write_line(&ev.to_json());
 }
 
 /// Flush buffered events to disk.
@@ -319,6 +368,32 @@ mod tests {
         assert_eq!(get("outcome").unwrap().as_str(), Some("sdc"));
         assert_eq!(get("wall_us").unwrap().as_u64(), Some(950));
         assert_eq!(fields.len(), 10);
+    }
+
+    #[test]
+    fn campaign_event_round_trips() {
+        let ev = CampaignEvent {
+            kind: "resume",
+            app: "VA",
+            layer: "uarch",
+            shard: 1,
+            shards: 3,
+            done: 40,
+            total: 100,
+        };
+        let fields = parse_line(&ev.to_json()).expect("parses");
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(get("record").unwrap().as_str(), Some("campaign"));
+        assert_eq!(get("kind").unwrap().as_str(), Some("resume"));
+        assert_eq!(get("shard").unwrap().as_u64(), Some(1));
+        assert_eq!(get("shards").unwrap().as_u64(), Some(3));
+        assert_eq!(get("done").unwrap().as_u64(), Some(40));
+        assert_eq!(get("total").unwrap().as_u64(), Some(100));
     }
 
     #[test]

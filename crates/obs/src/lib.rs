@@ -31,7 +31,9 @@ pub mod progress;
 pub mod registry;
 pub mod span;
 
-pub use events::{emit, events_enabled, flush_events, init_events, InjectionEvent};
+pub use events::{
+    emit, emit_campaign, events_enabled, flush_events, init_events, CampaignEvent, InjectionEvent,
+};
 pub use progress::OutcomeClass;
 pub use registry::{
     counter_add, enabled, gauge_set, global, histogram_observe, set_enabled, Histogram,

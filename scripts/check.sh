@@ -14,6 +14,9 @@ cargo build --release --workspace
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> campaign shard-merge smoke"
+cargo run --release -q -p bench --bin campaign -- smoke
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -32,7 +32,9 @@ pub mod prelude {
         all_benchmarks, faulty_run, golden_run, Benchmark, Outcome, PlannedFault, Variant,
     };
     pub use relia::{
-        run_sw_campaign, run_uarch_campaign, CampaignCfg, ClassRates, Table, TrendItem,
+        assemble_sw, assemble_uarch, execute_shard, prepare_sw_campaign, prepare_uarch_campaign,
+        run_sw_campaign, run_uarch_campaign, CampaignCfg, ClassRates, EngineCfg, EngineError,
+        Table, TrendItem, Watchdog,
     };
     pub use vgpu_arch::{CmpOp, Kernel, KernelBuilder, LaunchConfig, MemSpace, Operand};
     pub use vgpu_sim::{

@@ -113,6 +113,61 @@ fn tmr_eliminates_svf_sdcs_but_not_avf_sdcs_necessarily() {
 }
 
 #[test]
+fn tmr_through_the_sharded_engine_shows_the_cross_layer_gap() {
+    // Insight #5 via the sharded engine, both injectors: software-level
+    // TMR campaigns see SDCs collapse (a single value flip corrupts at
+    // most one redundant copy, and the vote outvotes it), while the
+    // microarchitecture level still finds SDCs — flips in structures the
+    // redundant copies *share* (caches, shared memory) defeat the vote.
+    // Running both hardened campaigns as 2-shard merges also pins down
+    // that hardened plans shard and merge exactly like unhardened ones.
+    // VA rather than SCP: its redundant copies lean harder on the shared
+    // cache hierarchy, so hardware-level SDCs survive the vote.
+    let cfg = CampaignCfg::new(80, 80, 0x7777);
+
+    let sw_prep = prepare_sw_campaign(&Va, &cfg, true);
+    let mut sw_records = Vec::new();
+    for i in 0..2 {
+        sw_records.extend(execute_shard(&sw_prep, &EngineCfg::sharded(2, i)).unwrap());
+    }
+    let sw_tmr = assemble_sw(&sw_prep, &sw_records).unwrap();
+    assert_eq!(
+        sw_tmr,
+        run_sw_campaign(&Va, &cfg, true),
+        "hardened SW campaign: 2-shard merge != single-shot"
+    );
+
+    let u_prep = prepare_uarch_campaign(&Va, &cfg, true);
+    let mut u_records = Vec::new();
+    for i in 0..2 {
+        u_records.extend(execute_shard(&u_prep, &EngineCfg::sharded(2, i)).unwrap());
+    }
+    let avf_tmr = assemble_uarch(&u_prep, &u_records).unwrap();
+    assert_eq!(
+        avf_tmr,
+        run_uarch_campaign(&Va, &cfg, true),
+        "hardened uarch campaign: 2-shard merge != single-shot"
+    );
+
+    let sdc_base = run_sw_campaign(&Va, &cfg, false).app_svf().sdc;
+    let sdc_sw_tmr = sw_tmr.app_svf().sdc;
+    assert!(
+        sdc_sw_tmr < sdc_base / 4.0,
+        "TMR must slash software-visible SDCs: {sdc_base} -> {sdc_sw_tmr}"
+    );
+    let uarch_sdcs: u32 = avf_tmr
+        .kernels
+        .iter()
+        .flat_map(|k| k.per_structure.iter())
+        .map(|(_, c)| c.counts.sdc)
+        .sum();
+    assert!(
+        uarch_sdcs > 0,
+        "hardware-level faults must still slip past TMR (shared structures)"
+    );
+}
+
+#[test]
 fn outcome_population_is_exhaustive() {
     // Every injection lands in exactly one of the four classes.
     let cfg = small_cfg();

@@ -1,0 +1,212 @@
+//! Differential tests for the sharded campaign engine: for both injectors
+//! and two benchmarks, a campaign split into 3 shards and merged — and a
+//! campaign killed partway and resumed from its checkpoint — must produce
+//! the *byte-identical* result of a single-shot run: same per-structure
+//! outcome counts, same AVF/SVF rates, same derating factors.
+//!
+//! This is the load-bearing guarantee of docs/CAMPAIGNS.md: per-trial
+//! seeds depend only on (campaign seed, app, kernel, target, trial), never
+//! on the shard layout, and assembly is a commutative integer fold.
+
+use gpu_reliability::prelude::*;
+use kernels::apps::{scp::Scp, va::Va};
+use relia::checkpoint::load_checkpoint;
+use relia::{records_fingerprint, TrialRecord};
+use std::path::PathBuf;
+use vgpu_sim::HwStructure;
+
+fn cfg() -> CampaignCfg {
+    CampaignCfg::new(45, 45, 0x5EED_CAFE)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "relia_shard_eq_{}_{name}.jsonl",
+        std::process::id()
+    ))
+}
+
+/// Execute `prep` as `shards` independent shards and concatenate records.
+fn run_sharded(prep: &relia::PreparedCampaign, shards: usize) -> Vec<TrialRecord> {
+    let mut all = Vec::new();
+    for i in 0..shards {
+        all.extend(execute_shard(prep, &EngineCfg::sharded(shards, i)).unwrap());
+    }
+    all
+}
+
+/// Execute `prep` single-shot but killed after `limit` trials (leaving a
+/// checkpoint), then resumed to completion from that checkpoint.
+fn run_interrupted(prep: &relia::PreparedCampaign, path: &PathBuf) -> Vec<TrialRecord> {
+    let _ = std::fs::remove_file(path);
+    let interrupted = EngineCfg {
+        checkpoint: Some(path.clone()),
+        checkpoint_every: 7,
+        trial_limit: Some(prep.plan.len() / 3 + 1),
+        ..EngineCfg::single_shot()
+    };
+    let partial = execute_shard(prep, &interrupted).unwrap();
+    assert!(
+        partial.len() < prep.plan.len(),
+        "interrupt must leave work undone"
+    );
+    // The checkpoint holds exactly what the killed run classified.
+    assert_eq!(
+        load_checkpoint(path).unwrap().records.len(),
+        partial.len(),
+        "checkpoint records every classified trial"
+    );
+    let resumed = EngineCfg {
+        resume: Some(path.clone()),
+        ..EngineCfg::single_shot()
+    };
+    let records = execute_shard(prep, &resumed).unwrap();
+    let _ = std::fs::remove_file(path);
+    records
+}
+
+fn check_uarch(bench: &dyn Benchmark, name: &str) {
+    let cfg = cfg();
+    let single = run_uarch_campaign(bench, &cfg, false);
+    let prep = prepare_uarch_campaign(bench, &cfg, false);
+
+    let sharded = run_sharded(&prep, 3);
+    let merged = relia::assemble_uarch(&prep, &sharded).unwrap();
+    assert_eq!(merged, single, "{name}: 3-shard merge != single-shot");
+
+    let resumed = run_interrupted(&prep, &tmp(&format!("{name}_uarch")));
+    let recovered = relia::assemble_uarch(&prep, &resumed).unwrap();
+    assert_eq!(recovered, single, "{name}: interrupt+resume != single-shot");
+
+    assert_eq!(
+        records_fingerprint(&sharded),
+        records_fingerprint(&resumed),
+        "{name}: record fingerprints agree across execution strategies"
+    );
+
+    // Spell out the per-structure equivalence the struct equality implies,
+    // so a future PartialEq change can't silently weaken this test.
+    for (km, ks) in merged.kernels.iter().zip(&single.kernels) {
+        for &h in &HwStructure::ALL {
+            assert_eq!(km.counts_of(h).counts, ks.counts_of(h).counts);
+            assert_eq!(
+                km.counts_of(h).ctrl_affected_masked,
+                ks.counts_of(h).ctrl_affected_masked
+            );
+            assert_eq!(km.df_of(h), ks.df_of(h), "{name} {h:?} derating factor");
+            assert_eq!(km.avf(h), ks.avf(h), "{name} {h:?} AVF");
+        }
+        assert_eq!(km.cycles, ks.cycles);
+    }
+    assert_eq!(merged.app_avf(&cfg.gpu), single.app_avf(&cfg.gpu));
+    assert_eq!(
+        merged.app_avf_cache(&cfg.gpu),
+        single.app_avf_cache(&cfg.gpu)
+    );
+}
+
+fn check_sw(bench: &dyn Benchmark, name: &str) {
+    let cfg = cfg();
+    let single = run_sw_campaign(bench, &cfg, false);
+    let prep = prepare_sw_campaign(bench, &cfg, false);
+
+    let sharded = run_sharded(&prep, 3);
+    let merged = relia::assemble_sw(&prep, &sharded).unwrap();
+    assert_eq!(merged, single, "{name}: 3-shard merge != single-shot");
+
+    let resumed = run_interrupted(&prep, &tmp(&format!("{name}_sw")));
+    let recovered = relia::assemble_sw(&prep, &resumed).unwrap();
+    assert_eq!(recovered, single, "{name}: interrupt+resume != single-shot");
+
+    for (km, ks) in merged.kernels.iter().zip(&single.kernels) {
+        assert_eq!(km.counts, ks.counts, "{name} dest-value counts");
+        assert_eq!(km.counts_ld, ks.counts_ld, "{name} SVF-LD counts");
+        assert_eq!(km.svf(), ks.svf(), "{name} SVF rates");
+        assert_eq!(km.instrs, ks.instrs);
+    }
+    assert_eq!(merged.app_svf(), single.app_svf());
+    assert_eq!(merged.app_svf_ld(), single.app_svf_ld());
+}
+
+#[test]
+fn va_uarch_sharding_and_resume_are_equivalent() {
+    check_uarch(&Va, "VA");
+}
+
+#[test]
+fn va_sw_sharding_and_resume_are_equivalent() {
+    check_sw(&Va, "VA");
+}
+
+#[test]
+fn scp_uarch_sharding_and_resume_are_equivalent() {
+    check_uarch(&Scp, "SCP");
+}
+
+#[test]
+fn scp_sw_sharding_and_resume_are_equivalent() {
+    check_sw(&Scp, "SCP");
+}
+
+#[test]
+fn uneven_shard_counts_also_merge_exactly() {
+    // 5 shards over a plan whose length is not a multiple of 5 — strided
+    // partitioning leaves shards of different sizes; the merge must not
+    // care.
+    let cfg = CampaignCfg::new(13, 13, 0xA11CE);
+    let single = run_sw_campaign(&Va, &cfg, false);
+    let prep = prepare_sw_campaign(&Va, &cfg, false);
+    assert_ne!(prep.plan.len() % 5, 0, "want ragged shards");
+    let merged = relia::assemble_sw(&prep, &run_sharded(&prep, 5)).unwrap();
+    assert_eq!(merged, single);
+}
+
+#[test]
+fn resuming_a_complete_checkpoint_is_rejected() {
+    let cfg = CampaignCfg::new(6, 6, 0xD0E);
+    let prep = prepare_sw_campaign(&Va, &cfg, false);
+    let path = tmp("complete");
+    let _ = std::fs::remove_file(&path);
+    let eng = EngineCfg {
+        checkpoint: Some(path.clone()),
+        ..EngineCfg::single_shot()
+    };
+    execute_shard(&prep, &eng).unwrap();
+    let again = EngineCfg {
+        resume: Some(path.clone()),
+        ..EngineCfg::single_shot()
+    };
+    let err = execute_shard(&prep, &again).unwrap_err();
+    assert!(
+        matches!(err, EngineError::AlreadyComplete { done } if done == prep.plan.len()),
+        "wanted AlreadyComplete, got {err}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resuming_a_foreign_checkpoint_is_rejected() {
+    // A checkpoint from a different seed must not silently pollute a run.
+    let cfg_a = CampaignCfg::new(6, 6, 1);
+    let cfg_b = CampaignCfg::new(6, 6, 2);
+    let path = tmp("foreign");
+    let _ = std::fs::remove_file(&path);
+    let prep_a = prepare_sw_campaign(&Va, &cfg_a, false);
+    let eng = EngineCfg {
+        checkpoint: Some(path.clone()),
+        trial_limit: Some(2),
+        ..EngineCfg::single_shot()
+    };
+    execute_shard(&prep_a, &eng).unwrap();
+    let prep_b = prepare_sw_campaign(&Va, &cfg_b, false);
+    let again = EngineCfg {
+        resume: Some(path.clone()),
+        ..EngineCfg::single_shot()
+    };
+    let err = execute_shard(&prep_b, &again).unwrap_err();
+    assert!(
+        matches!(err, EngineError::PlanMismatch(_)),
+        "wanted PlanMismatch, got {err}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
