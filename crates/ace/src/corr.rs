@@ -1,0 +1,94 @@
+//! Rank correlation and error metrics for the estimator-vs-injection
+//! cross-validation.
+
+/// Tie-averaged ranks (1-based): equal values share the mean of the
+/// rank positions they occupy.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("no NaN in rank input"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) hold equal values; mean 1-based rank.
+        let mean = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            out[k] = mean;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Pearson correlation; `None` when fewer than two points or either
+/// series has zero variance.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman rank correlation (Pearson over tie-averaged ranks).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Mean absolute error between two series.
+pub fn mean_abs_error(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().zip(ys).map(|(x, y)| (x - y).abs()).sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(ranks(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
+        assert_eq!(ranks(&[3.0, 1.0, 2.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn spearman_detects_monotone_agreement() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 4.0, 9.0, 16.0, 25.0]; // monotone, nonlinear
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let rev: Vec<f64> = y.iter().rev().copied().collect();
+        assert!((spearman(&x, &rev).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_series_yield_none() {
+        assert_eq!(spearman(&[1.0], &[2.0]), None);
+        assert_eq!(spearman(&[1.0, 1.0], &[1.0, 2.0]), None);
+        assert_eq!(pearson(&[], &[]), None);
+    }
+
+    #[test]
+    fn mean_abs_error_basics() {
+        assert_eq!(mean_abs_error(&[], &[]), 0.0);
+        assert!((mean_abs_error(&[1.0, 2.0], &[2.0, 0.0]) - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,48 @@
+//! Tracker on/off differential: attaching the ACE lifetime tracker must
+//! be invisible — byte-identical functional outputs, identical cycle
+//! counts and statistics, and unchanged injection-campaign outcomes.
+
+use kernels::{all_benchmarks, golden_run, golden_run_ace, Variant};
+use relia::{execute_shard, prepare_uarch_campaign, records_fingerprint, CampaignCfg, EngineCfg};
+use vgpu_sim::GpuConfig;
+
+#[test]
+fn tracker_is_invisible_to_every_golden_run() {
+    let cfg = GpuConfig::volta_scaled(4);
+    for b in all_benchmarks() {
+        let plain = golden_run(b.as_ref(), &cfg, Variant::TIMED);
+        let ace = golden_run_ace(b.as_ref(), &cfg);
+        assert_eq!(plain.output, ace.golden.output, "{} output", b.name());
+        assert_eq!(
+            plain.total_cost,
+            ace.golden.total_cost,
+            "{} total cycles",
+            b.name()
+        );
+        assert_eq!(plain.records.len(), ace.golden.records.len());
+        for (p, a) in plain.records.iter().zip(&ace.golden.records) {
+            assert_eq!(p.stats, a.stats, "{} per-launch stats", b.name());
+        }
+        // The instrumentation itself did run.
+        assert!(ace.events > 0, "{} recorded no lifetime events", b.name());
+    }
+}
+
+#[test]
+fn ace_runs_do_not_perturb_injection_campaigns() {
+    let cfg = CampaignCfg::new(6, 6, 0xD1FF);
+    let bench = kernels::apps::va::Va;
+    let prep = prepare_uarch_campaign(&bench, &cfg, false);
+    let before = execute_shard(&prep, &EngineCfg::single_shot()).unwrap();
+
+    // An instrumented run in between must not leak any state into a
+    // fresh campaign: same plan fingerprint, byte-identical records.
+    let est = ace::estimate_app(&bench, &cfg.gpu);
+    assert!(est.events > 0);
+
+    let prep2 = prepare_uarch_campaign(&bench, &cfg, false);
+    assert_eq!(prep.plan.fingerprint(), prep2.plan.fingerprint());
+    let after = execute_shard(&prep2, &EngineCfg::single_shot()).unwrap();
+    assert_eq!(records_fingerprint(&before), records_fingerprint(&after));
+    assert_eq!(before, after);
+}

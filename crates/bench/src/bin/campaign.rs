@@ -15,21 +15,25 @@
 //! byte-identical `UarchAppResult`/`SvfAppResult`.
 //!
 //! Common options: `--n N --seed S --sms N --hardened --events PATH`,
-//! watchdog knobs `--wall-limit-us N --cycle-limit N --no-retry`.
+//! `--structures RF,SMEM,L2` (uarch layer: inject only into a structure
+//! subset), watchdog knobs `--wall-limit-us N --cycle-limit N --no-retry`.
 //! `run` additionally takes `--checkpoint-every K` (default 64) and
 //! `--limit L` (stop after L new trials, leaving a resumable checkpoint).
 
 use std::path::PathBuf;
 use std::process::exit;
 
-use bench::{finish_observability, init_observability};
+use bench::{finish_observability, init_observability, parse_structures};
 use kernels::{all_benchmarks, Benchmark};
 use relia::checkpoint::CheckpointHeader;
-use relia::plan::{prepare_sw_campaign, prepare_uarch_campaign, Layer, PreparedCampaign};
+use relia::plan::{
+    prepare_sw_campaign, prepare_uarch_campaign_structures, Layer, PreparedCampaign,
+};
 use relia::{
     assemble_sw, assemble_uarch, execute_shard, load_checkpoint, pct, records_fingerprint,
     CampaignCfg, EngineCfg, EngineError, Table, TrialRecord,
 };
+use vgpu_sim::HwStructure;
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -42,6 +46,8 @@ struct CommonOpts {
     layer: Layer,
     cfg: CampaignCfg,
     hardened: bool,
+    /// `--structures` subset (uarch layer only; `None` = all five).
+    structures: Option<Vec<HwStructure>>,
     /// Non-flag positional arguments (merge's shard files).
     positional: Vec<String>,
 }
@@ -52,6 +58,7 @@ fn parse_common(args: &[String]) -> CommonOpts {
         layer: Layer::Uarch,
         cfg: CampaignCfg::new(100, 100, 0xC0FF_EE00),
         hardened: false,
+        structures: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -96,10 +103,14 @@ fn parse_common(args: &[String]) -> CommonOpts {
             "--sms" => o.cfg.gpu = vgpu_sim::GpuConfig::volta_scaled(parse_num("--sms") as u32),
             "--wall-limit-us" => o.cfg.watchdog.wall_us_limit = Some(parse_num("--wall-limit-us")),
             "--cycle-limit" => o.cfg.watchdog.cycle_limit = Some(parse_num("--cycle-limit")),
+            "--structures" => o.structures = Some(parse_structures(v).unwrap_or_else(|e| die(&e))),
             "--events" => {} // handled by init_observability
             other => die(&format!("unknown option {other}")),
         }
         i += 2;
+    }
+    if o.structures.is_some() && o.layer == Layer::Sw {
+        die("--structures only applies to --layer uarch");
     }
     o
 }
@@ -120,7 +131,12 @@ fn find_bench(name: &str) -> Box<dyn Benchmark> {
 
 fn prepare<'a>(bench: &'a dyn Benchmark, o: &CommonOpts) -> PreparedCampaign<'a> {
     match o.layer {
-        Layer::Uarch => prepare_uarch_campaign(bench, &o.cfg, o.hardened),
+        Layer::Uarch => prepare_uarch_campaign_structures(
+            bench,
+            &o.cfg,
+            o.hardened,
+            o.structures.as_deref().unwrap_or(&HwStructure::ALL),
+        ),
         Layer::Sw => prepare_sw_campaign(bench, &o.cfg, o.hardened),
     }
 }
@@ -131,7 +147,7 @@ fn print_result(prep: &PreparedCampaign, records: &[TrialRecord]) {
         Layer::Uarch => {
             let res = assemble_uarch(prep, records).unwrap_or_else(|e| die(&e.to_string()));
             let mut t = Table::new(
-                &format!("{} — chip AVF per kernel (%)", res.app),
+                format!("{} — chip AVF per kernel (%)", res.app),
                 &["Kernel", "SDC", "Timeout", "DUE", "AVF"],
             );
             for k in &res.kernels {
@@ -157,7 +173,7 @@ fn print_result(prep: &PreparedCampaign, records: &[TrialRecord]) {
         Layer::Sw => {
             let res = assemble_sw(prep, records).unwrap_or_else(|e| die(&e.to_string()));
             let mut t = Table::new(
-                &format!("{} — SVF per kernel (%)", res.app),
+                format!("{} — SVF per kernel (%)", res.app),
                 &["Kernel", "SDC", "Timeout", "DUE", "SVF", "SVF-LD"],
             );
             for k in &res.kernels {
@@ -194,7 +210,7 @@ fn cmd_run(args: &[String]) {
     let mut every = relia::DEFAULT_CHECKPOINT_EVERY;
     let mut limit: Option<usize> = None;
     // Peel off run-specific flags, forward the rest to the common parser.
-    fn value<'a>(args: &'a [String], i: usize) -> &'a str {
+    fn value(args: &[String], i: usize) -> &str {
         args.get(i + 1)
             .unwrap_or_else(|| die(&format!("option {} requires a value", args[i])))
     }
@@ -343,6 +359,7 @@ fn cmd_smoke() {
             layer,
             cfg: cfg.clone(),
             hardened: false,
+            structures: None,
             positional: Vec::new(),
         };
         let prep = prepare(bench.as_ref(), &o);

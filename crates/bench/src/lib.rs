@@ -51,6 +51,30 @@ pub fn cli_campaign_cfg(default_uarch: usize, default_sw: usize) -> CampaignCfg 
     cfg
 }
 
+/// Parse a `--structures RF,SMEM,L2` list into [`vgpu_sim::HwStructure`]s
+/// (case-insensitive labels, order preserved, duplicates dropped). The
+/// error message names the offending label so callers can `exit(2)` with
+/// it directly.
+pub fn parse_structures(spec: &str) -> Result<Vec<vgpu_sim::HwStructure>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let label = part.trim().to_ascii_uppercase();
+        if label.is_empty() {
+            continue;
+        }
+        let h = vgpu_sim::HwStructure::from_label(&label).ok_or_else(|| {
+            format!("unknown structure {label:?} (known: RF, SMEM, L1D, L1T, L2)")
+        })?;
+        if !out.contains(&h) {
+            out.push(h);
+        }
+    }
+    if out.is_empty() {
+        return Err("--structures requires at least one of RF, SMEM, L1D, L1T, L2".into());
+    }
+    Ok(out)
+}
+
 /// Turn on observability from CLI/env before running campaigns:
 ///
 /// * `--events PATH` or `RELIA_EVENTS=PATH` — JSONL event sink (one line
@@ -140,5 +164,26 @@ pub fn run_baseline(cfg: &CampaignCfg) -> BaselineResults {
     BaselineResults {
         cfg: cfg.clone(),
         apps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use vgpu_sim::HwStructure;
+
+    #[test]
+    fn parse_structures_accepts_lists_and_rejects_unknowns() {
+        assert_eq!(
+            super::parse_structures("RF,SMEM,L2").unwrap(),
+            vec![HwStructure::RegFile, HwStructure::Smem, HwStructure::L2]
+        );
+        // Case-insensitive, whitespace-tolerant, dedup preserving order.
+        assert_eq!(
+            super::parse_structures(" l2 , rf ,L2").unwrap(),
+            vec![HwStructure::L2, HwStructure::RegFile]
+        );
+        assert!(super::parse_structures("RF,SM").unwrap_err().contains("SM"));
+        assert!(super::parse_structures("").is_err());
+        assert!(super::parse_structures(",,").is_err());
     }
 }

@@ -914,6 +914,42 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_flush_interval_edges_resume_identically() {
+        // K=1 flushes every record; K far above the plan size only
+        // flushes at finish. Both must leave a checkpoint that resumes
+        // to the single-shot assembled result.
+        let dir = std::env::temp_dir().join(format!("relia_ckpt_edges_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = CampaignCfg::new(4, 4, 3);
+        let prep = prepare_uarch_campaign(&Va, &cfg, false);
+        let single = execute_shard(&prep, &EngineCfg::single_shot()).unwrap();
+        let expect = assemble_uarch(&prep, &single).unwrap();
+        for every in [1usize, 10 * prep.plan.len()] {
+            let path = dir.join(format!("k{every}.jsonl"));
+            let interrupted = EngineCfg {
+                checkpoint: Some(path.clone()),
+                checkpoint_every: every,
+                trial_limit: Some(5),
+                ..EngineCfg::single_shot()
+            };
+            assert_eq!(execute_shard(&prep, &interrupted).unwrap().len(), 5);
+            let resumed = EngineCfg {
+                checkpoint_every: every,
+                resume: Some(path.clone()),
+                ..EngineCfg::single_shot()
+            };
+            let records = execute_shard(&prep, &resumed).unwrap();
+            assert_eq!(records.len(), prep.plan.len());
+            assert_eq!(assemble_uarch(&prep, &records).unwrap(), expect);
+            assert_eq!(records_fingerprint(&records), records_fingerprint(&single));
+            // The finished checkpoint alone also carries the result.
+            let ck = crate::checkpoint::load_checkpoint(&path).unwrap();
+            assert_eq!(assemble_uarch(&prep, &ck.records).unwrap(), expect);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn trial_limit_executes_exactly_that_many() {
         let cfg = CampaignCfg::new(4, 4, 2);
         let prep = prepare_sw_campaign(&Va, &cfg, false);

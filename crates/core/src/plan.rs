@@ -214,6 +214,19 @@ pub fn prepare_uarch_campaign<'a>(
     cfg: &CampaignCfg,
     hardened: bool,
 ) -> PreparedCampaign<'a> {
+    prepare_uarch_campaign_structures(bench, cfg, hardened, &HwStructure::ALL)
+}
+
+/// [`prepare_uarch_campaign`] restricted to a structure subset (the
+/// `--structures` CLI filter). Per-trial seeds depend only on
+/// (seed, app, kernel, structure, trial), so a subset plan injects
+/// exactly the faults the full plan would inject into those structures.
+pub fn prepare_uarch_campaign_structures<'a>(
+    bench: &'a dyn Benchmark,
+    cfg: &CampaignCfg,
+    hardened: bool,
+    structures: &[HwStructure],
+) -> PreparedCampaign<'a> {
     let variant = Variant {
         mode: Mode::Timed,
         hardened,
@@ -221,7 +234,7 @@ pub fn prepare_uarch_campaign<'a>(
     let golden = obs::time_phase(Phase::GoldenRun, || golden_run(bench, &cfg.gpu, variant));
     let app_tag = str_tag(bench.name());
     let n_kernels = bench.kernels().len();
-    let mut trials = Vec::with_capacity(n_kernels * HwStructure::ALL.len() * cfg.n_uarch);
+    let mut trials = Vec::with_capacity(n_kernels * structures.len() * cfg.n_uarch);
     obs::time_phase(Phase::FaultSetup, || {
         for k_idx in 0..n_kernels {
             let windows: Vec<(usize, u64)> = golden
@@ -231,7 +244,7 @@ pub fn prepare_uarch_campaign<'a>(
                 .filter(|(_, r)| r.kernel_idx == k_idx && r.stats.cycles > 0)
                 .map(|(o, r)| (o, r.stats.cycles))
                 .collect();
-            for &h in &HwStructure::ALL {
+            for &h in structures {
                 for trial in 0..cfg.n_uarch {
                     let s = derive_seed(
                         cfg.seed,
@@ -414,6 +427,38 @@ mod tests {
         assert_eq!(shard_trials(5, 2, 1), vec![1, 3]);
         assert_eq!(shard_trials(0, 3, 2), Vec::<usize>::new());
         assert_eq!(shard_trials(4, 1, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn structure_subset_plans_inject_the_same_faults() {
+        let cfg = CampaignCfg::new(8, 8, 0xACE);
+        let full = prepare_uarch_campaign(&Va, &cfg, false);
+        let subset = prepare_uarch_campaign_structures(
+            &Va,
+            &cfg,
+            false,
+            &[HwStructure::RegFile, HwStructure::L2],
+        );
+        assert_eq!(
+            subset.plan.len(),
+            Va.kernels().len() * 2 * cfg.n_uarch,
+            "two structures only"
+        );
+        // Every subset trial matches the full plan's trial for the same
+        // (kernel, structure, trial) triple — identical seed and fault.
+        for t in &subset.plan.trials {
+            let m = full
+                .plan
+                .trials
+                .iter()
+                .find(|f| {
+                    f.kernel_idx == t.kernel_idx && f.target == t.target && f.trial == t.trial
+                })
+                .expect("triple present in full plan");
+            assert_eq!(m.seed, t.seed);
+            assert_eq!(m.fault, t.fault);
+        }
+        assert_ne!(full.plan.fingerprint(), subset.plan.fingerprint());
     }
 
     #[test]

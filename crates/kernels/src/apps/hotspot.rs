@@ -204,7 +204,7 @@ pub fn cpu_reference() -> Vec<f32> {
                 let i = (r * W as i32 + c) as usize;
                 let mut new = acc.mul_add(K_DIFF, t);
                 new = power[i].mul_add(K_POWER, new);
-                let amb = T_AMB + t * -1.0;
+                let amb = T_AMB + -t;
                 new = amb.mul_add(K_AMB, new);
                 dst[i] = new;
             }

@@ -183,7 +183,7 @@ pub fn cpu_reference() -> (Vec<u32>, Vec<f32>) {
             for c in 0..NCLUST {
                 let mut dist = 0.0f32;
                 for f in 0..NFEAT {
-                    let d = input_feature(pnt, f) + clusters[(c * NFEAT + f) as usize] * -1.0;
+                    let d = input_feature(pnt, f) + -clusters[(c * NFEAT + f) as usize];
                     dist = d.mul_add(d, dist);
                 }
                 if dist < best {

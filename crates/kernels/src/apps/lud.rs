@@ -176,31 +176,31 @@ pub fn kernel_perimeter() -> Kernel {
                 tmr::load_ptr(a, addr, roff, 0);
                 a.iscadd(addr, v, Operand::Reg(addr), 2);
                 a.ld(t0, MemSpace::Global, addr, 0);
-                a.mov(idx, (i * B * 4) as u32);
+                a.mov(idx, i * B * 4);
                 a.iscadd(idx, tx, Operand::Reg(idx), 2);
                 a.st(MemSpace::Shared, idx, s_row as i32, t0);
             }
             // Unit lower solve: row_t[i] -= dia[i][j]*row_t[j], j < i.
             for i in 1..B {
-                a.mov(idx, (i * B * 4) as u32);
+                a.mov(idx, i * B * 4);
                 a.iscadd(idx, tx, Operand::Reg(idx), 2);
                 a.ld(t1, MemSpace::Shared, idx, s_row as i32);
                 for j in 0..i {
-                    a.mov(idx2, ((i * B + j) * 4) as u32);
+                    a.mov(idx2, (i * B + j) * 4);
                     a.ld(v, MemSpace::Shared, idx2, 0); // dia[i][j]
                     a.fmul(v, v, Operand::imm_f32(-1.0));
-                    a.mov(idx2, (j * B * 4) as u32);
+                    a.mov(idx2, j * B * 4);
                     a.iscadd(idx2, tx, Operand::Reg(idx2), 2);
                     a.ld(t0, MemSpace::Shared, idx2, s_row as i32);
                     a.ffma(t1, t0, Operand::Reg(v), Operand::Reg(t1));
                 }
-                a.mov(idx, (i * B * 4) as u32);
+                a.mov(idx, i * B * 4);
                 a.iscadd(idx, tx, Operand::Reg(idx), 2);
                 a.st(MemSpace::Shared, idx, s_row as i32, t1);
             }
             // Store back.
             for i in 0..B {
-                a.mov(idx, (i * B * 4) as u32);
+                a.mov(idx, i * B * 4);
                 a.iscadd(idx, tx, Operand::Reg(idx), 2);
                 a.ld(t0, MemSpace::Shared, idx, s_row as i32);
                 a.mov(v, tmr::scalar(1));
@@ -245,7 +245,7 @@ pub fn kernel_perimeter() -> Kernel {
                 a.shl(idx, idx, 2u32);
                 a.ld(t1, MemSpace::Shared, idx, s_col as i32);
                 for i in 0..j {
-                    a.mov(v, ((i * B + j) * 4) as u32);
+                    a.mov(v, (i * B + j) * 4);
                     a.ld(v, MemSpace::Shared, v, 0); // dia[i][j]
                     a.fmul(v, v, Operand::imm_f32(-1.0));
                     a.shl(idx, lane, B.trailing_zeros());
@@ -254,7 +254,7 @@ pub fn kernel_perimeter() -> Kernel {
                     a.ld(t0, MemSpace::Shared, idx, s_col as i32);
                     a.ffma(t1, t0, Operand::Reg(v), Operand::Reg(t1));
                 }
-                a.mov(v, ((j * B + j) * 4) as u32);
+                a.mov(v, (j * B + j) * 4);
                 a.ld(v, MemSpace::Shared, v, 0); // pivot
                 a.frcp(v, v);
                 a.fmul(t1, t1, Operand::Reg(v));
@@ -355,7 +355,7 @@ pub fn kernel_internal() -> Kernel {
         a.iadd(v, v, i);
         a.shl(v, v, 2u32);
         a.ld(t0, MemSpace::Shared, v, s_b as i32);
-        a.mov(v, ((i * B) * 4) as u32);
+        a.mov(v, i * B * 4);
         a.iscadd(v, tx, Operand::Reg(v), 2);
         a.ld(v, MemSpace::Shared, v, s_a as i32);
         a.ffma(acc, t0, Operand::Reg(v), Operand::Reg(acc));
@@ -428,7 +428,7 @@ pub fn cpu_reference() -> Vec<f32> {
             for t in i + 1..b {
                 let lti = m[(kb + t) * n + kb + i];
                 for j in i + 1..b {
-                    let uij = m[(kb + i) * n + kb + j] * -1.0;
+                    let uij = -m[(kb + i) * n + kb + j];
                     m[(kb + t) * n + kb + j] = lti.mul_add(uij, m[(kb + t) * n + kb + j]);
                 }
             }
@@ -444,7 +444,7 @@ pub fn cpu_reference() -> Vec<f32> {
                 for i in 1..b {
                     let mut v = m[(kb + i) * n + col];
                     for j in 0..i {
-                        let d = m[(kb + i) * n + kb + j] * -1.0;
+                        let d = -m[(kb + i) * n + kb + j];
                         v = m[(kb + j) * n + col].mul_add(d, v);
                     }
                     m[(kb + i) * n + col] = v;
@@ -458,7 +458,7 @@ pub fn cpu_reference() -> Vec<f32> {
                 for j in 0..b {
                     let mut v = m[row * n + kb + j];
                     for i in 0..j {
-                        let d = m[(kb + i) * n + kb + j] * -1.0;
+                        let d = -m[(kb + i) * n + kb + j];
                         v = m[row * n + kb + i].mul_add(d, v);
                     }
                     let r = 1.0 / m[(kb + j) * n + kb + j];

@@ -227,8 +227,8 @@ impl Benchmark for Nw {
 pub fn cpu_reference() -> Vec<i32> {
     let cols = COLS as usize;
     let mut m = vec![0i32; cols * cols];
-    for j in 0..cols {
-        m[j] = -(j as i32) * PENALTY;
+    for (j, v) in m.iter_mut().take(cols).enumerate() {
+        *v = -(j as i32) * PENALTY;
     }
     for i in 0..cols {
         m[i * cols] = -(i as i32) * PENALTY;

@@ -14,7 +14,7 @@ pub const VECS: u32 = 32;
 /// Elements per vector (power of two).
 pub const ELEM: u32 = 256;
 const BLOCK: u32 = 128;
-const SEED: u64 = 0x5343_50;
+const SEED: u64 = 0x0053_4350;
 
 pub struct Scp;
 

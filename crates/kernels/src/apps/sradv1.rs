@@ -423,7 +423,7 @@ pub fn cpu_reference() -> Vec<f32> {
             let den2 = (1.0 + q0) * q0;
             q *= 1.0 / den2;
             q += 1.0;
-            let cv = (1.0 / q).max(0.0).min(1.0);
+            let cv = (1.0 / q).clamp(0.0, 1.0);
             dn[g] = d_n;
             ds[g] = d_s;
             dwv[g] = d_w;

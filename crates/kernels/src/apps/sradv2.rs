@@ -330,7 +330,7 @@ pub fn cpu_reference() -> Vec<f32> {
             ds[g] = d_s;
             dwv[g] = d_w;
             de[g] = d_e;
-            cc[g] = (1.0 / q).max(0.0).min(1.0);
+            cc[g] = (1.0 / q).clamp(0.0, 1.0);
         }
         for g in 0..ne {
             let (r, c) = (g / w, g % w);

@@ -150,6 +150,12 @@ pub struct RunCtl {
     ctl: CtlMode,
     total_cost: u64,
     outputs: Vec<(u32, u32)>,
+    /// Attach an ACE lifetime tracker at `alloc` time (golden runs only).
+    ace: bool,
+    /// Cumulative tracker totals after the previous launch.
+    ace_prev: [u64; 5],
+    /// Per-launch ACE word-cycle deltas, aligned with `records`.
+    ace_per_launch: Vec<[u64; 5]>,
 }
 
 impl RunCtl {
@@ -167,6 +173,9 @@ impl RunCtl {
             ctl,
             total_cost: 0,
             outputs: Vec::new(),
+            ace: false,
+            ace_prev: [0; 5],
+            ace_per_launch: Vec::new(),
         }
     }
 
@@ -198,7 +207,11 @@ impl RunCtl {
             self.flag_addr = planner.alloc(4);
         }
         let mem = planner.build();
-        self.gpu = Some(Gpu::new(self.cfg.clone(), mem, self.mode_sim));
+        let mut gpu = Gpu::new(self.cfg.clone(), mem, self.mode_sim);
+        if self.ace {
+            gpu.attach_tracker();
+        }
+        self.gpu = Some(gpu);
         addrs
     }
 
@@ -327,6 +340,7 @@ impl RunCtl {
                 } else {
                     stats.thread_instrs
                 };
+                let ace_tot = gpu.tracker_totals();
                 self.records.push(LaunchRecord {
                     kernel_idx,
                     is_vote,
@@ -336,6 +350,14 @@ impl RunCtl {
                     num_regs: kernel.num_regs,
                     smem_bytes: kernel.smem_bytes,
                 });
+                if let Some(tot) = ace_tot {
+                    let mut delta = [0u64; 5];
+                    for (d, (now, prev)) in delta.iter_mut().zip(tot.iter().zip(&self.ace_prev)) {
+                        *d = now - prev;
+                    }
+                    self.ace_prev = tot;
+                    self.ace_per_launch.push(delta);
+                }
                 Ok(())
             }
             CtlMode::Faulty {
@@ -462,6 +484,67 @@ pub fn golden_run(bench: &dyn Benchmark, cfg: &GpuConfig, variant: Variant) -> G
     }
 }
 
+/// A golden run instrumented with the ACE lifetime tracker
+/// (`vgpu_sim::lifetime`). Always timed and unhardened, to match the
+/// microarchitectural injection campaigns it screens for.
+#[derive(Debug, Clone)]
+pub struct AceGoldenRun {
+    pub golden: GoldenRun,
+    /// Per-launch ACE word-cycle deltas (`HwStructure::ALL` order), one
+    /// entry per `golden.records` element. L2 intervals still open when a
+    /// launch retires are only counted once closed — they surface either
+    /// in a later launch's delta or in the final residual.
+    pub per_launch: Vec<[u64; 5]>,
+    /// Final per-structure ACE word-cycle totals, including every L2
+    /// interval closed at end of application (dirty lines live, clean
+    /// lines dead).
+    pub totals: [u64; 5],
+    /// Lifetime events recorded (tracker work volume, for `obs`).
+    pub events: u64,
+}
+
+impl AceGoldenRun {
+    /// L2 word-cycles closed only at end-of-application (not attributed
+    /// to any single launch).
+    pub fn l2_residual(&self) -> u64 {
+        let attributed: u64 = self.per_launch.iter().map(|d| d[4]).sum();
+        self.totals[4] - attributed
+    }
+}
+
+/// Run `bench` fault-free on the timed engine with ACE lifetime tracking
+/// attached, recording per-structure ACE word-cycle totals alongside the
+/// usual golden statistics.
+///
+/// # Panics
+/// Panics if the fault-free application aborts (a benchmark bug).
+pub fn golden_run_ace(bench: &dyn Benchmark, cfg: &GpuConfig) -> AceGoldenRun {
+    let mut ctl = RunCtl::new(cfg.clone(), Mode::Timed, false, CtlMode::Golden);
+    ctl.ace = true;
+    bench
+        .run(&mut ctl)
+        .unwrap_or_else(|e| panic!("ACE golden run of {} aborted: {e:?}", bench.name()));
+    assert!(
+        !ctl.outputs.is_empty(),
+        "{} registered no outputs",
+        bench.name()
+    );
+    let output = ctl.snapshot_outputs();
+    let gpu = ctl.gpu.as_mut().expect("alloc ran");
+    let events = gpu.tracker_events().unwrap_or(0);
+    let totals = gpu.finish_tracker().expect("tracker attached in alloc");
+    AceGoldenRun {
+        golden: GoldenRun {
+            output,
+            records: ctl.records,
+            total_cost: ctl.total_cost,
+        },
+        per_launch: ctl.ace_per_launch,
+        totals,
+        events,
+    }
+}
+
 /// Derive per-launch and whole-app budgets from a golden run.
 fn budgets_from(golden: &GoldenRun, cfg: &GpuConfig) -> (Vec<Budget>, Budget) {
     let per: Vec<Budget> = golden
@@ -577,6 +660,28 @@ mod tests {
         assert_eq!(g.kernel_stats(0).thread_instrs, 3000);
         assert_eq!(g.kernel_stats(1).cycles, 50);
         assert_eq!(g.app_stats().cycles, 350);
+    }
+
+    #[test]
+    fn ace_golden_run_matches_plain_golden_and_tracks_lifetimes() {
+        let cfg = GpuConfig::volta_scaled(2);
+        let bench = crate::apps::va::Va;
+        let plain = golden_run(&bench, &cfg, Variant::TIMED);
+        let ace = golden_run_ace(&bench, &cfg);
+        // Differential: tracking must not perturb the simulation.
+        assert_eq!(ace.golden.output, plain.output);
+        assert_eq!(ace.golden.total_cost, plain.total_cost);
+        assert_eq!(ace.golden.records.len(), plain.records.len());
+        for (a, p) in ace.golden.records.iter().zip(&plain.records) {
+            assert_eq!(a.stats.cycles, p.stats.cycles);
+            assert_eq!(a.stats.thread_instrs, p.stats.thread_instrs);
+        }
+        // And it must actually have measured something.
+        assert_eq!(ace.per_launch.len(), ace.golden.records.len());
+        assert!(ace.events > 0);
+        assert!(ace.totals[0] > 0, "RF lifetimes expected: {:?}", ace.totals);
+        let attributed: u64 = ace.per_launch.iter().map(|d| d[4]).sum();
+        assert_eq!(ace.l2_residual(), ace.totals[4] - attributed);
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub mod kutil;
 pub mod tmr;
 
 pub use harness::{
-    faulty_run, golden_run, AppAbort, Benchmark, GoldenRun, LaunchRecord, Outcome, PlannedFault,
-    RunCtl, RunResult, Variant,
+    faulty_run, golden_run, golden_run_ace, AceGoldenRun, AppAbort, Benchmark, GoldenRun,
+    LaunchRecord, Outcome, PlannedFault, RunCtl, RunResult, Variant,
 };
 
 /// All 11 benchmarks in the paper's figure order.

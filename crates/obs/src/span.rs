@@ -22,14 +22,17 @@ pub enum Phase {
     FaultyRun = 2,
     /// Outcome classification and bookkeeping (counters, events).
     Classify = 3,
+    /// Single-pass instrumented ACE/lifetime run (analytic estimator).
+    AceRun = 4,
 }
 
 impl Phase {
-    pub const ALL: [Phase; 4] = [
+    pub const ALL: [Phase; 5] = [
         Phase::GoldenRun,
         Phase::FaultSetup,
         Phase::FaultyRun,
         Phase::Classify,
+        Phase::AceRun,
     ];
 
     pub fn label(&self) -> &'static str {
@@ -38,11 +41,12 @@ impl Phase {
             Phase::FaultSetup => "fault_setup",
             Phase::FaultyRun => "faulty_run",
             Phase::Classify => "classify",
+            Phase::AceRun => "ace_run",
         }
     }
 }
 
-const N: usize = 4;
+const N: usize = 5;
 
 struct Profile {
     nanos: [AtomicU64; N],
@@ -55,8 +59,10 @@ static PROFILE: Profile = Profile {
         AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
+        AtomicU64::new(0),
     ],
     calls: [
+        AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
@@ -160,7 +166,13 @@ mod tests {
         let labels: Vec<_> = Phase::ALL.iter().map(|p| p.label()).collect();
         assert_eq!(
             labels,
-            vec!["golden_run", "fault_setup", "faulty_run", "classify"]
+            vec![
+                "golden_run",
+                "fault_setup",
+                "faulty_run",
+                "classify",
+                "ace_run"
+            ]
         );
     }
 }

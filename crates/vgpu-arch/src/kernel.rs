@@ -88,7 +88,7 @@ impl Kernel {
         if !matches!(self.instrs.last().map(|i| i.op), Some(Op::Exit)) {
             return Err(ValidateError::MissingExit);
         }
-        if self.smem_bytes % 4 != 0 {
+        if !self.smem_bytes.is_multiple_of(4) {
             return Err(ValidateError::SmemUnaligned {
                 smem_bytes: self.smem_bytes,
             });
@@ -118,10 +118,8 @@ impl Kernel {
                 check_reg(r)?;
             }
             match instr.op {
-                Op::ISetP { p, .. } | Op::FSetP { p, .. } => {
-                    if p.0 >= NUM_PREDS {
-                        return Err(ValidateError::PredOutOfRange { pc, pred: p.0 });
-                    }
+                Op::ISetP { p, .. } | Op::FSetP { p, .. } if p.0 >= NUM_PREDS => {
+                    return Err(ValidateError::PredOutOfRange { pc, pred: p.0 });
                 }
                 Op::PSetP { p, a, b, .. } => {
                     for q in [p, a, b] {
@@ -130,10 +128,8 @@ impl Kernel {
                         }
                     }
                 }
-                Op::Sel { p, .. } => {
-                    if p.0 >= NUM_PREDS {
-                        return Err(ValidateError::PredOutOfRange { pc, pred: p.0 });
-                    }
+                Op::Sel { p, .. } if p.0 >= NUM_PREDS => {
+                    return Err(ValidateError::PredOutOfRange { pc, pred: p.0 });
                 }
                 Op::St {
                     space: crate::op::MemSpace::Tex,

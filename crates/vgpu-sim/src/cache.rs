@@ -17,6 +17,8 @@
 //! wait for the remaining latency.
 
 use crate::config::{CacheGeom, Latencies};
+use crate::fault::HwStructure;
+use crate::lifetime::{CacheAce, LifetimeTracker};
 use crate::mem::GlobalMem;
 use crate::stats::CacheStats;
 
@@ -210,14 +212,14 @@ impl Cache {
     pub fn peek_word(&self, addr: u32) -> Option<u32> {
         let lb = self.geom.line_bytes;
         let idx = self.probe(addr / lb)?;
-        Some(self.read_word(idx, addr % lb & !3))
+        Some(self.read_word(idx, (addr % lb) & !3))
     }
 
     /// Coherent host update of a resident line (dirtiness unchanged).
     pub fn poke_word(&mut self, addr: u32, v: u32) -> bool {
         let lb = self.geom.line_bytes;
         if let Some(idx) = self.probe(addr / lb) {
-            let p = idx * lb as usize + (addr % lb & !3) as usize;
+            let p = idx * lb as usize + ((addr % lb) & !3) as usize;
             self.data[p..p + 4].copy_from_slice(&v.to_le_bytes());
             true
         } else {
@@ -235,6 +237,7 @@ pub struct AccessResult {
 }
 
 /// Fetch a full line into `l2` (if absent) and return `(way, ready)`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn ensure_l2(
     l2: &mut Cache,
     mem: &mut GlobalMem,
@@ -243,6 +246,7 @@ pub(crate) fn ensure_l2(
     lat: &Latencies,
     mem_reads: &mut u64,
     mem_writes: &mut u64,
+    ace: Option<&mut LifetimeTracker>,
 ) -> (usize, u64) {
     l2.stats.accesses += 1;
     if let Some(idx) = l2.lookup(line_addr) {
@@ -257,7 +261,8 @@ pub(crate) fn ensure_l2(
     }
     l2.stats.misses += 1;
     let victim = l2.victim(line_addr);
-    if l2.line_dirty(victim) {
+    let victim_dirty = l2.line_dirty(victim);
+    if victim_dirty {
         let wb_addr = l2.line_addr_of(victim) * l2.geom.line_bytes;
         mem.write_line(wb_addr, l2.line_data(victim));
         *mem_writes += 1;
@@ -265,6 +270,15 @@ pub(crate) fn ensure_l2(
     let lb = l2.geom.line_bytes;
     let bytes: Vec<u8> = mem.line(line_addr * lb, lb).to_vec();
     l2.fill(victim, line_addr, &bytes);
+    if let Some(tr) = ace {
+        // A dirty victim's data was architecturally required up to the
+        // write-back; a clean victim's open intervals close dead when the
+        // fill overwrites them (handled inside `cache_fill`'s writes).
+        if victim_dirty {
+            tr.close_line_live(HwStructure::L2, 0, victim, now);
+        }
+        tr.cache_fill(HwStructure::L2, 0, victim, now);
+    }
     *mem_reads += 1;
     let mut ready = now + lat.dram as u64;
     if !l2.mshr_alloc(line_addr, ready, now) {
@@ -276,6 +290,7 @@ pub(crate) fn ensure_l2(
 
 /// Load one word through an L1 (data or texture) backed by the shared L2.
 /// `addr` must already be validated (aligned + mapped).
+#[allow(clippy::too_many_arguments)]
 pub fn load_via(
     l1: &mut Cache,
     l2: &mut Cache,
@@ -285,6 +300,7 @@ pub fn load_via(
     lat: &Latencies,
     mem_reads: &mut u64,
     mem_writes: &mut u64,
+    mut ace: Option<CacheAce<'_>>,
 ) -> AccessResult {
     let lb = l1.geom.line_bytes;
     debug_assert_eq!(lb, l2.geom.line_bytes, "uniform line size across levels");
@@ -299,18 +315,40 @@ pub fn load_via(
             }
             None => now + lat.l1_hit as u64,
         };
+        if let Some(a) = ace.as_mut() {
+            a.tracker
+                .cache_read(a.l1, a.sm, idx, (off / 4) as usize, now);
+        }
         return AccessResult {
             value: l1.read_word(idx, off),
             ready,
         };
     }
     l1.stats.misses += 1;
-    let (l2_idx, l2_ready) = ensure_l2(l2, mem, line_addr, now, lat, mem_reads, mem_writes);
+    let (l2_idx, l2_ready) = ensure_l2(
+        l2,
+        mem,
+        line_addr,
+        now,
+        lat,
+        mem_reads,
+        mem_writes,
+        ace.as_mut().map(|a| &mut *a.tracker),
+    );
     let victim = l1.victim(line_addr);
     // L1 is write-through: the victim is clean by construction and is
     // silently dropped — a fault previously injected into it is masked here.
     let line: Vec<u8> = l2.line_data(l2_idx).to_vec();
     l1.fill(victim, line_addr, &line);
+    if let Some(a) = ace.as_mut() {
+        // The whole L2 line is read to service the L1 fill (conservative),
+        // the L1 victim's words open fresh intervals, and the requested
+        // word is read immediately.
+        a.tracker.cache_read_line(HwStructure::L2, 0, l2_idx, now);
+        a.tracker.cache_fill(a.l1, a.sm, victim, now);
+        a.tracker
+            .cache_read(a.l1, a.sm, victim, (off / 4) as usize, now);
+    }
     let mut ready = l2_ready + (lat.l1_hit as u64);
     if !l1.mshr_alloc(line_addr, ready, now) {
         l1.stats.reservation_fails += 1;
@@ -324,6 +362,7 @@ pub fn load_via(
 
 /// Store one word: write-through the L1D, write-back allocate in L2.
 /// `addr` must already be validated.
+#[allow(clippy::too_many_arguments)]
 pub fn store_via(
     l1d: &mut Cache,
     l2: &mut Cache,
@@ -334,6 +373,7 @@ pub fn store_via(
     lat: &Latencies,
     mem_reads: &mut u64,
     mem_writes: &mut u64,
+    mut ace: Option<CacheAce<'_>>,
 ) -> u64 {
     let lb = l1d.geom.line_bytes;
     let line_addr = addr / lb;
@@ -342,11 +382,28 @@ pub fn store_via(
     if let Some(idx) = l1d.lookup(line_addr) {
         // Update in place; the line stays clean (write-through).
         l1d.write_word(idx, off, value, false);
+        if let Some(a) = ace.as_mut() {
+            a.tracker
+                .cache_write(a.l1, a.sm, idx, (off / 4) as usize, now);
+        }
     } else {
         l1d.stats.misses += 1; // no write-allocate
     }
-    let (l2_idx, _) = ensure_l2(l2, mem, line_addr, now, lat, mem_reads, mem_writes);
+    let (l2_idx, _) = ensure_l2(
+        l2,
+        mem,
+        line_addr,
+        now,
+        lat,
+        mem_reads,
+        mem_writes,
+        ace.as_mut().map(|a| &mut *a.tracker),
+    );
     l2.write_word(l2_idx, off, value, true);
+    if let Some(a) = ace.as_mut() {
+        a.tracker
+            .cache_write(HwStructure::L2, 0, l2_idx, (off / 4) as usize, now);
+    }
     now + lat.store as u64
 }
 
@@ -421,7 +478,17 @@ mod tests {
         });
         let mut mem = mem_with(256, 0xabcd);
         let (mut mr, mut mw) = (0, 0);
-        let r = load_via(&mut l1, &mut l2, &mut mem, 256, 0, &lat(), &mut mr, &mut mw);
+        let r = load_via(
+            &mut l1,
+            &mut l2,
+            &mut mem,
+            256,
+            0,
+            &lat(),
+            &mut mr,
+            &mut mw,
+            None,
+        );
         assert_eq!(r.value, 0xabcd);
         assert!(r.ready >= 400, "miss pays DRAM latency");
         assert_eq!(l1.stats.misses, 1);
@@ -438,6 +505,7 @@ mod tests {
             &lat(),
             &mut mr,
             &mut mw,
+            None,
         );
         assert_eq!(r2.value, 0);
         assert_eq!(r2.ready, 10_000 + 30);
@@ -457,9 +525,29 @@ mod tests {
         });
         let mut mem = mem_with(0, 5);
         let (mut mr, mut mw) = (0, 0);
-        let r = load_via(&mut l1, &mut l2, &mut mem, 0, 0, &lat(), &mut mr, &mut mw);
+        let r = load_via(
+            &mut l1,
+            &mut l2,
+            &mut mem,
+            0,
+            0,
+            &lat(),
+            &mut mr,
+            &mut mw,
+            None,
+        );
         // Another warp reads the same line 10 cycles later, before ready.
-        let r2 = load_via(&mut l1, &mut l2, &mut mem, 4, 10, &lat(), &mut mr, &mut mw);
+        let r2 = load_via(
+            &mut l1,
+            &mut l2,
+            &mut mem,
+            4,
+            10,
+            &lat(),
+            &mut mr,
+            &mut mw,
+            None,
+        );
         assert_eq!(l1.stats.pending_hits, 1);
         assert_eq!(r2.ready, r.ready, "pending hit completes with the fill");
     }
@@ -485,6 +573,7 @@ mod tests {
                 &lat(),
                 &mut mr,
                 &mut mw,
+                None,
             );
         }
         assert_eq!(l1.stats.reservation_fails, 1);
@@ -502,7 +591,17 @@ mod tests {
         let mut mem = mem_with(0, 0);
         let (mut mr, mut mw) = (0, 0);
         // Load first so the line is in both levels.
-        load_via(&mut l1, &mut l2, &mut mem, 0, 0, &lat(), &mut mr, &mut mw);
+        load_via(
+            &mut l1,
+            &mut l2,
+            &mut mem,
+            0,
+            0,
+            &lat(),
+            &mut mr,
+            &mut mw,
+            None,
+        );
         store_via(
             &mut l1,
             &mut l2,
@@ -513,6 +612,7 @@ mod tests {
             &lat(),
             &mut mr,
             &mut mw,
+            None,
         );
         let i1 = l1.probe(0).unwrap();
         assert!(!l1.line_dirty(i1), "write-through L1 stays clean");
@@ -548,6 +648,7 @@ mod tests {
             &lat(),
             &mut mr,
             &mut mw,
+            None,
         );
         assert_eq!(l1.probe(0), None, "no write-allocate in L1");
         assert!(l2.probe(0).is_some(), "write-allocate in L2");
@@ -567,7 +668,17 @@ mod tests {
         });
         let mut mem = mem_with(0, 0x1111);
         let (mut mr, mut mw) = (0, 0);
-        load_via(&mut l1, &mut l2, &mut mem, 0, 0, &lat(), &mut mr, &mut mw);
+        load_via(
+            &mut l1,
+            &mut l2,
+            &mut mem,
+            0,
+            0,
+            &lat(),
+            &mut mr,
+            &mut mw,
+            None,
+        );
         let idx = l1.probe(0).unwrap();
         let byte_index = idx as u64 * 128;
         l1.flip_bit(byte_index, 1); // value becomes 0x1113
@@ -580,6 +691,7 @@ mod tests {
             &lat(),
             &mut mr,
             &mut mw,
+            None,
         );
         assert_eq!(r.value, 0x1113, "fault visible while resident");
         // Evict set 0 by loading two other lines mapping to it (lines 4, 8).
@@ -592,6 +704,7 @@ mod tests {
             &lat(),
             &mut mr,
             &mut mw,
+            None,
         );
         load_via(
             &mut l1,
@@ -602,6 +715,7 @@ mod tests {
             &lat(),
             &mut mr,
             &mut mw,
+            None,
         );
         assert_eq!(l1.probe(0), None, "faulty line evicted");
         let r = load_via(
@@ -613,6 +727,7 @@ mod tests {
             &lat(),
             &mut mr,
             &mut mw,
+            None,
         );
         assert_eq!(r.value, 0x1111, "clean eviction masked the fault");
     }
@@ -641,6 +756,7 @@ mod tests {
             &lat(),
             &mut mr,
             &mut mw,
+            None,
         );
         let idx = l2.probe(0).unwrap();
         l2.flip_bit(idx as u64 * 128, 0); // 0x10 -> 0x11
@@ -654,6 +770,7 @@ mod tests {
             &lat(),
             &mut mr,
             &mut mw,
+            None,
         );
         load_via(
             &mut l1,
@@ -664,6 +781,7 @@ mod tests {
             &lat(),
             &mut mr,
             &mut mw,
+            None,
         );
         assert_eq!(
             mem.read_u32(0),

@@ -34,6 +34,24 @@ pub trait GMem {
         addrs: &[u32; WARP_SIZE],
         vals: &[u32; WARP_SIZE],
     ) -> Result<u64, DueKind>;
+
+    /// Whether ACE lifetime tracking is active. Gates the per-instruction
+    /// register-operand walk in [`step_warp`] so untracked runs pay nothing.
+    fn ace_enabled(&self) -> bool {
+        false
+    }
+
+    /// ACE hook: a register word (`reg * 32 + lane`, warp-local) was read.
+    fn ace_reg_read(&mut self, _reg_word: usize) {}
+
+    /// ACE hook: a register word (warp-local) was written.
+    fn ace_reg_write(&mut self, _reg_word: usize) {}
+
+    /// ACE hook: a shared-memory word (CTA-local index) was read.
+    fn ace_smem_read(&mut self, _word: usize) {}
+
+    /// ACE hook: a shared-memory word (CTA-local index) was written.
+    fn ace_smem_write(&mut self, _word: usize) {}
 }
 
 /// How long the issued instruction occupies the warp.
@@ -256,6 +274,20 @@ pub fn step_warp<M: GMem>(w: &mut Warp, ctx: &mut ExecCtx<'_, M>) -> Result<Step
     }
     if !op.src_regs().is_empty() {
         ctx.stats.src_reg_instrs += n_active;
+    }
+
+    // ---- ACE lifetime tracking: source-register reads ------------------
+    // `Sel` conservatively counts both inputs as read; predicate registers
+    // are not part of the tracked register file.
+    if ctx.mem.ace_enabled() && exec_mask != 0 {
+        for r in op.src_regs() {
+            let mut m = exec_mask;
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                m &= m - 1;
+                ctx.mem.ace_reg_read(reg_idx(r, lane));
+            }
+        }
     }
 
     macro_rules! lanes {
@@ -496,10 +528,7 @@ pub fn step_warp<M: GMem>(w: &mut Warp, ctx: &mut ExecCtx<'_, M>) -> Result<Step
             IssueClass::Alu
         }
         Op::Ld { d, space, a, off } => match space {
-            MemSpace::Shared => {
-                let cls = smem_access(w, ctx, exec_mask, *a, *off, Some(*d), None)?;
-                cls
-            }
+            MemSpace::Shared => smem_access(w, ctx, exec_mask, *a, *off, Some(*d), None)?,
             MemSpace::Global | MemSpace::Tex => {
                 let mut addrs = [0u32; WARP_SIZE];
                 lanes!(lane, {
@@ -603,6 +632,18 @@ pub fn step_warp<M: GMem>(w: &mut Warp, ctx: &mut ExecCtx<'_, M>) -> Result<Step
         PendingSw::None => {}
     }
 
+    // ---- ACE lifetime tracking: destination-register write -------------
+    if ctx.mem.ace_enabled() && exec_mask != 0 {
+        if let Some(d) = op.dst_reg() {
+            let mut m = exec_mask;
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                m &= m - 1;
+                ctx.mem.ace_reg_write(reg_idx(d, lane));
+            }
+        }
+    }
+
     if advance {
         w.stack[top_idx].pc = pc + 1;
     }
@@ -629,7 +670,7 @@ fn smem_access<M: GMem>(
         let lane = m.trailing_zeros() as usize;
         m &= m - 1;
         let addr = read_reg(ctx.regs, a, lane).wrapping_add(off as u32);
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(DueKind::Misaligned { addr });
         }
         if addr + 4 > len_bytes {
@@ -637,6 +678,14 @@ fn smem_access<M: GMem>(
         }
         let word = (addr / 4) as usize;
         bank_counts[word % 32] += 1;
+        if ctx.mem.ace_enabled() {
+            if load_into.is_some() {
+                ctx.mem.ace_smem_read(word);
+            }
+            if store_from.is_some() {
+                ctx.mem.ace_smem_write(word);
+            }
+        }
         if let Some(d) = load_into {
             ctx.regs[reg_idx(d, lane)] = ctx.smem[word];
         }

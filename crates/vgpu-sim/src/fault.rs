@@ -39,6 +39,18 @@ impl HwStructure {
         }
     }
 
+    /// Inverse of [`label`](HwStructure::label): parse a report label.
+    pub fn from_label(s: &str) -> Option<HwStructure> {
+        match s {
+            "RF" => Some(HwStructure::RegFile),
+            "SMEM" => Some(HwStructure::Smem),
+            "L1D" => Some(HwStructure::L1D),
+            "L1T" => Some(HwStructure::L1T),
+            "L2" => Some(HwStructure::L2),
+            _ => None,
+        }
+    }
+
     /// The cache structures (used for the AVF-Cache sub-metric of Fig. 5).
     pub const CACHES: [HwStructure; 3] = [HwStructure::L1D, HwStructure::L1T, HwStructure::L2];
 }

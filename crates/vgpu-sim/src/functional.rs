@@ -60,6 +60,9 @@ pub fn run_functional(
         let mut arrived = 0u32;
         while running > 0 {
             let mut progressed = false;
+            // `wi` also derives the warp's register-bank offset and feeds a
+            // second disjoint borrow of `warps` below, so iter_mut won't do.
+            #[allow(clippy::needless_range_loop)]
             for wi in 0..wpc {
                 if warps[wi].done || warps[wi].at_barrier {
                     continue;

@@ -6,6 +6,7 @@ use crate::config::GpuConfig;
 pub use crate::due::LaunchAbort;
 use crate::fault::{SwInjector, UarchInjector};
 use crate::functional::run_functional;
+use crate::lifetime::LifetimeTracker;
 use crate::mem::GlobalMem;
 use crate::stats::Stats;
 use crate::timed::run_timed;
@@ -65,6 +66,7 @@ pub struct Gpu {
     l1ds: Vec<Cache>,
     l1ts: Vec<Cache>,
     l2: Cache,
+    tracker: Option<LifetimeTracker>,
 }
 
 impl Gpu {
@@ -83,11 +85,47 @@ impl Gpu {
             l1ds,
             l1ts,
             l2,
+            tracker: None,
         }
     }
 
     pub fn mode(&self) -> Mode {
         self.mode
+    }
+
+    /// Enable ACE lifetime tracking for subsequent timed launches (the
+    /// `--ace` mode). Must be attached before the first launch so L2
+    /// lifetimes spanning kernels are measured from a common origin.
+    pub fn attach_tracker(&mut self) {
+        assert_eq!(
+            self.mode,
+            Mode::Timed,
+            "ACE lifetime tracking requires the timed engine"
+        );
+        self.tracker = Some(LifetimeTracker::new(&self.cfg));
+    }
+
+    /// Cumulative ACE word-cycles per structure so far (`HwStructure::ALL`
+    /// order), if a tracker is attached. Open L2 intervals are not yet
+    /// included — see [`Gpu::finish_tracker`].
+    pub fn tracker_totals(&self) -> Option<[u64; 5]> {
+        self.tracker.as_ref().map(|t| t.ace_word_cycles())
+    }
+
+    /// Number of lifetime events (reads/writes/fills/evictions) recorded
+    /// so far, if a tracker is attached.
+    pub fn tracker_events(&self) -> Option<u64> {
+        self.tracker.as_ref().map(|t| t.events())
+    }
+
+    /// Close every surviving L2 interval (dirty lines count live up to
+    /// now), detach the tracker, and return the final per-structure ACE
+    /// word-cycle totals.
+    pub fn finish_tracker(&mut self) -> Option<[u64; 5]> {
+        let mut tr = self.tracker.take()?;
+        let l2 = &self.l2;
+        tr.finalize_l2(|line| l2.line_dirty(line));
+        Some(tr.ace_word_cycles())
     }
 
     /// Launch a kernel. Returns per-launch statistics, or the abort cause
@@ -148,7 +186,7 @@ impl Gpu {
                     FaultPlan::Uarch(u) => (Some(u), None),
                     FaultPlan::Sw(s) => (None, Some(s)),
                 };
-                run_timed(
+                let res = run_timed(
                     &self.cfg,
                     &mut self.mem,
                     &mut self.l1ds,
@@ -158,8 +196,15 @@ impl Gpu {
                     lc,
                     uarch,
                     sw,
+                    self.tracker.as_mut(),
                     budget.cycles,
-                )
+                );
+                if let Ok(s) = &res {
+                    if let Some(tr) = self.tracker.as_mut() {
+                        tr.advance_base(s.cycles);
+                    }
+                }
+                res
             }
             Mode::Functional => {
                 let sw = match fault {
@@ -193,11 +238,25 @@ impl Gpu {
         self.mem.read_u32(addr)
     }
 
-    /// Host word write: updates DRAM and any resident L2 copy.
+    /// Host word write: updates DRAM and any resident L2 copy. With a
+    /// lifetime tracker attached, a host overwrite of a resident L2 word
+    /// closes the word's interval dead — the device-written value was
+    /// superseded before any further architectural use.
     pub fn host_write_u32(&mut self, addr: u32, v: u32) {
         self.mem.write_u32(addr, v);
-        if self.mode == Mode::Timed {
-            self.l2.poke_word(addr, v);
+        if self.mode == Mode::Timed && self.l2.poke_word(addr, v) {
+            if let Some(tr) = self.tracker.as_mut() {
+                let lb = self.l2.geom().line_bytes;
+                if let Some(idx) = self.l2.probe(addr / lb) {
+                    tr.cache_write(
+                        crate::fault::HwStructure::L2,
+                        0,
+                        idx,
+                        ((addr % lb) / 4) as usize,
+                        0,
+                    );
+                }
+            }
         }
     }
 

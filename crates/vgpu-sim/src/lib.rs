@@ -29,6 +29,7 @@ pub mod exec;
 pub mod fault;
 pub mod functional;
 pub mod gpu;
+pub mod lifetime;
 pub mod mem;
 pub mod stats;
 pub mod timed;
@@ -38,5 +39,6 @@ pub use config::{CacheGeom, GpuConfig, Latencies};
 pub use due::DueKind;
 pub use fault::{HwStructure, SwFault, SwFaultKind, SwInjector, UarchFault, UarchInjector};
 pub use gpu::{Budget, FaultPlan, Gpu, LaunchAbort, Mode};
+pub use lifetime::LifetimeTracker;
 pub use mem::{ArenaPlanner, GlobalMem};
 pub use stats::{CacheStats, Stats};

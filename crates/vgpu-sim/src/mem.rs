@@ -58,7 +58,7 @@ impl GlobalMem {
 
     /// Validate a device word access: alignment then mapping.
     pub fn check_word(&self, addr: u32) -> Result<(), DueKind> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(DueKind::Misaligned { addr });
         }
         if !self.is_mapped_word(addr) {

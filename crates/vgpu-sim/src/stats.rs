@@ -171,6 +171,23 @@ mod tests {
     }
 
     #[test]
+    fn zero_cycle_and_zero_slot_launches_do_not_nan() {
+        // Functional-mode launches record instructions but neither cycles
+        // nor warp-slot residency; both ratios must be 0.0, never NaN.
+        let s = Stats {
+            thread_instrs: 1000,
+            warp_instrs: 32,
+            resident_warp_cycles: 7, // no max_warp_cycles recorded
+            issue_cycles: 3,         // no cycles recorded
+            ..Default::default()
+        };
+        assert_eq!(s.occupancy(), 0.0);
+        assert_eq!(s.issue_utilization(), 0.0);
+        assert!(s.occupancy().is_finite());
+        assert!(s.issue_utilization().is_finite());
+    }
+
+    #[test]
     fn issue_utilization_ratio() {
         let s = Stats {
             cycles: 10,

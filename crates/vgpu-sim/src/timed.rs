@@ -12,6 +12,7 @@ use crate::config::{GpuConfig, Latencies};
 use crate::due::{DueKind, LaunchAbort};
 use crate::exec::{step_warp, ExecCtx, GMem, IssueClass, StepEvent};
 use crate::fault::{HwStructure, SwInjector, UarchInjector};
+use crate::lifetime::{CacheAce, LifetimeTracker};
 use crate::mem::GlobalMem;
 use crate::stats::Stats;
 use crate::warp::Warp;
@@ -28,6 +29,13 @@ struct TimedGMem<'a> {
     now: u64,
     mem_reads: &'a mut u64,
     mem_writes: &'a mut u64,
+    /// ACE lifetime tracker (fault-free `--ace` runs only), plus the
+    /// coordinates translating this step's warp-local register / CTA-local
+    /// shared-memory indices to SM-global tracker entries.
+    ace: Option<&'a mut LifetimeTracker>,
+    sm: usize,
+    ace_rf_base: usize,
+    ace_smem_base: usize,
 }
 
 impl GMem for TimedGMem<'_> {
@@ -45,6 +53,11 @@ impl GMem for TimedGMem<'_> {
             self.mem.check_word(addrs[lane])?;
         }
         let l1 = if tex { &mut *self.l1t } else { &mut *self.l1d };
+        let h = if tex {
+            HwStructure::L1T
+        } else {
+            HwStructure::L1D
+        };
         let lb = l1.geom().line_bytes;
         let mut seen = [0u32; WARP_SIZE];
         let mut n = 0usize;
@@ -61,6 +74,9 @@ impl GMem for TimedGMem<'_> {
                 // normally still resident, but an intervening fill in the
                 // same set may have evicted it — refetch in that case.
                 if let Some(idx) = l1.probe(line) {
+                    if let Some(tr) = self.ace.as_deref_mut() {
+                        tr.cache_read(h, self.sm, idx, ((addr % lb) / 4) as usize, self.now);
+                    }
                     out[lane] = l1.read_word(idx, addr % lb);
                     continue;
                 }
@@ -74,6 +90,11 @@ impl GMem for TimedGMem<'_> {
                 self.lat,
                 self.mem_reads,
                 self.mem_writes,
+                self.ace.as_deref_mut().map(|tr| CacheAce {
+                    tracker: tr,
+                    l1: h,
+                    sm: self.sm,
+                }),
             );
             out[lane] = r.value;
             ready_max = ready_max.max(r.ready);
@@ -121,12 +142,16 @@ impl GMem for TimedGMem<'_> {
                     self.lat,
                     self.mem_reads,
                     self.mem_writes,
+                    self.ace.as_deref_mut(),
                 );
                 seen[n] = line;
                 n += 1;
             }
             if let Some(i1) = self.l1d.lookup(line) {
                 self.l1d.write_word(i1, off, vals[lane], false);
+                if let Some(tr) = self.ace.as_deref_mut() {
+                    tr.cache_write(HwStructure::L1D, self.sm, i1, (off / 4) as usize, self.now);
+                }
             }
             let i2 = match self.l2.probe(line) {
                 Some(i) => i,
@@ -139,13 +164,49 @@ impl GMem for TimedGMem<'_> {
                         self.lat,
                         self.mem_reads,
                         self.mem_writes,
+                        self.ace.as_deref_mut(),
                     )
                     .0
                 }
             };
             self.l2.write_word(i2, off, vals[lane], true);
+            if let Some(tr) = self.ace.as_deref_mut() {
+                tr.cache_write(HwStructure::L2, 0, i2, (off / 4) as usize, self.now);
+            }
         }
         Ok(self.now + self.lat.store as u64)
+    }
+
+    fn ace_enabled(&self) -> bool {
+        self.ace.is_some()
+    }
+
+    fn ace_reg_read(&mut self, reg_word: usize) {
+        let (sm, base, now) = (self.sm, self.ace_rf_base, self.now);
+        if let Some(tr) = self.ace.as_deref_mut() {
+            tr.reg_read(sm, base + reg_word, now);
+        }
+    }
+
+    fn ace_reg_write(&mut self, reg_word: usize) {
+        let (sm, base, now) = (self.sm, self.ace_rf_base, self.now);
+        if let Some(tr) = self.ace.as_deref_mut() {
+            tr.reg_write(sm, base + reg_word, now);
+        }
+    }
+
+    fn ace_smem_read(&mut self, word: usize) {
+        let (sm, base, now) = (self.sm, self.ace_smem_base, self.now);
+        if let Some(tr) = self.ace.as_deref_mut() {
+            tr.smem_read(sm, base + word, now);
+        }
+    }
+
+    fn ace_smem_write(&mut self, word: usize) {
+        let (sm, base, now) = (self.sm, self.ace_smem_base, self.now);
+        if let Some(tr) = self.ace.as_deref_mut() {
+            tr.smem_write(sm, base + word, now);
+        }
     }
 }
 
@@ -200,7 +261,8 @@ fn geometry(cfg: &GpuConfig, kernel: &Kernel, lc: &LaunchConfig) -> Geometry {
     }
 }
 
-/// Place CTA `lin` into `slot` of `sm`.
+/// Place CTA `lin` into `slot` of `sm` (SM index `smi`) at cycle `t`.
+#[allow(clippy::too_many_arguments)]
 fn launch_cta(
     sm: &mut SmState,
     slot: usize,
@@ -208,6 +270,9 @@ fn launch_cta(
     lc: &LaunchConfig,
     g: &Geometry,
     seq: &mut u64,
+    smi: usize,
+    t: u64,
+    ace: Option<&mut LifetimeTracker>,
 ) {
     let ctaid_x = (lin % lc.grid_x as u64) as u32;
     let ctaid_y = (lin / lc.grid_x as u64) as u32;
@@ -215,6 +280,16 @@ fn launch_cta(
     sm.rf[rf_base..rf_base + g.regs_per_cta as usize].fill(0);
     let sm_base = slot * g.smem_words_per_cta as usize;
     sm.smem[sm_base..sm_base + g.smem_words_per_cta as usize].fill(0);
+    if let Some(tr) = ace {
+        tr.cta_fill(
+            smi,
+            rf_base,
+            g.regs_per_cta as usize,
+            sm_base,
+            g.smem_words_per_cta as usize,
+            t,
+        );
+    }
     for wi in 0..g.wpc {
         let first_thread = wi * WARP_SIZE as u32;
         let lanes = (lc.block_x - first_thread).min(WARP_SIZE as u32);
@@ -311,6 +386,7 @@ pub fn run_timed(
     lc: &LaunchConfig,
     mut uarch: Option<&mut UarchInjector>,
     mut sw: Option<&mut SwInjector>,
+    mut ace: Option<&mut LifetimeTracker>,
     budget_cycles: u64,
 ) -> Result<Stats, LaunchAbort> {
     let g = geometry(cfg, kernel, lc);
@@ -332,11 +408,21 @@ pub fn run_timed(
 
     // Initial CTA fill, round-robin over SMs.
     'fill: for slot in 0..g.slots_per_sm as usize {
-        for sm in sms.iter_mut() {
+        for (smi, sm) in sms.iter_mut().enumerate() {
             if next_cta >= total_ctas {
                 break 'fill;
             }
-            launch_cta(sm, slot, next_cta, lc, &g, &mut seq);
+            launch_cta(
+                sm,
+                slot,
+                next_cta,
+                lc,
+                &g,
+                &mut seq,
+                smi,
+                0,
+                ace.as_deref_mut(),
+            );
             next_cta += 1;
         }
     }
@@ -397,6 +483,10 @@ pub fn run_timed(
                     now: cycle,
                     mem_reads: &mut mem_reads,
                     mem_writes: &mut mem_writes,
+                    ace: ace.as_deref_mut(),
+                    sm: smi,
+                    ace_rf_base: rf_base,
+                    ace_smem_base: smem_base,
                 };
                 let mut ctx = ExecCtx {
                     kernel,
@@ -458,7 +548,17 @@ pub fn run_timed(
                         sm.slots[slot_idx] = None;
                         done_ctas += 1;
                         if next_cta < total_ctas {
-                            launch_cta(sm, slot_idx, next_cta, lc, &g, &mut seq);
+                            launch_cta(
+                                sm,
+                                slot_idx,
+                                next_cta,
+                                lc,
+                                &g,
+                                &mut seq,
+                                smi,
+                                cycle,
+                                ace.as_deref_mut(),
+                            );
                             next_cta += 1;
                         }
                     } else if slot.arrived >= slot.warps_running {
@@ -524,6 +624,11 @@ pub fn run_timed(
     // Kernel boundary: L1s are invalidated (write-through, nothing dirty).
     for c in l1ds.iter_mut().chain(l1ts.iter_mut()) {
         c.invalidate_all();
+    }
+    // Register-file and shared-memory contents die with the grid, and the
+    // invalidated L1 lines are clean: close every open interval dead.
+    if let Some(tr) = ace {
+        tr.launch_end(cycle);
     }
 
     result?;
@@ -620,7 +725,7 @@ mod tests {
             last: None,
         };
         let mut seq = 0;
-        launch_cta(&mut sm, 0, 0, &lc, &g, &mut seq);
+        launch_cta(&mut sm, 0, 0, &lc, &g, &mut seq, 0, 0, None);
         let w0 = sm.warps[0].as_ref().unwrap();
         let w1 = sm.warps[1].as_ref().unwrap();
         assert_eq!(w0.init_mask, u32::MAX);

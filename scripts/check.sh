@@ -17,6 +17,12 @@ cargo test -q --workspace
 echo "==> campaign shard-merge smoke"
 cargo run --release -q -p bench --bin campaign -- smoke
 
+echo "==> ace_study smoke"
+cargo run --release -q -p bench --bin ace_study -- smoke
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --release --workspace -- -D warnings
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

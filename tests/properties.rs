@@ -28,12 +28,12 @@ proptest! {
         let mut shadow = vec![0u32; 512];
         let mut now = 0u64;
         for (word, value) in writes {
-            store_via(&mut l1, &mut l2, &mut mem, word * 4, value, now, &test_lat(), &mut mr, &mut mw);
+            store_via(&mut l1, &mut l2, &mut mem, word * 4, value, now, &test_lat(), &mut mr, &mut mw, None);
             shadow[word as usize] = value;
             now += 1000;
         }
         for word in probes {
-            let r = load_via(&mut l1, &mut l2, &mut mem, word * 4, now, &test_lat(), &mut mr, &mut mw);
+            let r = load_via(&mut l1, &mut l2, &mut mem, word * 4, now, &test_lat(), &mut mr, &mut mw, None);
             prop_assert_eq!(r.value, shadow[word as usize]);
             now += 1000;
         }
@@ -51,17 +51,17 @@ proptest! {
         mem.write_u32(word * 4, 0x5A5A_5A5A);
         // Load through the hierarchy so L2 holds the line; invalidate L1 so
         // the next read must come from L2.
-        load_via(&mut l1, &mut l2, &mut mem, word * 4, 0, &test_lat(), &mut mr, &mut mw);
+        load_via(&mut l1, &mut l2, &mut mem, word * 4, 0, &test_lat(), &mut mr, &mut mw, None);
         l1.invalidate_all();
         let idx = l2.probe(word * 4 / 128).expect("line resident in L2");
         let byte_index = idx as u64 * 128 + (word as u64 * 4 % 128) + (bit as u64 / 8);
         l2.flip_bit(byte_index, bit % 8);
-        let r = load_via(&mut l1, &mut l2, &mut mem, word * 4, 10_000, &test_lat(), &mut mr, &mut mw);
+        let r = load_via(&mut l1, &mut l2, &mut mem, word * 4, 10_000, &test_lat(), &mut mr, &mut mw, None);
         prop_assert_eq!(r.value, 0x5A5A_5A5Au32 ^ (1 << ((bit / 8) * 8 + bit % 8)));
         // Flip back and reload (L1 holds the faulty copy; invalidate again).
         l2.flip_bit(byte_index, bit % 8);
         l1.invalidate_all();
-        let r = load_via(&mut l1, &mut l2, &mut mem, word * 4, 20_000, &test_lat(), &mut mr, &mut mw);
+        let r = load_via(&mut l1, &mut l2, &mut mem, word * 4, 20_000, &test_lat(), &mut mr, &mut mw, None);
         prop_assert_eq!(r.value, 0x5A5A_5A5A);
     }
 
