@@ -17,12 +17,14 @@ fn bench_cache(c: &mut Criterion) {
         let mut mem = GlobalMem::new(1 << 20);
         mem.map(0, 1 << 20);
         let (mut mr, mut mw) = (0, 0);
-        load_via(&mut l1, &mut l2, &mut mem, 0, 0, &cfg.lat, &mut mr, &mut mw);
+        load_via(
+            &mut l1, &mut l2, &mut mem, 0, 0, &cfg.lat, &mut mr, &mut mw, None,
+        );
         let mut now = 10_000u64;
         b.iter(|| {
             now += 100;
             load_via(
-                &mut l1, &mut l2, &mut mem, 64, now, &cfg.lat, &mut mr, &mut mw,
+                &mut l1, &mut l2, &mut mem, 64, now, &cfg.lat, &mut mr, &mut mw, None,
             )
         })
     });
@@ -39,7 +41,7 @@ fn bench_cache(c: &mut Criterion) {
             addr = (addr + 128) & ((1 << 22) - 1);
             now += 500;
             load_via(
-                &mut l1, &mut l2, &mut mem, addr, now, &cfg.lat, &mut mr, &mut mw,
+                &mut l1, &mut l2, &mut mem, addr, now, &cfg.lat, &mut mr, &mut mw, None,
             )
         })
     });
@@ -56,7 +58,7 @@ fn bench_cache(c: &mut Criterion) {
             i = (i + 4) & 0xFFFF;
             now += 100;
             store_via(
-                &mut l1, &mut l2, &mut mem, i, i, now, &cfg.lat, &mut mr, &mut mw,
+                &mut l1, &mut l2, &mut mem, i, i, now, &cfg.lat, &mut mr, &mut mw, None,
             )
         })
     });

@@ -6,24 +6,35 @@
 //! campaign run   --app VA --layer uarch --shards 4 --shard-index 0 \
 //!                --checkpoint shard0.jsonl [--resume shard0.jsonl]
 //! campaign merge --app VA --layer uarch shard0.jsonl shard1.jsonl ...
+//! campaign serve --app VA --layer uarch --shards 3 --listen 127.0.0.1:0
+//! campaign work  --connect 127.0.0.1:PORT
 //! campaign smoke
 //! ```
 //!
 //! Plans are deterministic (docs/CAMPAIGNS.md): every shard derives the
 //! same explicit trial list from `--seed`, so any disjoint cover of the
-//! plan — 1 shard or 40, interrupted and resumed or not — merges to the
-//! byte-identical `UarchAppResult`/`SvfAppResult`.
+//! plan — 1 shard or 40, interrupted and resumed or not, executed locally
+//! or by a fleet of `work` daemons against a `serve` coordinator
+//! (docs/DISPATCH.md) — merges to the byte-identical
+//! `UarchAppResult`/`SvfAppResult`.
 //!
-//! Common options: `--n N --seed S --sms N --hardened --events PATH`,
-//! `--structures RF,SMEM,L2` (uarch layer: inject only into a structure
-//! subset), watchdog knobs `--wall-limit-us N --cycle-limit N --no-retry`.
-//! `run` additionally takes `--checkpoint-every K` (default 64) and
-//! `--limit L` (stop after L new trials, leaving a resumable checkpoint).
+//! Common options: `--n N --seed S --sms N --hardened --events PATH
+//! --csv PATH`, `--structures RF,SMEM,L2` (uarch layer: inject only into
+//! a structure subset), watchdog knobs `--wall-limit-us N --cycle-limit N
+//! --no-retry`. `run` additionally takes `--checkpoint-every K` (default
+//! 64) and `--limit L` (stop after L new trials, leaving a resumable
+//! checkpoint).
+//!
+//! Exit codes are uniform across subcommands: **2** for CLI/validation
+//! errors (unknown flags, bad `--listen`/`--connect` addresses, bad lease
+//! values), **1** for runtime failures (engine errors, unreadable
+//! checkpoints, dispatch failures), **0** on success.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 
 use bench::{finish_observability, init_observability, parse_structures};
+use dispatch::{CampaignSpec, DispatchCfg, WorkerCfg};
 use kernels::{all_benchmarks, Benchmark};
 use relia::checkpoint::CheckpointHeader;
 use relia::plan::{
@@ -31,13 +42,20 @@ use relia::plan::{
 };
 use relia::{
     assemble_sw, assemble_uarch, execute_shard, load_checkpoint, pct, records_fingerprint,
-    CampaignCfg, EngineCfg, EngineError, Table, TrialRecord,
+    CampaignCfg, EngineCfg, EngineError, Table, TrialRecord, Watchdog,
 };
 use vgpu_sim::HwStructure;
 
+/// CLI/validation error: bad flags, bad values, malformed addresses.
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     exit(2);
+}
+
+/// Runtime failure: the request was well-formed but executing it failed.
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(1);
 }
 
 /// Everything both `run` and `merge` need to rebuild the plan.
@@ -48,6 +66,8 @@ struct CommonOpts {
     hardened: bool,
     /// `--structures` subset (uarch layer only; `None` = all five).
     structures: Option<Vec<HwStructure>>,
+    /// `--csv PATH`: also write the assembled result table as CSV.
+    csv: Option<PathBuf>,
     /// Non-flag positional arguments (merge's shard files).
     positional: Vec<String>,
 }
@@ -59,6 +79,7 @@ fn parse_common(args: &[String]) -> CommonOpts {
         cfg: CampaignCfg::new(100, 100, 0xC0FF_EE00),
         hardened: false,
         structures: None,
+        csv: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -104,6 +125,7 @@ fn parse_common(args: &[String]) -> CommonOpts {
             "--wall-limit-us" => o.cfg.watchdog.wall_us_limit = Some(parse_num("--wall-limit-us")),
             "--cycle-limit" => o.cfg.watchdog.cycle_limit = Some(parse_num("--cycle-limit")),
             "--structures" => o.structures = Some(parse_structures(v).unwrap_or_else(|e| die(&e))),
+            "--csv" => o.csv = Some(PathBuf::from(v)),
             "--events" => {} // handled by init_observability
             other => die(&format!("unknown option {other}")),
         }
@@ -141,11 +163,13 @@ fn prepare<'a>(bench: &'a dyn Benchmark, o: &CommonOpts) -> PreparedCampaign<'a>
     }
 }
 
-/// Print the assembled result of a fully covered plan.
-fn print_result(prep: &PreparedCampaign, records: &[TrialRecord]) {
-    match prep.plan.layer {
+/// Print the assembled result of a fully covered plan (and write it as
+/// CSV when `--csv` was given) — the byte-comparison artifact for the
+/// shard-merge and dispatch differential checks.
+fn print_result(prep: &PreparedCampaign, records: &[TrialRecord], csv: Option<&Path>) {
+    let table = match prep.plan.layer {
         Layer::Uarch => {
-            let res = assemble_uarch(prep, records).unwrap_or_else(|e| die(&e.to_string()));
+            let res = assemble_uarch(prep, records).unwrap_or_else(|e| fail(&e.to_string()));
             let mut t = Table::new(
                 format!("{} — chip AVF per kernel (%)", res.app),
                 &["Kernel", "SDC", "Timeout", "DUE", "AVF"],
@@ -168,10 +192,10 @@ fn print_result(prep: &PreparedCampaign, records: &[TrialRecord]) {
                 pct(app.due),
                 pct(app.total()),
             ]);
-            println!("{t}");
+            t
         }
         Layer::Sw => {
-            let res = assemble_sw(prep, records).unwrap_or_else(|e| die(&e.to_string()));
+            let res = assemble_sw(prep, records).unwrap_or_else(|e| fail(&e.to_string()));
             let mut t = Table::new(
                 format!("{} — SVF per kernel (%)", res.app),
                 &["Kernel", "SDC", "Timeout", "DUE", "SVF", "SVF-LD"],
@@ -196,8 +220,15 @@ fn print_result(prep: &PreparedCampaign, records: &[TrialRecord]) {
                 pct(app.total()),
                 pct(res.app_svf_ld().total()),
             ]);
-            println!("{t}");
+            t
         }
+    };
+    println!("{table}");
+    if let Some(path) = csv {
+        table
+            .write_csv(path)
+            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+        eprintln!("[campaign] wrote {}", path.display());
     }
     println!("result fingerprint: {:#018x}", records_fingerprint(records));
 }
@@ -276,13 +307,13 @@ fn cmd_run(args: &[String]) {
     let records = match execute_shard(&prep, &eng) {
         Ok(r) => r,
         Err(e @ EngineError::AlreadyComplete { .. }) => {
-            die(&format!("{e}; nothing to resume"));
+            fail(&format!("{e}; nothing to resume"));
         }
-        Err(e) => die(&e.to_string()),
+        Err(e) => fail(&e.to_string()),
     };
     let my = relia::shard_trials(prep.plan.len(), shards, shard_index);
     if records.len() == prep.plan.len() {
-        print_result(&prep, &records);
+        print_result(&prep, &records, o.csv.as_deref());
     } else {
         println!(
             "shard {}/{}: {}/{} trials classified, fingerprint {:#018x}{}",
@@ -315,9 +346,9 @@ fn cmd_merge(args: &[String]) {
     let mut first: Option<CheckpointHeader> = None;
     for path in &o.positional {
         let ck = load_checkpoint(std::path::Path::new(path))
-            .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
         if ck.header.fingerprint != expect.fingerprint {
-            die(&format!(
+            fail(&format!(
                 "{path}: fingerprint {:#x} does not match this plan ({:#x}) — \
                  different app/layer/n/seed/sms/hardened?",
                 ck.header.fingerprint, expect.fingerprint
@@ -326,24 +357,23 @@ fn cmd_merge(args: &[String]) {
         match &first {
             None => first = Some(ck.header.clone()),
             Some(h) if !h.same_plan(&ck.header) => {
-                die(&format!(
+                fail(&format!(
                     "{path}: shard header disagrees with {}",
                     o.positional[0]
-                ));
-            }
-            Some(h) if h.shard_index == ck.header.shard_index && o.positional.len() > 1 => {
-                die(&format!(
-                    "{path}: duplicate shard index {}",
-                    ck.header.shard_index
                 ));
             }
             _ => {}
         }
         records.extend(ck.records);
     }
-    // complete_outcomes inside assemble rejects gaps/duplicates, so a
-    // missing shard or a doubly-supplied file fails loudly here.
-    print_result(&prep, &records);
+    // Two files for the same shard (a reassigned lease journaled twice, a
+    // resumed run merged alongside its original) are fine: deterministic
+    // trials make duplicates byte-agreeing, so dedupe keeps the first of
+    // each and rejects only records that *disagree* on an outcome.
+    let records = relia::dedupe_records(&records).unwrap_or_else(|e| fail(&e.to_string()));
+    // complete_outcomes inside assemble rejects remaining gaps, so a
+    // missing shard still fails loudly here.
+    print_result(&prep, &records, o.csv.as_deref());
 }
 
 /// Tiny end-to-end gate for scripts/check.sh: a 2-shard run through real
@@ -360,6 +390,7 @@ fn cmd_smoke() {
             cfg: cfg.clone(),
             hardened: false,
             structures: None,
+            csv: None,
             positional: Vec::new(),
         };
         let prep = prepare(bench.as_ref(), &o);
@@ -377,7 +408,7 @@ fn cmd_smoke() {
         let fp_single = records_fingerprint(&single);
         let fp_merged = records_fingerprint(&merged);
         if fp_single != fp_merged {
-            die(&format!(
+            fail(&format!(
                 "smoke failed ({label}): merged fingerprint {fp_merged:#x} != single-shot {fp_single:#x}"
             ));
         }
@@ -386,12 +417,12 @@ fn cmd_smoke() {
                 if assemble_uarch(&prep, &merged).unwrap()
                     != assemble_uarch(&prep, &single).unwrap()
                 {
-                    die(&format!("smoke failed ({label}): assembled results differ"));
+                    fail(&format!("smoke failed ({label}): assembled results differ"));
                 }
             }
             Layer::Sw => {
                 if assemble_sw(&prep, &merged).unwrap() != assemble_sw(&prep, &single).unwrap() {
-                    die(&format!("smoke failed ({label}): assembled results differ"));
+                    fail(&format!("smoke failed ({label}): assembled results differ"));
                 }
             }
         }
@@ -400,17 +431,216 @@ fn cmd_smoke() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Validate a `HOST:PORT` address from the CLI. Hostnames are allowed
+/// (resolution happens at connect/bind time); a missing or non-numeric
+/// port is a validation error (exit 2) per the uniform exit-code policy.
+fn check_addr(flag: &str, addr: &str) -> String {
+    if addr.parse::<std::net::SocketAddr>().is_ok() {
+        return addr.to_string();
+    }
+    match addr.rsplit_once(':') {
+        Some((host, port)) if !host.is_empty() && port.parse::<u16>().is_ok() => addr.to_string(),
+        _ => die(&format!("{flag} must be HOST:PORT, got {addr:?}")),
+    }
+}
+
+/// `campaign serve`: run the dispatch coordinator (docs/DISPATCH.md).
+fn cmd_serve(args: &[String]) {
+    let mut listen = String::from("127.0.0.1:0");
+    let mut port_file: Option<PathBuf> = None;
+    let mut shards = 2usize;
+    let mut lease_ms = 10_000u64;
+    let mut backoff_ms = 250u64;
+    let mut max_backoff_ms = 5_000u64;
+    let mut wait_ms = 200u64;
+    let mut out_dir: Option<PathBuf> = None;
+    fn value(args: &[String], i: usize) -> &str {
+        args.get(i + 1)
+            .unwrap_or_else(|| die(&format!("option {} requires a value", args[i])))
+    }
+    fn num(args: &[String], i: usize) -> u64 {
+        let v = value(args, i);
+        v.parse()
+            .unwrap_or_else(|_| die(&format!("{} takes a number, got {v:?}", args[i])))
+    }
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => listen = check_addr("--listen", value(args, i)),
+            "--port-file" => port_file = Some(PathBuf::from(value(args, i))),
+            "--shards" => shards = num(args, i) as usize,
+            "--lease-ms" => lease_ms = num(args, i),
+            "--backoff-ms" => backoff_ms = num(args, i),
+            "--max-backoff-ms" => max_backoff_ms = num(args, i),
+            "--wait-ms" => wait_ms = num(args, i),
+            "--out-dir" => out_dir = Some(PathBuf::from(value(args, i))),
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+                continue;
+            }
+        }
+        i += 2;
+    }
+    let o = parse_common(&rest);
+    if !o.positional.is_empty() {
+        die(&format!("unexpected argument {:?}", o.positional[0]));
+    }
+    let Some(app) = &o.app else {
+        die("serve requires --app NAME");
+    };
+    if o.cfg.watchdog != Watchdog::default() {
+        die(
+            "serve does not support watchdog limits: wall-clock reclassification depends on \
+             machine speed and would break the byte-identical dispatch merge",
+        );
+    }
+    if shards == 0 {
+        die("--shards must be at least 1");
+    }
+    if lease_ms == 0 || backoff_ms == 0 || wait_ms == 0 {
+        die("--lease-ms, --backoff-ms, and --wait-ms must be positive");
+    }
+    if max_backoff_ms < backoff_ms {
+        die(&format!(
+            "--max-backoff-ms {max_backoff_ms} is below --backoff-ms {backoff_ms}"
+        ));
+    }
+    let bench = find_bench(app);
+    let prep = prepare(bench.as_ref(), &o);
+    let spec = CampaignSpec {
+        app: bench.name().to_string(),
+        layer: o.layer,
+        n: match o.layer {
+            Layer::Uarch => o.cfg.n_uarch,
+            Layer::Sw => o.cfg.n_sw,
+        },
+        seed: o.cfg.seed,
+        sms: o.cfg.gpu.num_sms,
+        hardened: o.hardened,
+        structures: o.structures.clone(),
+    };
+    let dcfg = DispatchCfg {
+        shards,
+        lease: std::time::Duration::from_millis(lease_ms),
+        backoff: std::time::Duration::from_millis(backoff_ms),
+        max_backoff: std::time::Duration::from_millis(max_backoff_ms),
+        wait_ms,
+        out_dir,
+    };
+    let listener = std::net::TcpListener::bind(&listen)
+        .unwrap_or_else(|e| fail(&format!("cannot listen on {listen}: {e}")));
+    let local = listener
+        .local_addr()
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    eprintln!(
+        "[dispatch] {} {} plan: {} trials, fingerprint {:#018x}, {} shards, listening on {local}",
+        prep.plan.app,
+        prep.plan.layer.label(),
+        prep.plan.len(),
+        prep.plan.fingerprint(),
+        shards,
+    );
+    if let Some(pf) = &port_file {
+        // Write-then-rename so pollers never read a half-written port.
+        let tmp = pf.with_extension("tmp");
+        std::fs::write(&tmp, format!("{}\n", local.port()))
+            .and_then(|()| std::fs::rename(&tmp, pf))
+            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", pf.display())));
+    }
+    let outcome = dispatch::serve(listener, &prep.plan, &spec, &dcfg)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let s = &outcome.stats;
+    eprintln!(
+        "[dispatch] complete: {} workers, {} leases ({} reassigned, {} expired), \
+         {} shards, {} duplicate records, {} torn frames, {} resends",
+        s.workers_joined,
+        s.leases_granted,
+        s.leases_reassigned,
+        s.leases_expired,
+        s.shards_completed,
+        s.duplicate_records,
+        s.torn_frames,
+        s.resend_requests,
+    );
+    print_result(&prep, &outcome.records, o.csv.as_deref());
+}
+
+/// `campaign work`: run one worker daemon against a coordinator.
+fn cmd_work(args: &[String]) {
+    let mut connect: Option<String> = None;
+    let mut cfg = WorkerCfg {
+        name: format!("worker-{}", std::process::id()),
+        ..WorkerCfg::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let Some(v) = args.get(i + 1) else {
+            die(&format!("option {} requires a value", args[i]));
+        };
+        let parse_num = |what: &str| -> u64 {
+            v.parse()
+                .unwrap_or_else(|_| die(&format!("{what} takes a number, got {v:?}")))
+        };
+        match args[i].as_str() {
+            "--connect" => connect = Some(check_addr("--connect", v)),
+            "--name" => cfg.name = v.clone(),
+            "--heartbeat-ms" => {
+                let ms = parse_num("--heartbeat-ms");
+                if ms == 0 {
+                    die("--heartbeat-ms must be positive");
+                }
+                cfg.heartbeat = std::time::Duration::from_millis(ms);
+            }
+            "--read-timeout-ms" => {
+                let ms = parse_num("--read-timeout-ms");
+                if ms == 0 {
+                    die("--read-timeout-ms must be positive");
+                }
+                cfg.read_timeout = std::time::Duration::from_millis(ms);
+            }
+            // Fault-tolerance test hook: die abruptly after N trials.
+            "--fail-after" => cfg.fail_after = Some(parse_num("--fail-after") as usize),
+            "--events" => {} // handled by init_observability
+            other => die(&format!("unknown option {other}")),
+        }
+        i += 2;
+    }
+    let Some(addr) = connect else {
+        die("work requires --connect HOST:PORT");
+    };
+    match dispatch::work(&addr, &cfg) {
+        Ok(s) if s.died_early => {
+            // The injected --fail-after death is the requested behaviour.
+            println!(
+                "worker {}: injected failure after {} trials (lease abandoned)",
+                s.worker, s.trials_executed
+            );
+        }
+        Ok(s) => println!(
+            "worker {}: {} shards completed, {} trials executed",
+            s.worker, s.shards_completed, s.trials_executed
+        ),
+        Err(e) => fail(&e.to_string()),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(sub) = args.get(1) else {
-        die("usage: campaign <run|merge|smoke> [options] (see docs/CAMPAIGNS.md)");
+        die("usage: campaign <run|merge|serve|work|smoke> [options] (see docs/CAMPAIGNS.md and docs/DISPATCH.md)");
     };
     init_observability();
     match sub.as_str() {
         "run" => cmd_run(&args[2..]),
         "merge" => cmd_merge(&args[2..]),
+        "serve" => cmd_serve(&args[2..]),
+        "work" => cmd_work(&args[2..]),
         "smoke" => cmd_smoke(),
-        other => die(&format!("unknown subcommand {other:?} (run|merge|smoke)")),
+        other => die(&format!(
+            "unknown subcommand {other:?} (run|merge|serve|work|smoke)"
+        )),
     }
     finish_observability();
 }

@@ -54,25 +54,10 @@ pub fn cli_campaign_cfg(default_uarch: usize, default_sw: usize) -> CampaignCfg 
 /// Parse a `--structures RF,SMEM,L2` list into [`vgpu_sim::HwStructure`]s
 /// (case-insensitive labels, order preserved, duplicates dropped). The
 /// error message names the offending label so callers can `exit(2)` with
-/// it directly.
+/// it directly. The canonical implementation lives in the dispatch crate
+/// (the job frame carries the same spec string over the wire).
 pub fn parse_structures(spec: &str) -> Result<Vec<vgpu_sim::HwStructure>, String> {
-    let mut out = Vec::new();
-    for part in spec.split(',') {
-        let label = part.trim().to_ascii_uppercase();
-        if label.is_empty() {
-            continue;
-        }
-        let h = vgpu_sim::HwStructure::from_label(&label).ok_or_else(|| {
-            format!("unknown structure {label:?} (known: RF, SMEM, L1D, L1T, L2)")
-        })?;
-        if !out.contains(&h) {
-            out.push(h);
-        }
-    }
-    if out.is_empty() {
-        return Err("--structures requires at least one of RF, SMEM, L1D, L1T, L2".into());
-    }
-    Ok(out)
+    dispatch::parse_structures(spec)
 }
 
 /// Turn on observability from CLI/env before running campaigns:

@@ -1,0 +1,119 @@
+//! Uniform exit codes across every `campaign` subcommand:
+//!
+//! * **2** — CLI/validation errors: unknown subcommands/flags, malformed
+//!   values, bad `--listen`/`--connect` addresses, bad lease values;
+//! * **1** — runtime failures: unreadable checkpoints, refused
+//!   connections, engine errors;
+//! * **0** — success.
+//!
+//! These are load-bearing for scripts/check.sh and any fleet supervisor
+//! wrapping `serve`/`work`: a supervisor must be able to tell "my command
+//! line is wrong, don't retry" from "the run failed, maybe retry".
+
+use std::process::Command;
+
+fn campaign(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args(args)
+        .output()
+        .expect("spawn campaign binary")
+}
+
+fn assert_exit(args: &[&str], want: i32) {
+    let out = campaign(args);
+    let got = out.status.code().expect("no exit code (signal?)");
+    assert_eq!(
+        got,
+        want,
+        "campaign {:?}: want exit {want}, got {got}\nstderr: {}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn validation_errors_exit_2() {
+    // CLI-shape errors, uniformly across subcommands.
+    assert_exit(&[], 2);
+    assert_exit(&["frobnicate"], 2);
+    assert_exit(&["run", "--bogus-flag", "1"], 2);
+    assert_exit(&["run"], 2); // missing --app
+    assert_exit(&["run", "--app", "VA", "--layer", "quantum"], 2);
+    assert_exit(&["run", "--app", "NOPE"], 2);
+    assert_exit(&["run", "--app", "VA", "--n", "many"], 2);
+    assert_exit(&["run", "--app", "VA", "--structures", "RF,WARP"], 2);
+    assert_exit(
+        &["run", "--app", "VA", "--layer", "sw", "--structures", "RF"],
+        2,
+    );
+    assert_exit(
+        &["run", "--app", "VA", "--shards", "2", "--shard-index", "2"],
+        2,
+    );
+    assert_exit(&["merge"], 2); // no shard files
+    assert_exit(&["merge", "missing.jsonl"], 2); // no --app
+}
+
+#[test]
+fn dispatch_validation_errors_exit_2() {
+    // Bad --listen / --connect addresses and lease values (satellite 2).
+    assert_exit(&["serve", "--app", "VA", "--listen", "nonsense"], 2);
+    assert_exit(&["serve", "--app", "VA", "--listen", "host:NaN"], 2);
+    assert_exit(&["serve", "--app", "VA", "--lease-ms", "0"], 2);
+    assert_exit(&["serve", "--app", "VA", "--shards", "0"], 2);
+    assert_exit(
+        &[
+            "serve",
+            "--app",
+            "VA",
+            "--backoff-ms",
+            "500",
+            "--max-backoff-ms",
+            "100",
+        ],
+        2,
+    );
+    assert_exit(&["serve"], 2); // missing --app
+                                // Watchdog limits are machine-dependent, so serve refuses them.
+    assert_exit(&["serve", "--app", "VA", "--wall-limit-us", "1000"], 2);
+    assert_exit(&["work"], 2); // missing --connect
+    assert_exit(&["work", "--connect", "noport"], 2);
+    assert_exit(&["work", "--connect", ":123"], 2);
+    assert_exit(&["work", "--connect", "127.0.0.1:99999"], 2);
+    assert_exit(
+        &["work", "--connect", "127.0.0.1:80", "--heartbeat-ms", "0"],
+        2,
+    );
+}
+
+#[test]
+fn runtime_failures_exit_1() {
+    // Unreadable checkpoint: well-formed command, failing execution.
+    assert_exit(
+        &["merge", "--app", "VA", "/definitely/not/a/real/file.jsonl"],
+        1,
+    );
+    // Connection refused: find a port with no listener by binding then
+    // dropping it (racy in theory, dead port in practice).
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    assert_exit(&["work", "--connect", &format!("127.0.0.1:{port}")], 1);
+}
+
+#[test]
+fn success_exits_0() {
+    let out = campaign(&["run", "--app", "VA", "--n", "2", "--seed", "7"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("result fingerprint"),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -246,6 +246,12 @@ pub enum EngineError {
     DuplicateTrial {
         idx: usize,
     },
+    /// Two records claim the same plan index with *different*
+    /// classifications — impossible for deterministic trials, so it means
+    /// corruption or a plan/code mismatch, and no dedupe may paper over it.
+    ConflictingDuplicate {
+        idx: usize,
+    },
     /// The record set does not cover the plan.
     IncompleteCover {
         missing: usize,
@@ -267,6 +273,13 @@ impl fmt::Display for EngineError {
             }
             EngineError::DuplicateTrial { idx } => {
                 write!(f, "duplicate record for trial {idx}")
+            }
+            EngineError::ConflictingDuplicate { idx } => {
+                write!(
+                    f,
+                    "records for trial {idx} disagree on the outcome — \
+                     corrupt input or mismatched plans"
+                )
             }
             EngineError::IncompleteCover { missing, total } => {
                 write!(f, "records cover only {}/{total} trials", total - missing)
@@ -367,6 +380,32 @@ fn run_one_trial(prep: &PreparedCampaign, t: &crate::plan::PlannedTrial) -> Tria
     }
 }
 
+/// Execute an explicit set of plan indices in parallel, streaming every
+/// classified trial into `sink` as it finishes (in completion order, not
+/// plan order — records are self-describing via [`TrialRecord::idx`]).
+///
+/// This is the primitive under both [`execute_shard`] (sink = checkpoint
+/// file) and the dispatch worker daemon (sink = TCP connection to the
+/// coordinator). A sink error aborts the run; trials already in flight on
+/// other workers may still call the sink before the abort propagates,
+/// which is safe because every consumer dedupes by plan index.
+pub fn execute_trials<F>(
+    prep: &PreparedCampaign,
+    idxs: &[usize],
+    sink: F,
+) -> Result<Vec<TrialRecord>, std::io::Error>
+where
+    F: Fn(&TrialRecord) -> std::io::Result<()> + Sync,
+{
+    idxs.par_iter()
+        .map(|&idx| -> Result<TrialRecord, std::io::Error> {
+            let rec = run_one_trial(prep, &prep.plan.trials[idx]);
+            sink(&rec)?;
+            Ok(rec)
+        })
+        .collect()
+}
+
 /// Execute one strided shard of a prepared campaign, in parallel.
 ///
 /// Returns the shard's classified trials in plan order — records loaded
@@ -449,16 +488,14 @@ pub fn execute_shard(
     });
 
     let writer = Mutex::new(writer);
-    let new_records: Vec<TrialRecord> = remaining[..todo]
-        .par_iter()
-        .map(|&idx| -> Result<TrialRecord, std::io::Error> {
-            let rec = run_one_trial(prep, &prep.plan.trials[idx]);
-            if let Some(w) = writer.lock().unwrap().as_mut() {
-                w.record(&rec)?;
-            }
-            Ok(rec)
-        })
-        .collect::<Result<Vec<_>, _>>()?;
+    let new_records = execute_trials(prep, &remaining[..todo], |rec| {
+        if let Some(w) = writer.lock().unwrap().as_mut() {
+            w.record(rec)?;
+        }
+        Ok(())
+    })?;
+    // Durable before the shard reports done: finish() fsyncs, so a crash
+    // right after "shard complete" cannot lose the checkpoint tail.
     if let Some(w) = writer.into_inner().unwrap() {
         w.finish()?;
     }
@@ -517,6 +554,36 @@ pub fn records_fingerprint(records: &[TrialRecord]) -> u64 {
         );
     }
     acc
+}
+
+/// Collapse duplicate trial records into one record per plan index — the
+/// at-least-once merge used when the same shard was executed more than
+/// once (two dispatch workers racing on a reassigned lease, the same
+/// checkpoint file supplied to `merge` twice).
+///
+/// Trials are deterministic, so every re-execution of a plan index must
+/// classify identically; duplicates agreeing on `(outcome, ctrl)` are
+/// folded to the first-seen record (`wall_us` is wall-clock noise and may
+/// legitimately differ), while a disagreement is reported as
+/// [`EngineError::ConflictingDuplicate`] — that can only mean corrupt
+/// input or records from a different plan, and silently picking a winner
+/// would fabricate science. Output is sorted by plan index.
+pub fn dedupe_records(records: &[TrialRecord]) -> Result<Vec<TrialRecord>, EngineError> {
+    let mut by_idx: std::collections::BTreeMap<usize, TrialRecord> =
+        std::collections::BTreeMap::new();
+    for r in records {
+        match by_idx.get(&r.idx) {
+            None => {
+                by_idx.insert(r.idx, *r);
+            }
+            Some(first) => {
+                if first.outcome != r.outcome || first.ctrl != r.ctrl {
+                    return Err(EngineError::ConflictingDuplicate { idx: r.idx });
+                }
+            }
+        }
+    }
+    Ok(by_idx.into_values().collect())
 }
 
 // ---------------------------------------------------------------------
@@ -947,6 +1014,74 @@ mod tests {
             assert_eq!(assemble_uarch(&prep, &ck.records).unwrap(), expect);
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_shard_submissions_dedupe_to_single_shot() {
+        // Execute shard 1 of 3 twice (as two racing workers would after a
+        // lease reassignment); the concatenation has duplicates, dedupe
+        // collapses them, and assembly equals the single-shot result even
+        // though the re-execution's wall_us values differ.
+        let cfg = CampaignCfg::new(6, 6, 0xD15);
+        let prep = prepare_sw_campaign(&Va, &cfg, false);
+        let single = execute_shard(&prep, &EngineCfg::single_shot()).unwrap();
+        let mut all = Vec::new();
+        for i in 0..3 {
+            all.extend(execute_shard(&prep, &EngineCfg::sharded(3, i)).unwrap());
+        }
+        all.extend(execute_shard(&prep, &EngineCfg::sharded(3, 1)).unwrap());
+        assert!(
+            assemble_sw(&prep, &all).is_err(),
+            "raw concat has duplicates"
+        );
+        let deduped = dedupe_records(&all).unwrap();
+        assert_eq!(
+            assemble_sw(&prep, &deduped).unwrap(),
+            assemble_sw(&prep, &single).unwrap()
+        );
+        assert_eq!(records_fingerprint(&deduped), records_fingerprint(&single));
+
+        // A conflicting duplicate is corruption, never silently merged.
+        let mut bad = single.clone();
+        let mut evil = bad[0];
+        evil.outcome = match evil.outcome {
+            Outcome::Masked => Outcome::Sdc,
+            _ => Outcome::Masked,
+        };
+        bad.push(evil);
+        assert!(matches!(
+            dedupe_records(&bad),
+            Err(EngineError::ConflictingDuplicate { idx }) if idx == bad[0].idx
+        ));
+    }
+
+    #[test]
+    fn execute_trials_streams_every_record_exactly_once() {
+        let cfg = CampaignCfg::new(5, 5, 0x7E57);
+        let prep = prepare_sw_campaign(&Va, &cfg, false);
+        let idxs: Vec<usize> = (0..prep.plan.len()).step_by(2).collect();
+        let streamed = Mutex::new(Vec::new());
+        let got = execute_trials(&prep, &idxs, |r| {
+            streamed.lock().unwrap().push(*r);
+            Ok(())
+        })
+        .unwrap();
+        let mut streamed = streamed.into_inner().unwrap();
+        streamed.sort_by_key(|r| r.idx);
+        let mut got_sorted = got.clone();
+        got_sorted.sort_by_key(|r| r.idx);
+        assert_eq!(
+            streamed, got_sorted,
+            "sink saw exactly the returned records"
+        );
+        assert_eq!(
+            streamed.iter().map(|r| r.idx).collect::<Vec<_>>(),
+            idxs,
+            "every requested index classified once"
+        );
+        // A sink error aborts the run.
+        let err = execute_trials(&prep, &idxs, |_| Err(std::io::Error::other("sink down")));
+        assert!(err.is_err());
     }
 
     #[test]

@@ -346,9 +346,25 @@ impl CheckpointWriter {
         Ok(())
     }
 
-    /// Flush any buffered lines.
+    /// Flush buffered lines *and* fsync the file to stable storage.
+    ///
+    /// Used whenever completion is about to be acknowledged to someone
+    /// else — a shard reporting "done" to its driver, the dispatch
+    /// coordinator acking a shard to a worker — so a crash immediately
+    /// after the acknowledgement cannot lose the tail of the journal.
+    /// (A plain [`std::io::Write::flush`] only empties the userspace
+    /// buffer; the data can still sit in the page cache when power goes.)
+    pub fn flush_and_sync(&mut self) -> std::io::Result<()> {
+        self.w.flush()?;
+        self.w.get_ref().sync_all()?;
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Flush and fsync any buffered lines. Shard completion goes through
+    /// here so the checkpoint is durable before the shard reports done.
     pub fn finish(mut self) -> std::io::Result<()> {
-        self.w.flush()
+        self.flush_and_sync()
     }
 }
 
@@ -439,6 +455,39 @@ mod tests {
             parse_checkpoint(""),
             Err(CheckpointError::MissingHeader)
         ));
+    }
+
+    #[test]
+    fn flush_and_sync_makes_the_tail_durable_before_any_ack() {
+        // With a huge flush interval nothing reaches the file until the
+        // writer is told to sync; after flush_and_sync every record must
+        // be readable even though the writer is still open (the state a
+        // coordinator is in when it acks a shard and then crashes).
+        let dir = std::env::temp_dir().join(format!("relia_ckpt_sync_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("shard.jsonl");
+        let mut w = CheckpointWriter::create(&path, &header(), 1_000_000).unwrap();
+        for r in records() {
+            w.record(&r).unwrap();
+        }
+        assert_eq!(
+            load_checkpoint(&path).unwrap().records.len(),
+            0,
+            "records still buffered before the sync"
+        );
+        w.flush_and_sync().unwrap();
+        assert_eq!(load_checkpoint(&path).unwrap().records, records());
+        // The writer keeps appending normally afterwards.
+        let extra = TrialRecord {
+            idx: 11,
+            outcome: Outcome::Sdc,
+            ctrl: false,
+            wall_us: 1,
+        };
+        w.record(&extra).unwrap();
+        w.finish().unwrap();
+        assert_eq!(load_checkpoint(&path).unwrap().records.len(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -47,9 +47,9 @@ pub mod reuse;
 pub mod trends;
 
 pub use campaign::{
-    assemble_sw, assemble_sw_counts, assemble_uarch, execute_shard, records_fingerprint,
-    run_sw_campaign, run_uarch_campaign, CampaignCfg, EngineCfg, EngineError, SvfAppResult,
-    SvfKernelResult, UarchAppResult, UarchKernelResult, Watchdog,
+    assemble_sw, assemble_sw_counts, assemble_uarch, dedupe_records, execute_shard, execute_trials,
+    records_fingerprint, run_sw_campaign, run_uarch_campaign, CampaignCfg, EngineCfg, EngineError,
+    SvfAppResult, SvfKernelResult, UarchAppResult, UarchKernelResult, Watchdog,
 };
 pub use checkpoint::{
     load_checkpoint, Checkpoint, CheckpointError, CheckpointHeader, CheckpointWriter, TrialRecord,

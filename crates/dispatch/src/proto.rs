@@ -1,0 +1,487 @@
+//! Wire protocol: JSONL frames in the `obs::events` dialect.
+//!
+//! Every frame is one flat JSON object on one line. Control frames carry
+//! a `"frame"` discriminator; trial results reuse the checkpoint record
+//! shape (`"record":"trial"`, [`relia::checkpoint::TrialRecord`])
+//! verbatim, so the bytes a worker streams over TCP are the bytes a
+//! checkpoint file would hold and the coordinator can journal them with
+//! [`relia::checkpoint::CheckpointWriter`] unchanged.
+//!
+//! ```text
+//! W→C  {"frame":"hello","worker":"w1","proto":1}
+//! C→W  {"frame":"job","app":"VA","layer":"uarch","n":60,"seed":7,...}
+//! W→C  {"frame":"ready","fingerprint":123456789}
+//! C→W  {"frame":"lease","shard":2,"done":"8,14"}
+//! W→C  {"record":"trial","idx":20,"outcome":"masked","ctrl":false,...}
+//! W→C  {"frame":"heartbeat","shard":2,"done":17}
+//! W→C  {"frame":"shard_done","shard":2}
+//! C→W  {"frame":"ack","shard":2}          (or {"frame":"resend",...})
+//! C→W  {"frame":"shutdown"}
+//! ```
+//!
+//! [`parse_frame`] returns `None` on any malformed line. Because every
+//! frame ends in `}` and contains no `}` before its end, *no proper
+//! prefix of a frame parses* — a torn line (connection died mid-write)
+//! is always detected, never misread as a shorter valid frame (guarded
+//! by a property test mirroring the torn-checkpoint-line tests).
+
+use obs::events::{parse_line, push_json_str, JsonValue};
+use relia::checkpoint::{parse_checkpoint_line, CheckpointLine, TrialRecord};
+use relia::plan::{
+    prepare_sw_campaign, prepare_uarch_campaign_structures, Layer, PreparedCampaign,
+};
+use relia::CampaignCfg;
+use vgpu_sim::{GpuConfig, HwStructure};
+
+/// Bumped whenever a frame changes incompatibly; [`Frame::Hello`] carries
+/// it and the coordinator rejects mismatched workers during the handshake.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Parse a `--structures RF,SMEM,L2` list into [`HwStructure`]s
+/// (case-insensitive labels, order preserved, duplicates dropped). The
+/// canonical implementation for both the CLI and the job frame; the error
+/// message names the offending label so callers can `exit(2)` with it.
+pub fn parse_structures(spec: &str) -> Result<Vec<HwStructure>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let label = part.trim().to_ascii_uppercase();
+        if label.is_empty() {
+            continue;
+        }
+        let h = HwStructure::from_label(&label).ok_or_else(|| {
+            format!("unknown structure {label:?} (known: RF, SMEM, L1D, L1T, L2)")
+        })?;
+        if !out.contains(&h) {
+            out.push(h);
+        }
+    }
+    if out.is_empty() {
+        return Err("--structures requires at least one of RF, SMEM, L1D, L1T, L2".into());
+    }
+    Ok(out)
+}
+
+/// Inverse of [`parse_structures`] for the job frame: `None` (all five
+/// structures) serializes as the empty string.
+pub fn structures_spec(structures: &Option<Vec<HwStructure>>) -> String {
+    match structures {
+        None => String::new(),
+        Some(v) => v.iter().map(|h| h.label()).collect::<Vec<_>>().join(","),
+    }
+}
+
+/// Everything a worker needs to rebuild the coordinator's campaign plan
+/// locally. Deliberately *excludes* watchdog limits: wall-clock limits
+/// reclassify slow trials by machine speed, which would break the
+/// byte-identical merge guarantee across heterogeneous workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSpec {
+    pub app: String,
+    pub layer: Layer,
+    /// Injections per (kernel, target) sub-campaign.
+    pub n: usize,
+    pub seed: u64,
+    /// SM count of the simulated GPU ([`GpuConfig::volta_scaled`]).
+    pub sms: u32,
+    pub hardened: bool,
+    /// Structure subset for uarch campaigns (`None` = all five).
+    pub structures: Option<Vec<HwStructure>>,
+}
+
+impl CampaignSpec {
+    /// The campaign configuration this spec describes (default watchdog:
+    /// limits off, panic-retry on — the bit-reproducible setting).
+    pub fn campaign_cfg(&self) -> CampaignCfg {
+        let mut cfg = CampaignCfg::new(self.n, self.n, self.seed);
+        cfg.gpu = GpuConfig::volta_scaled(self.sms);
+        cfg
+    }
+
+    /// Look up the benchmark by name (case-insensitive).
+    pub fn find_bench(&self) -> Result<Box<dyn kernels::Benchmark>, String> {
+        let mut all = kernels::all_benchmarks();
+        match all
+            .iter()
+            .position(|b| b.name().eq_ignore_ascii_case(&self.app))
+        {
+            Some(i) => Ok(all.swap_remove(i)),
+            None => {
+                let names: Vec<&str> = all.iter().map(|b| b.name()).collect();
+                Err(format!(
+                    "unknown app {:?}; available: {}",
+                    self.app,
+                    names.join(", ")
+                ))
+            }
+        }
+    }
+
+    /// Run the golden execution and expand the deterministic trial plan —
+    /// the worker-side mirror of what the coordinator prepared. Identical
+    /// specs on identical code produce identical plan fingerprints; the
+    /// handshake verifies exactly that.
+    pub fn prepare<'a>(&self, bench: &'a dyn kernels::Benchmark) -> PreparedCampaign<'a> {
+        let cfg = self.campaign_cfg();
+        match self.layer {
+            Layer::Uarch => prepare_uarch_campaign_structures(
+                bench,
+                &cfg,
+                self.hardened,
+                self.structures.as_deref().unwrap_or(&HwStructure::ALL),
+            ),
+            Layer::Sw => prepare_sw_campaign(bench, &cfg, self.hardened),
+        }
+    }
+}
+
+/// One protocol frame (control frames plus streamed trial records).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Worker introduces itself after connecting.
+    Hello { worker: String, proto: u64 },
+    /// Coordinator describes the campaign; the worker rebuilds the plan.
+    Job {
+        spec: CampaignSpec,
+        shards: usize,
+        fingerprint: u64,
+    },
+    /// Worker confirms its locally derived plan fingerprint.
+    Ready { fingerprint: u64 },
+    /// Coordinator grants a shard lease; `done` lists the plan indices it
+    /// already holds for this shard (mid-shard resume on reassignment).
+    Lease { shard: usize, done: Vec<usize> },
+    /// No shard available right now; poll again in `ms`.
+    Wait { ms: u64 },
+    /// Worker asks for work after a [`Frame::Wait`].
+    Poll,
+    /// Worker liveness while executing (also carries progress).
+    Heartbeat { shard: usize, done: u64 },
+    /// Worker believes the coordinator now holds the whole shard.
+    ShardDone { shard: usize },
+    /// Coordinator is missing these plan indices (torn frames) —
+    /// the worker must re-send them and repeat [`Frame::ShardDone`].
+    Resend { shard: usize, missing: Vec<usize> },
+    /// Shard accepted and durably journaled.
+    Ack { shard: usize },
+    /// Campaign complete; the worker disconnects.
+    Shutdown,
+    /// One classified trial, in the checkpoint record shape.
+    Trial(TrialRecord),
+}
+
+fn idx_list(v: &[usize]) -> String {
+    v.iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_idx_list(s: &str) -> Option<Vec<usize>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(',').map(|p| p.parse().ok()).collect()
+}
+
+impl Frame {
+    /// Serialize as a single JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            Frame::Hello { worker, proto } => {
+                let mut s = String::from("{\"frame\":\"hello\",\"worker\":");
+                push_json_str(&mut s, worker);
+                s.push_str(&format!(",\"proto\":{proto}}}"));
+                s
+            }
+            Frame::Job {
+                spec,
+                shards,
+                fingerprint,
+            } => {
+                let mut s = String::from("{\"frame\":\"job\",\"app\":");
+                push_json_str(&mut s, &spec.app);
+                s.push_str(",\"layer\":");
+                push_json_str(&mut s, spec.layer.label());
+                s.push_str(",\"structures\":");
+                push_json_str(&mut s, &structures_spec(&spec.structures));
+                s.push_str(&format!(
+                    ",\"n\":{},\"seed\":{},\"sms\":{},\"hardened\":{},\"shards\":{shards},\"fingerprint\":{fingerprint}}}",
+                    spec.n, spec.seed, spec.sms, spec.hardened
+                ));
+                s
+            }
+            Frame::Ready { fingerprint } => {
+                format!("{{\"frame\":\"ready\",\"fingerprint\":{fingerprint}}}")
+            }
+            Frame::Lease { shard, done } => {
+                let mut s = format!("{{\"frame\":\"lease\",\"shard\":{shard},\"done\":");
+                push_json_str(&mut s, &idx_list(done));
+                s.push('}');
+                s
+            }
+            Frame::Wait { ms } => format!("{{\"frame\":\"wait\",\"ms\":{ms}}}"),
+            Frame::Poll => "{\"frame\":\"poll\"}".to_string(),
+            Frame::Heartbeat { shard, done } => {
+                format!("{{\"frame\":\"heartbeat\",\"shard\":{shard},\"done\":{done}}}")
+            }
+            Frame::ShardDone { shard } => {
+                format!("{{\"frame\":\"shard_done\",\"shard\":{shard}}}")
+            }
+            Frame::Resend { shard, missing } => {
+                let mut s = format!("{{\"frame\":\"resend\",\"shard\":{shard},\"missing\":");
+                push_json_str(&mut s, &idx_list(missing));
+                s.push('}');
+                s
+            }
+            Frame::Ack { shard } => format!("{{\"frame\":\"ack\",\"shard\":{shard}}}"),
+            Frame::Shutdown => "{\"frame\":\"shutdown\"}".to_string(),
+            Frame::Trial(r) => r.to_json(),
+        }
+    }
+}
+
+/// Parse one wire line into a [`Frame`]. `None` on malformed input
+/// (torn frames), unknown frame kinds, or a checkpoint *header* line
+/// (which never travels over the wire).
+pub fn parse_frame(line: &str) -> Option<Frame> {
+    let fields = parse_line(line)?;
+    let get = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+    let num = |k: &str| get(k).and_then(JsonValue::as_u64);
+    let Some(kind) = get("frame").and_then(JsonValue::as_str) else {
+        // Not a control frame: try the checkpoint trial-record shape.
+        return match parse_checkpoint_line(line)? {
+            CheckpointLine::Trial(t) => Some(Frame::Trial(t)),
+            CheckpointLine::Header(_) => None,
+        };
+    };
+    match kind {
+        "hello" => Some(Frame::Hello {
+            worker: get("worker")?.as_str()?.to_string(),
+            proto: num("proto")?,
+        }),
+        "job" => {
+            let structures_s = get("structures")?.as_str()?;
+            let structures = if structures_s.is_empty() {
+                None
+            } else {
+                Some(parse_structures(structures_s).ok()?)
+            };
+            let hardened = match get("hardened")? {
+                JsonValue::Bool(b) => *b,
+                _ => return None,
+            };
+            Some(Frame::Job {
+                spec: CampaignSpec {
+                    app: get("app")?.as_str()?.to_string(),
+                    layer: Layer::from_label(get("layer")?.as_str()?)?,
+                    n: num("n")? as usize,
+                    seed: num("seed")?,
+                    sms: num("sms")? as u32,
+                    hardened,
+                    structures,
+                },
+                shards: num("shards")? as usize,
+                fingerprint: num("fingerprint")?,
+            })
+        }
+        "ready" => Some(Frame::Ready {
+            fingerprint: num("fingerprint")?,
+        }),
+        "lease" => Some(Frame::Lease {
+            shard: num("shard")? as usize,
+            done: parse_idx_list(get("done")?.as_str()?)?,
+        }),
+        "wait" => Some(Frame::Wait { ms: num("ms")? }),
+        "poll" => Some(Frame::Poll),
+        "heartbeat" => Some(Frame::Heartbeat {
+            shard: num("shard")? as usize,
+            done: num("done")?,
+        }),
+        "shard_done" => Some(Frame::ShardDone {
+            shard: num("shard")? as usize,
+        }),
+        "resend" => Some(Frame::Resend {
+            shard: num("shard")? as usize,
+            missing: parse_idx_list(get("missing")?.as_str()?)?,
+        }),
+        "ack" => Some(Frame::Ack {
+            shard: num("shard")? as usize,
+        }),
+        "shutdown" => Some(Frame::Shutdown),
+        _ => None,
+    }
+}
+
+/// What one poll of a [`LineReader`] yielded.
+#[derive(Debug)]
+pub(crate) enum Line {
+    /// One complete frame line (newline stripped).
+    Full(String),
+    /// The read timeout elapsed; any partial line stays buffered.
+    Timeout,
+    /// The peer closed the connection; `torn` means it died mid-line.
+    Eof { torn: bool },
+}
+
+/// Newline-framed reader over a [`TcpStream`] with a read timeout.
+///
+/// A timeout can fire mid-line, so partial bytes persist in `buf`
+/// across calls and a frame is only surfaced once its `\n` arrives —
+/// the wire-side twin of the checkpoint reader's torn-tail handling.
+pub(crate) struct LineReader {
+    r: std::io::BufReader<std::net::TcpStream>,
+    buf: String,
+}
+
+impl LineReader {
+    pub fn new(stream: std::net::TcpStream) -> LineReader {
+        LineReader {
+            r: std::io::BufReader::new(stream),
+            buf: String::new(),
+        }
+    }
+
+    pub fn next(&mut self) -> std::io::Result<Line> {
+        use std::io::BufRead;
+        match self.r.read_line(&mut self.buf) {
+            Ok(0) => Ok(Line::Eof {
+                torn: !self.buf.is_empty(),
+            }),
+            Ok(_) => {
+                if self.buf.ends_with('\n') {
+                    let mut line = std::mem::take(&mut self.buf);
+                    line.pop();
+                    Ok(Line::Full(line))
+                } else {
+                    // read_line only returns without a newline at EOF.
+                    Ok(Line::Eof { torn: true })
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(Line::Timeout)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Write one frame as a single `write_all` (line + newline in one
+/// syscall-sized buffer, so concurrent writers never interleave bytes
+/// as long as they serialize on the same lock).
+pub(crate) fn write_frame(w: &mut std::net::TcpStream, frame: &Frame) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut line = frame.to_json();
+    line.push('\n');
+    w.write_all(line.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernels::Outcome;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec {
+            app: "VA".into(),
+            layer: Layer::Uarch,
+            n: 60,
+            seed: 0xDEAD_BEEF_0102_0304,
+            sms: 4,
+            hardened: true,
+            structures: Some(vec![HwStructure::RegFile, HwStructure::L2]),
+        }
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        let frames = vec![
+            Frame::Hello {
+                worker: "w\"1\\".into(),
+                proto: PROTO_VERSION,
+            },
+            Frame::Job {
+                spec: spec(),
+                shards: 6,
+                fingerprint: u64::MAX - 1,
+            },
+            Frame::Job {
+                spec: CampaignSpec {
+                    structures: None,
+                    layer: Layer::Sw,
+                    hardened: false,
+                    ..spec()
+                },
+                shards: 1,
+                fingerprint: 7,
+            },
+            Frame::Ready {
+                fingerprint: u64::MAX,
+            },
+            Frame::Lease {
+                shard: 2,
+                done: vec![2, 8, 14],
+            },
+            Frame::Lease {
+                shard: 0,
+                done: vec![],
+            },
+            Frame::Wait { ms: 250 },
+            Frame::Poll,
+            Frame::Heartbeat { shard: 3, done: 41 },
+            Frame::ShardDone { shard: 3 },
+            Frame::Resend {
+                shard: 3,
+                missing: vec![9],
+            },
+            Frame::Ack { shard: 3 },
+            Frame::Shutdown,
+            Frame::Trial(TrialRecord {
+                idx: 17,
+                outcome: Outcome::Sdc,
+                ctrl: false,
+                wall_us: 950,
+            }),
+        ];
+        for f in frames {
+            let line = f.to_json();
+            assert_eq!(parse_frame(&line), Some(f.clone()), "frame {line}");
+        }
+    }
+
+    #[test]
+    fn malformed_and_foreign_lines_are_rejected() {
+        assert!(parse_frame("").is_none());
+        assert!(parse_frame("not json").is_none());
+        assert!(parse_frame("{\"frame\":\"warp-drive\"}").is_none());
+        assert!(parse_frame("{\"frame\":\"lease\",\"shard\":1,\"done\":\"1,x\"}").is_none());
+        // A checkpoint *header* line never travels over the wire.
+        let h = relia::CheckpointHeader {
+            app: "VA".into(),
+            layer: Layer::Uarch,
+            seed: 1,
+            hardened: false,
+            n_per_target: 2,
+            trials: 10,
+            shards: 1,
+            shard_index: 0,
+            fingerprint: 3,
+        };
+        assert!(parse_frame(&h.to_json()).is_none());
+    }
+
+    #[test]
+    fn structures_spec_round_trips() {
+        assert_eq!(structures_spec(&None), "");
+        let some = Some(vec![HwStructure::Smem, HwStructure::L1T]);
+        assert_eq!(
+            parse_structures(&structures_spec(&some)).unwrap(),
+            some.unwrap()
+        );
+        assert!(parse_structures("RF,WARP").is_err());
+    }
+}

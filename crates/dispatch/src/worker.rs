@@ -1,0 +1,294 @@
+//! The worker daemon: rebuild the plan, execute leased shards, stream
+//! records back.
+//!
+//! A worker connects, introduces itself, receives the job spec, and
+//! rebuilds the *entire* campaign plan locally — golden run included —
+//! then proves it by echoing the plan fingerprint. From there it loops:
+//! take a lease, execute the shard's still-missing trials with the same
+//! parallel engine a local run uses ([`relia::execute_trials`]), stream
+//! each classified record over the wire the moment it exists, and claim
+//! `shard_done`. A heartbeat thread renews the lease while trials run,
+//! so a lease only expires when the worker is actually gone.
+//!
+//! Every record the worker produced stays in an in-memory cache for the
+//! duration of the session: if the coordinator lost lines to a torn
+//! frame it answers `shard_done` with `resend`, and the worker replays
+//! the missing records from cache instead of re-executing them.
+//!
+//! For fault-tolerance tests, [`WorkerCfg::fail_after`] makes the worker
+//! die abruptly (socket torn down mid-stream, no goodbye) after N trial
+//! records — a process SIGKILL without needing a process.
+
+use std::io::ErrorKind;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use obs::counter_add;
+use relia::checkpoint::TrialRecord;
+use relia::execute_trials;
+use relia::plan::{shard_trials, PreparedCampaign};
+
+use crate::proto::{parse_frame, write_frame, Frame, Line, LineReader, PROTO_VERSION};
+use crate::DispatchError;
+
+/// Socket-level read tick; overall patience is [`WorkerCfg::read_timeout`].
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// Worker tuning knobs.
+#[derive(Debug, Clone)]
+pub struct WorkerCfg {
+    /// Name reported in the hello frame (shows up in dispatch events).
+    pub name: String,
+    /// How often to renew the lease while executing trials. Must be
+    /// comfortably below the coordinator's lease duration.
+    pub heartbeat: Duration,
+    /// Give up if the coordinator stays silent this long.
+    pub read_timeout: Duration,
+    /// Test hook: tear the connection down (no goodbye) after this many
+    /// trial records have been streamed, emulating a SIGKILLed worker.
+    pub fail_after: Option<usize>,
+}
+
+impl Default for WorkerCfg {
+    fn default() -> Self {
+        WorkerCfg {
+            name: "worker".into(),
+            heartbeat: Duration::from_millis(500),
+            read_timeout: Duration::from_secs(30),
+            fail_after: None,
+        }
+    }
+}
+
+/// What one worker session amounted to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkSummary {
+    pub worker: String,
+    /// Shards this worker drove to an `ack`.
+    pub shards_completed: usize,
+    /// Trial records streamed to the coordinator.
+    pub trials_executed: usize,
+    /// True when `fail_after` fired and the session died mid-stream.
+    pub died_early: bool,
+}
+
+/// Read the next well-formed frame, dropping torn lines, within `patience`.
+fn next_frame(lines: &mut LineReader, patience: Duration) -> Result<Frame, DispatchError> {
+    let start = Instant::now();
+    loop {
+        match lines.next()? {
+            Line::Full(l) => {
+                if let Some(f) = parse_frame(&l) {
+                    return Ok(f);
+                }
+                counter_add("dispatch_worker_torn_frames_total", &[], 1);
+            }
+            Line::Timeout => {
+                if start.elapsed() >= patience {
+                    return Err(DispatchError::Protocol(format!(
+                        "coordinator silent for {patience:?}"
+                    )));
+                }
+            }
+            Line::Eof { .. } => {
+                return Err(DispatchError::Protocol(
+                    "connection closed by coordinator".into(),
+                ))
+            }
+        }
+    }
+}
+
+fn send(write: &Mutex<TcpStream>, frame: &Frame) -> std::io::Result<()> {
+    write_frame(&mut write.lock().unwrap(), frame)
+}
+
+/// Connect to a coordinator at `addr` and work until it says shutdown.
+///
+/// Errors are local to this worker (the coordinator just reassigns its
+/// leases): a spec it cannot realize, a plan fingerprint mismatch, a
+/// dead connection. An injected `fail_after` death is reported as
+/// `Ok` with [`WorkSummary::died_early`] set — the test harness treats
+/// it as the expected outcome, not a failure.
+pub fn work(addr: &str, cfg: &WorkerCfg) -> Result<WorkSummary, DispatchError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_TICK))?;
+    let mut lines = LineReader::new(stream.try_clone()?);
+    let write = Mutex::new(stream);
+
+    send(
+        &write,
+        &Frame::Hello {
+            worker: cfg.name.clone(),
+            proto: PROTO_VERSION,
+        },
+    )?;
+    let (spec, shards, theirs) = match next_frame(&mut lines, cfg.read_timeout)? {
+        Frame::Job {
+            spec,
+            shards,
+            fingerprint,
+        } => (spec, shards, fingerprint),
+        // Campaign already over: a clean zero-work session.
+        Frame::Shutdown => {
+            return Ok(WorkSummary {
+                worker: cfg.name.clone(),
+                shards_completed: 0,
+                trials_executed: 0,
+                died_early: false,
+            })
+        }
+        f => {
+            return Err(DispatchError::Protocol(format!(
+                "expected job frame, got {f:?}"
+            )))
+        }
+    };
+    let bench = spec.find_bench().map_err(DispatchError::Spec)?;
+    let prep = spec.prepare(bench.as_ref());
+    let ours = prep.plan.fingerprint();
+    if ours != theirs {
+        return Err(DispatchError::FingerprintMismatch { ours, theirs });
+    }
+    send(&write, &Frame::Ready { fingerprint: ours })?;
+
+    let executed = AtomicUsize::new(0);
+    let died = AtomicBool::new(false);
+    let cache: Mutex<Vec<TrialRecord>> = Mutex::new(Vec::new());
+    let mut shards_completed = 0usize;
+
+    loop {
+        match next_frame(&mut lines, cfg.read_timeout)? {
+            Frame::Shutdown => break,
+            Frame::Wait { ms } => {
+                std::thread::sleep(Duration::from_millis(ms.min(2_000)));
+                send(&write, &Frame::Poll)?;
+            }
+            Frame::Lease { shard, done } => {
+                let todo: Vec<usize> = shard_trials(prep.plan.len(), shards, shard)
+                    .into_iter()
+                    .filter(|i| !done.contains(i))
+                    .collect();
+                run_lease(&prep, &todo, &write, cfg, shard, &executed, &died, &cache)?;
+                if died.load(Ordering::Acquire) {
+                    // Emulate SIGKILL: tear the socket down with records
+                    // possibly still in flight, no shard_done, no goodbye.
+                    let _ = write.lock().unwrap().shutdown(std::net::Shutdown::Both);
+                    return Ok(WorkSummary {
+                        worker: cfg.name.clone(),
+                        shards_completed,
+                        trials_executed: cache.lock().unwrap().len(),
+                        died_early: true,
+                    });
+                }
+                send(&write, &Frame::ShardDone { shard })?;
+                // Await the ack, replaying any records lost to torn frames.
+                loop {
+                    match next_frame(&mut lines, cfg.read_timeout)? {
+                        Frame::Ack { shard: s } if s == shard => {
+                            shards_completed += 1;
+                            counter_add("dispatch_worker_shards_total", &[], 1);
+                            break;
+                        }
+                        Frame::Resend { shard: s, missing } if s == shard => {
+                            let cached = cache.lock().unwrap();
+                            for idx in &missing {
+                                let Some(rec) = cached.iter().find(|r| r.idx == *idx) else {
+                                    return Err(DispatchError::Protocol(format!(
+                                        "coordinator wants trial {idx}, which this worker \
+                                         never executed"
+                                    )));
+                                };
+                                send(&write, &Frame::Trial(*rec))?;
+                            }
+                            drop(cached);
+                            send(&write, &Frame::ShardDone { shard })?;
+                        }
+                        f => {
+                            return Err(DispatchError::Protocol(format!(
+                                "expected ack/resend for shard {shard}, got {f:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+            f => {
+                return Err(DispatchError::Protocol(format!(
+                    "unexpected frame while idle: {f:?}"
+                )))
+            }
+        }
+    }
+
+    let trials_executed = cache.lock().unwrap().len();
+    Ok(WorkSummary {
+        worker: cfg.name.clone(),
+        shards_completed,
+        trials_executed,
+        died_early: false,
+    })
+}
+
+/// Execute the lease's trials in parallel, streaming each record as it
+/// is classified, with a heartbeat thread keeping the lease alive.
+#[allow(clippy::too_many_arguments)]
+fn run_lease(
+    prep: &PreparedCampaign,
+    todo: &[usize],
+    write: &Mutex<TcpStream>,
+    cfg: &WorkerCfg,
+    shard: usize,
+    executed: &AtomicUsize,
+    died: &AtomicBool,
+    cache: &Mutex<Vec<TrialRecord>>,
+) -> Result<(), DispatchError> {
+    let stop = AtomicBool::new(false);
+    let streamed = AtomicU64::new(0);
+    let result = std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut last = Instant::now();
+            while !stop.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(10));
+                if last.elapsed() >= cfg.heartbeat {
+                    last = Instant::now();
+                    let hb = Frame::Heartbeat {
+                        shard,
+                        done: streamed.load(Ordering::Acquire),
+                    };
+                    if send(write, &hb).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        let r = execute_trials(prep, todo, |rec| {
+            let k = executed.fetch_add(1, Ordering::AcqRel);
+            if let Some(limit) = cfg.fail_after {
+                if k >= limit {
+                    died.store(true, Ordering::Release);
+                    return Err(std::io::Error::new(
+                        ErrorKind::BrokenPipe,
+                        "injected worker failure (fail_after)",
+                    ));
+                }
+            }
+            cache.lock().unwrap().push(*rec);
+            send(write, &Frame::Trial(*rec))?;
+            streamed.fetch_add(1, Ordering::AcqRel);
+            counter_add("dispatch_worker_trials_total", &[], 1);
+            Ok(())
+        });
+        stop.store(true, Ordering::Release);
+        r
+    });
+    match result {
+        Ok(_) => Ok(()),
+        // The injected death aborts execute_trials with an I/O error;
+        // the caller reads `died` and reports it as a summary, not an Err.
+        Err(_) if died.load(Ordering::Acquire) => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}

@@ -1,0 +1,202 @@
+//! The dispatch differential proof: for both injectors (uarch and sw) on
+//! two benchmarks, three executions of the same plan must agree down to
+//! the per-structure counts and derating factors —
+//!
+//! 1. single-shot in-process execution,
+//! 2. a local 3-shard run merged with dedupe,
+//! 3. a coordinator + 3 worker daemons over TCP, where the FIRST worker
+//!    is killed mid-campaign (socket torn down after a few trials) and
+//!    its lease is reassigned to a healthy worker.
+//!
+//! "Agree" is byte-level for everything the campaign defines: record
+//! fingerprints, per-trial (idx, outcome, ctrl), and the fully assembled
+//! `UarchAppResult`/`SvfAppResult` (whose `PartialEq` covers outcome
+//! counts per structure and the FIT-derating factors).
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use dispatch::{serve, work, CampaignSpec, DispatchCfg, WorkerCfg};
+use relia::checkpoint::TrialRecord;
+use relia::plan::Layer;
+use relia::{
+    assemble_sw, assemble_uarch, dedupe_records, execute_shard, execute_trials,
+    records_fingerprint, EngineCfg,
+};
+use vgpu_sim::HwStructure;
+
+fn spec_for(app: &str, layer: Layer) -> CampaignSpec {
+    CampaignSpec {
+        app: app.to_string(),
+        layer,
+        // uarch: n × 5 structures per kernel; sw: n × 2 fault kinds.
+        n: match layer {
+            Layer::Uarch => 4,
+            Layer::Sw => 8,
+        },
+        seed: 0xD15C_4A11_0000_0001,
+        sms: 4,
+        hardened: false,
+        structures: None,
+    }
+}
+
+fn key(r: &TrialRecord) -> (usize, kernels::Outcome, bool) {
+    (r.idx, r.outcome, r.ctrl)
+}
+
+fn differential(app: &str, layer: Layer) {
+    let spec = spec_for(app, layer);
+    let bench = spec.find_bench().expect("benchmark exists");
+    let prep = spec.prepare(bench.as_ref());
+    assert!(
+        prep.plan.len() >= 9,
+        "plan too small to exercise 3 shards with a mid-shard kill"
+    );
+
+    // 1. Single-shot reference.
+    let all: Vec<usize> = (0..prep.plan.len()).collect();
+    let single = execute_trials(&prep, &all, |_| Ok(())).expect("single-shot");
+
+    // 2. Local 3-shard merge.
+    let mut sharded = Vec::new();
+    for i in 0..3 {
+        sharded.extend(execute_shard(&prep, &EngineCfg::sharded(3, i)).expect("shard"));
+    }
+    let sharded = dedupe_records(&sharded).expect("no conflicts in a local merge");
+    assert_eq!(
+        records_fingerprint(&sharded),
+        records_fingerprint(&single),
+        "{app}/{}: local 3-shard merge must equal single-shot",
+        layer.label()
+    );
+
+    // 3. Coordinator + 3 workers; the first one dies mid-campaign.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = format!("127.0.0.1:{}", listener.local_addr().unwrap().port());
+    let cfg = DispatchCfg {
+        shards: 3,
+        lease: Duration::from_millis(300),
+        backoff: Duration::from_millis(50),
+        max_backoff: Duration::from_millis(200),
+        wait_ms: 50,
+        out_dir: None,
+    };
+    let healthy = WorkerCfg {
+        heartbeat: Duration::from_millis(50),
+        read_timeout: Duration::from_secs(30),
+        ..WorkerCfg::default()
+    };
+    let outcome = std::thread::scope(|s| {
+        let coordinator = s.spawn(|| serve(listener, &prep.plan, &spec, &cfg));
+        // The doomed worker goes FIRST and alone, so it provably takes a
+        // lease and dies holding it (2 < shard size, checked above).
+        let doomed = work(
+            &addr,
+            &WorkerCfg {
+                name: "doomed".into(),
+                fail_after: Some(2),
+                ..healthy.clone()
+            },
+        )
+        .expect("doomed worker session");
+        assert!(doomed.died_early, "fail_after must kill the worker");
+        assert_eq!(doomed.trials_executed, 2);
+        assert_eq!(doomed.shards_completed, 0);
+        let w1 = s.spawn(|| {
+            work(
+                &addr,
+                &WorkerCfg {
+                    name: "w1".into(),
+                    ..healthy.clone()
+                },
+            )
+        });
+        let w2 = s.spawn(|| {
+            work(
+                &addr,
+                &WorkerCfg {
+                    name: "w2".into(),
+                    ..healthy.clone()
+                },
+            )
+        });
+        let outcome = coordinator.join().unwrap().expect("serve");
+        w1.join().unwrap().expect("w1");
+        w2.join().unwrap().expect("w2");
+        outcome
+    });
+
+    let label = format!("{app}/{}", layer.label());
+    assert_eq!(
+        records_fingerprint(&outcome.records),
+        records_fingerprint(&single),
+        "{label}: dispatch merge must equal single-shot"
+    );
+    assert_eq!(outcome.records.len(), single.len());
+    for (d, s) in outcome.records.iter().zip(&single) {
+        assert_eq!(key(d), key(s), "{label}: per-trial outcomes must match");
+    }
+    let stats = &outcome.stats;
+    assert_eq!(stats.shards_completed, 3, "{label}");
+    assert!(
+        stats.leases_reassigned >= 1,
+        "{label}: the doomed worker's lease must be reassigned, stats: {stats:?}"
+    );
+    assert!(stats.workers_joined >= 3, "{label}: {stats:?}");
+
+    // Assembled results: equality covers per-kernel, per-structure
+    // outcome counts, AVF/SVF rates, and derating factors.
+    match layer {
+        Layer::Uarch => {
+            let a = assemble_uarch(&prep, &single).unwrap();
+            let b = assemble_uarch(&prep, &outcome.records).unwrap();
+            let c = assemble_uarch(&prep, &sharded).unwrap();
+            for (ka, kb) in a.kernels.iter().zip(&b.kernels) {
+                for h in HwStructure::ALL {
+                    assert_eq!(
+                        ka.counts_of(h),
+                        kb.counts_of(h),
+                        "{label}: per-structure counts must match for {}",
+                        h.label()
+                    );
+                    assert_eq!(
+                        ka.df_of(h).to_bits(),
+                        kb.df_of(h).to_bits(),
+                        "{label}: derating factors must be bit-identical for {}",
+                        h.label()
+                    );
+                }
+            }
+            assert_eq!(a, b, "{label}: assembled dispatch result");
+            assert_eq!(a, c, "{label}: assembled local-merge result");
+        }
+        Layer::Sw => {
+            let a = assemble_sw(&prep, &single).unwrap();
+            let b = assemble_sw(&prep, &outcome.records).unwrap();
+            let c = assemble_sw(&prep, &sharded).unwrap();
+            assert_eq!(a, b, "{label}: assembled dispatch result");
+            assert_eq!(a, c, "{label}: assembled local-merge result");
+        }
+    }
+}
+
+#[test]
+fn va_uarch_dispatch_equals_single_shot() {
+    differential("VA", Layer::Uarch);
+}
+
+#[test]
+fn va_sw_dispatch_equals_single_shot() {
+    differential("VA", Layer::Sw);
+}
+
+#[test]
+fn scp_uarch_dispatch_equals_single_shot() {
+    differential("SCP", Layer::Uarch);
+}
+
+#[test]
+fn scp_sw_dispatch_equals_single_shot() {
+    differential("SCP", Layer::Sw);
+}

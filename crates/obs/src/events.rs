@@ -175,6 +175,51 @@ pub fn emit_campaign(ev: &CampaignEvent) {
     write_line(&ev.to_json());
 }
 
+/// A dispatch-service lifecycle event: worker joins, lease grants and
+/// expiries, shard completions, campaign completion. Distinguished from
+/// the other record shapes by `"record":"dispatch"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchEvent<'a> {
+    /// `"worker_join"` / `"lease"` / `"lease_expired"` /
+    /// `"shard_complete"` / `"complete"`.
+    pub kind: &'a str,
+    /// Worker name (`""` for coordinator-only events like expiries).
+    pub worker: &'a str,
+    /// Shard the event refers to (`0` for whole-campaign events).
+    pub shard: u64,
+    pub shards: u64,
+    /// Execution attempt for this shard (1 = first lease).
+    pub attempt: u64,
+    /// Trial records the coordinator holds for this shard so far.
+    pub done: u64,
+    /// Trials owned by the shard.
+    pub total: u64,
+}
+
+impl DispatchEvent<'_> {
+    /// Serialize as a single JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(144);
+        s.push_str("{\"record\":\"dispatch\",\"kind\":");
+        push_json_str(&mut s, self.kind);
+        s.push_str(",\"worker\":");
+        push_json_str(&mut s, self.worker);
+        s.push_str(&format!(
+            ",\"shard\":{},\"shards\":{},\"attempt\":{},\"done\":{},\"total\":{}}}",
+            self.shard, self.shards, self.attempt, self.done, self.total
+        ));
+        s
+    }
+}
+
+/// Record one dispatch lifecycle event; no-op while no sink is installed.
+pub fn emit_dispatch(ev: &DispatchEvent) {
+    if !events_enabled() {
+        return;
+    }
+    write_line(&ev.to_json());
+}
+
 /// Flush buffered events to disk.
 pub fn flush_events() -> std::io::Result<()> {
     if let Some(w) = SINK.lock().unwrap().as_mut() {
@@ -394,6 +439,34 @@ mod tests {
         assert_eq!(get("shards").unwrap().as_u64(), Some(3));
         assert_eq!(get("done").unwrap().as_u64(), Some(40));
         assert_eq!(get("total").unwrap().as_u64(), Some(100));
+    }
+
+    #[test]
+    fn dispatch_event_round_trips() {
+        let ev = DispatchEvent {
+            kind: "lease",
+            worker: "w\"1\"",
+            shard: 2,
+            shards: 6,
+            attempt: 3,
+            done: 17,
+            total: 50,
+        };
+        let fields = parse_line(&ev.to_json()).expect("parses");
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(get("record").unwrap().as_str(), Some("dispatch"));
+        assert_eq!(get("kind").unwrap().as_str(), Some("lease"));
+        assert_eq!(get("worker").unwrap().as_str(), Some("w\"1\""));
+        assert_eq!(get("shard").unwrap().as_u64(), Some(2));
+        assert_eq!(get("shards").unwrap().as_u64(), Some(6));
+        assert_eq!(get("attempt").unwrap().as_u64(), Some(3));
+        assert_eq!(get("done").unwrap().as_u64(), Some(17));
+        assert_eq!(get("total").unwrap().as_u64(), Some(50));
     }
 
     #[test]

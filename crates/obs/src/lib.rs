@@ -32,7 +32,8 @@ pub mod registry;
 pub mod span;
 
 pub use events::{
-    emit, emit_campaign, events_enabled, flush_events, init_events, CampaignEvent, InjectionEvent,
+    emit, emit_campaign, emit_dispatch, events_enabled, flush_events, init_events, CampaignEvent,
+    DispatchEvent, InjectionEvent,
 };
 pub use progress::OutcomeClass;
 pub use registry::{

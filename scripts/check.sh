@@ -20,6 +20,33 @@ cargo run --release -q -p bench --bin campaign -- smoke
 echo "==> ace_study smoke"
 cargo run --release -q -p bench --bin ace_study -- smoke
 
+echo "==> dispatch smoke (coordinator + 2 workers, one killed mid-run)"
+# Single-process reference, then the same campaign through the dispatch
+# service (docs/DISPATCH.md) with a worker that dies mid-lease via the
+# --fail-after hook. The merged CSV must be byte-identical and the
+# coordinator must report the dead worker's lease as reassigned.
+CAMPAIGN=target/release/campaign
+DISP=$(mktemp -d)
+"$CAMPAIGN" run --app VA --layer uarch --n 6 --seed 1234 \
+  --csv "$DISP/single.csv" > /dev/null
+"$CAMPAIGN" serve --app VA --layer uarch --n 6 --seed 1234 --shards 3 \
+  --listen 127.0.0.1:0 --port-file "$DISP/port.txt" \
+  --lease-ms 400 --backoff-ms 50 --max-backoff-ms 200 --wait-ms 50 \
+  --csv "$DISP/dispatch.csv" > /dev/null 2> "$DISP/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$DISP/port.txt" ] && break; sleep 0.1; done
+PORT=$(cat "$DISP/port.txt")
+"$CAMPAIGN" work --connect "127.0.0.1:$PORT" --name doomed \
+  --fail-after 4 --heartbeat-ms 50 > /dev/null
+"$CAMPAIGN" work --connect "127.0.0.1:$PORT" --name w1 --heartbeat-ms 50 > /dev/null &
+"$CAMPAIGN" work --connect "127.0.0.1:$PORT" --name w2 --heartbeat-ms 50 > /dev/null &
+wait "$SERVE_PID"
+wait
+cmp "$DISP/single.csv" "$DISP/dispatch.csv"
+grep -Eq '\([1-9][0-9]* reassigned' "$DISP/serve.log"
+rm -rf "$DISP"
+echo "dispatch smoke: merged CSV byte-identical to single-process run"
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --release --workspace -- -D warnings
 
