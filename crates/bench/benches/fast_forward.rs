@@ -1,0 +1,34 @@
+//! Campaign trial throughput with and without golden-prefix fast-forward
+//! (docs/PERF.md). Both paths classify byte-identically — that is proven
+//! by the differential tests — so this bench measures only the speedup
+//! from skipping pre-fault launches, resuming from mid-launch snapshots,
+//! and exiting early on masked convergence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kernels::apps::scp::Scp;
+use relia::{execute_trials_with, prepare_uarch_campaign, CampaignCfg, FastForward};
+
+fn bench_fast_forward(c: &mut Criterion) {
+    let cfg = CampaignCfg::new(4, 0, 0xBE9C_FF01);
+    let prep = prepare_uarch_campaign(&Scp, &cfg, false);
+    let idxs: Vec<usize> = (0..prep.plan.len()).collect();
+    // Capture the snapshot set up front so the one-off instrumented
+    // golden pass is not attributed to the first fast-forward sample —
+    // in a real campaign it amortizes over thousands of trials.
+    let _ = prep.snapshots(relia::DEFAULT_SNAPSHOTS);
+
+    let mut g = c.benchmark_group("fast_forward");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("on", |b| {
+        b.iter(|| execute_trials_with(&prep, FastForward::default(), &idxs, |_| Ok(())).unwrap())
+    });
+    g.bench_function("off", |b| {
+        b.iter(|| execute_trials_with(&prep, FastForward::disabled(), &idxs, |_| Ok(())).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fast_forward);
+criterion_main!(benches);

@@ -22,8 +22,10 @@
 //! --csv PATH`, `--structures RF,SMEM,L2` (uarch layer: inject only into
 //! a structure subset), watchdog knobs `--wall-limit-us N --cycle-limit N
 //! --no-retry`. `run` additionally takes `--checkpoint-every K` (default
-//! 64) and `--limit L` (stop after L new trials, leaving a resumable
-//! checkpoint).
+//! 64), `--limit L` (stop after L new trials, leaving a resumable
+//! checkpoint), and the fast-forward knobs `--snapshots N` (mid-launch
+//! golden snapshots per kernel, default 8) / `--no-fast-forward` (force
+//! every trial to simulate its whole application; docs/PERF.md).
 //!
 //! Exit codes are uniform across subcommands: **2** for CLI/validation
 //! errors (unknown flags, bad `--listen`/`--connect` addresses, bad lease
@@ -240,6 +242,8 @@ fn cmd_run(args: &[String]) {
     let mut resume: Option<PathBuf> = None;
     let mut every = relia::DEFAULT_CHECKPOINT_EVERY;
     let mut limit: Option<usize> = None;
+    let mut fast_forward = true;
+    let mut snapshots = relia::DEFAULT_SNAPSHOTS;
     // Peel off run-specific flags, forward the rest to the common parser.
     fn value(args: &[String], i: usize) -> &str {
         args.get(i + 1)
@@ -254,10 +258,16 @@ fn cmd_run(args: &[String]) {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--no-fast-forward" => {
+                fast_forward = false;
+                i += 1;
+                continue;
+            }
             "--shards" => shards = num(args, i) as usize,
             "--shard-index" => shard_index = num(args, i) as usize,
             "--checkpoint-every" => every = num(args, i) as usize,
             "--limit" => limit = Some(num(args, i) as usize),
+            "--snapshots" => snapshots = num(args, i) as usize,
             "--checkpoint" => checkpoint = Some(PathBuf::from(value(args, i))),
             "--resume" => resume = Some(PathBuf::from(value(args, i))),
             _ => {
@@ -293,6 +303,8 @@ fn cmd_run(args: &[String]) {
         checkpoint_every: every,
         resume,
         trial_limit: limit,
+        fast_forward,
+        snapshots,
     };
     eprintln!(
         "[campaign] {} {} plan: {} trials, fingerprint {:#018x}, shard {}/{} ({} trials)",
@@ -419,6 +431,29 @@ fn cmd_smoke() {
                 {
                     fail(&format!("smoke failed ({label}): assembled results differ"));
                 }
+                // Fast-forward equivalence: the snapshot path (default in
+                // `single` above) must classify byte-identically to a full
+                // slow-path run (docs/PERF.md).
+                let slow_eng = EngineCfg {
+                    fast_forward: false,
+                    ..EngineCfg::single_shot()
+                };
+                let slow = execute_shard(&prep, &slow_eng).unwrap();
+                let fp_slow = records_fingerprint(&slow);
+                if fp_single != fp_slow {
+                    fail(&format!(
+                        "smoke failed ({label}): fast-forward fingerprint {fp_single:#x} \
+                         != slow-path {fp_slow:#x}"
+                    ));
+                }
+                if assemble_uarch(&prep, &slow).unwrap() != assemble_uarch(&prep, &single).unwrap()
+                {
+                    fail(&format!(
+                        "smoke failed ({label}): fast-forward assembled result differs from \
+                         slow path"
+                    ));
+                }
+                println!("smoke {label}: fast-forward == slow path ({fp_slow:#018x})");
             }
             Layer::Sw => {
                 if assemble_sw(&prep, &merged).unwrap() != assemble_sw(&prep, &single).unwrap() {

@@ -24,16 +24,17 @@
 //! (seed, app, kernel, structure, trial), so campaigns are
 //! bit-reproducible at any thread count *and any shard count*.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use obs::Phase;
 use rayon::prelude::*;
 
-use kernels::{faulty_run, Benchmark, Outcome, PlannedFault};
+use kernels::{faulty_run, faulty_run_ff, AppSnapshots, Benchmark, Outcome, PlannedFault};
 use vgpu_sim::{GpuConfig, HwStructure, SwFaultKind};
 
 use crate::checkpoint::{
@@ -195,7 +196,18 @@ pub struct EngineCfg {
     /// Stop after this many *newly executed* trials, leaving a resumable
     /// checkpoint behind — interruption simulation and incremental runs.
     pub trial_limit: Option<usize>,
+    /// Golden-prefix fast-forward: execute timed uarch trials from
+    /// snapshots of one instrumented golden pass instead of re-simulating
+    /// the fault-free prefix, and exit early once the disturbed machine
+    /// provably re-converges to golden. Bit-identical results either way
+    /// (differential-tested); this is purely a throughput knob.
+    pub fast_forward: bool,
+    /// Mid-launch snapshots per launch for the fast-forward pass.
+    pub snapshots: usize,
 }
+
+/// Default mid-launch snapshots per launch (`EngineCfg::snapshots`).
+pub const DEFAULT_SNAPSHOTS: usize = 8;
 
 impl EngineCfg {
     /// One shard covering the whole plan, no files.
@@ -207,6 +219,8 @@ impl EngineCfg {
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
             resume: None,
             trial_limit: None,
+            fast_forward: true,
+            snapshots: DEFAULT_SNAPSHOTS,
         }
     }
 
@@ -303,8 +317,14 @@ impl From<CheckpointError> for EngineError {
 }
 
 /// Run one planned trial end to end: faulty run under the watchdog,
-/// observability, classification.
-fn run_one_trial(prep: &PreparedCampaign, t: &crate::plan::PlannedTrial) -> TrialRecord {
+/// observability, classification. With `snaps` set, timed uarch trials
+/// take the fast-forward path ([`faulty_run_ff`]) — classification is
+/// bit-identical to the slow path (differential-tested).
+fn run_one_trial(
+    prep: &PreparedCampaign,
+    t: &crate::plan::PlannedTrial,
+    snaps: Option<&Arc<AppSnapshots>>,
+) -> TrialRecord {
     let wd = prep.cfg.watchdog;
     let layer = prep.plan.layer.label();
     let obs_on = observing();
@@ -314,15 +334,18 @@ fn run_one_trial(prep: &PreparedCampaign, t: &crate::plan::PlannedTrial) -> Tria
         None => (Outcome::Masked, false),
         Some((ordinal, pf)) => {
             let attempt = || {
-                obs::time_phase(Phase::FaultyRun, || {
-                    faulty_run(
+                obs::time_phase(Phase::FaultyRun, || match (snaps, pf) {
+                    (Some(s), PlannedFault::Uarch(_)) => {
+                        faulty_run_ff(prep.bench, &prep.cfg.gpu, &prep.golden, s, *ordinal, *pf)
+                    }
+                    _ => faulty_run(
                         prep.bench,
                         &prep.cfg.gpu,
                         prep.variant,
                         &prep.golden,
                         *ordinal,
                         *pf,
-                    )
+                    ),
                 })
             };
             let mut res = catch_unwind(AssertUnwindSafe(attempt)).ok();
@@ -337,9 +360,36 @@ fn run_one_trial(prep: &PreparedCampaign, t: &crate::plan::PlannedTrial) -> Tria
                 }
                 Some(r) => {
                     let mut o = r.outcome;
-                    if wd.cycle_limit.is_some_and(|l| r.total_cost > l) && o != Outcome::Timeout {
+                    // The cycle budget bounds work actually performed, so
+                    // it checks *simulated* cycles — under fast-forward a
+                    // trial is not charged for skipped golden prefixes
+                    // (simulated_cost == total_cost off the fast path).
+                    if wd.cycle_limit.is_some_and(|l| r.simulated_cost > l) && o != Outcome::Timeout
+                    {
                         obs::counter_add("watchdog_cycle_timeouts_total", &[("layer", layer)], 1);
                         o = Outcome::Timeout;
+                    }
+                    if snaps.is_some() && obs_on {
+                        let app = prep.plan.app.as_str();
+                        obs::counter_add(
+                            "campaign_cycles_skipped_total",
+                            &[("app", app), ("layer", layer)],
+                            r.total_cost - r.simulated_cost,
+                        );
+                        if r.resumed_at.is_some() {
+                            obs::counter_add(
+                                "snapshot_hits_total",
+                                &[("app", app), ("kind", "resume")],
+                                1,
+                            );
+                        }
+                        if r.converged {
+                            obs::counter_add(
+                                "snapshot_hits_total",
+                                &[("app", app), ("kind", "converged")],
+                                1,
+                            );
+                        }
                     }
                     (o, r.total_cost != prep.golden.total_cost)
                 }
@@ -380,9 +430,57 @@ fn run_one_trial(prep: &PreparedCampaign, t: &crate::plan::PlannedTrial) -> Tria
     }
 }
 
+/// Fast-forward policy for [`execute_trials_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastForward {
+    /// Use golden-prefix snapshots where the campaign supports them.
+    pub enabled: bool,
+    /// Mid-launch snapshots per launch for the capture pass.
+    pub snapshots: usize,
+}
+
+impl Default for FastForward {
+    fn default() -> Self {
+        FastForward {
+            enabled: true,
+            snapshots: DEFAULT_SNAPSHOTS,
+        }
+    }
+}
+
+impl FastForward {
+    /// Fast-forward off: every trial simulates its whole application.
+    pub fn disabled() -> Self {
+        FastForward {
+            enabled: false,
+            snapshots: 0,
+        }
+    }
+
+    /// The policy an [`EngineCfg`] asks for.
+    pub fn from_engine(eng: &EngineCfg) -> Self {
+        FastForward {
+            enabled: eng.fast_forward,
+            snapshots: eng.snapshots,
+        }
+    }
+}
+
+/// Scheduling key for snapshot locality: trials of the same launch,
+/// ordered by injection cycle, reuse the same golden prefix and nearby
+/// resume snapshots. Population-empty trials sort first.
+fn trial_sort_key(t: &crate::plan::PlannedTrial) -> (u64, u64) {
+    match &t.fault {
+        None => (0, 0),
+        Some((ordinal, PlannedFault::Uarch(u))) => (*ordinal as u64 + 1, u.cycle),
+        Some((ordinal, PlannedFault::Sw(s))) => (*ordinal as u64 + 1, s.target),
+    }
+}
+
 /// Execute an explicit set of plan indices in parallel, streaming every
 /// classified trial into `sink` as it finishes (in completion order, not
 /// plan order — records are self-describing via [`TrialRecord::idx`]).
+/// Runs with the default fast-forward policy (on, where applicable).
 ///
 /// This is the primitive under both [`execute_shard`] (sink = checkpoint
 /// file) and the dispatch worker daemon (sink = TCP connection to the
@@ -397,13 +495,48 @@ pub fn execute_trials<F>(
 where
     F: Fn(&TrialRecord) -> std::io::Result<()> + Sync,
 {
-    idxs.par_iter()
+    execute_trials_with(prep, FastForward::default(), idxs, sink)
+}
+
+/// [`execute_trials`] with an explicit fast-forward policy. When the
+/// policy applies (timed uarch plan, `enabled`, `snapshots > 0`), the
+/// snapshot set is captured once up front and the trial list is run in
+/// (launch, injection-cycle) order so neighbouring trials share resume
+/// snapshots; records are self-describing, so the reordering is invisible
+/// to every consumer.
+pub fn execute_trials_with<F>(
+    prep: &PreparedCampaign,
+    ff: FastForward,
+    idxs: &[usize],
+    sink: F,
+) -> Result<Vec<TrialRecord>, std::io::Error>
+where
+    F: Fn(&TrialRecord) -> std::io::Result<()> + Sync,
+{
+    let snaps = if ff.enabled {
+        prep.snapshots(ff.snapshots)
+    } else {
+        None
+    };
+    let mut order: Vec<usize> = idxs.to_vec();
+    if snaps.is_some() {
+        order.sort_by_key(|&i| trial_sort_key(&prep.plan.trials[i]));
+    }
+    let mut records: Vec<TrialRecord> = order
+        .par_iter()
         .map(|&idx| -> Result<TrialRecord, std::io::Error> {
-            let rec = run_one_trial(prep, &prep.plan.trials[idx]);
+            let rec = run_one_trial(prep, &prep.plan.trials[idx], snaps);
             sink(&rec)?;
             Ok(rec)
         })
-        .collect()
+        .collect::<Result<_, _>>()?;
+    // Execution order is a scheduling detail; callers get records back in
+    // the order they asked for, exactly as without fast-forward.
+    if snaps.is_some() {
+        let pos: HashMap<usize, usize> = idxs.iter().enumerate().map(|(p, &i)| (i, p)).collect();
+        records.sort_by_key(|r| pos[&r.idx]);
+    }
+    Ok(records)
 }
 
 /// Execute one strided shard of a prepared campaign, in parallel.
@@ -488,12 +621,17 @@ pub fn execute_shard(
     });
 
     let writer = Mutex::new(writer);
-    let new_records = execute_trials(prep, &remaining[..todo], |rec| {
-        if let Some(w) = writer.lock().unwrap().as_mut() {
-            w.record(rec)?;
-        }
-        Ok(())
-    })?;
+    let new_records = execute_trials_with(
+        prep,
+        FastForward::from_engine(eng),
+        &remaining[..todo],
+        |rec| {
+            if let Some(w) = writer.lock().unwrap().as_mut() {
+                w.record(rec)?;
+            }
+            Ok(())
+        },
+    )?;
     // Durable before the shard reports done: finish() fsyncs, so a crash
     // right after "shard complete" cannot lose the checkpoint tail.
     if let Some(w) = writer.into_inner().unwrap() {

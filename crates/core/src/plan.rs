@@ -12,10 +12,15 @@
 //! list into one u64 so checkpoints and shard outputs can prove they came
 //! from the same plan before being merged.
 
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use kernels::{golden_run, Benchmark, GoldenRun, PlannedFault, Variant};
+use kernels::{
+    golden_run, golden_run_snapshots, AppSnapshots, Benchmark, GoldenRun, PlannedFault, Variant,
+};
 use obs::Phase;
 use vgpu_sim::{HwStructure, Mode, SwFault, SwFaultKind, UarchFault};
 
@@ -152,6 +157,50 @@ pub struct PreparedCampaign<'a> {
     pub variant: Variant,
     pub golden: GoldenRun,
     pub plan: CampaignPlan,
+    /// Lazily captured golden-prefix snapshot set for fast-forward trial
+    /// execution, shared by every worker thread. `None` inside the cell
+    /// means fast-forward does not apply to this campaign (software
+    /// layer, hardened, or snapshots disabled).
+    pub snaps: OnceLock<Option<Arc<AppSnapshots>>>,
+}
+
+impl PreparedCampaign<'_> {
+    /// The fast-forward snapshot set, capturing it on first use (one
+    /// instrumented golden pass with `k` mid-launch snapshots per
+    /// launch). Returns `None` — and captures nothing — for campaigns
+    /// fast-forward cannot serve: software-layer plans (functional
+    /// engine), hardened variants, or `k == 0`.
+    pub fn snapshots(&self, k: usize) -> Option<&Arc<AppSnapshots>> {
+        self.snaps
+            .get_or_init(|| {
+                if self.plan.layer != Layer::Uarch
+                    || self.variant != Variant::TIMED
+                    || k == 0
+                    || self.plan.trials.iter().all(|t| t.fault.is_none())
+                {
+                    return None;
+                }
+                let t0 = Instant::now();
+                let snaps = obs::time_phase(Phase::SnapshotCapture, || {
+                    golden_run_snapshots(self.bench, &self.cfg.gpu, &self.golden, k)
+                });
+                obs::gauge_set(
+                    "snapshot_bytes",
+                    &[("app", self.plan.app.as_str()), ("layer", "uarch")],
+                    snaps.bytes,
+                );
+                obs::emit_snapshot(&obs::SnapshotEvent {
+                    app: &self.plan.app,
+                    layer: self.plan.layer.label(),
+                    per_launch: k as u64,
+                    count: snaps.count() as u64,
+                    bytes: snaps.bytes,
+                    wall_us: t0.elapsed().as_micros() as u64,
+                });
+                Some(Arc::new(snaps))
+            })
+            .as_ref()
+    }
 }
 
 /// Strided shard partition: shard `index` of `shards` owns plan indices
@@ -280,6 +329,7 @@ pub fn prepare_uarch_campaign_structures<'a>(
         cfg: cfg.clone(),
         variant,
         golden,
+        snaps: OnceLock::new(),
         plan: CampaignPlan {
             app: bench.name().to_string(),
             layer: Layer::Uarch,
@@ -381,6 +431,7 @@ pub fn prepare_sw_kinds<'a>(
         cfg: cfg.clone(),
         variant,
         golden,
+        snaps: OnceLock::new(),
         plan: CampaignPlan {
             app: bench.name().to_string(),
             layer: Layer::Sw,

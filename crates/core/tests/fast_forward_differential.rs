@@ -1,0 +1,58 @@
+//! The campaign-engine differential proof for golden-prefix fast-forward:
+//! a uarch campaign executed with fast-forward (default) must produce the
+//! same classified records — and the same assembled AVF result, derating
+//! factors included — as `fast_forward: false`, whether run single-shot
+//! or merged from shards.
+
+use kernels::apps::{scp::Scp, va::Va};
+use kernels::Benchmark;
+use relia::{
+    assemble_uarch, execute_shard, prepare_uarch_campaign, records_fingerprint, CampaignCfg,
+    EngineCfg,
+};
+
+fn slow_engine() -> EngineCfg {
+    EngineCfg {
+        fast_forward: false,
+        ..EngineCfg::single_shot()
+    }
+}
+
+#[test]
+fn ff_and_slow_paths_classify_identically() {
+    for bench in [&Va as &dyn Benchmark, &Scp as &dyn Benchmark] {
+        let cfg = CampaignCfg::new(6, 0, 0xFF_D1FF);
+        let prep = prepare_uarch_campaign(bench, &cfg, false);
+
+        let slow = execute_shard(&prep, &slow_engine()).unwrap();
+        let fast = execute_shard(&prep, &EngineCfg::single_shot()).unwrap();
+        assert_eq!(
+            fast,
+            slow,
+            "{}: fast-forward changed a trial record",
+            bench.name()
+        );
+
+        let assembled_slow = assemble_uarch(&prep, &slow).unwrap();
+        let assembled_fast = assemble_uarch(&prep, &fast).unwrap();
+        assert_eq!(
+            assembled_fast,
+            assembled_slow,
+            "{}: fast-forward changed the assembled AVF result",
+            bench.name()
+        );
+
+        // Sharded execution with fast-forward merges to the same result.
+        let mut merged = Vec::new();
+        for i in 0..3 {
+            merged.extend(execute_shard(&prep, &EngineCfg::sharded(3, i)).unwrap());
+        }
+        assert_eq!(
+            records_fingerprint(&merged),
+            records_fingerprint(&slow),
+            "{}: 3-shard fast-forward merge differs from slow single-shot",
+            bench.name()
+        );
+        assert_eq!(assemble_uarch(&prep, &merged).unwrap(), assembled_slow);
+    }
+}

@@ -73,20 +73,26 @@ fn event_sink_and_metrics_do_not_change_outcomes() {
     let text = std::fs::read_to_string(&events_path).unwrap();
     let mut lines = Vec::new();
     let mut campaign_lines = 0usize;
+    let mut snapshot_lines = 0usize;
     for line in text.lines() {
         let fields = obs::events::parse_line(line)
             .unwrap_or_else(|| panic!("unparseable event line: {line}"));
-        if fields
+        let record = fields
             .iter()
-            .any(|(k, v)| k == "record" && v.as_str() == Some("campaign"))
-        {
-            campaign_lines += 1;
-        } else {
-            lines.push(line);
+            .find(|(k, _)| k == "record")
+            .and_then(|(_, v)| v.as_str());
+        match record {
+            Some("campaign") => campaign_lines += 1,
+            Some("snapshot") => snapshot_lines += 1,
+            _ => lines.push(line),
         }
     }
     assert_eq!(lines.len(), expected, "one event per injection");
     assert_eq!(campaign_lines, 4, "shard_start + shard_done per campaign");
+    assert_eq!(
+        snapshot_lines, 1,
+        "one snapshot capture for the uarch campaign, none for sw"
+    );
     let mut event_outcomes = std::collections::BTreeMap::new();
     for line in &lines {
         let fields = obs::events::parse_line(line)

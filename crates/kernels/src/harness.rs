@@ -14,14 +14,27 @@
 //!   `grid_y == 3`, and majority-vote after every protected kernel;
 //! * **profiling** runs collect the Figure-3 utilization metrics.
 
+use std::cell::RefCell;
+use std::sync::Arc;
+
 use vgpu_arch::{Kernel, LaunchConfig};
 use vgpu_sim::due::LaunchAbort;
 use vgpu_sim::{
-    ArenaPlanner, Budget, FaultPlan, Gpu, GpuConfig, Mode, Stats, SwFault, SwInjector, UarchFault,
-    UarchInjector,
+    ArenaPlanner, Budget, ConvergeWith, DeviceSnapshot, FaultPlan, Gpu, GpuConfig, Mode,
+    SimSnapshot, Stats, SwFault, SwInjector, UarchFault, UarchInjector,
 };
 
 use crate::tmr;
+
+thread_local! {
+    /// Per-thread GPU scratch pool: `faulty_run` / `faulty_run_ff` park
+    /// their `Gpu` here on exit and `RunCtl::alloc` revives it (zeroed in
+    /// place) when the next trial on this thread wants an identical
+    /// configuration and arena layout. Under rayon this makes the hot
+    /// campaign loop reuse one arena per worker instead of reallocating
+    /// megabytes per trial.
+    static GPU_SCRATCH: RefCell<Option<Gpu>> = const { RefCell::new(None) };
+}
 
 /// Why an application run did not produce an output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,8 +67,24 @@ pub struct RunResult {
     pub outcome: Outcome,
     /// Total timed cycles (or functional instructions) of the run, used by
     /// the Figure-11 control-path proxy: a masked run whose cycle count
-    /// differs from golden had its control path disturbed.
+    /// differs from golden had its control path disturbed. Under
+    /// fast-forward this still counts *architectural* cycles — skipped
+    /// prefixes and spliced suffixes are credited at their golden cost —
+    /// so it is bit-identical to the slow path's value.
     pub total_cost: u64,
+    /// Cycles (or instructions) actually simulated: `total_cost` minus
+    /// everything fast-forward skipped or spliced. Equal to `total_cost`
+    /// on the slow path. Watchdog cycle budgets check this, not
+    /// `total_cost`, so a trial resumed at cycle 900k is not instantly
+    /// charged 900k skipped cycles.
+    pub simulated_cost: u64,
+    /// Cycle the injected launch was resumed at, if fast-forward used a
+    /// mid-launch snapshot.
+    pub resumed_at: Option<u64>,
+    /// Whether the disturbed machine provably re-converged to golden
+    /// (in-launch splice or launch-boundary match) and the remaining
+    /// execution was credited instead of simulated.
+    pub converged: bool,
     /// Whether the planned fault was actually applied (a fault aimed at an
     /// empty structure or past the end of execution never fires).
     pub applied: bool,
@@ -120,9 +149,65 @@ pub enum PlannedFault {
     Sw(SwFault),
 }
 
+/// Golden-prefix snapshots of one application, captured by
+/// [`golden_run_snapshots`] and shared (via `Arc`) across every
+/// fast-forward trial of a campaign. Always timed and unhardened, to
+/// match the microarchitectural campaigns that consume them.
+#[derive(Debug, Clone)]
+pub struct AppSnapshots {
+    /// `boundaries[i]`: device state immediately after golden launch `i`
+    /// retired (before any host glue that follows it).
+    pub boundaries: Vec<DeviceSnapshot>,
+    /// `mids[i]`: mid-launch snapshots of launch `i`, ascending by cycle;
+    /// always includes cycle 0, so a resume point exists for every fault.
+    pub mids: Vec<Vec<SimSnapshot>>,
+    /// Total approximate heap footprint (for the `snapshot_bytes` gauge).
+    pub bytes: u64,
+}
+
+impl AppSnapshots {
+    /// Total number of snapshots held (mid-launch + boundary).
+    pub fn count(&self) -> usize {
+        self.boundaries.len() + self.mids.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// Fast-forward state threaded through one faulty run.
+struct FfCtx {
+    snaps: Arc<AppSnapshots>,
+    /// Golden per-launch statistics, indexed by launch ordinal (prefix
+    /// credit + the splice reference of the convergence exit).
+    golden_stats: Vec<Stats>,
+    /// The machine has provably re-converged to golden; every remaining
+    /// launch is credited instead of simulated.
+    converged: bool,
+    /// Cycle the injected launch resumed at.
+    resumed_at: Option<u64>,
+    /// Deferred boundary restore: the ordinal of the golden boundary the
+    /// device should be in. Consecutive skipped launches only bump this;
+    /// the (full-device, O(mem)) restore is materialized once, at the
+    /// next real device access — simulation, host read/write, or output
+    /// classification.
+    pending_restore: Option<usize>,
+}
+
 /// What a [`RunCtl`] is doing.
 enum CtlMode {
     Golden,
+    /// Instrumented golden pass capturing [`AppSnapshots`]; asserts
+    /// bit-identity with the reference golden run as it goes.
+    Capture {
+        /// Snapshots per launch (`~k`, evenly spaced over the launch).
+        k: usize,
+        /// Reference golden per-launch statistics.
+        golden_stats: Vec<Stats>,
+        boundaries: Vec<DeviceSnapshot>,
+        mids: Vec<Vec<SimSnapshot>>,
+        /// Test hook: `(ordinal, cycle)` — capture an extra snapshot of
+        /// that launch at that cycle, immediately resume from it with no
+        /// fault, and assert the suffix is reproduced bit-identically.
+        probe: Option<(usize, u64)>,
+    },
     Faulty {
         target_launch: usize,
         fault: PlannedFault,
@@ -131,6 +216,8 @@ enum CtlMode {
         /// Whole-application budget backstop.
         app_budget: Budget,
         applied: bool,
+        /// `Some` enables golden-prefix fast-forward + convergence exit.
+        ff: Option<FfCtx>,
     },
 }
 
@@ -149,6 +236,13 @@ pub struct RunCtl {
     records: Vec<LaunchRecord>,
     ctl: CtlMode,
     total_cost: u64,
+    /// Cycles/instructions actually simulated (excludes fast-forwarded
+    /// prefixes and spliced suffixes); equals `total_cost` off the fast
+    /// path.
+    simulated_cost: u64,
+    /// Try to revive the thread-local scratch [`Gpu`] in `alloc` instead
+    /// of building a fresh one (campaign hot path only).
+    use_scratch: bool,
     outputs: Vec<(u32, u32)>,
     /// Attach an ACE lifetime tracker at `alloc` time (golden runs only).
     ace: bool,
@@ -172,6 +266,8 @@ impl RunCtl {
             records: Vec::new(),
             ctl,
             total_cost: 0,
+            simulated_cost: 0,
+            use_scratch: false,
             outputs: Vec::new(),
             ace: false,
             ace_prev: [0; 5],
@@ -206,8 +302,22 @@ impl RunCtl {
             assert_eq!(first2 - first1, self.tmr_stride, "uniform TMR stride");
             self.flag_addr = planner.alloc(4);
         }
-        let mem = planner.build();
-        let mut gpu = Gpu::new(self.cfg.clone(), mem, self.mode_sim);
+        let scratch = if self.use_scratch && !self.ace {
+            GPU_SCRATCH.take().filter(|g| {
+                g.mode() == self.mode_sim && g.cfg == self.cfg && planner.builds_layout_of(g.mem())
+            })
+        } else {
+            None
+        };
+        let mut gpu = match scratch {
+            Some(mut g) => {
+                // Identical configuration and arena layout: zero in place
+                // instead of reallocating (hot campaign loop).
+                g.reset_in_place();
+                g
+            }
+            None => Gpu::new(self.cfg.clone(), planner.build(), self.mode_sim),
+        };
         if self.ace {
             gpu.attach_tracker();
         }
@@ -215,10 +325,34 @@ impl RunCtl {
         addrs
     }
 
+    /// Park this run's `Gpu` in the thread-local scratch pool for the next
+    /// trial on this thread.
+    fn stash_scratch(&mut self) {
+        if let Some(g) = self.gpu.take() {
+            GPU_SCRATCH.set(Some(g));
+        }
+    }
+
     fn gpu(&self) -> &Gpu {
         self.gpu
             .as_ref()
             .expect("alloc() must run before device access")
+    }
+
+    /// Materialize a deferred fast-forward boundary restore. Must run
+    /// before anything observes device state — host reads and writes,
+    /// real simulation, output classification.
+    fn flush_ff(&mut self) {
+        let CtlMode::Faulty { ff: Some(ffc), .. } = &mut self.ctl else {
+            return;
+        };
+        if let Some(ord) = ffc.pending_restore.take() {
+            let gpu = self
+                .gpu
+                .as_mut()
+                .expect("alloc() must run before device access");
+            gpu.restore_device(&ffc.snaps.boundaries[ord]);
+        }
     }
 
     fn gpu_mut(&mut self) -> &mut Gpu {
@@ -240,11 +374,13 @@ impl RunCtl {
     /// Host write to a *single* copy, bypassing TMR replication — only for
     /// tests and diagnostics that need to desynchronise redundant copies.
     pub fn write_u32_single(&mut self, addr: u32, v: u32) {
+        self.flush_ff();
         self.gpu_mut().host_write_u32(addr, v);
     }
 
     /// Host write, replicated to every TMR copy.
     pub fn write_u32(&mut self, addr: u32, v: u32) {
+        self.flush_ff();
         let stride = self.tmr_stride;
         let copies = if self.hardened { 3 } else { 1 };
         let gpu = self.gpu_mut();
@@ -258,11 +394,12 @@ impl RunCtl {
     }
 
     /// Host read (copy 0 — the voted copy in hardened mode).
-    pub fn read_u32(&self, addr: u32) -> u32 {
+    pub fn read_u32(&mut self, addr: u32) -> u32 {
+        self.flush_ff();
         self.gpu().host_read_u32(addr)
     }
 
-    pub fn read_f32(&self, addr: u32) -> f32 {
+    pub fn read_f32(&mut self, addr: u32) -> f32 {
         f32::from_bits(self.read_u32(addr))
     }
 
@@ -335,11 +472,13 @@ impl RunCtl {
             CtlMode::Golden => {
                 let gpu = self.gpu.as_mut().expect("alloc before launch");
                 let stats = gpu.launch(kernel, &lc, FaultPlan::None, &Budget::unlimited())?;
-                self.total_cost += if gpu.mode() == Mode::Timed {
+                let cost = if gpu.mode() == Mode::Timed {
                     stats.cycles
                 } else {
                     stats.thread_instrs
                 };
+                self.total_cost += cost;
+                self.simulated_cost += cost;
                 let ace_tot = gpu.tracker_totals();
                 self.records.push(LaunchRecord {
                     kernel_idx,
@@ -360,12 +499,70 @@ impl RunCtl {
                 }
                 Ok(())
             }
+            CtlMode::Capture {
+                k,
+                golden_stats,
+                boundaries,
+                mids,
+                probe,
+            } => {
+                let gpu = self.gpu.as_mut().expect("alloc before launch");
+                let expect = golden_stats.get(ordinal).copied().unwrap_or_else(|| {
+                    panic!("capture pass launched more kernels than the golden run")
+                });
+                let mut capture_at = snapshot_cycles(expect.cycles, *k);
+                let probe_cycle = match probe {
+                    Some((po, pc)) if *po == ordinal => {
+                        let pc = (*pc).min(expect.cycles.saturating_sub(1));
+                        if let Err(i) = capture_at.binary_search(&pc) {
+                            capture_at.insert(i, pc);
+                        }
+                        Some(pc)
+                    }
+                    _ => None,
+                };
+                let (stats, snaps) = gpu
+                    .launch_instrumented(kernel, &lc, &Budget::unlimited(), &capture_at)
+                    .unwrap_or_else(|e| panic!("instrumented golden pass aborted: {e:?}"));
+                assert_eq!(
+                    stats, expect,
+                    "instrumented pass diverged from golden at launch {ordinal}"
+                );
+                let boundary = gpu.device_snapshot();
+                if let Some(pc) = probe_cycle {
+                    // Test hook: resume from the probe snapshot with no
+                    // fault; the suffix must be reproduced bit-for-bit in
+                    // statistics, cycle count, and device state.
+                    let snap = snaps
+                        .iter()
+                        .find(|s| s.cycle() == pc)
+                        .expect("probe snapshot captured");
+                    let r = gpu
+                        .resume_from(snap, kernel, &lc, None, &Budget::unlimited(), None)
+                        .unwrap_or_else(|e| panic!("fault-free resume aborted: {e:?}"));
+                    assert_eq!(r.stats, expect, "resume must reproduce golden stats");
+                    assert_eq!(r.resumed_at, pc);
+                    assert_eq!(r.simulated_cycles, expect.cycles - pc);
+                    assert!(r.converged_at.is_none());
+                    assert_eq!(
+                        gpu.device_snapshot(),
+                        boundary,
+                        "resume must reproduce the post-launch device state verbatim"
+                    );
+                }
+                self.total_cost += stats.cycles;
+                self.simulated_cost += stats.cycles;
+                mids.push(snaps);
+                boundaries.push(boundary);
+                Ok(())
+            }
             CtlMode::Faulty {
                 target_launch,
                 fault,
                 budgets,
                 app_budget,
                 applied,
+                ff,
             } => {
                 let mut budget = budgets.get(ordinal).copied().unwrap_or(Budget {
                     cycles: 1 << 22,
@@ -383,11 +580,91 @@ impl RunCtl {
                 }
                 let fault_here = ordinal == *target_launch;
                 let gpu = self.gpu.as_mut().expect("alloc before launch");
+
+                // Fast-forward: a launch before the fault, or after the
+                // machine provably re-converged, executes bit-identically
+                // to golden — defer a restore to its golden boundary state
+                // and credit the golden cost instead of simulating. The
+                // deferral makes a run of skipped launches cost one
+                // restore instead of one per launch.
+                if let Some(ffc) = ff.as_mut() {
+                    if !fault_here && (ordinal < *target_launch || ffc.converged) {
+                        if let Some(gstats) = ffc
+                            .golden_stats
+                            .get(ordinal)
+                            .filter(|_| ordinal < ffc.snaps.boundaries.len())
+                        {
+                            // The slow path would simulate exactly the
+                            // golden launch; it times out iff the golden
+                            // cycle count exceeds the budget. Keep that
+                            // equivalence exact.
+                            if gstats.cycles > budget.cycles {
+                                return Err(AppAbort::Launch(LaunchAbort::Timeout));
+                            }
+                            ffc.pending_restore = Some(ordinal);
+                            self.total_cost += gstats.cycles;
+                            return Ok(());
+                        }
+                        // Launch the golden pass never saw (impossible for
+                        // a deterministic benchmark): simulate it.
+                    }
+                    // This launch simulates for real: materialize any
+                    // boundary state a skipped predecessor left pending.
+                    if let Some(ord) = ffc.pending_restore.take() {
+                        gpu.restore_device(&ffc.snaps.boundaries[ord]);
+                    }
+                }
+
                 let result = if fault_here {
                     match fault {
                         PlannedFault::Uarch(f) => {
                             let mut inj = UarchInjector::new(*f);
-                            let r = gpu.launch(kernel, &lc, FaultPlan::Uarch(&mut inj), &budget);
+                            let ff_snap = ff.as_ref().map(|ffc| Arc::clone(&ffc.snaps));
+                            let r = match ff_snap.as_ref().and_then(|s| s.mids.get(ordinal)) {
+                                Some(mids) if !mids.is_empty() => {
+                                    // Resume from the nearest golden
+                                    // snapshot at-or-before the fault
+                                    // cycle, with the convergence exit
+                                    // armed against the remaining golden
+                                    // snapshots of this launch.
+                                    let snaps = ff_snap.as_ref().expect("mids imply snaps");
+                                    let snap = mids
+                                        .iter()
+                                        .rev()
+                                        .find(|s| s.cycle() <= f.cycle)
+                                        .expect("cycle-0 snapshot always exists");
+                                    let ffc = ff.as_mut().expect("ff_snap implies ff");
+                                    let cv = ConvergeWith {
+                                        snaps: mids,
+                                        end: &snaps.boundaries[ordinal],
+                                        end_stats: ffc.golden_stats[ordinal],
+                                    };
+                                    match gpu.resume_from(
+                                        snap,
+                                        kernel,
+                                        &lc,
+                                        Some(&mut inj),
+                                        &budget,
+                                        Some(cv),
+                                    ) {
+                                        Ok(out) => {
+                                            ffc.resumed_at = Some(out.resumed_at);
+                                            if out.converged_at.is_some() {
+                                                ffc.converged = true;
+                                            }
+                                            // Skipped prefix + spliced
+                                            // suffix are not simulated.
+                                            self.simulated_cost += out.simulated_cycles;
+                                            self.total_cost += out.stats.cycles;
+                                            *applied = inj.applied && inj.population > 0;
+                                            self.post_fault_converge_check(ordinal);
+                                            return Ok(());
+                                        }
+                                        Err(e) => Err(e),
+                                    }
+                                }
+                                _ => gpu.launch(kernel, &lc, FaultPlan::Uarch(&mut inj), &budget),
+                            };
                             *applied = inj.applied && inj.population > 0;
                             r
                         }
@@ -402,17 +679,44 @@ impl RunCtl {
                     gpu.launch(kernel, &lc, FaultPlan::None, &budget)
                 };
                 let stats = result?;
-                self.total_cost += if gpu.mode() == Mode::Timed {
+                let cost = if gpu.mode() == Mode::Timed {
                     stats.cycles
                 } else {
                     stats.thread_instrs
                 };
+                self.total_cost += cost;
+                self.simulated_cost += cost;
+                // After the fault, a launch that retires with device state
+                // identical to golden makes every later launch
+                // bit-identical too — flag it so they are credited.
+                if ordinal >= *target_launch {
+                    self.post_fault_converge_check(ordinal);
+                }
                 Ok(())
             }
         }
     }
 
-    fn snapshot_outputs(&self) -> Vec<u32> {
+    /// Launch-boundary convergence check (fast-forward runs only): if the
+    /// device state equals the golden post-launch snapshot, the rest of
+    /// the application is provably bit-identical to golden.
+    fn post_fault_converge_check(&mut self, ordinal: usize) {
+        let CtlMode::Faulty { ff: Some(ffc), .. } = &mut self.ctl else {
+            return;
+        };
+        if ffc.converged {
+            return;
+        }
+        let gpu = self.gpu.as_ref().expect("alloc before launch");
+        if let Some(b) = ffc.snaps.boundaries.get(ordinal) {
+            if gpu.device_converged(b) {
+                ffc.converged = true;
+            }
+        }
+    }
+
+    fn snapshot_outputs(&mut self) -> Vec<u32> {
+        self.flush_ff();
         let gpu = self.gpu();
         let mut out = Vec::new();
         for &(addr, words) in &self.outputs {
@@ -545,6 +849,101 @@ pub fn golden_run_ace(bench: &dyn Benchmark, cfg: &GpuConfig) -> AceGoldenRun {
     }
 }
 
+/// The `~k` capture cycles for a launch of `cycles` total: evenly spaced,
+/// deduplicated, always including cycle 0 (so every fault cycle has a
+/// snapshot at-or-before it) and never reaching the final cycle (which a
+/// completing launch may never revisit).
+fn snapshot_cycles(cycles: u64, k: usize) -> Vec<u64> {
+    let k = k.max(1) as u64;
+    let mut v: Vec<u64> = (0..k).map(|i| i * cycles / k).collect();
+    v.dedup();
+    v
+}
+
+fn capture_pass(
+    bench: &dyn Benchmark,
+    cfg: &GpuConfig,
+    golden: &GoldenRun,
+    k: usize,
+    probe: Option<(usize, u64)>,
+) -> AppSnapshots {
+    let mut ctl = RunCtl::new(
+        cfg.clone(),
+        Mode::Timed,
+        false,
+        CtlMode::Capture {
+            k,
+            golden_stats: golden.records.iter().map(|r| r.stats).collect(),
+            boundaries: Vec::new(),
+            mids: Vec::new(),
+            probe,
+        },
+    );
+    bench
+        .run(&mut ctl)
+        .unwrap_or_else(|e| panic!("capture pass of {} aborted: {e:?}", bench.name()));
+    assert_eq!(
+        ctl.snapshot_outputs(),
+        golden.output,
+        "capture pass of {} diverged from golden output",
+        bench.name()
+    );
+    assert_eq!(ctl.total_cost, golden.total_cost);
+    let CtlMode::Capture {
+        boundaries, mids, ..
+    } = ctl.ctl
+    else {
+        unreachable!()
+    };
+    assert_eq!(boundaries.len(), golden.records.len());
+    let bytes = boundaries
+        .iter()
+        .map(DeviceSnapshot::byte_size)
+        .sum::<u64>()
+        + mids
+            .iter()
+            .flatten()
+            .map(SimSnapshot::byte_size)
+            .sum::<u64>();
+    AppSnapshots {
+        boundaries,
+        mids,
+        bytes,
+    }
+}
+
+/// One instrumented golden pass over `bench`, capturing `~k` mid-launch
+/// snapshots per launch plus a device snapshot at every launch boundary —
+/// the golden-prefix material consumed by [`faulty_run_ff`]. Asserts
+/// bit-identity with `golden` as it goes (the instrumented engine must
+/// not perturb the run). Timed, unhardened.
+pub fn golden_run_snapshots(
+    bench: &dyn Benchmark,
+    cfg: &GpuConfig,
+    golden: &GoldenRun,
+    k: usize,
+) -> AppSnapshots {
+    capture_pass(bench, cfg, golden, k, None)
+}
+
+/// Test helper: capture an extra snapshot of launch `ordinal` at `cycle`
+/// (clamped into the launch), resume from it with no fault, and assert
+/// the golden suffix — statistics, cycle count, post-launch device state,
+/// and final application output — is reproduced bit-identically.
+///
+/// # Panics
+/// Panics (or fails an assertion) on any divergence.
+pub fn verify_snapshot_resume(
+    bench: &dyn Benchmark,
+    cfg: &GpuConfig,
+    golden: &GoldenRun,
+    ordinal: usize,
+    cycle: u64,
+) {
+    assert!(ordinal < golden.records.len(), "probe ordinal out of range");
+    capture_pass(bench, cfg, golden, 2, Some((ordinal, cycle)));
+}
+
 /// Derive per-launch and whole-app budgets from a golden run.
 fn budgets_from(golden: &GoldenRun, cfg: &GpuConfig) -> (Vec<Budget>, Budget) {
     let per: Vec<Budget> = golden
@@ -572,6 +971,55 @@ pub fn faulty_run(
     target_launch: usize,
     fault: PlannedFault,
 ) -> RunResult {
+    faulty_run_inner(bench, cfg, variant, golden, target_launch, fault, None)
+}
+
+/// [`faulty_run`] with golden-prefix fast-forward: the fault-free prefix
+/// restores `snaps` instead of simulating, the injected launch resumes
+/// from the nearest snapshot at-or-before the fault cycle, and execution
+/// that provably re-converges to golden (in-launch or at a launch
+/// boundary) is credited at its golden cost. The returned classification,
+/// `total_cost`, `applied`, and `corrupted_words` are bit-identical to
+/// [`faulty_run`]'s. Timed, unhardened, microarchitecture faults.
+pub fn faulty_run_ff(
+    bench: &dyn Benchmark,
+    cfg: &GpuConfig,
+    golden: &GoldenRun,
+    snaps: &Arc<AppSnapshots>,
+    target_launch: usize,
+    fault: PlannedFault,
+) -> RunResult {
+    assert!(
+        matches!(fault, PlannedFault::Uarch(_)),
+        "fast-forward applies to microarchitecture faults on the timed engine"
+    );
+    let ff = FfCtx {
+        snaps: Arc::clone(snaps),
+        golden_stats: golden.records.iter().map(|r| r.stats).collect(),
+        converged: false,
+        resumed_at: None,
+        pending_restore: None,
+    };
+    faulty_run_inner(
+        bench,
+        cfg,
+        Variant::TIMED,
+        golden,
+        target_launch,
+        fault,
+        Some(ff),
+    )
+}
+
+fn faulty_run_inner(
+    bench: &dyn Benchmark,
+    cfg: &GpuConfig,
+    variant: Variant,
+    golden: &GoldenRun,
+    target_launch: usize,
+    fault: PlannedFault,
+    ff: Option<FfCtx>,
+) -> RunResult {
     let (budgets, app_budget) = budgets_from(golden, cfg);
     let mut ctl = RunCtl::new(
         cfg.clone(),
@@ -583,14 +1031,20 @@ pub fn faulty_run(
             budgets,
             app_budget,
             applied: false,
+            ff,
         },
     );
+    ctl.use_scratch = true;
     let run = bench.run(&mut ctl);
-    let applied = match &ctl.ctl {
-        CtlMode::Faulty { applied, .. } => *applied,
-        CtlMode::Golden => unreachable!(),
+    let (applied, resumed_at, converged) = match &ctl.ctl {
+        CtlMode::Faulty { applied, ff, .. } => (
+            *applied,
+            ff.as_ref().and_then(|f| f.resumed_at),
+            ff.as_ref().is_some_and(|f| f.converged),
+        ),
+        _ => unreachable!(),
     };
-    match run {
+    let result = match run {
         Ok(()) => {
             let out = ctl.snapshot_outputs();
             let corrupted_words = out
@@ -606,6 +1060,9 @@ pub fn faulty_run(
             RunResult {
                 outcome,
                 total_cost: ctl.total_cost,
+                simulated_cost: ctl.simulated_cost,
+                resumed_at,
+                converged,
                 applied,
                 corrupted_words,
             }
@@ -613,16 +1070,24 @@ pub fn faulty_run(
         Err(AppAbort::Launch(LaunchAbort::Timeout)) => RunResult {
             outcome: Outcome::Timeout,
             total_cost: ctl.total_cost,
+            simulated_cost: ctl.simulated_cost,
+            resumed_at,
+            converged,
             applied,
             corrupted_words: 0,
         },
         Err(AppAbort::Launch(LaunchAbort::Due(_))) | Err(AppAbort::VoteFailed) => RunResult {
             outcome: Outcome::Due,
             total_cost: ctl.total_cost,
+            simulated_cost: ctl.simulated_cost,
+            resumed_at,
+            converged,
             applied,
             corrupted_words: 0,
         },
-    }
+    };
+    ctl.stash_scratch();
+    result
 }
 
 #[cfg(test)]

@@ -29,7 +29,8 @@ pub mod kutil;
 pub mod tmr;
 
 pub use harness::{
-    faulty_run, golden_run, golden_run_ace, AceGoldenRun, AppAbort, Benchmark, GoldenRun,
+    faulty_run, faulty_run_ff, golden_run, golden_run_ace, golden_run_snapshots,
+    verify_snapshot_resume, AceGoldenRun, AppAbort, AppSnapshots, Benchmark, GoldenRun,
     LaunchRecord, Outcome, PlannedFault, RunCtl, RunResult, Variant,
 };
 

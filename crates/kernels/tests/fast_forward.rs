@@ -1,0 +1,135 @@
+//! Golden-prefix fast-forward must be an *optimization*, never a model
+//! change: every classification artifact of [`kernels::faulty_run_ff`]
+//! (outcome, architectural cost, applied flag, corrupted-word count) must
+//! be bit-identical to the slow path's, and a fault-free snapshot resume
+//! must reproduce the golden suffix verbatim.
+
+use std::sync::Arc;
+
+use kernels::apps::{lud::Lud, scp::Scp, va::Va};
+use kernels::{
+    all_benchmarks, faulty_run, faulty_run_ff, golden_run, golden_run_snapshots,
+    verify_snapshot_resume, Benchmark, GoldenRun, PlannedFault, Variant,
+};
+use proptest::prelude::*;
+use vgpu_sim::fault::HwStructure;
+use vgpu_sim::{GpuConfig, UarchFault};
+
+fn cfg() -> GpuConfig {
+    GpuConfig::volta_scaled(2)
+}
+
+/// Fault cycles spread over a launch, including both extremes.
+fn probe_cycles(total: u64) -> Vec<u64> {
+    vec![
+        0,
+        total / 3,
+        total / 2,
+        total * 9 / 10,
+        total.saturating_sub(1),
+    ]
+}
+
+fn assert_ff_matches(bench: &dyn Benchmark, target: usize, golden: &GoldenRun) {
+    let cfg = cfg();
+    let snaps = Arc::new(golden_run_snapshots(bench, &cfg, golden, 4));
+    let launch_cycles = golden.records[target].stats.cycles;
+    let mut resumed_past_zero = 0u32;
+    for structure in HwStructure::ALL {
+        for (i, cycle) in probe_cycles(launch_cycles).into_iter().enumerate() {
+            let fault = PlannedFault::Uarch(UarchFault {
+                cycle,
+                structure,
+                loc_pick: 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1),
+                bit: (i as u8 * 7) % 32,
+            });
+            let slow = faulty_run(bench, &cfg, Variant::TIMED, golden, target, fault);
+            let fast = faulty_run_ff(bench, &cfg, golden, &snaps, target, fault);
+            let tag = format!(
+                "{} launch {target} {structure:?} cycle {cycle}",
+                bench.name()
+            );
+            assert_eq!(fast.outcome, slow.outcome, "{tag}");
+            assert_eq!(fast.total_cost, slow.total_cost, "{tag}");
+            assert_eq!(fast.applied, slow.applied, "{tag}");
+            assert_eq!(fast.corrupted_words, slow.corrupted_words, "{tag}");
+            // Slow path simulates everything it charges; fast path never
+            // simulates more than it charges.
+            assert_eq!(slow.simulated_cost, slow.total_cost, "{tag}");
+            assert!(fast.simulated_cost <= fast.total_cost, "{tag}");
+            assert!(!slow.converged && slow.resumed_at.is_none(), "{tag}");
+            if let Some(at) = fast.resumed_at {
+                assert!(at <= cycle, "{tag}: resumed after the fault cycle");
+                if at > 0 {
+                    resumed_past_zero += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        resumed_past_zero > 0,
+        "{}: no trial ever resumed from a mid-launch snapshot — fast-forward inert",
+        bench.name()
+    );
+}
+
+#[test]
+fn ff_bit_identical_to_slow_path_va() {
+    let b = Va;
+    let golden = golden_run(&b, &cfg(), Variant::TIMED);
+    assert_ff_matches(&b, 0, &golden);
+}
+
+#[test]
+fn ff_bit_identical_to_slow_path_scp() {
+    let b = Scp;
+    let golden = golden_run(&b, &cfg(), Variant::TIMED);
+    assert_ff_matches(&b, 0, &golden);
+}
+
+#[test]
+fn ff_bit_identical_to_slow_path_multi_launch() {
+    // LUD interleaves three kernels: faulting the last launch exercises
+    // the golden-prefix restore for every launch before it, and faulting
+    // the first exercises post-fault boundary convergence.
+    let b = Lud;
+    let golden = golden_run(&b, &cfg(), Variant::TIMED);
+    assert!(golden.records.len() > 1, "LUD should be multi-launch");
+    assert_ff_matches(&b, 0, &golden);
+    assert_ff_matches(&b, golden.records.len() - 1, &golden);
+}
+
+#[test]
+fn snapshot_resume_reproduces_golden_suffix_every_benchmark() {
+    // One mid-app, mid-launch probe per benchmark: capture an extra
+    // snapshot there, resume fault-free, and require the golden suffix
+    // (stats, cycle count, device state, final output) bit-for-bit.
+    let cfg = cfg();
+    for b in all_benchmarks() {
+        let golden = golden_run(b.as_ref(), &cfg, Variant::TIMED);
+        let ordinal = golden.records.len() / 2;
+        let cycle = golden.records[ordinal].stats.cycles * 2 / 3;
+        verify_snapshot_resume(b.as_ref(), &cfg, &golden, ordinal, cycle);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary (benchmark, launch, cycle): a fault-free resume from a
+    /// snapshot captured there reproduces the golden suffix exactly.
+    #[test]
+    fn snapshot_resume_is_lossless_at_arbitrary_cycles(
+        bench_idx in 0usize..11,
+        ordinal_pick in 0u64..u64::MAX,
+        cycle_pick in 0u64..u64::MAX,
+    ) {
+        let cfg = cfg();
+        let benches = all_benchmarks();
+        let b = benches[bench_idx].as_ref();
+        let golden = golden_run(b, &cfg, Variant::TIMED);
+        let ordinal = (ordinal_pick % golden.records.len() as u64) as usize;
+        let cycle = cycle_pick % golden.records[ordinal].stats.cycles.max(1);
+        verify_snapshot_resume(b, &cfg, &golden, ordinal, cycle);
+    }
+}

@@ -220,6 +220,48 @@ pub fn emit_dispatch(ev: &DispatchEvent) {
     write_line(&ev.to_json());
 }
 
+/// A snapshot-capture event: one instrumented golden pass materialized
+/// the fast-forward snapshot set of a campaign. Distinguished from the
+/// other record shapes by `"record":"snapshot"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotEvent<'a> {
+    pub app: &'a str,
+    /// `"uarch"` or `"sw"`.
+    pub layer: &'a str,
+    /// Mid-launch snapshots requested per launch.
+    pub per_launch: u64,
+    /// Snapshots actually captured (mid-launch + launch boundaries).
+    pub count: u64,
+    /// Approximate heap footprint of the whole snapshot set, bytes.
+    pub bytes: u64,
+    /// Wall time of the capture pass, microseconds.
+    pub wall_us: u64,
+}
+
+impl SnapshotEvent<'_> {
+    /// Serialize as a single JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(144);
+        s.push_str("{\"record\":\"snapshot\",\"app\":");
+        push_json_str(&mut s, self.app);
+        s.push_str(",\"layer\":");
+        push_json_str(&mut s, self.layer);
+        s.push_str(&format!(
+            ",\"per_launch\":{},\"count\":{},\"bytes\":{},\"wall_us\":{}}}",
+            self.per_launch, self.count, self.bytes, self.wall_us
+        ));
+        s
+    }
+}
+
+/// Record one snapshot-capture event; no-op while no sink is installed.
+pub fn emit_snapshot(ev: &SnapshotEvent) {
+    if !events_enabled() {
+        return;
+    }
+    write_line(&ev.to_json());
+}
+
 /// Flush buffered events to disk.
 pub fn flush_events() -> std::io::Result<()> {
     if let Some(w) = SINK.lock().unwrap().as_mut() {
@@ -467,6 +509,32 @@ mod tests {
         assert_eq!(get("attempt").unwrap().as_u64(), Some(3));
         assert_eq!(get("done").unwrap().as_u64(), Some(17));
         assert_eq!(get("total").unwrap().as_u64(), Some(50));
+    }
+
+    #[test]
+    fn snapshot_event_round_trips() {
+        let ev = SnapshotEvent {
+            app: "SCP",
+            layer: "uarch",
+            per_launch: 8,
+            count: 9,
+            bytes: 4_200_000,
+            wall_us: 12_345,
+        };
+        let fields = parse_line(&ev.to_json()).expect("parses");
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(get("record").unwrap().as_str(), Some("snapshot"));
+        assert_eq!(get("app").unwrap().as_str(), Some("SCP"));
+        assert_eq!(get("layer").unwrap().as_str(), Some("uarch"));
+        assert_eq!(get("per_launch").unwrap().as_u64(), Some(8));
+        assert_eq!(get("count").unwrap().as_u64(), Some(9));
+        assert_eq!(get("bytes").unwrap().as_u64(), Some(4_200_000));
+        assert_eq!(get("wall_us").unwrap().as_u64(), Some(12_345));
     }
 
     #[test]

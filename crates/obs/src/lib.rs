@@ -32,8 +32,8 @@ pub mod registry;
 pub mod span;
 
 pub use events::{
-    emit, emit_campaign, emit_dispatch, events_enabled, flush_events, init_events, CampaignEvent,
-    DispatchEvent, InjectionEvent,
+    emit, emit_campaign, emit_dispatch, emit_snapshot, events_enabled, flush_events, init_events,
+    CampaignEvent, DispatchEvent, InjectionEvent, SnapshotEvent,
 };
 pub use progress::OutcomeClass;
 pub use registry::{

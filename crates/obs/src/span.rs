@@ -24,15 +24,18 @@ pub enum Phase {
     Classify = 3,
     /// Single-pass instrumented ACE/lifetime run (analytic estimator).
     AceRun = 4,
+    /// Instrumented golden pass capturing fast-forward snapshots.
+    SnapshotCapture = 5,
 }
 
 impl Phase {
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::GoldenRun,
         Phase::FaultSetup,
         Phase::FaultyRun,
         Phase::Classify,
         Phase::AceRun,
+        Phase::SnapshotCapture,
     ];
 
     pub fn label(&self) -> &'static str {
@@ -42,32 +45,24 @@ impl Phase {
             Phase::FaultyRun => "faulty_run",
             Phase::Classify => "classify",
             Phase::AceRun => "ace_run",
+            Phase::SnapshotCapture => "snapshot_capture",
         }
     }
 }
 
-const N: usize = 5;
+const N: usize = 6;
 
 struct Profile {
     nanos: [AtomicU64; N],
     calls: [AtomicU64; N],
 }
 
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
 static PROFILE: Profile = Profile {
-    nanos: [
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-    ],
-    calls: [
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-    ],
+    nanos: [ZERO; N],
+    calls: [ZERO; N],
 };
 
 /// Run `f`, attributing its wall time to `phase` when observability is
@@ -171,7 +166,8 @@ mod tests {
                 "fault_setup",
                 "faulty_run",
                 "classify",
-                "ace_run"
+                "ace_run",
+                "snapshot_capture"
             ]
         );
     }

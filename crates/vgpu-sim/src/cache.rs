@@ -23,7 +23,7 @@ use crate::mem::GlobalMem;
 use crate::stats::CacheStats;
 
 /// One cache instance.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cache {
     geom: CacheGeom,
     /// Per line: the line address (`addr / line_bytes`) it holds.
@@ -213,6 +213,70 @@ impl Cache {
         let lb = self.geom.line_bytes;
         let idx = self.probe(addr / lb)?;
         Some(self.read_word(idx, (addr % lb) & !3))
+    }
+
+    /// No resident lines and no outstanding fills — the state every L1 is
+    /// in at a kernel boundary after [`Cache::invalidate_all`]. With
+    /// nothing resident the LRU stamp is dead state (victim choice only
+    /// compares ages of *valid* lines), so two all-invalid caches are
+    /// architecturally interchangeable regardless of their stamps.
+    pub fn no_live_lines(&self) -> bool {
+        self.mshr.is_empty() && !self.valid.iter().any(|&v| v)
+    }
+
+    /// Return the cache to its just-constructed state (scratch reuse):
+    /// every line invalid, zeroed arrays, empty MSHRs, zero stats.
+    pub fn reset(&mut self) {
+        self.data.fill(0);
+        self.tags.fill(0);
+        self.valid.fill(false);
+        self.dirty.fill(false);
+        self.lru.fill(0);
+        self.mshr.clear();
+        self.stamp = 0;
+        self.stats = CacheStats::default();
+    }
+
+    /// Architectural equality: do the two caches behave identically from
+    /// here on? Compares the LRU stamp, the outstanding-fill list, the
+    /// valid bitmap, and — for valid lines only — tag, dirtiness, LRU age
+    /// and data bytes. Invalid lines' stale contents are dead state (a
+    /// fill overwrites them before any read), and `stats` are reporting
+    /// counters, so both are excluded. Used by the masked-convergence
+    /// check; a `false` from residual dead-state differences only costs a
+    /// missed early exit, never correctness.
+    pub fn arch_eq(&self, other: &Cache) -> bool {
+        if self.geom != other.geom
+            || self.stamp != other.stamp
+            || self.mshr != other.mshr
+            || self.valid != other.valid
+        {
+            return false;
+        }
+        let lb = self.geom.line_bytes as usize;
+        for idx in 0..self.tags.len() {
+            if !self.valid[idx] {
+                continue;
+            }
+            if self.tags[idx] != other.tags[idx]
+                || self.dirty[idx] != other.dirty[idx]
+                || self.lru[idx] != other.lru[idx]
+                || self.data[idx * lb..(idx + 1) * lb] != other.data[idx * lb..(idx + 1) * lb]
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Approximate heap footprint in bytes (snapshot accounting).
+    pub fn byte_size(&self) -> u64 {
+        self.data.len() as u64
+            + self.tags.len() as u64 * 4
+            + self.valid.len() as u64
+            + self.dirty.len() as u64
+            + self.lru.len() as u64 * 8
+            + self.mshr.len() as u64 * 12
     }
 
     /// Coherent host update of a resident line (dirtiness unchanged).

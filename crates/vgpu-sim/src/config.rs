@@ -57,7 +57,7 @@ pub struct Latencies {
 }
 
 /// Full GPU configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
     pub num_sms: u32,
     pub max_threads_per_sm: u32,

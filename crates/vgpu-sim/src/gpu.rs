@@ -8,8 +8,9 @@ use crate::fault::{SwInjector, UarchInjector};
 use crate::functional::run_functional;
 use crate::lifetime::LifetimeTracker;
 use crate::mem::GlobalMem;
+use crate::snapshot::{ConvergeWith, DeviceSnapshot, ResumeOutcome, SimSnapshot};
 use crate::stats::Stats;
-use crate::timed::run_timed;
+use crate::timed::{run_timed, run_timed_ctl, TimedCtl};
 use vgpu_arch::{Kernel, LaunchConfig};
 
 /// Which execution engine a [`Gpu`] uses.
@@ -226,6 +227,172 @@ impl Gpu {
         }
     }
 
+    // ---- snapshots and fast-forward ------------------------------------
+
+    /// Fault-free launch that additionally captures a [`SimSnapshot`] at
+    /// each cycle of `capture_at` (sorted ascending). The run itself is
+    /// bit-identical to `launch(…, FaultPlan::None, …)` — capture points
+    /// only clone state, never perturb it. Timed mode, no ACE tracker.
+    pub fn launch_instrumented(
+        &mut self,
+        kernel: &Kernel,
+        lc: &LaunchConfig,
+        budget: &Budget,
+        capture_at: &[u64],
+    ) -> Result<(Stats, Vec<SimSnapshot>), LaunchAbort> {
+        assert_eq!(self.mode, Mode::Timed, "snapshots require the timed engine");
+        assert!(
+            self.tracker.is_none(),
+            "snapshots are incompatible with ACE lifetime tracking"
+        );
+        let mut ctl = TimedCtl::none();
+        ctl.capture_at = capture_at;
+        let res = run_timed_ctl(
+            &self.cfg,
+            &mut self.mem,
+            &mut self.l1ds,
+            &mut self.l1ts,
+            &mut self.l2,
+            kernel,
+            lc,
+            None,
+            None,
+            None,
+            budget.cycles,
+            &mut ctl,
+        );
+        if obs::enabled() {
+            self.export_metrics(&res);
+        }
+        res.map(|s| (s, ctl.captured))
+    }
+
+    /// Fault-free launch capturing a single snapshot at `cycle`
+    /// (convenience over [`Gpu::launch_instrumented`]). Returns `None`
+    /// for the snapshot if the launch finished before reaching `cycle`.
+    pub fn snapshot_at(
+        &mut self,
+        kernel: &Kernel,
+        lc: &LaunchConfig,
+        budget: &Budget,
+        cycle: u64,
+    ) -> Result<(Stats, Option<SimSnapshot>), LaunchAbort> {
+        let (stats, mut snaps) = self.launch_instrumented(kernel, lc, budget, &[cycle])?;
+        Ok((stats, snaps.pop()))
+    }
+
+    /// Resume a launch mid-flight from `snap` — optionally with a pending
+    /// microarchitecture `fault` (whose cycle must be ≥ the snapshot's)
+    /// and a golden reference enabling the early masked-convergence exit.
+    /// The machine is restored verbatim from the snapshot first, so the
+    /// result is bit-identical to running the same launch with the same
+    /// fault from cycle 0.
+    pub fn resume_from(
+        &mut self,
+        snap: &SimSnapshot,
+        kernel: &Kernel,
+        lc: &LaunchConfig,
+        fault: Option<&mut UarchInjector>,
+        budget: &Budget,
+        converge: Option<ConvergeWith<'_>>,
+    ) -> Result<ResumeOutcome, LaunchAbort> {
+        assert_eq!(self.mode, Mode::Timed, "snapshots require the timed engine");
+        assert!(
+            self.tracker.is_none(),
+            "snapshot resume is incompatible with ACE lifetime tracking"
+        );
+        if let Some(f) = &fault {
+            assert!(
+                f.fault.cycle >= snap.cycle(),
+                "snapshot (cycle {}) is past the fault cycle {}",
+                snap.cycle(),
+                f.fault.cycle
+            );
+        }
+        let mut ctl = TimedCtl::none();
+        ctl.resume = Some(snap);
+        ctl.converge = converge;
+        let res = run_timed_ctl(
+            &self.cfg,
+            &mut self.mem,
+            &mut self.l1ds,
+            &mut self.l1ts,
+            &mut self.l2,
+            kernel,
+            lc,
+            fault,
+            None,
+            None,
+            budget.cycles,
+            &mut ctl,
+        );
+        if obs::enabled() {
+            self.export_metrics(&res);
+        }
+        res.map(|stats| ResumeOutcome {
+            stats,
+            resumed_at: snap.cycle(),
+            simulated_cycles: ctl.simulated_cycles,
+            converged_at: ctl.converged_at,
+        })
+    }
+
+    /// Capture the device state (global memory + cache hierarchy) between
+    /// launches — the launch-boundary snapshot of the fast-forward path.
+    pub fn device_snapshot(&self) -> DeviceSnapshot {
+        DeviceSnapshot {
+            mem: self.mem.clone(),
+            l1ds: self.l1ds.clone(),
+            l1ts: self.l1ts.clone(),
+            l2: self.l2.clone(),
+        }
+    }
+
+    /// Restore device state captured by [`Gpu::device_snapshot`] verbatim.
+    pub fn restore_device(&mut self, snap: &DeviceSnapshot) {
+        assert_eq!(
+            self.mem.size(),
+            snap.mem.size(),
+            "snapshot from a different arena"
+        );
+        self.mem.clone_from(&snap.mem);
+        for (c, s) in self.l1ds.iter_mut().zip(&snap.l1ds) {
+            c.clone_from(s);
+        }
+        for (c, s) in self.l1ts.iter_mut().zip(&snap.l1ts) {
+            c.clone_from(s);
+        }
+        self.l2.clone_from(&snap.l2);
+    }
+
+    /// Architectural equality with a launch-boundary snapshot: global
+    /// memory and the L2 must match bit-for-bit ([`Cache::arch_eq`]); the
+    /// L1s must simply be empty on both sides, which they always are at a
+    /// boundary (the timed engine invalidates them at launch end) — an
+    /// empty cache's LRU stamp is dead state. A `true` here means every
+    /// subsequent launch behaves bit-identically on both machines.
+    pub fn device_converged(&self, snap: &DeviceSnapshot) -> bool {
+        self.mem == snap.mem
+            && self.l2.arch_eq(&snap.l2)
+            && self.l1ds.iter().all(Cache::no_live_lines)
+            && snap.l1ds.iter().all(Cache::no_live_lines)
+            && self.l1ts.iter().all(Cache::no_live_lines)
+            && snap.l1ts.iter().all(Cache::no_live_lines)
+    }
+
+    /// Return the GPU to its just-constructed state — zeroed arena bytes
+    /// (the mapped-range table survives), reset caches, no tracker — so a
+    /// pooled instance can be reused without reallocating (per-worker
+    /// scratch reuse on the campaign hot path).
+    pub fn reset_in_place(&mut self) {
+        self.mem.clear_data();
+        for c in self.l1ds.iter_mut().chain(self.l1ts.iter_mut()) {
+            c.reset();
+        }
+        self.l2.reset();
+        self.tracker = None;
+    }
+
     // ---- coherent host access ------------------------------------------
 
     /// Host word read: sees the L2's copy if resident (timed mode).
@@ -373,5 +540,86 @@ mod tests {
     fn mode_accessor() {
         let (gpu, _, _) = fresh(Mode::Timed);
         assert_eq!(gpu.mode(), Mode::Timed);
+    }
+
+    #[test]
+    fn snapshot_resume_reproduces_golden_suffix() {
+        let k = store_kernel();
+        let (mut g1, lc, out) = fresh(Mode::Timed);
+        let golden = g1
+            .launch(&k, &lc, FaultPlan::None, &Budget::unlimited())
+            .unwrap();
+        let gold_out = g1.host_read_block(out, 64);
+
+        let (mut g2, lc2, _) = fresh(Mode::Timed);
+        let mid = golden.cycles / 2;
+        let (istats, snap) = g2.snapshot_at(&k, &lc2, &Budget::unlimited(), mid).unwrap();
+        assert_eq!(istats, golden, "instrumented run must not perturb stats");
+        let snap = snap.expect("mid-run snapshot");
+        assert_eq!(snap.cycle(), mid);
+
+        let (mut g3, lc3, out3) = fresh(Mode::Timed);
+        let r = g3
+            .resume_from(&snap, &k, &lc3, None, &Budget::unlimited(), None)
+            .unwrap();
+        assert_eq!(r.stats, golden, "resumed run must finish bit-identically");
+        assert_eq!(r.resumed_at, mid);
+        assert_eq!(r.simulated_cycles, golden.cycles - mid);
+        assert_eq!(r.converged_at, None);
+        assert_eq!(g3.host_read_block(out3, 64), gold_out);
+    }
+
+    #[test]
+    fn resume_with_fault_matches_slow_path() {
+        use crate::fault::{HwStructure, UarchFault, UarchInjector};
+        let k = store_kernel();
+        let (mut g1, lc, out) = fresh(Mode::Timed);
+        let golden = g1
+            .launch(&k, &lc, FaultPlan::None, &Budget::unlimited())
+            .unwrap();
+        let fault = UarchFault {
+            cycle: golden.cycles / 2 + 1,
+            structure: HwStructure::L2,
+            loc_pick: 12345,
+            bit: 7,
+        };
+
+        // Slow path: full run with the fault from cycle 0.
+        let (mut gs, lcs, outs) = fresh(Mode::Timed);
+        let mut slow_inj = UarchInjector::new(fault);
+        let slow = gs
+            .launch(
+                &k,
+                &lcs,
+                FaultPlan::Uarch(&mut slow_inj),
+                &Budget::unlimited(),
+            )
+            .unwrap();
+        let slow_out = gs.host_read_block(outs, 64);
+
+        // Fast path: snapshot before the fault, resume with it pending.
+        let (mut gc, lcc, _) = fresh(Mode::Timed);
+        let (_, snap) = gc
+            .snapshot_at(&k, &lcc, &Budget::unlimited(), golden.cycles / 2)
+            .unwrap();
+        let snap = snap.unwrap();
+        let (mut gf, lcf, outf) = fresh(Mode::Timed);
+        let mut ff_inj = UarchInjector::new(fault);
+        let r = gf
+            .resume_from(
+                &snap,
+                &k,
+                &lcf,
+                Some(&mut ff_inj),
+                &Budget::unlimited(),
+                None,
+            )
+            .unwrap();
+        assert_eq!(r.stats, slow, "fault trial must be path-independent");
+        assert_eq!(slow_inj.applied, ff_inj.applied);
+        assert_eq!(slow_inj.population, ff_inj.population);
+        assert_eq!(gf.host_read_block(outf, 64), slow_out);
+        assert_eq!(gf.host_read_block(out, 64), gs.host_read_block(out, 64));
+        let _ = out;
     }
 }

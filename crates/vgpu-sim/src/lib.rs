@@ -31,6 +31,7 @@ pub mod functional;
 pub mod gpu;
 pub mod lifetime;
 pub mod mem;
+pub mod snapshot;
 pub mod stats;
 pub mod timed;
 pub mod warp;
@@ -41,4 +42,5 @@ pub use fault::{HwStructure, SwFault, SwFaultKind, SwInjector, UarchFault, Uarch
 pub use gpu::{Budget, FaultPlan, Gpu, LaunchAbort, Mode};
 pub use lifetime::LifetimeTracker;
 pub use mem::{ArenaPlanner, GlobalMem};
+pub use snapshot::{ConvergeWith, DeviceSnapshot, ResumeOutcome, SimSnapshot};
 pub use stats::{CacheStats, Stats};

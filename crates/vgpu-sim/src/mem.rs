@@ -9,7 +9,7 @@
 use crate::due::DueKind;
 
 /// Device memory arena with a mapped-range table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GlobalMem {
     data: Vec<u8>,
     /// Sorted, disjoint `[start, end)` mapped ranges.
@@ -92,6 +92,18 @@ impl GlobalMem {
     pub fn write_line(&mut self, addr: u32, bytes: &[u8]) {
         self.data[addr as usize..addr as usize + bytes.len()].copy_from_slice(bytes);
     }
+
+    /// Zero the whole arena, keeping the mapped-range table. Scratch-reuse
+    /// helper: a recycled arena must start from the same all-zero bytes a
+    /// fresh [`GlobalMem::new`] would have.
+    pub fn clear_data(&mut self) {
+        self.data.fill(0);
+    }
+
+    /// Approximate heap footprint in bytes (snapshot accounting).
+    pub fn byte_size(&self) -> u64 {
+        self.data.len() as u64 + self.mapped.len() as u64 * 8
+    }
 }
 
 /// Bump allocator producing guarded, 256-byte-aligned device allocations.
@@ -126,6 +138,21 @@ impl ArenaPlanner {
     /// Current high-water mark (exclusive end of the allocated space).
     pub fn high_water(&self) -> u32 {
         self.cursor
+    }
+
+    /// Whether `mem` has exactly the arena size and mapped-range table
+    /// [`ArenaPlanner::build`] would produce right now — the condition for
+    /// recycling an existing arena (after [`GlobalMem::clear_data`])
+    /// instead of allocating a fresh one.
+    pub fn builds_layout_of(&self, mem: &GlobalMem) -> bool {
+        let size = (self.cursor + 0x1000).div_ceil(4096) * 4096;
+        mem.size() == size
+            && mem.mapped.len() == self.regions.len()
+            && self
+                .regions
+                .iter()
+                .map(|&(s, l)| (s, s + l))
+                .eq(mem.mapped.iter().copied())
     }
 
     /// Build the arena: size it to the high-water mark (plus slack) and map

@@ -1,0 +1,119 @@
+//! Architectural snapshots of the timed engine — the mechanism behind the
+//! golden-prefix fast-forward for injection campaigns.
+//!
+//! A [`SimSnapshot`] captures the complete mid-launch machine state:
+//! per-SM warp contexts, register files, shared memory, the L1D/L1T/L2
+//! arrays with their tags / dirty bits / LRU ages / MSHRs, all of global
+//! memory, CTA scheduling state, and the statistics counters accumulated
+//! so far. Restoring one is a verbatim clone, so a run resumed from a
+//! snapshot at cycle `X` is bit-identical — outputs, statistics, cycle
+//! count, DUE behaviour — to an uninterrupted run passing through `X`.
+//!
+//! Injection trials exploit this in two ways (see `docs/PERF.md`):
+//!
+//! * **Fast-forward**: a fault at cycle `c` leaves everything before `c`
+//!   equal to the golden run, so the trial resumes from the nearest
+//!   golden snapshot at-or-before `c` instead of simulating from cycle 0.
+//! * **Early masked-convergence exit**: after the flip, the disturbed
+//!   machine is periodically compared against the golden snapshot at the
+//!   same cycle; architectural equality means the remaining execution is
+//!   bit-identical to golden, so the golden suffix is spliced in and the
+//!   trial ends early ([`ConvergeWith`]).
+
+use crate::cache::Cache;
+use crate::mem::GlobalMem;
+use crate::stats::Stats;
+use crate::timed::EngineState;
+
+/// Full mid-launch machine state at one cycle of one kernel launch.
+///
+/// Produced by `Gpu::launch_instrumented` / `Gpu::snapshot_at`, consumed
+/// by `Gpu::resume_from`. Opaque outside the simulator: the campaign
+/// layers only ever ask for its [`cycle`](SimSnapshot::cycle) and
+/// [`byte_size`](SimSnapshot::byte_size).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSnapshot {
+    pub(crate) engine: EngineState,
+    pub(crate) mem: GlobalMem,
+    pub(crate) l1ds: Vec<Cache>,
+    pub(crate) l1ts: Vec<Cache>,
+    pub(crate) l2: Cache,
+}
+
+impl SimSnapshot {
+    /// Cycle (within the launch) at which this snapshot was captured.
+    pub fn cycle(&self) -> u64 {
+        self.engine.cycle
+    }
+
+    /// Approximate heap footprint in bytes (for the `snapshot_bytes`
+    /// observability gauge).
+    pub fn byte_size(&self) -> u64 {
+        self.engine.byte_size()
+            + self.mem.byte_size()
+            + self
+                .l1ds
+                .iter()
+                .chain(self.l1ts.iter())
+                .map(Cache::byte_size)
+                .sum::<u64>()
+            + self.l2.byte_size()
+    }
+}
+
+/// Device-only state (global memory + cache hierarchy) at a kernel
+/// boundary, between launches. Cheaper than a [`SimSnapshot`] — there is
+/// no engine state to keep when no kernel is in flight — and the unit of
+/// per-launch fast-forward for multi-kernel applications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSnapshot {
+    pub(crate) mem: GlobalMem,
+    pub(crate) l1ds: Vec<Cache>,
+    pub(crate) l1ts: Vec<Cache>,
+    pub(crate) l2: Cache,
+}
+
+impl DeviceSnapshot {
+    /// Approximate heap footprint in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.mem.byte_size()
+            + self
+                .l1ds
+                .iter()
+                .chain(self.l1ts.iter())
+                .map(Cache::byte_size)
+                .sum::<u64>()
+            + self.l2.byte_size()
+    }
+}
+
+/// Golden reference handed to `Gpu::resume_from` to enable the early
+/// masked-convergence exit for one launch.
+pub struct ConvergeWith<'a> {
+    /// Golden mid-launch snapshots of this launch, sorted by cycle; the
+    /// disturbed machine is compared against each one it reaches after
+    /// the fault has been applied.
+    pub snaps: &'a [SimSnapshot],
+    /// Golden device state at the end of this launch (L1s invalidated),
+    /// restored wholesale when the trial converges.
+    pub end: &'a DeviceSnapshot,
+    /// Golden statistics of this launch (the launch delta, not an
+    /// aggregate), used to credit the skipped suffix.
+    pub end_stats: Stats,
+}
+
+/// What `Gpu::resume_from` did, beyond the launch statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct ResumeOutcome {
+    /// Launch statistics, bit-identical to a from-zero run of the same
+    /// launch with the same fault.
+    pub stats: Stats,
+    /// Cycle the run was resumed at (the snapshot's cycle).
+    pub resumed_at: u64,
+    /// Cycles actually simulated (excludes both the skipped prefix and,
+    /// on convergence, the spliced suffix).
+    pub simulated_cycles: u64,
+    /// Cycle at which the disturbed machine re-converged to golden, if
+    /// the early masked-convergence exit fired.
+    pub converged_at: Option<u64>,
+}

@@ -111,6 +111,25 @@ impl Stats {
         self.resident_warp_cycles += o.resident_warp_cycles;
         self.max_warp_cycles += o.max_warp_cycles;
     }
+
+    /// Add `end − at` for the engine-accumulated counters (instruction,
+    /// issue/stall and residency counts) — the golden-suffix credit used
+    /// by the masked-convergence early exit. Cycles, DRAM traffic and
+    /// cache deltas are spliced separately by the caller.
+    pub fn add_engine_delta(&mut self, end: &Stats, at: &Stats) {
+        self.issue_cycles += end.issue_cycles - at.issue_cycles;
+        self.stall_cycles += end.stall_cycles - at.stall_cycles;
+        self.warp_instrs += end.warp_instrs - at.warp_instrs;
+        self.thread_instrs += end.thread_instrs - at.thread_instrs;
+        self.load_instrs += end.load_instrs - at.load_instrs;
+        self.store_instrs += end.store_instrs - at.store_instrs;
+        self.smem_instrs += end.smem_instrs - at.smem_instrs;
+        self.gp_dest_instrs += end.gp_dest_instrs - at.gp_dest_instrs;
+        self.ld_dest_instrs += end.ld_dest_instrs - at.ld_dest_instrs;
+        self.src_reg_instrs += end.src_reg_instrs - at.src_reg_instrs;
+        self.resident_warp_cycles += end.resident_warp_cycles - at.resident_warp_cycles;
+        self.max_warp_cycles += end.max_warp_cycles - at.max_warp_cycles;
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@ pub struct StackEntry {
 pub const RPC_NONE: u32 = u32::MAX;
 
 /// Execution state of one warp.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Warp {
     pub stack: Vec<StackEntry>,
     /// Per-predicate lane bitmasks (bit `l` of `preds[p]` = P_p of lane l).

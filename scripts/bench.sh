@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Fast-forward speedup measurement (docs/PERF.md): run the same uarch
+# fault-injection campaigns with golden-prefix fast-forward on (the
+# default) and off (--no-fast-forward), check the two classify
+# byte-identically, write results/BENCH_5.json, and fail unless the
+# aggregate speedup is at least 3x.
+#
+#   scripts/bench.sh            # default workload (LUD SRADv1 SCP, n=12)
+#   APPS="VA" N=24 scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+APPS=${APPS:-"LUD SRADv1 SCP"}
+N=${N:-12}
+SEED=${SEED:-7}
+THRESHOLD=${THRESHOLD:-3.0}
+OUT=results/BENCH_5.json
+
+echo "==> cargo build --release -p bench"
+cargo build --release -q -p bench
+CAMPAIGN=target/release/campaign
+
+run_ms() { # app extra-flags... -> "wall_ms trials fingerprint"
+  local app=$1
+  shift
+  local log s e
+  log=$(mktemp)
+  s=$(date +%s%N)
+  "$CAMPAIGN" run --app "$app" --layer uarch --n "$N" --seed "$SEED" "$@" \
+    > "$log" 2>&1
+  e=$(date +%s%N)
+  local trials fp
+  trials=$(grep -oE 'plan: [0-9]+ trials' "$log" | grep -oE '[0-9]+')
+  fp=$(grep -oE 'result fingerprint: 0x[0-9a-f]+' "$log" | grep -oE '0x[0-9a-f]+')
+  rm -f "$log"
+  echo "$(((e - s) / 1000000)) $trials $fp"
+}
+
+total_on_ms=0
+total_off_ms=0
+total_trials=0
+rows=""
+for app in $APPS; do
+  # Warm up caches and the allocator before timing anything.
+  "$CAMPAIGN" run --app "$app" --layer uarch --n 2 --seed "$SEED" > /dev/null 2>&1
+  read -r on_ms trials fp_on <<< "$(run_ms "$app")"
+  read -r off_ms _ fp_off <<< "$(run_ms "$app" --no-fast-forward)"
+  if [ "$fp_on" != "$fp_off" ]; then
+    echo "FAIL: $app fingerprints differ (ff $fp_on vs slow $fp_off)" >&2
+    exit 1
+  fi
+  speedup=$(awk -v a="$off_ms" -v b="$on_ms" 'BEGIN { printf "%.2f", a / b }')
+  echo "$app: $trials trials, ff ${on_ms}ms vs slow ${off_ms}ms (${speedup}x), fingerprint $fp_on"
+  total_on_ms=$((total_on_ms + on_ms))
+  total_off_ms=$((total_off_ms + off_ms))
+  total_trials=$((total_trials + trials))
+  rows+=$(printf '    {"app": "%s", "trials": %d, "ff_on_ms": %d, "ff_off_ms": %d, "speedup": %s},\n' \
+    "$app" "$trials" "$on_ms" "$off_ms" "$speedup")$'\n'
+done
+
+speedup=$(awk -v a="$total_off_ms" -v b="$total_on_ms" 'BEGIN { printf "%.2f", a / b }')
+tps_on=$(awk -v t="$total_trials" -v ms="$total_on_ms" 'BEGIN { printf "%.1f", t * 1000 / ms }')
+tps_off=$(awk -v t="$total_trials" -v ms="$total_off_ms" 'BEGIN { printf "%.1f", t * 1000 / ms }')
+
+cat > "$OUT" <<EOF
+{
+  "bench": "fast_forward",
+  "layer": "uarch",
+  "n_per_structure": $N,
+  "seed": $SEED,
+  "apps": [
+${rows%,*}
+  ],
+  "total_trials": $total_trials,
+  "ff_on": {"wall_ms": $total_on_ms, "trials_per_sec": $tps_on},
+  "ff_off": {"wall_ms": $total_off_ms, "trials_per_sec": $tps_off},
+  "speedup": $speedup,
+  "threshold": $THRESHOLD
+}
+EOF
+echo "wrote $OUT"
+echo "aggregate: $total_trials trials, ff ${tps_on}/s vs slow ${tps_off}/s — ${speedup}x"
+
+awk -v s="$speedup" -v t="$THRESHOLD" 'BEGIN { exit !(s >= t) }' || {
+  echo "FAIL: aggregate speedup ${speedup}x is below the ${THRESHOLD}x gate" >&2
+  exit 1
+}
+echo "fast-forward speedup gate: OK (>= ${THRESHOLD}x)"

@@ -14,7 +14,10 @@ cargo build --release --workspace
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
-echo "==> campaign shard-merge smoke"
+echo "==> cargo bench --no-run (criterion benches must compile)"
+cargo bench --no-run -q
+
+echo "==> campaign shard-merge + fast-forward smoke"
 cargo run --release -q -p bench --bin campaign -- smoke
 
 echo "==> ace_study smoke"
@@ -44,8 +47,15 @@ wait "$SERVE_PID"
 wait
 cmp "$DISP/single.csv" "$DISP/dispatch.csv"
 grep -Eq '\([1-9][0-9]* reassigned' "$DISP/serve.log"
+
+echo "==> fast-forward equivalence smoke (docs/PERF.md)"
+# The golden-prefix fast-forward engine (default) must produce the same
+# assembled CSV as a full slow-path run of the same plan.
+"$CAMPAIGN" run --app VA --layer uarch --n 6 --seed 1234 --no-fast-forward \
+  --csv "$DISP/slow.csv" > /dev/null
+cmp "$DISP/single.csv" "$DISP/slow.csv"
 rm -rf "$DISP"
-echo "dispatch smoke: merged CSV byte-identical to single-process run"
+echo "dispatch + fast-forward smoke: CSVs byte-identical"
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --release --workspace -- -D warnings
