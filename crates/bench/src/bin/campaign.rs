@@ -36,7 +36,7 @@ use std::path::{Path, PathBuf};
 use std::process::exit;
 
 use bench::{finish_observability, init_observability, parse_structures};
-use dispatch::{CampaignSpec, DispatchCfg, WorkerCfg};
+use dispatch::{CampaignSpec, DispatchCfg, TelemetryCfg, WorkerCfg};
 use kernels::{all_benchmarks, Benchmark};
 use relia::checkpoint::CheckpointHeader;
 use relia::plan::{
@@ -479,6 +479,26 @@ fn check_addr(flag: &str, addr: &str) -> String {
     }
 }
 
+/// Build a [`TelemetryCfg`] from `--telemetry-port` (port 0 = ephemeral;
+/// pair it with `--telemetry-port-file` so pollers can find the port).
+fn telemetry_cfg(sub: &str, port: Option<u64>, port_file: Option<PathBuf>) -> Option<TelemetryCfg> {
+    match (port, port_file) {
+        (None, None) => None,
+        (None, Some(_)) => die(&format!(
+            "{sub}: --telemetry-port-file requires --telemetry-port"
+        )),
+        (Some(p), pf) => {
+            if p > u16::MAX as u64 {
+                die(&format!("--telemetry-port must be 0..=65535, got {p}"));
+            }
+            Some(TelemetryCfg {
+                listen: format!("127.0.0.1:{p}"),
+                port_file: pf,
+            })
+        }
+    }
+}
+
 /// `campaign serve`: run the dispatch coordinator (docs/DISPATCH.md).
 fn cmd_serve(args: &[String]) {
     let mut listen = String::from("127.0.0.1:0");
@@ -489,6 +509,8 @@ fn cmd_serve(args: &[String]) {
     let mut max_backoff_ms = 5_000u64;
     let mut wait_ms = 200u64;
     let mut out_dir: Option<PathBuf> = None;
+    let mut telemetry_port: Option<u64> = None;
+    let mut telemetry_port_file: Option<PathBuf> = None;
     fn value(args: &[String], i: usize) -> &str {
         args.get(i + 1)
             .unwrap_or_else(|| die(&format!("option {} requires a value", args[i])))
@@ -510,6 +532,8 @@ fn cmd_serve(args: &[String]) {
             "--max-backoff-ms" => max_backoff_ms = num(args, i),
             "--wait-ms" => wait_ms = num(args, i),
             "--out-dir" => out_dir = Some(PathBuf::from(value(args, i))),
+            "--telemetry-port" => telemetry_port = Some(num(args, i)),
+            "--telemetry-port-file" => telemetry_port_file = Some(PathBuf::from(value(args, i))),
             _ => {
                 rest.push(args[i].clone());
                 i += 1;
@@ -563,6 +587,7 @@ fn cmd_serve(args: &[String]) {
         max_backoff: std::time::Duration::from_millis(max_backoff_ms),
         wait_ms,
         out_dir,
+        telemetry: telemetry_cfg("serve", telemetry_port, telemetry_port_file),
     };
     let listener = std::net::TcpListener::bind(&listen)
         .unwrap_or_else(|e| fail(&format!("cannot listen on {listen}: {e}")));
@@ -609,8 +634,15 @@ fn cmd_work(args: &[String]) {
         name: format!("worker-{}", std::process::id()),
         ..WorkerCfg::default()
     };
+    let mut telemetry_port: Option<u64> = None;
+    let mut telemetry_port_file: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
+        if args[i] == "--trace" {
+            cfg.trace = true;
+            i += 1;
+            continue;
+        }
         let Some(v) = args.get(i + 1) else {
             die(&format!("option {} requires a value", args[i]));
         };
@@ -637,11 +669,14 @@ fn cmd_work(args: &[String]) {
             }
             // Fault-tolerance test hook: die abruptly after N trials.
             "--fail-after" => cfg.fail_after = Some(parse_num("--fail-after") as usize),
+            "--telemetry-port" => telemetry_port = Some(parse_num("--telemetry-port")),
+            "--telemetry-port-file" => telemetry_port_file = Some(PathBuf::from(v)),
             "--events" => {} // handled by init_observability
             other => die(&format!("unknown option {other}")),
         }
         i += 2;
     }
+    cfg.telemetry = telemetry_cfg("work", telemetry_port, telemetry_port_file);
     let Some(addr) = connect else {
         die("work requires --connect HOST:PORT");
     };
@@ -661,10 +696,293 @@ fn cmd_work(args: &[String]) {
     }
 }
 
+/// Fetch and parse a telemetry `/status` document.
+fn fetch_status(addr: &str) -> obs::JsonNode {
+    match obs::http_get(addr, "/status", std::time::Duration::from_secs(2)) {
+        Ok((200, body)) => obs::parse_json(&body)
+            .unwrap_or_else(|| fail(&format!("{addr}/status returned unparseable JSON"))),
+        Ok((code, _)) => fail(&format!("{addr}/status returned HTTP {code}")),
+        Err(e) => fail(&format!("cannot reach {addr}: {e}")),
+    }
+}
+
+/// Render one `/status` document as human-readable lines — the shared
+/// body of `campaign status` (one shot) and `campaign top` (live).
+fn fleet_lines(doc: &obs::JsonNode) -> Vec<String> {
+    let s = |k: &str| doc.get(k).and_then(|n| n.as_str().map(String::from));
+    let n = |k: &str| doc.get(k).and_then(obs::JsonNode::as_u64).unwrap_or(0);
+    let mut out = Vec::new();
+    match s("role").as_deref() {
+        Some("coordinator") => {
+            out.push(format!(
+                "coordinator  {} {}  fp {}  shards {}  {}",
+                s("app").unwrap_or_default(),
+                s("layer").unwrap_or_default(),
+                s("campaign_fp").unwrap_or_default(),
+                n("shards"),
+                if doc.get("done").and_then(obs::JsonNode::as_bool) == Some(true) {
+                    "DONE"
+                } else {
+                    "running"
+                },
+            ));
+            let held = n("records_held");
+            let trials = n("trials").max(1);
+            out.push(format!(
+                "records      {held}/{} ({:.1}%)  {:.1} rec/s  eta {:.1}s  elapsed {:.1}s",
+                n("trials"),
+                100.0 * held as f64 / trials as f64,
+                doc.get("records_per_s")
+                    .and_then(obs::JsonNode::as_f64)
+                    .unwrap_or(0.0),
+                n("eta_ms") as f64 / 1e3,
+                n("elapsed_ms") as f64 / 1e3,
+            ));
+            if let Some(st) = doc.get("stats") {
+                let sn = |k: &str| st.get(k).and_then(obs::JsonNode::as_u64).unwrap_or(0);
+                out.push(format!(
+                    "stats        {} workers  {} leases ({} reassigned, {} expired)  \
+                     {} shards done  {} dup  {} torn  {} resent",
+                    sn("workers_joined"),
+                    sn("leases_granted"),
+                    sn("leases_reassigned"),
+                    sn("leases_expired"),
+                    sn("shards_completed"),
+                    sn("duplicate_records"),
+                    sn("torn_frames"),
+                    sn("resend_requests"),
+                ));
+            }
+            let mut t = Table::new(
+                "shards",
+                &[
+                    "Shard",
+                    "State",
+                    "Owner",
+                    "Held/Total",
+                    "Attempts",
+                    "HB age",
+                    "Retry in",
+                ],
+            );
+            for sh in doc
+                .get("shard_detail")
+                .and_then(obs::JsonNode::as_arr)
+                .unwrap_or(&[])
+            {
+                let g = |k: &str| sh.get(k).and_then(obs::JsonNode::as_u64).unwrap_or(0);
+                let state = sh
+                    .get("state")
+                    .and_then(obs::JsonNode::as_str)
+                    .unwrap_or("?");
+                t.row(vec![
+                    g("shard").to_string(),
+                    state.to_string(),
+                    sh.get("owner")
+                        .and_then(obs::JsonNode::as_str)
+                        .unwrap_or("-")
+                        .to_string(),
+                    format!("{}/{}", g("held"), g("total")),
+                    g("attempts").to_string(),
+                    if state == "leased" {
+                        format!("{}ms", g("heartbeat_age_ms"))
+                    } else {
+                        "-".into()
+                    },
+                    if state == "pending" {
+                        format!("{}ms", g("retry_in_ms"))
+                    } else {
+                        "-".into()
+                    },
+                ]);
+            }
+            out.push(t.to_string());
+            let workers: Vec<String> = doc
+                .get("workers")
+                .and_then(obs::JsonNode::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .map(|w| {
+                    let name = w.get("name").and_then(obs::JsonNode::as_str).unwrap_or("?");
+                    match w.get("telemetry").and_then(obs::JsonNode::as_str) {
+                        Some(addr) if !addr.is_empty() => format!("{name} @{addr}"),
+                        _ => name.to_string(),
+                    }
+                })
+                .collect();
+            out.push(format!("workers      {}", workers.join(", ")));
+        }
+        Some("worker") => {
+            out.push(format!(
+                "worker {}  {}/{} trials  masked {}  sdc {}  timeout {}  due {}",
+                s("name").unwrap_or_default(),
+                n("trials_done"),
+                n("trials_total"),
+                n("masked"),
+                n("sdc"),
+                n("timeout"),
+                n("due"),
+            ));
+            if let (Some(p50), Some(p95)) = (
+                doc.get("wall_p50_us").and_then(obs::JsonNode::as_f64),
+                doc.get("wall_p95_us").and_then(obs::JsonNode::as_f64),
+            ) {
+                out.push(format!(
+                    "wall time    p50 {:.1}ms  p95 {:.1}ms",
+                    p50 / 1e3,
+                    p95 / 1e3
+                ));
+            }
+        }
+        _ => out.push("(unrecognized /status document)".into()),
+    }
+    out
+}
+
+/// `campaign status ADDR`: one-shot fleet view from a `/status` endpoint.
+fn cmd_status(args: &[String]) {
+    let Some(addr) = args.first() else {
+        die("status requires ADDR (HOST:PORT of a telemetry endpoint)");
+    };
+    let addr = check_addr("status ADDR", addr);
+    for line in fleet_lines(&fetch_status(&addr)) {
+        println!("{line}");
+    }
+}
+
+/// `campaign top ADDR`: poll `/status` and redraw a live fleet view.
+fn cmd_top(args: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut interval = std::time::Duration::from_millis(1_000);
+    let mut iterations = 0u64; // 0 = until the coordinator reports done
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--interval-ms" | "--iterations" => {
+                let Some(v) = args.get(i + 1) else {
+                    die(&format!("option {} requires a value", args[i]));
+                };
+                let num: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("{} takes a number, got {v:?}", args[i])));
+                if args[i] == "--interval-ms" {
+                    if num == 0 {
+                        die("--interval-ms must be positive");
+                    }
+                    interval = std::time::Duration::from_millis(num);
+                } else {
+                    iterations = num;
+                }
+                i += 2;
+            }
+            a if !a.starts_with("--") && addr.is_none() => {
+                addr = Some(check_addr("top ADDR", a));
+                i += 1;
+            }
+            other => die(&format!("unknown option {other}")),
+        }
+    }
+    let Some(addr) = addr else {
+        die("top requires ADDR (HOST:PORT of a telemetry endpoint)");
+    };
+    use std::io::IsTerminal;
+    let clear = std::io::stdout().is_terminal();
+    let mut round = 0u64;
+    loop {
+        let doc = fetch_status(&addr);
+        if clear {
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("campaign top — {addr} (poll {})", round + 1);
+        for line in fleet_lines(&doc) {
+            println!("{line}");
+        }
+        round += 1;
+        let done = doc.get("done").and_then(obs::JsonNode::as_bool) == Some(true);
+        if done || (iterations > 0 && round >= iterations) {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// `campaign scrape ADDR`: fetch `/metrics` + `/status`, lint both.
+fn cmd_scrape(args: &[String]) {
+    let Some(addr) = args.first() else {
+        die("scrape requires ADDR (HOST:PORT of a telemetry endpoint)");
+    };
+    let addr = check_addr("scrape ADDR", addr);
+    let body = match obs::http_get(&addr, "/metrics", std::time::Duration::from_secs(2)) {
+        Ok((200, body)) => body,
+        Ok((code, _)) => fail(&format!("{addr}/metrics returned HTTP {code}")),
+        Err(e) => fail(&format!("cannot reach {addr}: {e}")),
+    };
+    let series = obs::expo::lint(&body)
+        .unwrap_or_else(|e| fail(&format!("{addr}/metrics failed exposition lint: {e}")));
+    let _ = fetch_status(&addr); // must parse as JSON
+    println!("scrape ok: {series} series, /status parses");
+}
+
+/// `campaign lint`: validate Prometheus exposition text from stdin.
+fn cmd_lint() {
+    use std::io::Read;
+    let mut body = String::new();
+    std::io::stdin()
+        .read_to_string(&mut body)
+        .unwrap_or_else(|e| fail(&format!("cannot read stdin: {e}")));
+    match obs::expo::lint(&body) {
+        Ok(series) => println!("lint ok: {series} series"),
+        Err(e) => fail(&format!("exposition lint failed: {e}")),
+    }
+}
+
+/// `campaign timeline FILE...`: print trace events from JSONL event files
+/// in wall-clock order (one table across coordinator + worker sinks).
+fn cmd_timeline(args: &[String]) {
+    if args.is_empty() {
+        die("timeline requires at least one JSONL events file");
+    }
+    let mut events = Vec::new();
+    for path in args {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        events.extend(text.lines().filter_map(obs::TraceEvent::parse));
+    }
+    if events.is_empty() {
+        fail("no trace records found (run workers with --trace and an --events sink)");
+    }
+    events.sort_by_key(|e| (e.t_us, e.shard, e.trial));
+    let mut t = Table::new(
+        format!("trace timeline — {} events", events.len()),
+        &["t (ms)", "Kind", "Worker", "Shard", "Trial", "Wall (µs)"],
+    );
+    for e in &events {
+        t.row(vec![
+            format!("{:.3}", e.t_us as f64 / 1e3),
+            e.kind.clone(),
+            if e.worker.is_empty() {
+                "-".into()
+            } else {
+                e.worker.clone()
+            },
+            e.shard.to_string(),
+            if e.trial == u64::MAX {
+                "-".into()
+            } else {
+                e.trial.to_string()
+            },
+            e.wall_us.to_string(),
+        ]);
+    }
+    println!("{t}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(sub) = args.get(1) else {
-        die("usage: campaign <run|merge|serve|work|smoke> [options] (see docs/CAMPAIGNS.md and docs/DISPATCH.md)");
+        die(
+            "usage: campaign <run|merge|serve|work|status|top|scrape|lint|timeline|smoke> \
+             [options] (see docs/CAMPAIGNS.md, docs/DISPATCH.md, docs/OBSERVABILITY.md)",
+        );
     };
     init_observability();
     match sub.as_str() {
@@ -672,9 +990,14 @@ fn main() {
         "merge" => cmd_merge(&args[2..]),
         "serve" => cmd_serve(&args[2..]),
         "work" => cmd_work(&args[2..]),
+        "status" => cmd_status(&args[2..]),
+        "top" => cmd_top(&args[2..]),
+        "scrape" => cmd_scrape(&args[2..]),
+        "lint" => cmd_lint(),
+        "timeline" => cmd_timeline(&args[2..]),
         "smoke" => cmd_smoke(),
         other => die(&format!(
-            "unknown subcommand {other:?} (run|merge|serve|work|smoke)"
+            "unknown subcommand {other:?} (run|merge|serve|work|status|top|scrape|lint|timeline|smoke)"
         )),
     }
     finish_observability();

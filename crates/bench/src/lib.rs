@@ -72,6 +72,9 @@ pub fn parse_structures(spec: &str) -> Result<Vec<vgpu_sim::HwStructure>, String
 /// no extra output, identical results (observability never touches the
 /// seeded RNG streams).
 pub fn init_observability() {
+    // Always installed: a panicking campaign must not lose the buffered
+    // event/trace lines needed to debug the panic.
+    obs::install_panic_hook();
     let args: Vec<String> = std::env::args().collect();
     if args.last().map(String::as_str) == Some("--events") {
         eprintln!("error: --events requires a path");

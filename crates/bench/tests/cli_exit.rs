@@ -87,6 +87,47 @@ fn dispatch_validation_errors_exit_2() {
 }
 
 #[test]
+fn telemetry_validation_errors_exit_2() {
+    // Telemetry flags and the status/top/scrape/timeline consumers.
+    assert_exit(&["serve", "--app", "VA", "--telemetry-port", "70000"], 2);
+    assert_exit(
+        &["serve", "--app", "VA", "--telemetry-port-file", "p.txt"],
+        2,
+    ); // port file without a port
+    assert_exit(
+        &[
+            "work",
+            "--connect",
+            "127.0.0.1:80",
+            "--telemetry-port-file",
+            "p.txt",
+        ],
+        2,
+    );
+    assert_exit(&["status"], 2); // missing ADDR
+    assert_exit(&["status", "nonsense"], 2);
+    assert_exit(&["top"], 2);
+    assert_exit(&["top", "127.0.0.1:80", "--interval-ms", "0"], 2);
+    assert_exit(&["top", "127.0.0.1:80", "--bogus"], 2);
+    assert_exit(&["scrape"], 2);
+    assert_exit(&["timeline"], 2); // no files
+}
+
+#[test]
+fn telemetry_runtime_failures_exit_1() {
+    // A dead port is a runtime failure for every poller, and a missing
+    // events file is a runtime failure for the timeline renderer.
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    assert_exit(&["status", &addr], 1);
+    assert_exit(&["scrape", &addr], 1);
+    assert_exit(&["timeline", "/definitely/not/events.jsonl"], 1);
+}
+
+#[test]
 fn runtime_failures_exit_1() {
     // Unreadable checkpoint: well-formed command, failing execution.
     assert_exit(

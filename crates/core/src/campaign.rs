@@ -28,6 +28,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::Ordering as AtomicOrdering;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -477,6 +478,28 @@ fn trial_sort_key(t: &crate::plan::PlannedTrial) -> (u64, u64) {
     }
 }
 
+/// Refresh the engine-side throughput gauges consumed by `/metrics` and
+/// the telemetry `/status` documents. Rates are stored in milli-units
+/// (gauges are integers): `campaign_trial_rate_milli` is trials/s ×
+/// 1000; `campaign_eta_ms` is the projected time to finish the current
+/// trial set at the observed rate.
+fn record_trial_rate(done: u64, total: u64, t0: Instant) {
+    obs::gauge_set("campaign_trials_done", &[], done);
+    obs::gauge_set("campaign_trials_planned", &[], total);
+    let secs = t0.elapsed().as_secs_f64();
+    if secs > 0.0 {
+        let rate = done as f64 / secs;
+        obs::gauge_set("campaign_trial_rate_milli", &[], (rate * 1e3) as u64);
+        if rate > 0.0 && total >= done {
+            obs::gauge_set(
+                "campaign_eta_ms",
+                &[],
+                ((total - done) as f64 / rate * 1e3) as u64,
+            );
+        }
+    }
+}
+
 /// Execute an explicit set of plan indices in parallel, streaming every
 /// classified trial into `sink` as it finishes (in completion order, not
 /// plan order — records are self-describing via [`TrialRecord::idx`]).
@@ -522,10 +545,26 @@ where
     if snaps.is_some() {
         order.sort_by_key(|&i| trial_sort_key(&prep.plan.trials[i]));
     }
+    // Fleet telemetry: progress / throughput / ETA gauges for the local
+    // `/metrics` endpoint, and per-trial trace contexts. Pure
+    // observation — nothing here touches the seeded RNG streams.
+    let telem = observing();
+    if telem {
+        obs::trace::set_campaign_fp(prep.plan.fingerprint());
+    }
+    let total = order.len() as u64;
+    let done_ctr = std::sync::atomic::AtomicU64::new(0);
+    let t0 = Instant::now();
     let mut records: Vec<TrialRecord> = order
         .par_iter()
         .map(|&idx| -> Result<TrialRecord, std::io::Error> {
-            let rec = run_one_trial(prep, &prep.plan.trials[idx], snaps);
+            let rec = obs::trace::with_ctx(idx as u64, || {
+                run_one_trial(prep, &prep.plan.trials[idx], snaps)
+            });
+            if telem {
+                let done = done_ctr.fetch_add(1, AtomicOrdering::Relaxed) + 1;
+                record_trial_rate(done, total, t0);
+            }
             sink(&rec)?;
             Ok(rec)
         })
@@ -552,6 +591,7 @@ pub fn execute_shard(
 ) -> Result<Vec<TrialRecord>, EngineError> {
     let plan = &prep.plan;
     let my = shard_trials(plan.len(), eng.shards, eng.shard_index);
+    obs::trace::set_shard(eng.shard_index as u64);
     let header = CheckpointHeader::for_plan(plan, eng.shards, eng.shard_index);
     let mut slots: Vec<Option<TrialRecord>> = vec![None; plan.len()];
 

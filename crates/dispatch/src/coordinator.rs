@@ -24,9 +24,10 @@
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use obs::events::push_json_str;
 use obs::{counter_add, emit_dispatch, gauge_set, DispatchEvent};
 use relia::checkpoint::{CheckpointHeader, CheckpointWriter, TrialRecord};
 use relia::plan::{shard_trials, CampaignPlan};
@@ -34,7 +35,7 @@ use relia::plan::{shard_trials, CampaignPlan};
 use crate::proto::{
     parse_frame, write_frame, CampaignSpec, Frame, Line, LineReader, PROTO_VERSION,
 };
-use crate::DispatchError;
+use crate::{DispatchError, TelemetryCfg};
 
 /// Accept-loop tick: how often the coordinator scans for expired leases.
 const ACCEPT_TICK: Duration = Duration::from_millis(20);
@@ -44,6 +45,14 @@ const HANDLER_TICK: Duration = Duration::from_millis(50);
 /// How long a handler lingers after sending `shutdown`, waiting for the
 /// worker to hang up first (so the worker reads the frame, not a reset).
 const FAREWELL_GRACE: Duration = Duration::from_secs(5);
+/// How often the accept loop re-renders the `/status` fleet view (the
+/// render scans every slot, so it runs well below the accept tick rate).
+const STATUS_TICK: Duration = Duration::from_millis(250);
+/// How often the scraper thread polls worker `/metrics` endpoints.
+const SCRAPE_TICK: Duration = Duration::from_millis(500);
+/// Per-worker scrape budget; a hung worker endpoint must not stall the
+/// whole scrape round.
+const SCRAPE_TIMEOUT: Duration = Duration::from_millis(250);
 
 /// Coordinator tuning knobs.
 #[derive(Debug, Clone)]
@@ -62,6 +71,9 @@ pub struct DispatchCfg {
     /// Journal each completed shard here as a checkpoint file, fsynced
     /// *before* the shard is acked (crash-safe hand-off).
     pub out_dir: Option<PathBuf>,
+    /// Mount `GET /metrics` + `GET /status` here while serving
+    /// (docs/OBSERVABILITY.md). `None` = no telemetry server.
+    pub telemetry: Option<TelemetryCfg>,
 }
 
 impl Default for DispatchCfg {
@@ -73,6 +85,7 @@ impl Default for DispatchCfg {
             max_backoff: Duration::from_secs(5),
             wait_ms: 200,
             out_dir: None,
+            telemetry: None,
         }
     }
 }
@@ -113,6 +126,7 @@ enum ShardState {
     },
     Leased {
         conn: u64,
+        worker: String,
         expires: Instant,
         attempts: u64,
     },
@@ -134,6 +148,10 @@ struct Ctx<'a> {
     /// Plan indices owned by each shard (strided cover, precomputed).
     shard_idxs: Vec<Vec<usize>>,
     fingerprint: u64,
+    started: Instant,
+    /// Workers that said hello: `(name, telemetry addr)` — addr may be
+    /// empty when the worker mounts no telemetry server.
+    workers: Mutex<Vec<(String, String)>>,
     state: Mutex<State>,
 }
 
@@ -183,6 +201,8 @@ pub fn serve(
         cfg,
         shard_idxs,
         fingerprint: plan.fingerprint(),
+        started: Instant::now(),
+        workers: Mutex::new(Vec::new()),
         state: Mutex::new(State {
             slots: vec![None; plan.len()],
             shards,
@@ -191,13 +211,58 @@ pub fn serve(
             fatal: None,
         }),
     };
+    obs::trace::set_campaign_fp(ctx.fingerprint);
+    // Lifecycle markers (serve_start/lease/shard_complete/complete) are
+    // gated on the tracing switch; a coordinator with a live events sink
+    // wants them in the timeline alongside the worker-forwarded records.
+    if obs::events_enabled() {
+        obs::trace::set_tracing(true);
+    }
+    obs::trace::emit_for("serve_start", 0, u64::MAX, 0);
     listener.set_nonblocking(true)?;
     let next_conn = AtomicU64::new(1);
 
+    // Telemetry: the HTTP handlers need 'static content, so the accept
+    // loop publishes the fleet view into shared strings the server reads.
+    let status_doc = Arc::new(Mutex::new(String::from("{}")));
+    let worker_metrics = Arc::new(Mutex::new(String::new()));
+    let _telemetry = match &cfg.telemetry {
+        None => None,
+        Some(tcfg) => {
+            let status = Arc::clone(&status_doc);
+            let extra = Arc::clone(&worker_metrics);
+            Some(crate::mount_telemetry(
+                tcfg,
+                obs::Handlers {
+                    status: Box::new(move || status.lock().unwrap().clone()),
+                    metrics_extra: Box::new(move || extra.lock().unwrap().clone()),
+                },
+            )?)
+        }
+    };
+
     std::thread::scope(|s| {
+        if _telemetry.is_some() {
+            // Scraper: poll every advertised worker /metrics and
+            // re-export the series under worker="name" labels.
+            let ctx = &ctx;
+            let extra = Arc::clone(&worker_metrics);
+            s.spawn(move || loop {
+                if ctx.state.lock().unwrap().done {
+                    break;
+                }
+                *extra.lock().unwrap() = scrape_workers(ctx);
+                std::thread::sleep(SCRAPE_TICK);
+            });
+        }
+        let mut last_status = Instant::now() - STATUS_TICK;
         loop {
             if ctx.state.lock().unwrap().done {
                 break;
+            }
+            if _telemetry.is_some() && last_status.elapsed() >= STATUS_TICK {
+                last_status = Instant::now();
+                *status_doc.lock().unwrap() = render_status(&ctx);
             }
             match listener.accept() {
                 Ok((stream, _addr)) => {
@@ -220,6 +285,10 @@ pub fn serve(
         // Dropping out of the scope joins every handler; they all notice
         // `done` within one HANDLER_TICK and say goodbye to their worker.
     });
+    // Final (post-completion) fleet view for pollers that race shutdown.
+    if _telemetry.is_some() {
+        *status_doc.lock().unwrap() = render_status(&ctx);
+    }
 
     let st = ctx.state.into_inner().unwrap();
     if let Some(e) = st.fatal {
@@ -240,10 +309,159 @@ pub fn serve(
         done: records.len() as u64,
         total: records.len() as u64,
     });
+    obs::trace::emit_for("complete", 0, u64::MAX, 0);
     Ok(ServeOutcome {
         records,
         stats: st.stats,
     })
+}
+
+/// Render the coordinator's `/status` document: one JSON object with the
+/// fleet view (`campaign status`/`campaign top` poll this). Scans every
+/// slot, so it runs at [`STATUS_TICK`] rate, not per request. Also
+/// refreshes the coordinator-side `dispatch_*` gauges so `/metrics`
+/// moves in lockstep with `/status`.
+fn render_status(ctx: &Ctx) -> String {
+    let st = ctx.state.lock().unwrap();
+    let now = Instant::now();
+    let held_total = st.slots.iter().filter(|s| s.is_some()).count();
+    let planned = st.slots.len();
+    let elapsed = ctx.started.elapsed();
+    let rate = if elapsed.as_secs_f64() > 0.0 {
+        held_total as f64 / elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    let remaining = planned.saturating_sub(held_total);
+    let eta_ms = if st.done {
+        0
+    } else if rate > 0.0 {
+        (remaining as f64 / rate * 1000.0) as u64
+    } else {
+        0
+    };
+    gauge_set("dispatch_records_held", &[], held_total as u64);
+    gauge_set("dispatch_records_planned", &[], planned as u64);
+    gauge_set("dispatch_record_rate_milli", &[], (rate * 1000.0) as u64);
+    gauge_set("dispatch_eta_ms", &[], eta_ms);
+    gauge_set(
+        "dispatch_workers_known",
+        &[],
+        ctx.workers.lock().unwrap().len() as u64,
+    );
+
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"record\":\"dispatch_status\",\"role\":\"coordinator\"");
+    out.push_str(",\"app\":");
+    push_json_str(&mut out, &ctx.spec.app);
+    out.push_str(",\"layer\":");
+    push_json_str(&mut out, ctx.spec.layer.label());
+    out.push_str(",\"campaign_fp\":");
+    push_json_str(&mut out, &format!("{:016x}", ctx.fingerprint));
+    out.push_str(&format!(
+        ",\"shards\":{},\"trials\":{planned},\"records_held\":{held_total}",
+        ctx.cfg.shards
+    ));
+    out.push_str(&format!(
+        ",\"records_per_s\":{:.3},\"eta_ms\":{eta_ms},\"elapsed_ms\":{}",
+        rate,
+        elapsed.as_millis()
+    ));
+    out.push_str(&format!(",\"done\":{}", st.done));
+    out.push_str(&format!(
+        ",\"stats\":{{\"workers_joined\":{},\"leases_granted\":{},\"leases_reassigned\":{},\
+         \"leases_expired\":{},\"shards_completed\":{},\"duplicate_records\":{},\
+         \"torn_frames\":{},\"resend_requests\":{}}}",
+        st.stats.workers_joined,
+        st.stats.leases_granted,
+        st.stats.leases_reassigned,
+        st.stats.leases_expired,
+        st.stats.shards_completed,
+        st.stats.duplicate_records,
+        st.stats.torn_frames,
+        st.stats.resend_requests
+    ));
+    out.push_str(",\"shard_detail\":[");
+    for (i, s) in st.shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let held = ctx.shard_idxs[i]
+            .iter()
+            .filter(|&&t| st.slots[t].is_some())
+            .count();
+        let total = ctx.shard_idxs[i].len();
+        out.push_str(&format!(
+            "{{\"shard\":{i},\"held\":{held},\"total\":{total}"
+        ));
+        match s {
+            ShardState::Pending {
+                not_before,
+                attempts,
+            } => {
+                let retry_in = not_before.saturating_duration_since(now).as_millis();
+                out.push_str(&format!(
+                    ",\"state\":\"pending\",\"attempts\":{attempts},\"retry_in_ms\":{retry_in}}}"
+                ));
+            }
+            ShardState::Leased {
+                worker,
+                expires,
+                attempts,
+                ..
+            } => {
+                let expires_in = expires.saturating_duration_since(now);
+                let hb_age = ctx.cfg.lease.saturating_sub(expires_in).as_millis();
+                out.push_str(",\"state\":\"leased\",\"owner\":");
+                push_json_str(&mut out, worker);
+                out.push_str(&format!(
+                    ",\"attempts\":{attempts},\"heartbeat_age_ms\":{hb_age},\
+                     \"expires_in_ms\":{}}}",
+                    expires_in.as_millis()
+                ));
+            }
+            ShardState::Done => out.push_str(",\"state\":\"done\"}"),
+        }
+    }
+    out.push_str("],\"workers\":[");
+    for (i, (name, addr)) in ctx.workers.lock().unwrap().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_json_str(&mut out, name);
+        out.push_str(",\"telemetry\":");
+        push_json_str(&mut out, addr);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Scrape every advertised worker `/metrics`, relabel each series with
+/// `worker="name"`, and return the concatenated exposition text (appended
+/// verbatim to the coordinator's own `/metrics` body — the lint accepts
+/// per-worker label sets under a shared family). Unreachable workers are
+/// skipped; a counter records the misses.
+fn scrape_workers(ctx: &Ctx) -> String {
+    let targets: Vec<(String, String)> = ctx
+        .workers
+        .lock()
+        .unwrap()
+        .iter()
+        .filter(|(_, addr)| !addr.is_empty())
+        .cloned()
+        .collect();
+    let mut out = String::new();
+    for (name, addr) in targets {
+        match obs::http_get(&addr, "/metrics", SCRAPE_TIMEOUT) {
+            Ok((200, body)) => out.push_str(&obs::expo::inject_label(&body, "worker", &name)),
+            Ok(_) | Err(_) => {
+                counter_add("dispatch_scrape_failures_total", &[], 1);
+            }
+        }
+    }
+    out
 }
 
 /// Reclaim leases whose holder has gone silent past the lease duration.
@@ -334,6 +552,7 @@ fn try_grant(ctx: &Ctx, conn: u64, worker: &str) -> Grant {
     };
     st.shards[shard] = ShardState::Leased {
         conn,
+        worker: worker.to_string(),
         expires: now + ctx.cfg.lease,
         attempts,
     };
@@ -356,6 +575,7 @@ fn try_grant(ctx: &Ctx, conn: u64, worker: &str) -> Grant {
         done: done.len() as u64,
         total: ctx.shard_idxs[shard].len() as u64,
     });
+    obs::trace::emit_for("lease", shard as u64, u64::MAX, 0);
     Grant::Lease { shard, done }
 }
 
@@ -464,6 +684,7 @@ fn complete_shard(ctx: &Ctx, shard: usize, worker: &str) -> DoneReply {
         done: ctx.shard_idxs[shard].len() as u64,
         total: ctx.shard_idxs[shard].len() as u64,
     });
+    obs::trace::emit_for("shard_complete", shard as u64, u64::MAX, 0);
     DoneReply::Ack
 }
 
@@ -504,7 +725,18 @@ fn handle_inner(conn: u64, mut stream: TcpStream, ctx: &Ctx) -> std::io::Result<
     let worker = loop {
         match lines.next()? {
             Line::Full(l) => match parse_frame(&l) {
-                Some(Frame::Hello { worker, proto }) if proto == PROTO_VERSION => break worker,
+                Some(Frame::Hello {
+                    worker,
+                    proto,
+                    telemetry,
+                }) if proto == PROTO_VERSION => {
+                    let mut ws = ctx.workers.lock().unwrap();
+                    match ws.iter_mut().find(|(n, _)| *n == worker) {
+                        Some(entry) => entry.1 = telemetry,
+                        None => ws.push((worker.clone(), telemetry)),
+                    }
+                    break worker;
+                }
                 _ => return Ok(()),
             },
             Line::Timeout => {
@@ -598,6 +830,7 @@ fn handle_inner(conn: u64, mut stream: TcpStream, ctx: &Ctx) -> std::io::Result<
                             return Ok(()); // conflicting duplicate: campaign aborted
                         }
                     }
+                    Some(Frame::Trace(ev)) => obs::trace::emit_event(ev),
                     Some(Frame::Heartbeat { shard, .. }) => renew_lease(ctx, conn, shard),
                     Some(Frame::Poll) => continue 'serve,
                     Some(Frame::ShardDone { shard }) => {

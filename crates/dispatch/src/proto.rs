@@ -137,8 +137,15 @@ impl CampaignSpec {
 /// One protocol frame (control frames plus streamed trial records).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
-    /// Worker introduces itself after connecting.
-    Hello { worker: String, proto: u64 },
+    /// Worker introduces itself after connecting. `telemetry` is the
+    /// address of the worker's `/metrics` endpoint (`""` = none); the
+    /// coordinator scrapes it and re-exports the series with a
+    /// `worker=` label.
+    Hello {
+        worker: String,
+        proto: u64,
+        telemetry: String,
+    },
     /// Coordinator describes the campaign; the worker rebuilds the plan.
     Job {
         spec: CampaignSpec,
@@ -167,6 +174,10 @@ pub enum Frame {
     Shutdown,
     /// One classified trial, in the checkpoint record shape.
     Trial(TrialRecord),
+    /// One trace record forwarded worker → coordinator, in the
+    /// `"record":"trace"` JSONL shape (docs/OBSERVABILITY.md), so the
+    /// coordinator's event log holds the fleet-wide timeline.
+    Trace(obs::TraceEvent),
 }
 
 fn idx_list(v: &[usize]) -> String {
@@ -187,10 +198,16 @@ impl Frame {
     /// Serialize as a single JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
         match self {
-            Frame::Hello { worker, proto } => {
+            Frame::Hello {
+                worker,
+                proto,
+                telemetry,
+            } => {
                 let mut s = String::from("{\"frame\":\"hello\",\"worker\":");
                 push_json_str(&mut s, worker);
-                s.push_str(&format!(",\"proto\":{proto}}}"));
+                s.push_str(&format!(",\"proto\":{proto},\"telemetry\":"));
+                push_json_str(&mut s, telemetry);
+                s.push('}');
                 s
             }
             Frame::Job {
@@ -236,6 +253,7 @@ impl Frame {
             Frame::Ack { shard } => format!("{{\"frame\":\"ack\",\"shard\":{shard}}}"),
             Frame::Shutdown => "{\"frame\":\"shutdown\"}".to_string(),
             Frame::Trial(r) => r.to_json(),
+            Frame::Trace(ev) => ev.to_json(),
         }
     }
 }
@@ -248,7 +266,11 @@ pub fn parse_frame(line: &str) -> Option<Frame> {
     let get = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v);
     let num = |k: &str| get(k).and_then(JsonValue::as_u64);
     let Some(kind) = get("frame").and_then(JsonValue::as_str) else {
-        // Not a control frame: try the checkpoint trial-record shape.
+        // Not a control frame: trace records, then the checkpoint
+        // trial-record shape.
+        if get("record").and_then(JsonValue::as_str) == Some("trace") {
+            return obs::TraceEvent::from_fields(&fields).map(Frame::Trace);
+        }
         return match parse_checkpoint_line(line)? {
             CheckpointLine::Trial(t) => Some(Frame::Trial(t)),
             CheckpointLine::Header(_) => None,
@@ -258,6 +280,12 @@ pub fn parse_frame(line: &str) -> Option<Frame> {
         "hello" => Some(Frame::Hello {
             worker: get("worker")?.as_str()?.to_string(),
             proto: num("proto")?,
+            // Absent in frames from pre-telemetry workers: same proto
+            // version, just no scrape endpoint to advertise.
+            telemetry: get("telemetry")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("")
+                .to_string(),
         }),
         "job" => {
             let structures_s = get("structures")?.as_str()?;
@@ -403,6 +431,12 @@ mod tests {
             Frame::Hello {
                 worker: "w\"1\\".into(),
                 proto: PROTO_VERSION,
+                telemetry: "127.0.0.1:9102".into(),
+            },
+            Frame::Hello {
+                worker: "plain".into(),
+                proto: PROTO_VERSION,
+                telemetry: String::new(),
             },
             Frame::Job {
                 spec: spec(),
@@ -446,6 +480,15 @@ mod tests {
                 ctrl: false,
                 wall_us: 950,
             }),
+            Frame::Trace(obs::TraceEvent {
+                kind: "faulty_run".into(),
+                worker: "w1".into(),
+                campaign_fp: u64::MAX - 3,
+                shard: 2,
+                trial: 17,
+                t_us: 1_000_000,
+                wall_us: 917,
+            }),
         ];
         for f in frames {
             let line = f.to_json();
@@ -472,6 +515,18 @@ mod tests {
             fingerprint: 3,
         };
         assert!(parse_frame(&h.to_json()).is_none());
+    }
+
+    #[test]
+    fn hello_without_telemetry_field_still_parses() {
+        assert_eq!(
+            parse_frame("{\"frame\":\"hello\",\"worker\":\"old\",\"proto\":1}"),
+            Some(Frame::Hello {
+                worker: "old".into(),
+                proto: 1,
+                telemetry: String::new(),
+            })
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@ use relia::execute_trials;
 use relia::plan::{shard_trials, PreparedCampaign};
 
 use crate::proto::{parse_frame, write_frame, Frame, Line, LineReader, PROTO_VERSION};
-use crate::DispatchError;
+use crate::{DispatchError, TelemetryCfg};
 
 /// Socket-level read tick; overall patience is [`WorkerCfg::read_timeout`].
 const READ_TICK: Duration = Duration::from_millis(50);
@@ -49,6 +49,13 @@ pub struct WorkerCfg {
     /// Test hook: tear the connection down (no goodbye) after this many
     /// trial records have been streamed, emulating a SIGKILLed worker.
     pub fail_after: Option<usize>,
+    /// Mount a local `GET /metrics` + `GET /status` server here and
+    /// advertise its address in the hello frame so the coordinator
+    /// scrapes and re-exports this worker's series. `None` = headless.
+    pub telemetry: Option<TelemetryCfg>,
+    /// Capture [`obs::TraceEvent`]s during execution and forward them to
+    /// the coordinator as `trace` frames after each lease.
+    pub trace: bool,
 }
 
 impl Default for WorkerCfg {
@@ -58,6 +65,8 @@ impl Default for WorkerCfg {
             heartbeat: Duration::from_millis(500),
             read_timeout: Duration::from_secs(30),
             fail_after: None,
+            telemetry: None,
+            trace: false,
         }
     }
 }
@@ -113,6 +122,29 @@ fn send(write: &Mutex<TcpStream>, frame: &Frame) -> std::io::Result<()> {
 /// `Ok` with [`WorkSummary::died_early`] set — the test harness treats
 /// it as the expected outcome, not a failure.
 pub fn work(addr: &str, cfg: &WorkerCfg) -> Result<WorkSummary, DispatchError> {
+    // Mount the local telemetry server first so the hello frame can
+    // advertise a live address for the coordinator to scrape.
+    let telemetry = match &cfg.telemetry {
+        None => None,
+        Some(tcfg) => {
+            // A worker with a live /status endpoint keeps the progress
+            // counters moving so the document carries real trial counts
+            // (execute_trials records per-injection outcomes only while
+            // the reporter is on).
+            obs::progress::enable();
+            let name = cfg.name.clone();
+            Some(crate::mount_telemetry(
+                tcfg,
+                obs::Handlers::status_only(move || worker_status(&name)),
+            )?)
+        }
+    };
+    if cfg.trace {
+        obs::trace::set_tracing(true);
+        obs::trace::set_capture(true);
+        obs::trace::set_worker(&cfg.name);
+    }
+
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(READ_TICK))?;
@@ -124,6 +156,10 @@ pub fn work(addr: &str, cfg: &WorkerCfg) -> Result<WorkSummary, DispatchError> {
         &Frame::Hello {
             worker: cfg.name.clone(),
             proto: PROTO_VERSION,
+            telemetry: telemetry
+                .as_ref()
+                .map(|t| t.addr().to_string())
+                .unwrap_or_default(),
         },
     )?;
     let (spec, shards, theirs) = match next_frame(&mut lines, cfg.read_timeout)? {
@@ -172,7 +208,19 @@ pub fn work(addr: &str, cfg: &WorkerCfg) -> Result<WorkSummary, DispatchError> {
                     .into_iter()
                     .filter(|i| !done.contains(i))
                     .collect();
+                if cfg.trace {
+                    obs::trace::set_shard(shard as u64);
+                    obs::trace::set_campaign_fp(ours);
+                    obs::trace::emit_for("lease_start", shard as u64, u64::MAX, 0);
+                }
                 run_lease(&prep, &todo, &write, cfg, shard, &executed, &died, &cache)?;
+                if cfg.trace && !died.load(Ordering::Acquire) {
+                    // Forward everything captured during the lease; the
+                    // coordinator re-emits the events into its own sink.
+                    for ev in obs::trace::drain() {
+                        send(&write, &Frame::Trace(ev))?;
+                    }
+                }
                 if died.load(Ordering::Acquire) {
                     // Emulate SIGKILL: tear the socket down with records
                     // possibly still in flight, no shard_done, no goodbye.
@@ -230,6 +278,31 @@ pub fn work(addr: &str, cfg: &WorkerCfg) -> Result<WorkSummary, DispatchError> {
         trials_executed,
         died_early: false,
     })
+}
+
+/// Render a worker's `/status` document: local engine progress plus
+/// per-injection wall-time quantiles from the global registry.
+fn worker_status(name: &str) -> String {
+    let (done, total, classes) = obs::progress::counts();
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"record\":\"dispatch_status\",\"role\":\"worker\",\"name\":");
+    obs::events::push_json_str(&mut out, name);
+    out.push_str(&format!(",\"trials_done\":{done},\"trials_total\":{total}"));
+    for (c, n) in obs::OutcomeClass::ALL.iter().zip(classes) {
+        out.push_str(&format!(",\"{}\":{n}", c.label()));
+    }
+    match obs::progress::wall_quantiles() {
+        Some((p50, p95)) => out.push_str(&format!(
+            ",\"wall_p50_us\":{p50:.1},\"wall_p95_us\":{p95:.1}"
+        )),
+        None => out.push_str(",\"wall_p50_us\":null,\"wall_p95_us\":null"),
+    }
+    out.push_str(&format!(
+        ",\"trace_dropped\":{},\"tracing\":{}}}",
+        obs::trace::dropped(),
+        obs::trace::tracing()
+    ));
+    out
 }
 
 /// Execute the lease's trials in parallel, streaming each record as it

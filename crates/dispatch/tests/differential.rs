@@ -81,6 +81,7 @@ fn differential(app: &str, layer: Layer) {
         max_backoff: Duration::from_millis(200),
         wait_ms: 50,
         out_dir: None,
+        telemetry: None,
     };
     let healthy = WorkerCfg {
         heartbeat: Duration::from_millis(50),

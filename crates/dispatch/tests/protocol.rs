@@ -62,6 +62,7 @@ impl Conn {
         self.send(&Frame::Hello {
             worker: name.into(),
             proto: PROTO_VERSION,
+            telemetry: String::new(),
         });
         let Frame::Job {
             spec,
@@ -273,6 +274,7 @@ fn no_control_frame_prefix_parses() {
         Frame::Hello {
             worker: "w\"1\\".into(),
             proto: PROTO_VERSION,
+            telemetry: "127.0.0.1:9090".into(),
         },
         Frame::Job {
             spec: CampaignSpec {
@@ -341,6 +343,7 @@ proptest! {
         let f = Frame::Hello {
             worker: String::from_utf8(name_bytes).unwrap(),
             proto: PROTO_VERSION,
+            telemetry: "127.0.0.1:1".into(),
         };
         let line = f.to_json();
         prop_assert_eq!(parse_frame(&line), Some(f));

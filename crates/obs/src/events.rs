@@ -124,6 +124,12 @@ fn write_line(line: &str) {
     }
 }
 
+/// Write a pre-serialized record into the sink (sibling modules — trace
+/// records share the event log). Callers check [`events_enabled`].
+pub(crate) fn write_raw_line(line: &str) {
+    write_line(line);
+}
+
 /// Record one event; no-op while no sink is installed.
 pub fn emit(ev: &InjectionEvent) {
     if !events_enabled() {
@@ -382,6 +388,151 @@ pub fn parse_line(line: &str) -> Option<Vec<(String, JsonValue)>> {
     Some(out)
 }
 
+/// A parsed JSON document node. Unlike [`parse_line`]'s flat rows, this
+/// shape nests — the telemetry `/status` documents carry arrays of
+/// per-shard / per-worker objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonNode {
+    Scalar(JsonValue),
+    Arr(Vec<JsonNode>),
+    Obj(Vec<(String, JsonNode)>),
+}
+
+impl JsonNode {
+    /// Object member lookup (`None` on non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonNode> {
+        match self {
+            JsonNode::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[JsonNode]> {
+        match self {
+            JsonNode::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonNode::Scalar(v) => v.as_str(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonNode::Scalar(v) => v.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonNode::Scalar(v) => v.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonNode::Scalar(JsonValue::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a full (possibly nested) JSON document. `None` on malformed
+/// input or trailing garbage. [`parse_line`] stays deliberately flat —
+/// its no-proper-prefix-parses property is load-bearing for torn-frame
+/// detection in checkpoints and the dispatch protocol — so nested
+/// consumers (the `/status` documents) use this instead.
+pub fn parse_json(text: &str) -> Option<JsonNode> {
+    let mut chars = text.trim().chars().peekable();
+    let node = parse_node(&mut chars)?;
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return None; // trailing garbage
+    }
+    Some(node)
+}
+
+fn parse_node(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<JsonNode> {
+    skip_ws(chars);
+    match chars.peek()? {
+        '{' => {
+            chars.next();
+            let mut fields = Vec::new();
+            loop {
+                skip_ws(chars);
+                match chars.peek()? {
+                    '}' => {
+                        chars.next();
+                        return Some(JsonNode::Obj(fields));
+                    }
+                    ',' => {
+                        chars.next();
+                        continue;
+                    }
+                    _ => {}
+                }
+                let key = parse_string(chars)?;
+                skip_ws(chars);
+                if chars.next()? != ':' {
+                    return None;
+                }
+                fields.push((key, parse_node(chars)?));
+            }
+        }
+        '[' => {
+            chars.next();
+            let mut items = Vec::new();
+            loop {
+                skip_ws(chars);
+                match chars.peek()? {
+                    ']' => {
+                        chars.next();
+                        return Some(JsonNode::Arr(items));
+                    }
+                    ',' => {
+                        chars.next();
+                        continue;
+                    }
+                    _ => {}
+                }
+                items.push(parse_node(chars)?);
+            }
+        }
+        '"' => Some(JsonNode::Scalar(JsonValue::Str(parse_string(chars)?))),
+        't' | 'f' | 'n' => {
+            let mut word = String::new();
+            while chars.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+                word.push(chars.next().unwrap());
+            }
+            match word.as_str() {
+                "true" => Some(JsonNode::Scalar(JsonValue::Bool(true))),
+                "false" => Some(JsonNode::Scalar(JsonValue::Bool(false))),
+                "null" => Some(JsonNode::Scalar(JsonValue::Null)),
+                _ => None,
+            }
+        }
+        _ => {
+            let mut num = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_digit() || "+-.eE".contains(c) {
+                    num.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            num.parse::<f64>().ok()?;
+            Some(JsonNode::Scalar(JsonValue::Num(num)))
+        }
+    }
+}
+
 fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars>) {
     while chars.peek().is_some_and(|c| c.is_whitespace()) {
         chars.next();
@@ -552,6 +703,33 @@ mod tests {
         assert!(parse_line("{\"a\":1} trailing").is_none());
         assert!(parse_line("[1,2]").is_none());
         assert!(parse_line("{\"a\":1,\"b\":\"x\", \"c\":true,\"d\":null}").is_some());
+    }
+
+    #[test]
+    fn nested_parser_reads_status_shapes() {
+        let doc = parse_json(
+            "{\"shards\":[{\"shard\":0,\"state\":\"done\"},{\"shard\":1,\"state\":\"leased\",\
+             \"owner\":\"w1\"}],\"records_per_s\":123.5,\"fp\":\"00ff\",\"done\":false}",
+        )
+        .expect("parses");
+        let shards = doc.get("shards").unwrap().as_arr().unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].get("shard").unwrap().as_u64(), Some(0));
+        assert_eq!(shards[1].get("owner").unwrap().as_str(), Some("w1"));
+        assert_eq!(doc.get("records_per_s").unwrap().as_f64(), Some(123.5));
+        assert_eq!(doc.get("fp").unwrap().as_str(), Some("00ff"));
+        assert_eq!(
+            doc.get("done").unwrap(),
+            &JsonNode::Scalar(JsonValue::Bool(false))
+        );
+        // Empty containers and nesting both work.
+        assert_eq!(parse_json("[]"), Some(JsonNode::Arr(vec![])));
+        assert_eq!(parse_json("{}"), Some(JsonNode::Obj(vec![])));
+        assert!(parse_json("{\"a\":[{\"b\":[1,2]}]}").is_some());
+        // Malformed / trailing input rejected.
+        assert!(parse_json("{\"a\":1} x").is_none());
+        assert!(parse_json("{\"a\":[1,}").is_none());
+        assert!(parse_json("").is_none());
     }
 
     #[test]

@@ -27,20 +27,25 @@
 //! observability on or off (guarded by a test in `crates/core`).
 
 pub mod events;
+pub mod expo;
+pub mod http;
 pub mod progress;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use events::{
     emit, emit_campaign, emit_dispatch, emit_snapshot, events_enabled, flush_events, init_events,
-    CampaignEvent, DispatchEvent, InjectionEvent, SnapshotEvent,
+    parse_json, CampaignEvent, DispatchEvent, InjectionEvent, JsonNode, JsonValue, SnapshotEvent,
 };
+pub use http::{http_get, Handlers, TelemetryServer};
 pub use progress::OutcomeClass;
 pub use registry::{
     counter_add, enabled, gauge_set, global, histogram_observe, set_enabled, Histogram,
     HistogramSnapshot, Registry, Snapshot,
 };
 pub use span::{phase_snapshot, time_phase, Phase, PhaseSnapshot};
+pub use trace::{TraceCtx, TraceEvent};
 
 /// Bucket upper bounds (µs) for injection wall-time histograms:
 /// sub-millisecond through multi-second, roughly ×2.5 per step.
@@ -55,7 +60,23 @@ pub fn reset_for_test() {
     registry::global().clear();
     span::reset();
     progress::reset();
+    trace::reset();
     events::shutdown_events();
+}
+
+/// Install a panic hook that flushes the JSONL event sink before the
+/// previous hook (usually the default backtrace printer) runs. Without
+/// it, a worker panicking mid-campaign loses the buffered event/trace
+/// lines — exactly the lines needed to debug the panic. Idempotent.
+pub fn install_panic_hook() {
+    static INSTALLED: std::sync::Once = std::sync::Once::new();
+    INSTALLED.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = events::flush_events();
+            prev(info);
+        }));
+    });
 }
 
 #[cfg(test)]

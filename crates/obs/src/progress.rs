@@ -56,6 +56,9 @@ static CLASSES: [AtomicU64; 4] = [
 ];
 /// Milliseconds since [`epoch`] of the last printed line (0 = never).
 static LAST_PRINT_MS: AtomicU64 = AtomicU64::new(0);
+/// Lines actually printed (observable by tests; stderr is invisible to
+/// the test harness).
+static PRINTS: AtomicU64 = AtomicU64::new(0);
 /// Serializes actual printing so lines never interleave.
 static PRINT_LOCK: Mutex<()> = Mutex::new(());
 
@@ -92,7 +95,10 @@ pub fn record(class: OutcomeClass) {
     }
     CLASSES[class as usize].fetch_add(1, Ordering::Relaxed);
     let done = DONE.fetch_add(1, Ordering::Relaxed) + 1;
-    maybe_print(done, false);
+    // The last expected trial always prints, so a campaign finishing
+    // inside the throttle window still gets its 100% line.
+    let total = TOTAL.load(Ordering::Relaxed);
+    maybe_print(done, total > 0 && done == total);
 }
 
 /// Print a final (unthrottled) status line and reset the throttle.
@@ -140,9 +146,48 @@ fn maybe_print(done: u64, force: bool) {
         let n = CLASSES[c as usize].load(Ordering::Relaxed);
         line.push_str(&format!("  {} {:.1}%", c.label(), pct(n)));
     }
+    if let Some((p50, p95)) = wall_quantiles() {
+        line.push_str(&format!("  p50 {:.1}ms p95 {:.1}ms", p50 / 1e3, p95 / 1e3));
+    }
     let secs = now_ms.max(1) as f64 / 1e3;
     line.push_str(&format!("  | {:.0} inj/s", done as f64 / secs));
+    PRINTS.fetch_add(1, Ordering::Relaxed);
     let _ = writeln!(std::io::stderr(), "{line}");
+}
+
+/// p50/p95 per-injection wall time (µs), merged across every
+/// `injection_wall_us{...}` series in the global registry. `None` when
+/// metrics are off, no series exists yet, or the tail sits in the
+/// overflow bucket. Also feeds the worker `/status` document.
+pub fn wall_quantiles() -> Option<(f64, f64)> {
+    if !crate::registry::enabled() {
+        return None;
+    }
+    let snap = crate::registry::global().snapshot();
+    let mut merged: Option<crate::registry::HistogramSnapshot> = None;
+    for (k, h) in &snap.histograms {
+        if !k.starts_with("injection_wall_us") {
+            continue;
+        }
+        match &mut merged {
+            None => merged = Some(h.clone()),
+            Some(m) if m.bounds == h.bounds => {
+                for (b, v) in m.buckets.iter_mut().zip(&h.buckets) {
+                    *b += v;
+                }
+                m.count += h.count;
+                m.sum += h.sum;
+            }
+            Some(_) => {}
+        }
+    }
+    let m = merged?;
+    Some((m.quantile(0.5)?, m.quantile(0.95)?))
+}
+
+/// Lines actually printed since the last [`reset`] (tests).
+pub fn prints() -> u64 {
+    PRINTS.load(Ordering::Relaxed)
 }
 
 /// Zero all progress state (tests).
@@ -154,6 +199,7 @@ pub fn reset() {
         c.store(0, Ordering::Relaxed);
     }
     LAST_PRINT_MS.store(0, Ordering::Relaxed);
+    PRINTS.store(0, Ordering::Relaxed);
 }
 
 /// Running totals: `(done, total, per-class counts in OutcomeClass order)`.
@@ -196,6 +242,24 @@ mod tests {
         assert_eq!(done, 4);
         assert_eq!(total, 10);
         assert_eq!(classes, [2, 1, 0, 1]);
+        reset();
+    }
+
+    #[test]
+    fn final_trial_prints_inside_throttle_window() {
+        let _guard = crate::testutil::lock();
+        reset();
+        enable();
+        add_total(3);
+        // All three records land well inside the 1 s throttle window;
+        // only the done == total completion line may print, and it must.
+        record(OutcomeClass::Masked);
+        record(OutcomeClass::Sdc);
+        assert_eq!(prints(), 0, "mid-run records stay throttled");
+        record(OutcomeClass::Masked);
+        assert_eq!(prints(), 1, "completion forces the 100% line");
+        finish();
+        assert_eq!(prints(), 2, "finish is never throttled");
         reset();
     }
 

@@ -119,6 +119,37 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Quantile estimate with linear interpolation inside the covering
+    /// bucket (the Prometheus `histogram_quantile` model: observations
+    /// spread uniformly between a bucket's lower and upper bound).
+    /// `None` when the histogram is empty or the quantile lands in the
+    /// overflow bucket, which has no upper bound to interpolate toward.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut acc = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            let prev = acc;
+            acc += b;
+            if acc as f64 >= target {
+                let upper = *self.bounds.get(i)? as f64;
+                let lower = if i == 0 {
+                    0.0
+                } else {
+                    self.bounds[i - 1] as f64
+                };
+                if b == 0 {
+                    return Some(upper);
+                }
+                let frac = ((target - prev as f64) / b as f64).clamp(0.0, 1.0);
+                return Some(lower + (upper - lower) * frac);
+            }
+        }
+        None
+    }
+
     /// Smallest bucket bound covering at least `q` (in [0,1]) of the
     /// observations; `None` when the quantile falls in the overflow
     /// bucket or the histogram is empty.
@@ -331,6 +362,31 @@ mod tests {
         h.observe(100); // overflow
         assert_eq!(h.snapshot().quantile_bound(1.0), None);
         assert_eq!(Histogram::new(&[1]).snapshot().quantile_bound(0.5), None);
+    }
+
+    #[test]
+    fn histogram_interpolated_quantile() {
+        let h = Histogram::new(&[10, 20, 40]);
+        // 10 observations in (10,20]: quantiles interpolate linearly
+        // across that bucket's span.
+        for _ in 0..10 {
+            h.observe(15);
+        }
+        let s = h.snapshot();
+        assert!((s.quantile(0.0).unwrap() - 10.0).abs() < 1e-9);
+        assert!((s.quantile(0.5).unwrap() - 15.0).abs() < 1e-9);
+        assert!((s.quantile(1.0).unwrap() - 20.0).abs() < 1e-9);
+        // First bucket interpolates from 0.
+        let h = Histogram::new(&[10, 20]);
+        for _ in 0..4 {
+            h.observe(5);
+        }
+        assert!((h.snapshot().quantile(0.5).unwrap() - 5.0).abs() < 1e-9);
+        // Empty and overflow cases are None.
+        assert_eq!(Histogram::new(&[1]).snapshot().quantile(0.5), None);
+        let h = Histogram::new(&[1]);
+        h.observe(100);
+        assert_eq!(h.snapshot().quantile(0.99), None);
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub fn record(phase: Phase, nanos: u64) {
     let i = phase as usize;
     PROFILE.nanos[i].fetch_add(nanos, Ordering::Relaxed);
     PROFILE.calls[i].fetch_add(1, Ordering::Relaxed);
+    // Phase timings double as trace records while tracing is on (the
+    // emit is a single relaxed load otherwise).
+    crate::trace::emit(phase.label(), nanos / 1_000);
 }
 
 /// One phase's aggregate.

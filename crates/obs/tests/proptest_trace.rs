@@ -1,0 +1,68 @@
+//! Property tests for the trace record wire dialect.
+//!
+//! Trace records ride the same JSONL streams as every other event — the
+//! worker's `--events` sink and the dispatch protocol — so they inherit
+//! the stream's two load-bearing guarantees, checked here over arbitrary
+//! inputs: (1) `to_json` → `parse` is the identity, including hostile
+//! worker names and kinds (quotes, backslashes, control characters), and
+//! (2) no proper prefix of a serialized record parses, so a torn line
+//! can never be mistaken for a complete trace event.
+
+use obs::TraceEvent;
+use proptest::prelude::*;
+
+fn event_of(
+    kind_bytes: Vec<u8>,
+    worker_bytes: Vec<u8>,
+    fp: u64,
+    shard: u64,
+    trial: u64,
+    t_us: u64,
+    wall_us: u64,
+) -> TraceEvent {
+    // Arbitrary printable ASCII, quotes and backslashes included — the
+    // serializer must escape whatever a CLI passed as a worker name.
+    TraceEvent {
+        kind: String::from_utf8(kind_bytes).unwrap(),
+        worker: String::from_utf8(worker_bytes).unwrap(),
+        campaign_fp: fp,
+        shard,
+        trial,
+        t_us,
+        wall_us,
+    }
+}
+
+proptest! {
+    #[test]
+    fn trace_event_round_trips(
+        kind_bytes in prop::collection::vec(0x20u8..0x7f, 0..24),
+        worker_bytes in prop::collection::vec(0x20u8..0x7f, 0..16),
+        fp in any::<u64>(),
+        shard in any::<u64>(),
+        trial in any::<u64>(),
+        t_us in any::<u64>(),
+        wall_us in any::<u64>(),
+    ) {
+        let ev = event_of(kind_bytes, worker_bytes, fp, shard, trial, t_us, wall_us);
+        let line = ev.to_json();
+        prop_assert_eq!(TraceEvent::parse(&line), Some(ev));
+    }
+
+    #[test]
+    fn no_trace_event_prefix_parses(
+        kind_bytes in prop::collection::vec(0x20u8..0x7f, 0..24),
+        worker_bytes in prop::collection::vec(0x20u8..0x7f, 0..16),
+        fp in any::<u64>(),
+        trial in any::<u64>(),
+    ) {
+        let ev = event_of(kind_bytes, worker_bytes, fp, 3, trial, 1_000, 250);
+        let line = ev.to_json();
+        for cut in 0..line.len() {
+            prop_assert!(
+                obs::events::parse_line(&line[..cut]).is_none(),
+                "prefix {:?} parsed", &line[..cut]
+            );
+        }
+    }
+}

@@ -34,14 +34,27 @@ DISP=$(mktemp -d)
   --csv "$DISP/single.csv" > /dev/null
 "$CAMPAIGN" serve --app VA --layer uarch --n 6 --seed 1234 --shards 3 \
   --listen 127.0.0.1:0 --port-file "$DISP/port.txt" \
+  --telemetry-port 0 --telemetry-port-file "$DISP/telemetry-port.txt" \
   --lease-ms 400 --backoff-ms 50 --max-backoff-ms 200 --wait-ms 50 \
   --csv "$DISP/dispatch.csv" > /dev/null 2> "$DISP/serve.log" &
 SERVE_PID=$!
 for _ in $(seq 1 100); do [ -s "$DISP/port.txt" ] && break; sleep 0.1; done
 PORT=$(cat "$DISP/port.txt")
+# Telemetry (docs/OBSERVABILITY.md): before any worker joins the
+# campaign cannot finish, so the coordinator's endpoints are provably
+# scraped mid-run. /metrics must pass the exposition lint and /status
+# must parse and render as a fleet view.
+for _ in $(seq 1 100); do [ -s "$DISP/telemetry-port.txt" ] && break; sleep 0.1; done
+TPORT=$(cat "$DISP/telemetry-port.txt")
+"$CAMPAIGN" scrape "127.0.0.1:$TPORT"
+curl -sf "http://127.0.0.1:$TPORT/metrics" | "$CAMPAIGN" lint
+curl -sf "http://127.0.0.1:$TPORT/status" | grep -q '"role":"coordinator"'
+"$CAMPAIGN" status "127.0.0.1:$TPORT" | grep -q 'coordinator'
+"$CAMPAIGN" top "127.0.0.1:$TPORT" --interval-ms 100 --iterations 2 > /dev/null
 "$CAMPAIGN" work --connect "127.0.0.1:$PORT" --name doomed \
   --fail-after 4 --heartbeat-ms 50 > /dev/null
-"$CAMPAIGN" work --connect "127.0.0.1:$PORT" --name w1 --heartbeat-ms 50 > /dev/null &
+"$CAMPAIGN" work --connect "127.0.0.1:$PORT" --name w1 --heartbeat-ms 50 \
+  --telemetry-port 0 --telemetry-port-file "$DISP/w1-port.txt" --trace > /dev/null &
 "$CAMPAIGN" work --connect "127.0.0.1:$PORT" --name w2 --heartbeat-ms 50 > /dev/null &
 wait "$SERVE_PID"
 wait
