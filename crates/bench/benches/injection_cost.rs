@@ -27,6 +27,7 @@ fn bench_injections(c: &mut Criterion) {
                     structure: h,
                     loc_pick: rng.gen(),
                     bit: rng.gen_range(0..32),
+                    pattern: vgpu_sim::FaultPattern::SingleBit,
                 });
                 faulty_run(&HotSpot, &cfg, Variant::TIMED, &gt, ordinal, fault)
             })
@@ -42,6 +43,7 @@ fn bench_injections(c: &mut Criterion) {
                 target: rng.gen_range(0..gf.records[ordinal].stats.gp_dest_instrs.max(1)),
                 bit: rng.gen_range(0..32),
                 loc_pick: 0,
+                pattern: vgpu_sim::FaultPattern::SingleBit,
             });
             faulty_run(&HotSpot, &cfg, Variant::FUNCTIONAL, &gf, ordinal, fault)
         })

@@ -20,8 +20,10 @@
 //!
 //! Common options: `--n N --seed S --sms N --hardened --events PATH
 //! --csv PATH`, `--structures RF,SMEM,L2` (uarch layer: inject only into
-//! a structure subset), watchdog knobs `--wall-limit-us N --cycle-limit N
-//! --no-retry`. `run` additionally takes `--checkpoint-every K` (default
+//! a structure subset), `--fault-model PATTERN` (single-bit,
+//! double-adjacent, whole-entry, burst-row, burst-col, stuck-at-0,
+//! stuck-at-1; docs/FAULT_MODELS.md), watchdog knobs `--wall-limit-us N
+//! --cycle-limit N --no-retry`. `run` additionally takes `--checkpoint-every K` (default
 //! 64), `--limit L` (stop after L new trials, leaving a resumable
 //! checkpoint), and the fast-forward knobs `--snapshots N` (mid-launch
 //! golden snapshots per kernel, default 8) / `--no-fast-forward` (force
@@ -46,7 +48,7 @@ use relia::{
     assemble_sw, assemble_uarch, execute_shard, load_checkpoint, pct, records_fingerprint,
     CampaignCfg, EngineCfg, EngineError, Table, TrialRecord, Watchdog,
 };
-use vgpu_sim::HwStructure;
+use vgpu_sim::{FaultPattern, HwStructure};
 
 /// CLI/validation error: bad flags, bad values, malformed addresses.
 fn die(msg: &str) -> ! {
@@ -127,6 +129,15 @@ fn parse_common(args: &[String]) -> CommonOpts {
             "--wall-limit-us" => o.cfg.watchdog.wall_us_limit = Some(parse_num("--wall-limit-us")),
             "--cycle-limit" => o.cfg.watchdog.cycle_limit = Some(parse_num("--cycle-limit")),
             "--structures" => o.structures = Some(parse_structures(v).unwrap_or_else(|e| die(&e))),
+            "--fault-model" => {
+                o.cfg.pattern = FaultPattern::from_label(v).unwrap_or_else(|| {
+                    let known: Vec<&str> = FaultPattern::ALL.iter().map(|p| p.label()).collect();
+                    die(&format!(
+                        "--fault-model must be one of {}, got {v:?}",
+                        known.join(", ")
+                    ))
+                })
+            }
             "--csv" => o.csv = Some(PathBuf::from(v)),
             "--events" => {} // handled by init_observability
             other => die(&format!("unknown option {other}")),
@@ -135,6 +146,22 @@ fn parse_common(args: &[String]) -> CommonOpts {
     }
     if o.structures.is_some() && o.layer == Layer::Sw {
         die("--structures only applies to --layer uarch");
+    }
+    // SIMT-stack and scheduler state is ephemeral: a transient flip there
+    // is just one corrupted access, which the storage structures already
+    // model. Only the persistent stuck-at patterns target them.
+    if let Some(structures) = &o.structures {
+        if structures
+            .iter()
+            .any(|h| matches!(h, HwStructure::Simt | HwStructure::Sched))
+            && !o.cfg.pattern.is_persistent()
+        {
+            die(&format!(
+                "--structures SIMT/SCHED requires a stuck-at fault model \
+                 (--fault-model stuck-at-0 or stuck-at-1), got {}",
+                o.cfg.pattern.label()
+            ));
+        }
     }
     o
 }
@@ -579,6 +606,7 @@ fn cmd_serve(args: &[String]) {
         sms: o.cfg.gpu.num_sms,
         hardened: o.hardened,
         structures: o.structures.clone(),
+        fault_model: o.cfg.pattern,
     };
     let dcfg = DispatchCfg {
         shards,

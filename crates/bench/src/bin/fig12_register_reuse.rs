@@ -94,6 +94,7 @@ fn main() {
                     target: rng.gen_range(0..weight),
                     bit: rng.gen_range(0..32),
                     loc_pick: 0,
+                    pattern: vgpu_sim::FaultPattern::SingleBit,
                 });
                 let res = faulty_run(b.as_ref(), &cfg.gpu, variant, &golden, ordinal, fault);
                 counts.record(res.outcome);

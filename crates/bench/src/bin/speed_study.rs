@@ -58,6 +58,7 @@ fn main() {
                 structure: HwStructure::RegFile,
                 loc_pick: rng.gen(),
                 bit: rng.gen_range(0..32),
+                pattern: vgpu_sim::FaultPattern::SingleBit,
             });
             faulty_run(b.as_ref(), &cfg.gpu, vt, &gt, ordinal, fault);
         }
@@ -72,6 +73,7 @@ fn main() {
                 target: rng.gen_range(0..elig),
                 bit: rng.gen_range(0..32),
                 loc_pick: 0,
+                pattern: vgpu_sim::FaultPattern::SingleBit,
             });
             faulty_run(b.as_ref(), &cfg.gpu, vf, &gf, ordinal, fault);
         }

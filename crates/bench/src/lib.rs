@@ -7,8 +7,8 @@
 use relia::CampaignCfg;
 
 /// Parse common CLI options: `--n-uarch N --n-sw N --seed S --sms N
-/// --events PATH`, plus the per-injection watchdog knobs
-/// `--wall-limit-us N --cycle-limit N --no-retry` (see docs/CAMPAIGNS.md;
+/// --fault-model PATTERN --events PATH`, plus the per-injection watchdog
+/// knobs `--wall-limit-us N --cycle-limit N --no-retry` (see docs/CAMPAIGNS.md;
 /// all limits default to off so results stay bit-reproducible). Defaults
 /// are sized so every figure regenerates in minutes on a laptop; pass
 /// larger counts to tighten confidence intervals (the paper used 3,000
@@ -42,6 +42,10 @@ pub fn cli_campaign_cfg(default_uarch: usize, default_sw: usize) -> CampaignCfg 
             }
             "--cycle-limit" => {
                 cfg.watchdog.cycle_limit = Some(v.parse().expect("--cycle-limit takes a number"))
+            }
+            "--fault-model" => {
+                cfg.pattern = vgpu_sim::FaultPattern::from_label(v)
+                    .unwrap_or_else(|| panic!("unknown --fault-model {v:?}"))
             }
             "--events" => {} // handled by init_observability
             other => panic!("unknown option {other}"),

@@ -1,0 +1,138 @@
+//! Campaign-configuration regressions driven through the real `campaign`
+//! binary.
+//!
+//! The load-bearing one: a **persistent stuck-at fault under a cycle
+//! limit**. Stuck-at trials cannot take the masked-convergence early exit,
+//! so a run whose semantics diverge (hang, panic, or a classification
+//! that depends on the fast-forward path) shows up here. The watchdog
+//! compares the *architectural* cost (`total_cost`) against the budget —
+//! `simulated_cost` is a scheduling artifact that legitimately differs
+//! between the slow and snapshot-resume paths and must never feed
+//! classification.
+
+use std::process::Command;
+
+fn campaign(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args(args)
+        .output()
+        .expect("spawn campaign binary")
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = campaign(args);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "campaign {args:?} failed\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn fingerprint(stdout: &str) -> &str {
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("result fingerprint: "))
+        .expect("run prints a result fingerprint")
+}
+
+/// A stuck-at campaign whose every trial blows a tiny cycle budget must
+/// terminate promptly and classify the trials as Timeout — not hang
+/// waiting for a convergence that can never happen, and not leak the
+/// overrun into SDC/DUE.
+#[test]
+fn stuck_at_with_cycle_limit_classifies_timeout() {
+    let stdout = run_ok(&[
+        "run",
+        "--app",
+        "VA",
+        "--n",
+        "2",
+        "--seed",
+        "7",
+        "--fault-model",
+        "stuck-at-1",
+        "--cycle-limit",
+        "50",
+    ]);
+    // Table rows are whitespace-aligned "Kernel SDC Timeout DUE AVF"
+    // percentages. With a 50-cycle budget every trial that runs to
+    // completion overruns it, so the entire SDC mass moves into the
+    // Timeout column; only aborted runs (DUE) keep their class.
+    let app_row: Vec<&str> = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("app"))
+        .expect("app summary row")
+        .split_whitespace()
+        .collect();
+    let (sdc, timeout) = (app_row[1], app_row[2]);
+    assert_eq!(
+        sdc, "0.00",
+        "no completed trial may keep SDC, got {app_row:?}"
+    );
+    let timeout: f64 = timeout.parse().expect("Timeout column is a number");
+    assert!(
+        timeout > 0.0,
+        "overrunning stuck-at trials must classify Timeout, got {app_row:?}"
+    );
+}
+
+/// The classification must not depend on the execution path: disabling
+/// golden-prefix fast-forward changes `simulated_cost` but nothing the
+/// records capture, so the result fingerprints must match bit for bit —
+/// also under a cycle limit, where a `simulated_cost`-based watchdog
+/// would classify the two paths differently.
+#[test]
+fn stuck_at_cycle_limit_fingerprint_is_path_independent() {
+    let base = [
+        "run",
+        "--app",
+        "VA",
+        "--n",
+        "3",
+        "--seed",
+        "11",
+        "--fault-model",
+        "stuck-at-0",
+        "--cycle-limit",
+        "2000",
+    ];
+    let fast = run_ok(&base);
+    let mut slow_args = base.to_vec();
+    slow_args.push("--no-fast-forward");
+    let slow = run_ok(&slow_args);
+    assert_eq!(
+        fingerprint(&fast),
+        fingerprint(&slow),
+        "watchdog classification must agree between fast-forward and slow paths"
+    );
+}
+
+/// Same path-independence for an unlimited stuck-at run (the guard that
+/// snapshots plus persistent faults compose), and for a multi-bit burst.
+#[test]
+fn pattern_runs_are_fast_forward_invariant() {
+    for model in ["stuck-at-1", "burst-col"] {
+        let base = [
+            "run",
+            "--app",
+            "VA",
+            "--n",
+            "2",
+            "--seed",
+            "9",
+            "--fault-model",
+            model,
+        ];
+        let fast = run_ok(&base);
+        let mut slow_args = base.to_vec();
+        slow_args.push("--no-fast-forward");
+        let slow = run_ok(&slow_args);
+        assert_eq!(
+            fingerprint(&fast),
+            fingerprint(&slow),
+            "{model}: fast-forward must not change results"
+        );
+    }
+}

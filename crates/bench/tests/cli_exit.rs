@@ -55,6 +55,30 @@ fn validation_errors_exit_2() {
 }
 
 #[test]
+fn fault_model_validation_errors_exit_2() {
+    // Unknown pattern names must die before any simulation starts, on
+    // every subcommand that accepts the flag.
+    assert_exit(&["run", "--app", "VA", "--fault-model", "bogus"], 2);
+    assert_exit(&["run", "--app", "VA", "--fault-model", ""], 2);
+    assert_exit(&["serve", "--app", "VA", "--fault-model", "warp-drive"], 2);
+    // SIMT/SCHED state is ephemeral: a transient flip there is not a
+    // meaningful model, only stuck-at campaigns may target it.
+    assert_exit(&["run", "--app", "VA", "--structures", "SIMT,SCHED"], 2);
+    assert_exit(
+        &[
+            "run",
+            "--app",
+            "VA",
+            "--structures",
+            "RF,SIMT",
+            "--fault-model",
+            "burst-row",
+        ],
+        2,
+    );
+}
+
+#[test]
 fn dispatch_validation_errors_exit_2() {
     // Bad --listen / --connect addresses and lease values (satellite 2).
     assert_exit(&["serve", "--app", "VA", "--listen", "nonsense"], 2);

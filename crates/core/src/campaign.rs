@@ -36,7 +36,7 @@ use obs::Phase;
 use rayon::prelude::*;
 
 use kernels::{faulty_run, faulty_run_ff, AppSnapshots, Benchmark, Outcome, PlannedFault};
-use vgpu_sim::{GpuConfig, HwStructure, SwFaultKind};
+use vgpu_sim::{FaultPattern, GpuConfig, HwStructure, SwFaultKind};
 
 use crate::checkpoint::{
     load_checkpoint, CheckpointError, CheckpointHeader, CheckpointWriter, TrialRecord,
@@ -85,6 +85,11 @@ pub struct CampaignCfg {
     pub n_sw: usize,
     pub seed: u64,
     pub watchdog: Watchdog,
+    /// Fault pattern applied by every trial (docs/FAULT_MODELS.md).
+    /// Defaults to the paper's single-bit model; the pattern never feeds
+    /// seed derivation, so changing it re-uses the exact same injection
+    /// coordinates.
+    pub pattern: FaultPattern,
 }
 
 impl CampaignCfg {
@@ -95,6 +100,7 @@ impl CampaignCfg {
             n_sw,
             seed,
             watchdog: Watchdog::default(),
+            pattern: FaultPattern::SingleBit,
         }
     }
 }
@@ -361,12 +367,15 @@ fn run_one_trial(
                 }
                 Some(r) => {
                     let mut o = r.outcome;
-                    // The cycle budget bounds work actually performed, so
-                    // it checks *simulated* cycles — under fast-forward a
-                    // trial is not charged for skipped golden prefixes
-                    // (simulated_cost == total_cost off the fast path).
-                    if wd.cycle_limit.is_some_and(|l| r.simulated_cost > l) && o != Outcome::Timeout
-                    {
+                    // The cycle budget checks *architectural* cost: the
+                    // slow and fast-forward paths must classify every
+                    // trial identically, and `simulated_cost` is a
+                    // scheduling artifact that differs between them (a
+                    // resumed trial simulates only its suffix). Persistent
+                    // stuck-at trials in particular run to the harness
+                    // budget with convergence exit disabled, and must land
+                    // on Timeout on both paths, not just the slow one.
+                    if wd.cycle_limit.is_some_and(|l| r.total_cost > l) && o != Outcome::Timeout {
                         obs::counter_add("watchdog_cycle_timeouts_total", &[("layer", layer)], 1);
                         o = Outcome::Timeout;
                     }
@@ -929,12 +938,23 @@ pub fn assemble_uarch(
     }
     let outs = complete_outcomes(&prep.plan, records)?;
     let n_kernels = prep.bench.kernels().len();
-    let mut acc = vec![vec![StructureCampaign::default(); HwStructure::ALL.len()]; n_kernels];
+    // Plans restricted to the storage structures keep the historical
+    // five-row shape; only plans that actually target the SIMT stack or
+    // the scheduler widen the result to the full injectable set.
+    let structs: &[HwStructure] =
+        if prep.plan.trials.iter().any(
+            |t| matches!(t.target, TrialTarget::Structure(h) if !HwStructure::ALL.contains(&h)),
+        ) {
+            &HwStructure::INJECTABLE
+        } else {
+            &HwStructure::ALL
+        };
+    let mut acc = vec![vec![StructureCampaign::default(); structs.len()]; n_kernels];
     for (t, r) in prep.plan.trials.iter().zip(&outs) {
         let TrialTarget::Structure(h) = t.target else {
             unreachable!("uarch plans only target structures");
         };
-        let pos = HwStructure::ALL.iter().position(|&x| x == h).unwrap();
+        let pos = structs.iter().position(|&x| x == h).unwrap();
         let sc = &mut acc[t.kernel_idx][pos];
         sc.counts.record(r.outcome);
         sc.ctrl_affected_masked += r.ctrl as u32;
@@ -952,12 +972,12 @@ pub fn assemble_uarch(
                 .filter(|r| r.kernel_idx == k_idx)
                 .map(|r| r.stats.cycles)
                 .sum();
-            let per_structure = HwStructure::ALL
+            let per_structure = structs
                 .iter()
                 .zip(&acc[k_idx])
                 .map(|(&h, &c)| (h, c))
                 .collect();
-            let df = HwStructure::ALL
+            let df = structs
                 .iter()
                 .map(|&h| (h, derating_factor(&prep.golden, k_idx, &prep.cfg.gpu, h)))
                 .collect();

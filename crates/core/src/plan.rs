@@ -22,7 +22,7 @@ use kernels::{
     golden_run, golden_run_snapshots, AppSnapshots, Benchmark, GoldenRun, PlannedFault, Variant,
 };
 use obs::Phase;
-use vgpu_sim::{HwStructure, Mode, SwFault, SwFaultKind, UarchFault};
+use vgpu_sim::{FaultPattern, HwStructure, Mode, SwFault, SwFaultKind, UarchFault};
 
 use crate::campaign::CampaignCfg;
 
@@ -96,6 +96,11 @@ pub struct CampaignPlan {
     pub layer: Layer,
     pub seed: u64,
     pub hardened: bool,
+    /// Fault pattern every trial of this plan applies. Pure payload: it
+    /// never feeds the per-trial seed derivation, so the (cycle, location,
+    /// bit) coordinates of a plan are identical across patterns and
+    /// single-bit plans predate the field byte-for-byte.
+    pub pattern: FaultPattern,
     /// Injections per (kernel, target) sub-campaign.
     pub n_per_target: usize,
     /// Software fault kinds with their seed-derivation tags, in
@@ -130,6 +135,12 @@ impl CampaignPlan {
                 self.trials.len() as u64,
             ],
         );
+        // Folded only for non-default patterns so every single-bit
+        // fingerprint minted before the pattern axis existed stays valid
+        // (checkpoints, shard outputs, dispatch handshakes).
+        if self.pattern != FaultPattern::SingleBit {
+            h = derive_seed(h, &[str_tag(self.pattern.label())]);
+        }
         for t in &self.trials {
             let (ord, a, b, c) = match &t.fault {
                 None => (0, 0, 0, 0),
@@ -309,6 +320,7 @@ pub fn prepare_uarch_campaign_structures<'a>(
                                     structure: h,
                                     loc_pick: rng.gen(),
                                     bit: rng.gen_range(0..32),
+                                    pattern: cfg.pattern,
                                 }),
                             )
                         });
@@ -335,6 +347,7 @@ pub fn prepare_uarch_campaign_structures<'a>(
             layer: Layer::Uarch,
             seed: cfg.seed,
             hardened,
+            pattern: cfg.pattern,
             n_per_target: cfg.n_uarch,
             sw_kinds: Vec::new(),
             trials,
@@ -411,6 +424,7 @@ pub fn prepare_sw_kinds<'a>(
                                 target: rng.gen_range(0..weight),
                                 bit: rng.gen_range(0..32),
                                 loc_pick: rng.gen(),
+                                pattern: cfg.pattern,
                             }),
                         )
                     });
@@ -437,6 +451,7 @@ pub fn prepare_sw_kinds<'a>(
             layer: Layer::Sw,
             seed: cfg.seed,
             hardened,
+            pattern: cfg.pattern,
             n_per_target: cfg.n_sw,
             sw_kinds: kinds.to_vec(),
             trials,

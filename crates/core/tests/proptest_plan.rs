@@ -139,6 +139,83 @@ proptest! {
     }
 }
 
+/// Golden pin for plan identity: the fingerprints of single-bit plans
+/// must never move. They are persisted in checkpoints and spoken over the
+/// dispatch wire, so a drift here silently orphans every recorded shard.
+/// The `FaultPattern` axis was added *after* these values were minted —
+/// the planner folds the pattern into the digest only for non-default
+/// patterns precisely so this test keeps passing.
+#[test]
+fn single_bit_plan_fingerprints_are_pinned() {
+    use kernels::apps::va::Va;
+    use relia::{prepare_sw_campaign, prepare_uarch_campaign, CampaignCfg};
+
+    let cfg = CampaignCfg::new(8, 8, 0xACE);
+    let uarch = prepare_uarch_campaign(&Va, &cfg, false);
+    assert_eq!(
+        uarch.plan.fingerprint(),
+        0x81A4_0DC8_FCA8_96FE,
+        "uarch single-bit fingerprint drifted"
+    );
+    let sw = prepare_sw_campaign(&Va, &cfg, false);
+    assert_eq!(
+        sw.plan.fingerprint(),
+        0x1CD0_306F_463B_E7A0,
+        "sw single-bit fingerprint drifted"
+    );
+}
+
+/// The pattern axis is pure payload: for every pattern, the planner must
+/// emit byte-identical trial coordinates — same per-trial seeds, same
+/// (cycle, location, bit) — and only non-default patterns may move the
+/// plan fingerprint.
+#[test]
+fn patterns_never_perturb_trial_seeds_or_coordinates() {
+    use kernels::apps::va::Va;
+    use kernels::PlannedFault;
+    use relia::{prepare_uarch_campaign, CampaignCfg};
+    use vgpu_sim::FaultPattern;
+
+    let base_cfg = CampaignCfg::new(6, 6, 0xBEEF);
+    let base = prepare_uarch_campaign(&Va, &base_cfg, false);
+    for pattern in FaultPattern::ALL {
+        let mut cfg = base_cfg.clone();
+        cfg.pattern = pattern;
+        let prep = prepare_uarch_campaign(&Va, &cfg, false);
+        assert_eq!(prep.plan.trials.len(), base.plan.trials.len());
+        for (t, b) in prep.plan.trials.iter().zip(&base.plan.trials) {
+            assert_eq!(t.seed, b.seed, "{}: trial seed moved", pattern.label());
+            assert_eq!(t.index, b.index);
+            assert_eq!(t.kernel_idx, b.kernel_idx);
+            assert_eq!(t.target, b.target);
+            assert_eq!(t.trial, b.trial);
+            // Identical fault coordinates; only the pattern field differs.
+            match (&t.fault, &b.fault) {
+                (Some((ot, PlannedFault::Uarch(ft))), Some((ob, PlannedFault::Uarch(fb)))) => {
+                    assert_eq!(ot, ob);
+                    assert_eq!(ft.cycle, fb.cycle, "{}", pattern.label());
+                    assert_eq!(ft.structure, fb.structure);
+                    assert_eq!(ft.loc_pick, fb.loc_pick);
+                    assert_eq!(ft.bit, fb.bit);
+                    assert_eq!(ft.pattern, pattern);
+                }
+                (None, None) => {}
+                (a, b) => panic!("{}: fault shape diverged: {a:?} vs {b:?}", pattern.label()),
+            }
+        }
+        if pattern == FaultPattern::SingleBit {
+            assert_eq!(prep.plan.fingerprint(), base.plan.fingerprint());
+        } else {
+            assert_ne!(
+                prep.plan.fingerprint(),
+                base.plan.fingerprint(),
+                "{}: non-default patterns must not collide with the single-bit digest",
+                pattern.label()
+            );
+        }
+    }
+}
+
 #[test]
 fn shard_cover_holds_at_awkward_exact_points() {
     // Deterministic spot checks at the boundaries proptest may skip.

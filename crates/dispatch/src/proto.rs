@@ -31,7 +31,7 @@ use relia::plan::{
     prepare_sw_campaign, prepare_uarch_campaign_structures, Layer, PreparedCampaign,
 };
 use relia::CampaignCfg;
-use vgpu_sim::{GpuConfig, HwStructure};
+use vgpu_sim::{FaultPattern, GpuConfig, HwStructure};
 
 /// Bumped whenever a frame changes incompatibly; [`Frame::Hello`] carries
 /// it and the coordinator rejects mismatched workers during the handshake.
@@ -49,14 +49,16 @@ pub fn parse_structures(spec: &str) -> Result<Vec<HwStructure>, String> {
             continue;
         }
         let h = HwStructure::from_label(&label).ok_or_else(|| {
-            format!("unknown structure {label:?} (known: RF, SMEM, L1D, L1T, L2)")
+            format!("unknown structure {label:?} (known: RF, SMEM, L1D, L1T, L2, SIMT, SCHED)")
         })?;
         if !out.contains(&h) {
             out.push(h);
         }
     }
     if out.is_empty() {
-        return Err("--structures requires at least one of RF, SMEM, L1D, L1T, L2".into());
+        return Err(
+            "--structures requires at least one of RF, SMEM, L1D, L1T, L2, SIMT, SCHED".into(),
+        );
     }
     Ok(out)
 }
@@ -86,6 +88,10 @@ pub struct CampaignSpec {
     pub hardened: bool,
     /// Structure subset for uarch campaigns (`None` = all five).
     pub structures: Option<Vec<HwStructure>>,
+    /// Fault pattern every trial applies (docs/FAULT_MODELS.md). Part of
+    /// the plan fingerprint for non-default patterns, so a worker running
+    /// a different model fails the handshake instead of merging garbage.
+    pub fault_model: FaultPattern,
 }
 
 impl CampaignSpec {
@@ -94,6 +100,7 @@ impl CampaignSpec {
     pub fn campaign_cfg(&self) -> CampaignCfg {
         let mut cfg = CampaignCfg::new(self.n, self.n, self.seed);
         cfg.gpu = GpuConfig::volta_scaled(self.sms);
+        cfg.pattern = self.fault_model;
         cfg
     }
 
@@ -221,6 +228,8 @@ impl Frame {
                 push_json_str(&mut s, spec.layer.label());
                 s.push_str(",\"structures\":");
                 push_json_str(&mut s, &structures_spec(&spec.structures));
+                s.push_str(",\"fault_model\":");
+                push_json_str(&mut s, spec.fault_model.label());
                 s.push_str(&format!(
                     ",\"n\":{},\"seed\":{},\"sms\":{},\"hardened\":{},\"shards\":{shards},\"fingerprint\":{fingerprint}}}",
                     spec.n, spec.seed, spec.sms, spec.hardened
@@ -298,6 +307,12 @@ pub fn parse_frame(line: &str) -> Option<Frame> {
                 JsonValue::Bool(b) => *b,
                 _ => return None,
             };
+            // Absent in frames from pre-pattern coordinators: those only
+            // ever dispatched the paper's single-bit model.
+            let fault_model = match get("fault_model").and_then(JsonValue::as_str) {
+                None => FaultPattern::SingleBit,
+                Some(l) => FaultPattern::from_label(l)?,
+            };
             Some(Frame::Job {
                 spec: CampaignSpec {
                     app: get("app")?.as_str()?.to_string(),
@@ -307,6 +322,7 @@ pub fn parse_frame(line: &str) -> Option<Frame> {
                     sms: num("sms")? as u32,
                     hardened,
                     structures,
+                    fault_model,
                 },
                 shards: num("shards")? as usize,
                 fingerprint: num("fingerprint")?,
@@ -422,6 +438,7 @@ mod tests {
             sms: 4,
             hardened: true,
             structures: Some(vec![HwStructure::RegFile, HwStructure::L2]),
+            fault_model: FaultPattern::SingleBit,
         }
     }
 
@@ -452,6 +469,15 @@ mod tests {
                 },
                 shards: 1,
                 fingerprint: 7,
+            },
+            Frame::Job {
+                spec: CampaignSpec {
+                    fault_model: FaultPattern::StuckAt1,
+                    structures: Some(vec![HwStructure::Simt, HwStructure::Sched]),
+                    ..spec()
+                },
+                shards: 2,
+                fingerprint: 8,
             },
             Frame::Ready {
                 fingerprint: u64::MAX,
@@ -527,6 +553,25 @@ mod tests {
                 telemetry: String::new(),
             })
         );
+    }
+
+    #[test]
+    fn job_without_fault_model_field_still_parses() {
+        // A coordinator predating the pattern axis never sends the field;
+        // the worker must assume the single-bit model, not reject the job.
+        let line = "{\"frame\":\"job\",\"app\":\"VA\",\"layer\":\"uarch\",\
+                    \"structures\":\"\",\"n\":4,\"seed\":9,\"sms\":4,\
+                    \"hardened\":false,\"shards\":1,\"fingerprint\":5}";
+        let Some(Frame::Job { spec, .. }) = parse_frame(line) else {
+            panic!("legacy job frame must parse");
+        };
+        assert_eq!(spec.fault_model, FaultPattern::SingleBit);
+        // An unknown pattern label is corruption, not a default.
+        let bad = line.replace(
+            "\"hardened\"",
+            "\"fault_model\":\"warp-drive\",\"hardened\"",
+        );
+        assert!(parse_frame(&bad).is_none());
     }
 
     #[test]

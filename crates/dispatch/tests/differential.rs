@@ -23,9 +23,9 @@ use relia::{
     assemble_sw, assemble_uarch, dedupe_records, execute_shard, execute_trials,
     records_fingerprint, EngineCfg,
 };
-use vgpu_sim::HwStructure;
+use vgpu_sim::{FaultPattern, HwStructure};
 
-fn spec_for(app: &str, layer: Layer) -> CampaignSpec {
+fn spec_for(app: &str, layer: Layer, fault_model: FaultPattern) -> CampaignSpec {
     CampaignSpec {
         app: app.to_string(),
         layer,
@@ -38,6 +38,7 @@ fn spec_for(app: &str, layer: Layer) -> CampaignSpec {
         sms: 4,
         hardened: false,
         structures: None,
+        fault_model,
     }
 }
 
@@ -46,7 +47,11 @@ fn key(r: &TrialRecord) -> (usize, kernels::Outcome, bool) {
 }
 
 fn differential(app: &str, layer: Layer) {
-    let spec = spec_for(app, layer);
+    differential_pattern(app, layer, FaultPattern::SingleBit);
+}
+
+fn differential_pattern(app: &str, layer: Layer, fault_model: FaultPattern) {
+    let spec = spec_for(app, layer, fault_model);
     let bench = spec.find_bench().expect("benchmark exists");
     let prep = spec.prepare(bench.as_ref());
     assert!(
@@ -200,4 +205,29 @@ fn scp_uarch_dispatch_equals_single_shot() {
 #[test]
 fn scp_sw_dispatch_equals_single_shot() {
     differential("SCP", Layer::Sw);
+}
+
+// The non-default patterns must survive the same three-way differential:
+// the pattern rides in the job frame, lands in the plan fingerprint, and
+// every re-execution after a lease reassignment applies the same
+// multi-bit footprint or re-asserted stuck cell.
+
+#[test]
+fn va_uarch_double_adjacent_dispatch_equals_single_shot() {
+    differential_pattern("VA", Layer::Uarch, FaultPattern::DoubleAdjacent);
+}
+
+#[test]
+fn va_uarch_stuck_at_0_dispatch_equals_single_shot() {
+    differential_pattern("VA", Layer::Uarch, FaultPattern::StuckAt0);
+}
+
+#[test]
+fn va_sw_whole_entry_dispatch_equals_single_shot() {
+    differential_pattern("VA", Layer::Sw, FaultPattern::WholeEntry);
+}
+
+#[test]
+fn va_sw_stuck_at_1_dispatch_equals_single_shot() {
+    differential_pattern("VA", Layer::Sw, FaultPattern::StuckAt1);
 }

@@ -100,6 +100,7 @@ fn spec() -> CampaignSpec {
         sms: 4,
         hardened: false,
         structures: None,
+        fault_model: vgpu_sim::FaultPattern::SingleBit,
     }
 }
 

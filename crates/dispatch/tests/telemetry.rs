@@ -36,6 +36,7 @@ fn telemetry_preserves_bit_identical_merge_and_exposes_endpoints() {
         seed: 0x7E1E_AA11_0000_0002,
         hardened: false,
         structures: None,
+        fault_model: vgpu_sim::FaultPattern::SingleBit,
     };
     let bench = spec.find_bench().expect("benchmark exists");
     let prep = spec.prepare(bench.as_ref());

@@ -74,9 +74,9 @@ pub struct RunResult {
     pub total_cost: u64,
     /// Cycles (or instructions) actually simulated: `total_cost` minus
     /// everything fast-forward skipped or spliced. Equal to `total_cost`
-    /// on the slow path. Watchdog cycle budgets check this, not
-    /// `total_cost`, so a trial resumed at cycle 900k is not instantly
-    /// charged 900k skipped cycles.
+    /// on the slow path. A scheduling statistic only — anything that
+    /// feeds classification (including the campaign watchdog's cycle
+    /// budget) must use `total_cost`, which both paths agree on.
     pub simulated_cost: u64,
     /// Cycle the injected launch was resumed at, if fast-forward used a
     /// mid-launch snapshot.

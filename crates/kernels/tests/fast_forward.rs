@@ -31,6 +31,15 @@ fn probe_cycles(total: u64) -> Vec<u64> {
 }
 
 fn assert_ff_matches(bench: &dyn Benchmark, target: usize, golden: &GoldenRun) {
+    assert_ff_matches_pattern(bench, target, golden, vgpu_sim::FaultPattern::SingleBit);
+}
+
+fn assert_ff_matches_pattern(
+    bench: &dyn Benchmark,
+    target: usize,
+    golden: &GoldenRun,
+    pattern: vgpu_sim::FaultPattern,
+) {
     let cfg = cfg();
     let snaps = Arc::new(golden_run_snapshots(bench, &cfg, golden, 4));
     let launch_cycles = golden.records[target].stats.cycles;
@@ -42,6 +51,7 @@ fn assert_ff_matches(bench: &dyn Benchmark, target: usize, golden: &GoldenRun) {
                 structure,
                 loc_pick: 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1),
                 bit: (i as u8 * 7) % 32,
+                pattern,
             });
             let slow = faulty_run(bench, &cfg, Variant::TIMED, golden, target, fault);
             let fast = faulty_run_ff(bench, &cfg, golden, &snaps, target, fault);
@@ -97,6 +107,28 @@ fn ff_bit_identical_to_slow_path_multi_launch() {
     assert!(golden.records.len() > 1, "LUD should be multi-launch");
     assert_ff_matches(&b, 0, &golden);
     assert_ff_matches(&b, golden.records.len() - 1, &golden);
+}
+
+#[test]
+fn ff_bit_identical_to_slow_path_stuck_at() {
+    // Persistent faults are the riskiest case for fast-forward: the stuck
+    // site must be pinned to the same physical location and re-asserted
+    // over the same suffix whether or not the prefix was restored from a
+    // snapshot. Classification must not depend on the path taken.
+    let b = Va;
+    let golden = golden_run(&b, &cfg(), Variant::TIMED);
+    assert_ff_matches_pattern(&b, 0, &golden, vgpu_sim::FaultPattern::StuckAt1);
+    assert_ff_matches_pattern(&b, 0, &golden, vgpu_sim::FaultPattern::StuckAt0);
+}
+
+#[test]
+fn ff_bit_identical_to_slow_path_multi_bit() {
+    // Spatial multi-bit transients: the footprint expansion happens at
+    // the fault cycle, which fast-forward never skips past.
+    let b = Scp;
+    let golden = golden_run(&b, &cfg(), Variant::TIMED);
+    assert_ff_matches_pattern(&b, 0, &golden, vgpu_sim::FaultPattern::BurstRow);
+    assert_ff_matches_pattern(&b, 0, &golden, vgpu_sim::FaultPattern::WholeEntry);
 }
 
 #[test]

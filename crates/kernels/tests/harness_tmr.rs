@@ -142,6 +142,7 @@ fn planted_sw_fault_in_output_value_is_an_sdc() {
                 target: elig * t / 40 + t,
                 bit: 30,
                 loc_pick: 0,
+                pattern: vgpu_sim::FaultPattern::SingleBit,
             }),
         );
         assert!(res.applied);
@@ -171,6 +172,7 @@ fn fault_beyond_stream_is_masked_and_not_applied() {
             target: u64::MAX / 2,
             bit: 0,
             loc_pick: 0,
+            pattern: vgpu_sim::FaultPattern::SingleBit,
         }),
     );
     assert_eq!(res.outcome, Outcome::Masked);
@@ -196,6 +198,7 @@ fn uarch_fault_after_kernel_end_is_masked() {
             structure: vgpu_sim::HwStructure::RegFile,
             loc_pick: 42,
             bit: 5,
+            pattern: vgpu_sim::FaultPattern::SingleBit,
         }),
     );
     assert_eq!(res.outcome, Outcome::Masked);

@@ -204,8 +204,25 @@ impl Cache {
     /// The flip lands wherever `byte_index` points — valid line, stale
     /// invalid line, it does not matter: that is the AVF fault model.
     pub fn flip_bit(&mut self, byte_index: u64, bit: u8) {
+        self.flip_mask(byte_index, 1 << (bit % 8));
+    }
+
+    /// XOR a whole bit mask into one byte of the data array (multi-bit
+    /// transient fault patterns).
+    pub fn flip_mask(&mut self, byte_index: u64, mask: u8) {
         let i = byte_index as usize % self.data.len();
-        self.data[i] ^= 1 << (bit % 8);
+        self.data[i] ^= mask;
+    }
+
+    /// Force the masked bits of one data-array byte to `value` (stuck-at
+    /// fault patterns; idempotent, so re-asserting every cycle is safe).
+    pub fn force_mask(&mut self, byte_index: u64, mask: u8, value: bool) {
+        let i = byte_index as usize % self.data.len();
+        self.data[i] = if value {
+            self.data[i] | mask
+        } else {
+            self.data[i] & !mask
+        };
     }
 
     /// Coherent host view: the current word at `addr` if resident.

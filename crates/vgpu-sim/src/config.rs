@@ -132,6 +132,9 @@ impl GpuConfig {
             HwStructure::L1D => self.num_sms as u64 * self.l1d.data_bits(),
             HwStructure::L1T => self.num_sms as u64 * self.l1t.data_bits(),
             HwStructure::L2 => self.l2.data_bits(),
+            // Ephemeral pipeline state, not ECC-sized data storage: carries
+            // no weight in the chip-level AVF formula.
+            HwStructure::Simt | HwStructure::Sched => 0,
         }
     }
 

@@ -9,7 +9,7 @@
 //! returned issue class.
 
 use crate::due::DueKind;
-use crate::fault::{SwFaultKind, SwInjector};
+use crate::fault::{apply_stuck, value_mask, SwFaultKind, SwInjector, SwStuck};
 use crate::stats::Stats;
 use crate::warp::{StackEntry, Warp};
 use vgpu_arch::{CmpOp, Kernel, MemSpace, Op, Operand, Reg, SpecialReg, WARP_SIZE};
@@ -143,8 +143,8 @@ fn fcmp(cmp: CmpOp, a: f32, bv: f32) -> bool {
 
 /// Kind of value-level software fault pending for this instruction.
 enum PendingSw {
-    Dest { lane: usize, bit: u8 },
-    SrcRestore { r: Reg, lane: usize, bit: u8 },
+    Dest { lane: usize, mask: u32 },
+    SrcRestore { r: Reg, lane: usize, mask: u32 },
     None,
 }
 
@@ -208,25 +208,56 @@ pub fn step_warp<M: GMem>(w: &mut Warp, ctx: &mut ExecCtx<'_, M>) -> Result<Step
                         m &= m - 1;
                         k -= 1;
                     };
-                    let bit = sw.fault.bit % 32;
+                    let mask = value_mask(sw.fault.pattern, sw.fault.bit);
+                    let stuck_v = sw.fault.pattern.stuck_value();
                     match sw.fault.kind {
                         SwFaultKind::DestValue | SwFaultKind::DestValueLoad => {
-                            pending = PendingSw::Dest { lane, bit };
+                            pending = PendingSw::Dest { lane, mask };
                         }
                         SwFaultKind::SrcTransient | SwFaultKind::SrcPersistent => {
                             let r = op.src_regs()[0];
-                            ctx.regs[reg_idx(r, lane)] ^= 1 << bit;
-                            sw.applied = true;
-                            if sw.fault.kind == SwFaultKind::SrcTransient {
-                                pending = PendingSw::SrcRestore { r, lane, bit };
+                            let i = reg_idx(r, lane);
+                            match stuck_v {
+                                Some(v) => {
+                                    // Persistent pattern: the cell is stuck
+                                    // regardless of the source-fault kind.
+                                    ctx.regs[i] = apply_stuck(ctx.regs[i], mask, v);
+                                    sw.stuck = Some(SwStuck {
+                                        seq: w.seq,
+                                        reg: r.0,
+                                        lane,
+                                        mask,
+                                        value: v,
+                                    });
+                                }
+                                None => {
+                                    ctx.regs[i] ^= mask;
+                                    if sw.fault.kind == SwFaultKind::SrcTransient {
+                                        pending = PendingSw::SrcRestore { r, lane, mask };
+                                    }
+                                }
                             }
+                            sw.applied = true;
                         }
                         SwFaultKind::ArchState => {
                             // Architectural-state fault (PVF model): any
                             // live register of this warp, before execution.
                             let nregs = ctx.kernel.num_regs as u64;
                             let r = Reg((sw.fault.loc_pick % nregs) as u8);
-                            ctx.regs[reg_idx(r, lane)] ^= 1 << bit;
+                            let i = reg_idx(r, lane);
+                            match stuck_v {
+                                Some(v) => {
+                                    ctx.regs[i] = apply_stuck(ctx.regs[i], mask, v);
+                                    sw.stuck = Some(SwStuck {
+                                        seq: w.seq,
+                                        reg: r.0,
+                                        lane,
+                                        mask,
+                                        value: v,
+                                    });
+                                }
+                                None => ctx.regs[i] ^= mask,
+                            }
                             sw.applied = true;
                         }
                     }
@@ -614,22 +645,48 @@ pub fn step_warp<M: GMem>(w: &mut Warp, ctx: &mut ExecCtx<'_, M>) -> Result<Step
 
     // ---- apply pending destination-value fault & advance ---------------
     match pending {
-        PendingSw::Dest { lane, bit } => {
+        PendingSw::Dest { lane, mask } => {
             if let Some(d) = op.dst_reg() {
-                ctx.regs[reg_idx(d, lane)] ^= 1 << bit;
+                let i = reg_idx(d, lane);
                 if let Some(sw) = ctx.sw.as_deref_mut() {
+                    match sw.fault.pattern.stuck_value() {
+                        Some(v) => {
+                            ctx.regs[i] = apply_stuck(ctx.regs[i], mask, v);
+                            sw.stuck = Some(SwStuck {
+                                seq: w.seq,
+                                reg: d.0,
+                                lane,
+                                mask,
+                                value: v,
+                            });
+                        }
+                        None => ctx.regs[i] ^= mask,
+                    }
                     sw.applied = true;
                 }
             }
         }
-        PendingSw::SrcRestore { r, lane, bit } => {
+        PendingSw::SrcRestore { r, lane, mask } => {
             // Transient source fault: undo the flip unless the instruction
             // overwrote the register anyway.
             if op.dst_reg() != Some(r) {
-                ctx.regs[reg_idx(r, lane)] ^= 1 << bit;
+                ctx.regs[reg_idx(r, lane)] ^= mask;
             }
         }
         PendingSw::None => {}
+    }
+
+    // ---- re-assert a persistent software-level fault --------------------
+    // A stuck register cell is re-forced after every instruction of its
+    // warp, so whatever the instruction wrote is pinned back before the
+    // next reader can observe it.
+    if let Some(sw) = ctx.sw.as_deref_mut() {
+        if let Some(st) = sw.stuck {
+            if st.seq == w.seq {
+                let i = reg_idx(Reg(st.reg), st.lane);
+                ctx.regs[i] = apply_stuck(ctx.regs[i], st.mask, st.value);
+            }
+        }
     }
 
     // ---- ACE lifetime tracking: destination-register write -------------
@@ -1017,6 +1074,7 @@ mod tests {
             target: 3, // lane 3 of the first eligible instruction
             bit: 1,
             loc_pick: 0,
+            pattern: crate::fault::FaultPattern::SingleBit,
         });
         let mut flat = FlatMem { mem: &mut mem };
         loop {
@@ -1071,6 +1129,7 @@ mod tests {
             target: 1, // second src-reading dynamic instr (iadd r2)
             bit: 0,    // 4 -> 5
             loc_pick: 0,
+            pattern: crate::fault::FaultPattern::SingleBit,
         });
         let mut flat = FlatMem { mem: &mut mem };
         loop {

@@ -1,15 +1,26 @@
 //! Fault specifications for both abstraction layers.
 //!
-//! * [`UarchFault`] — a microarchitecture-level single-bit flip at a given
-//!   cycle in one of the five modeled hardware structures (the gpuFI-4
-//!   model of the paper: register files, shared memory, L1 data cache,
-//!   L1 texture cache, L2 cache).
+//! * [`UarchFault`] — a microarchitecture-level fault at a given cycle in
+//!   one of the modeled hardware structures (the gpuFI-4 model of the
+//!   paper: register files, shared memory, L1 data cache, L1 texture
+//!   cache, L2 cache — plus the SIMT divergence stack and warp-scheduler
+//!   state for the permanent-fault extension).
 //! * [`SwFault`] — a software-level flip in the value produced (or read) by
 //!   one dynamic instruction (the NVBitFI model), plus the source-register
 //!   variants the paper proposes in Section V-B.
+//!
+//! Both carry a [`FaultPattern`] selecting *what* is corrupted at the
+//! chosen site: the classic uniform single-bit flip, spatial multi-bit
+//! transients (adjacent double-bit, whole-entry, row/column bursts per
+//! structure geometry), or persistent stuck-at-0/1 faults that are
+//! re-asserted on every access until the launch retires. See
+//! docs/FAULT_MODELS.md for the catalog and geometry mapping.
 
-/// The five hardware structures targeted by microarchitecture-level fault
-/// injection.
+/// The hardware structures targeted by microarchitecture-level fault
+/// injection. The first five are the paper's storage structures; `Simt`
+/// (per-warp divergence-stack state) and `Sched` (warp-scheduler
+/// readiness state) extend the model to the parallelism-management units
+/// that permanent-fault studies single out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum HwStructure {
     RegFile,
@@ -17,15 +28,32 @@ pub enum HwStructure {
     L1D,
     L1T,
     L2,
+    /// Top-of-stack active mask of one warp's SIMT divergence stack.
+    Simt,
+    /// Warp-scheduler readiness state (`ready_at`) of one warp.
+    Sched,
 }
 
 impl HwStructure {
+    /// The paper's five storage structures (AVF reporting set).
     pub const ALL: [HwStructure; 5] = [
         HwStructure::RegFile,
         HwStructure::Smem,
         HwStructure::L1D,
         HwStructure::L1T,
         HwStructure::L2,
+    ];
+
+    /// Every structure the injector can target, including the SIMT stack
+    /// and scheduler state (stuck-at campaigns).
+    pub const INJECTABLE: [HwStructure; 7] = [
+        HwStructure::RegFile,
+        HwStructure::Smem,
+        HwStructure::L1D,
+        HwStructure::L1T,
+        HwStructure::L2,
+        HwStructure::Simt,
+        HwStructure::Sched,
     ];
 
     /// Short label used in reports (matches the paper's figure labels).
@@ -36,6 +64,8 @@ impl HwStructure {
             HwStructure::L1D => "L1D",
             HwStructure::L1T => "L1T",
             HwStructure::L2 => "L2",
+            HwStructure::Simt => "SIMT",
+            HwStructure::Sched => "SCHED",
         }
     }
 
@@ -47,6 +77,8 @@ impl HwStructure {
             "L1D" => Some(HwStructure::L1D),
             "L1T" => Some(HwStructure::L1T),
             "L2" => Some(HwStructure::L2),
+            "SIMT" => Some(HwStructure::Simt),
+            "SCHED" => Some(HwStructure::Sched),
             _ => None,
         }
     }
@@ -55,18 +87,171 @@ impl HwStructure {
     pub const CACHES: [HwStructure; 3] = [HwStructure::L1D, HwStructure::L1T, HwStructure::L2];
 }
 
-/// A single-bit microarchitecture-level fault.
+/// What is corrupted at the fault site: the classic uniform single-bit
+/// transient, a spatial multi-bit transient, or a persistent stuck-at
+/// fault re-asserted on every access until the launch retires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FaultPattern {
+    /// Flip one uniformly chosen bit (the paper's baseline model).
+    #[default]
+    SingleBit,
+    /// Flip two adjacent bits of the same entry (wrapping at the entry
+    /// width) — the dominant spatial multi-bit pattern in field studies.
+    DoubleAdjacent,
+    /// Corrupt every bit of the selected entry (word / byte).
+    WholeEntry,
+    /// Flip the selected bit position in every entry of the aligned
+    /// geometric row containing the site (cache line, register row).
+    BurstRow,
+    /// Flip the selected bit position in up to [`BURST_COL_ROWS`]
+    /// consecutive rows starting at the site (a column burst).
+    BurstCol,
+    /// Permanently force the selected bit to 0 until launch end.
+    StuckAt0,
+    /// Permanently force the selected bit to 1 until launch end.
+    StuckAt1,
+}
+
+/// How many rows a [`FaultPattern::BurstCol`] fault spans (clipped at the
+/// end of the structure; no wrap-around).
+pub const BURST_COL_ROWS: u64 = 8;
+
+impl FaultPattern {
+    pub const ALL: [FaultPattern; 7] = [
+        FaultPattern::SingleBit,
+        FaultPattern::DoubleAdjacent,
+        FaultPattern::WholeEntry,
+        FaultPattern::BurstRow,
+        FaultPattern::BurstCol,
+        FaultPattern::StuckAt0,
+        FaultPattern::StuckAt1,
+    ];
+
+    /// Stable identifier used by `--fault-model`, metric labels, and the
+    /// dispatch protocol.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultPattern::SingleBit => "single-bit",
+            FaultPattern::DoubleAdjacent => "double-adjacent",
+            FaultPattern::WholeEntry => "whole-entry",
+            FaultPattern::BurstRow => "burst-row",
+            FaultPattern::BurstCol => "burst-col",
+            FaultPattern::StuckAt0 => "stuck-at-0",
+            FaultPattern::StuckAt1 => "stuck-at-1",
+        }
+    }
+
+    /// Inverse of [`label`](FaultPattern::label).
+    pub fn from_label(s: &str) -> Option<FaultPattern> {
+        FaultPattern::ALL.into_iter().find(|p| p.label() == s)
+    }
+
+    /// Persistent faults are re-asserted until launch end; they disable
+    /// the masked-convergence early exit (the machine can never provably
+    /// re-converge to golden while the fault is live).
+    pub fn is_persistent(&self) -> bool {
+        matches!(self, FaultPattern::StuckAt0 | FaultPattern::StuckAt1)
+    }
+
+    /// The forced bit value of a stuck-at pattern; `None` for transients.
+    pub fn stuck_value(&self) -> Option<bool> {
+        match self {
+            FaultPattern::StuckAt0 => Some(false),
+            FaultPattern::StuckAt1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+/// The exact set of `(entry, bit-mask)` sites a pattern corrupts in a
+/// storage structure of `entries` entries of `width` bits each, arranged
+/// geometrically in rows of `row` entries. `entry`/`bit` locate the seed
+/// site (the uniformly drawn single-bit location); every returned entry
+/// index is `< entries` and every mask fits in `width` bits. This is the
+/// single source of truth for pattern geometry — the injector, the
+/// property tests, and docs/FAULT_MODELS.md all derive from it.
+pub fn pattern_footprint(
+    pattern: FaultPattern,
+    entry: u64,
+    bit: u8,
+    entries: u64,
+    width: u8,
+    row: u64,
+) -> Vec<(u64, u32)> {
+    debug_assert!(entries > 0 && width > 0 && (1..=32).contains(&width));
+    let entry = entry % entries;
+    let b = u32::from(bit) % u32::from(width);
+    let one = 1u32 << b;
+    let row = row.max(1);
+    match pattern {
+        FaultPattern::SingleBit | FaultPattern::StuckAt0 | FaultPattern::StuckAt1 => {
+            vec![(entry, one)]
+        }
+        FaultPattern::DoubleAdjacent => {
+            let b2 = (b + 1) % u32::from(width);
+            vec![(entry, one | (1u32 << b2))]
+        }
+        FaultPattern::WholeEntry => {
+            let mask = if width >= 32 {
+                !0u32
+            } else {
+                (1u32 << width) - 1
+            };
+            vec![(entry, mask)]
+        }
+        FaultPattern::BurstRow => {
+            let start = (entry / row) * row;
+            (start..(start + row).min(entries))
+                .map(|e| (e, one))
+                .collect()
+        }
+        FaultPattern::BurstCol => (0..BURST_COL_ROWS)
+            .map_while(|r| {
+                let e = entry.checked_add(r * row)?;
+                (e < entries).then_some((e, one))
+            })
+            .collect(),
+    }
+}
+
+/// The 32-bit value mask a pattern corrupts when the fault site is a
+/// single architectural value (software-level faults, SIMT masks,
+/// scheduler state): the geometric row/column patterns map onto the
+/// byte lanes of the word.
+pub fn value_mask(pattern: FaultPattern, bit: u8) -> u32 {
+    let b = u32::from(bit) % 32;
+    match pattern {
+        FaultPattern::SingleBit | FaultPattern::StuckAt0 | FaultPattern::StuckAt1 => 1 << b,
+        FaultPattern::DoubleAdjacent => (1 << b) | (1 << ((b + 1) % 32)),
+        FaultPattern::WholeEntry => !0,
+        FaultPattern::BurstRow => 0xFF << (8 * (b / 8)),
+        FaultPattern::BurstCol => 0x0101_0101 << (b % 8),
+    }
+}
+
+/// Force the masked bits of `word` to the stuck value. Idempotent.
+#[inline]
+pub fn apply_stuck(word: u32, mask: u32, value: bool) -> u32 {
+    if value {
+        word | mask
+    } else {
+        word & !mask
+    }
+}
+
+/// A microarchitecture-level fault.
 ///
-/// `loc_pick` selects the flipped location *uniformly over the live
+/// `loc_pick` selects the seed location *uniformly over the live
 /// population at the injection cycle* (`loc_pick % population`):
 /// for the register file and shared memory this is the set of
 /// currently-allocated entries (gpuFI-4 can only target live allocations —
 /// the derating factor of the AVF formula accounts for the rest), while for
 /// caches it is the entire data array, valid or not, as AVF methodology
-/// requires.
+/// requires. The [`FaultPattern`] then expands the seed location into its
+/// full footprint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UarchFault {
-    /// Cycle (within the target launch) at which the flip occurs.
+    /// Cycle (within the target launch) at which the fault strikes.
     pub cycle: u64,
     pub structure: HwStructure,
     /// Uniform random location selector.
@@ -74,6 +259,8 @@ pub struct UarchFault {
     /// Bit within the selected word (RF/SMEM, 0..32) or byte (caches, the
     /// low 3 bits are used).
     pub bit: u8,
+    /// What is corrupted at the selected site.
+    pub pattern: FaultPattern,
 }
 
 /// What a software-level fault targets.
@@ -116,21 +303,39 @@ impl SwFaultKind {
     }
 }
 
-/// A software-level fault: flip `bit` in the value associated with the
+/// A software-level fault: corrupt the value associated with the
 /// `target`-th *eligible* dynamic thread-instruction (eligibility depends
 /// on [`SwFaultKind`]). Dynamic instructions are counted per executing
 /// lane, in deterministic execution order, exactly as a binary
-/// instrumentation tool observes them.
+/// instrumentation tool observes them. The [`FaultPattern`] selects the
+/// corrupted bit set within the 32-bit value (stuck-at patterns pin the
+/// register cell until launch end).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwFault {
     pub kind: SwFaultKind,
     /// Index into the stream of eligible dynamic thread-instructions.
     pub target: u64,
-    /// Bit to flip in the 32-bit value.
+    /// Bit to corrupt in the 32-bit value.
     pub bit: u8,
     /// Location selector for kinds that pick among several candidate
     /// registers ([`SwFaultKind::ArchState`]); ignored otherwise.
     pub loc_pick: u64,
+    /// What is corrupted in the targeted value.
+    pub pattern: FaultPattern,
+}
+
+/// A persistent software-level fault site: one register cell of one warp,
+/// re-forced after every instruction of that warp until launch end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwStuck {
+    /// `Warp::seq` of the warp whose register window holds the cell.
+    pub seq: u64,
+    /// Architectural register index.
+    pub reg: u8,
+    /// Lane within the warp.
+    pub lane: usize,
+    pub mask: u32,
+    pub value: bool,
 }
 
 /// Mutable state tracking a software fault during a run.
@@ -141,6 +346,9 @@ pub struct SwInjector {
     pub counter: u64,
     /// Set once the fault has been applied.
     pub applied: bool,
+    /// Resolved stuck-at site (persistent patterns only), re-asserted
+    /// after every instruction of the owning warp.
+    pub stuck: Option<SwStuck>,
 }
 
 impl SwInjector {
@@ -149,8 +357,38 @@ impl SwInjector {
             fault,
             counter: 0,
             applied: false,
+            stuck: None,
         }
     }
+}
+
+/// Which physical cache instance a stuck-at site lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StuckCache {
+    L1d(usize),
+    L1t(usize),
+    L2,
+}
+
+/// One resolved persistent fault site in the timed machine, pinned to a
+/// physical location when the fault strikes and re-forced on every
+/// simulation step until the launch retires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StuckSite {
+    /// Word `idx` of SM `sm`'s register file.
+    RfWord { sm: usize, idx: usize, mask: u32 },
+    /// Word `idx` of SM `sm`'s shared memory.
+    SmemWord { sm: usize, idx: usize, mask: u32 },
+    /// Byte `byte` of a cache data array.
+    CacheByte {
+        cache: StuckCache,
+        byte: u64,
+        mask: u8,
+    },
+    /// Top-of-stack active mask of warp slot `warp` on SM `sm`.
+    SimtMask { sm: usize, warp: usize, mask: u32 },
+    /// Low 32 bits of `ready_at` of warp slot `warp` on SM `sm`.
+    SchedReady { sm: usize, warp: usize, mask: u32 },
 }
 
 /// Mutable state tracking a microarchitecture fault during a timed run.
@@ -162,6 +400,9 @@ pub struct UarchInjector {
     /// structure had no live entries, in which case the flip was skipped
     /// and the run is trivially fault-free).
     pub population: u64,
+    /// Resolved stuck-at sites (persistent patterns only), re-forced on
+    /// every simulation step after application.
+    pub stuck: Vec<StuckSite>,
 }
 
 impl UarchInjector {
@@ -170,7 +411,13 @@ impl UarchInjector {
             fault,
             applied: false,
             population: 0,
+            stuck: Vec::new(),
         }
+    }
+
+    /// The stuck bit value if this fault is persistent.
+    pub fn stuck_value(&self) -> Option<bool> {
+        self.fault.pattern.stuck_value()
     }
 }
 
@@ -183,8 +430,72 @@ mod tests {
         assert_eq!(HwStructure::RegFile.label(), "RF");
         assert_eq!(HwStructure::Smem.label(), "SMEM");
         assert_eq!(HwStructure::L2.label(), "L2");
+        assert_eq!(HwStructure::Simt.label(), "SIMT");
+        assert_eq!(HwStructure::Sched.label(), "SCHED");
         assert_eq!(HwStructure::ALL.len(), 5);
+        assert_eq!(HwStructure::INJECTABLE.len(), 7);
         assert_eq!(HwStructure::CACHES.len(), 3);
+        for h in HwStructure::INJECTABLE {
+            assert_eq!(HwStructure::from_label(h.label()), Some(h));
+        }
+    }
+
+    #[test]
+    fn pattern_labels_round_trip() {
+        for p in FaultPattern::ALL {
+            assert_eq!(FaultPattern::from_label(p.label()), Some(p));
+        }
+        assert_eq!(FaultPattern::from_label("bogus"), None);
+        assert_eq!(FaultPattern::default(), FaultPattern::SingleBit);
+        assert!(FaultPattern::StuckAt0.is_persistent());
+        assert!(FaultPattern::StuckAt1.is_persistent());
+        assert!(!FaultPattern::BurstRow.is_persistent());
+        assert_eq!(FaultPattern::StuckAt0.stuck_value(), Some(false));
+        assert_eq!(FaultPattern::StuckAt1.stuck_value(), Some(true));
+        assert_eq!(FaultPattern::SingleBit.stuck_value(), None);
+    }
+
+    #[test]
+    fn footprints_match_documented_shapes() {
+        // Single bit: exactly the seed site.
+        assert_eq!(
+            pattern_footprint(FaultPattern::SingleBit, 5, 3, 16, 32, 4),
+            vec![(5, 1 << 3)]
+        );
+        // Adjacent double bit wraps at the entry width.
+        assert_eq!(
+            pattern_footprint(FaultPattern::DoubleAdjacent, 0, 31, 8, 32, 4),
+            vec![(0, (1 << 31) | 1)]
+        );
+        // Whole entry: full-width mask.
+        assert_eq!(
+            pattern_footprint(FaultPattern::WholeEntry, 2, 0, 8, 8, 4),
+            vec![(2, 0xFF)]
+        );
+        // Burst row: aligned row, clipped at the structure end.
+        assert_eq!(
+            pattern_footprint(FaultPattern::BurstRow, 5, 1, 7, 32, 4),
+            vec![(4, 2), (5, 2), (6, 2)]
+        );
+        // Burst column: same bit down consecutive rows, no wrap.
+        assert_eq!(
+            pattern_footprint(FaultPattern::BurstCol, 1, 0, 16, 32, 4),
+            vec![(1, 1), (5, 1), (9, 1), (13, 1)]
+        );
+    }
+
+    #[test]
+    fn stuck_force_is_idempotent() {
+        let w = 0b1010_1100u32;
+        let m = 0b0110u32;
+        let w1 = apply_stuck(w, m, true);
+        assert_eq!(apply_stuck(w1, m, true), w1);
+        let w0 = apply_stuck(w, m, false);
+        assert_eq!(apply_stuck(w0, m, false), w0);
+        assert_eq!(w1 & m, m);
+        assert_eq!(w0 & m, 0);
+        assert_eq!(w1 & !m, w & !m);
+        assert_eq!(w0 & !m, w & !m);
     }
 
     #[test]
@@ -194,16 +505,21 @@ mod tests {
             target: 10,
             bit: 3,
             loc_pick: 0,
+            pattern: FaultPattern::SingleBit,
         });
         assert_eq!(i.counter, 0);
         assert!(!i.applied);
+        assert!(i.stuck.is_none());
         let u = UarchInjector::new(UarchFault {
             cycle: 5,
             structure: HwStructure::L2,
             loc_pick: 99,
             bit: 7,
+            pattern: FaultPattern::SingleBit,
         });
         assert!(!u.applied);
         assert_eq!(u.population, 0);
+        assert!(u.stuck.is_empty());
+        assert_eq!(u.stuck_value(), None);
     }
 }

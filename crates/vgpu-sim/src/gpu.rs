@@ -532,6 +532,7 @@ mod tests {
             structure: crate::fault::HwStructure::L2,
             loc_pick: 0,
             bit: 0,
+            pattern: crate::fault::FaultPattern::SingleBit,
         });
         let _ = gpu.launch(&k, &lc, FaultPlan::Uarch(&mut inj), &Budget::unlimited());
     }
@@ -582,6 +583,7 @@ mod tests {
             structure: HwStructure::L2,
             loc_pick: 12345,
             bit: 7,
+            pattern: crate::fault::FaultPattern::SingleBit,
         };
 
         // Slow path: full run with the fault from cycle 0.

@@ -38,7 +38,10 @@ pub mod warp;
 
 pub use config::{CacheGeom, GpuConfig, Latencies};
 pub use due::DueKind;
-pub use fault::{HwStructure, SwFault, SwFaultKind, SwInjector, UarchFault, UarchInjector};
+pub use fault::{
+    apply_stuck, pattern_footprint, value_mask, FaultPattern, HwStructure, StuckCache, StuckSite,
+    SwFault, SwFaultKind, SwInjector, SwStuck, UarchFault, UarchInjector, BURST_COL_ROWS,
+};
 pub use gpu::{Budget, FaultPlan, Gpu, LaunchAbort, Mode};
 pub use lifetime::LifetimeTracker;
 pub use mem::{ArenaPlanner, GlobalMem};

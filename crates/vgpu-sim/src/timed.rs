@@ -11,7 +11,10 @@ use crate::cache::{ensure_l2, load_via, Cache};
 use crate::config::{GpuConfig, Latencies};
 use crate::due::{DueKind, LaunchAbort};
 use crate::exec::{step_warp, ExecCtx, GMem, IssueClass, StepEvent};
-use crate::fault::{HwStructure, SwInjector, UarchInjector};
+use crate::fault::{
+    apply_stuck, pattern_footprint, value_mask, HwStructure, StuckCache, StuckSite, SwInjector,
+    UarchInjector,
+};
 use crate::lifetime::{CacheAce, LifetimeTracker};
 use crate::mem::GlobalMem;
 use crate::snapshot::{ConvergeWith, SimSnapshot};
@@ -377,6 +380,15 @@ fn launch_cta(
 }
 
 /// Apply a pending microarchitecture fault to the live machine state.
+///
+/// The seed location is drawn exactly as in the single-bit model
+/// (`loc_pick % population`); the fault's [`FaultPattern`] then expands it
+/// into its full footprint via [`pattern_footprint`]. Transient patterns
+/// XOR their masks once; stuck-at patterns force the masked bits and pin
+/// the resolved physical sites in `inj.stuck`, which the engine re-forces
+/// on every simulation step until launch end.
+///
+/// [`FaultPattern`]: crate::fault::FaultPattern
 fn apply_uarch(
     inj: &mut UarchInjector,
     sms: &mut [SmState],
@@ -387,6 +399,8 @@ fn apply_uarch(
 ) {
     inj.applied = true;
     let bit = inj.fault.bit;
+    let pattern = inj.fault.pattern;
+    let stuck = pattern.stuck_value();
     match inj.fault.structure {
         HwStructure::RegFile | HwStructure::Smem => {
             let is_rf = inj.fault.structure == HwStructure::RegFile;
@@ -404,40 +418,201 @@ fn apply_uarch(
                 return; // nothing allocated at this cycle: trivially masked
             }
             let mut target = inj.fault.loc_pick % population;
-            for sm in sms.iter_mut() {
+            let mut site = None;
+            'walk: for (smi, sm) in sms.iter().enumerate() {
                 for (slot_idx, slot) in sm.slots.iter().enumerate() {
                     if slot.is_none() {
                         continue;
                     }
                     if target < per_cta {
-                        let idx = slot_idx as u64 * per_cta + target;
-                        if is_rf {
-                            sm.rf[idx as usize] ^= 1 << (bit % 32);
-                        } else {
-                            sm.smem[idx as usize] ^= 1 << (bit % 32);
-                        }
-                        return;
+                        site = Some((smi, slot_idx as u64 * per_cta + target));
+                        break 'walk;
                     }
                     target -= per_cta;
                 }
             }
-            unreachable!("population walk must land");
+            let (smi, idx) = site.expect("population walk must land");
+            let sm = &mut sms[smi];
+            let arr_len = if is_rf { sm.rf.len() } else { sm.smem.len() } as u64;
+            // Rows of WARP_SIZE words: one register (or shared-memory row)
+            // across the 32 lanes/banks of the physical array.
+            for (e, m) in pattern_footprint(pattern, idx, bit, arr_len, 32, WARP_SIZE as u64) {
+                let w = if is_rf {
+                    &mut sm.rf[e as usize]
+                } else {
+                    &mut sm.smem[e as usize]
+                };
+                match stuck {
+                    Some(v) => {
+                        *w = apply_stuck(*w, m, v);
+                        inj.stuck.push(if is_rf {
+                            StuckSite::RfWord {
+                                sm: smi,
+                                idx: e as usize,
+                                mask: m,
+                            }
+                        } else {
+                            StuckSite::SmemWord {
+                                sm: smi,
+                                idx: e as usize,
+                                mask: m,
+                            }
+                        });
+                    }
+                    None => *w ^= m,
+                }
+            }
         }
         HwStructure::L1D | HwStructure::L1T => {
-            let caches = if inj.fault.structure == HwStructure::L1D {
-                l1ds
-            } else {
-                l1ts
-            };
+            let is_l1d = inj.fault.structure == HwStructure::L1D;
+            let caches = if is_l1d { l1ds } else { l1ts };
             let per = caches[0].data_bytes();
             let total = per * caches.len() as u64;
             inj.population = total * 8;
             let byte = inj.fault.loc_pick % total;
-            caches[(byte / per) as usize].flip_bit(byte % per, bit);
+            let which = (byte / per) as usize;
+            let row = caches[which].geom().line_bytes as u64;
+            for (b, m) in pattern_footprint(pattern, byte % per, bit, per, 8, row) {
+                let m8 = m as u8;
+                match stuck {
+                    Some(v) => {
+                        caches[which].force_mask(b, m8, v);
+                        inj.stuck.push(StuckSite::CacheByte {
+                            cache: if is_l1d {
+                                StuckCache::L1d(which)
+                            } else {
+                                StuckCache::L1t(which)
+                            },
+                            byte: b,
+                            mask: m8,
+                        });
+                    }
+                    None => caches[which].flip_mask(b, m8),
+                }
+            }
         }
         HwStructure::L2 => {
-            inj.population = l2.data_bytes() * 8;
-            l2.flip_bit(inj.fault.loc_pick % l2.data_bytes(), bit);
+            let per = l2.data_bytes();
+            inj.population = per * 8;
+            let row = l2.geom().line_bytes as u64;
+            for (b, m) in pattern_footprint(pattern, inj.fault.loc_pick % per, bit, per, 8, row) {
+                let m8 = m as u8;
+                match stuck {
+                    Some(v) => {
+                        l2.force_mask(b, m8, v);
+                        inj.stuck.push(StuckSite::CacheByte {
+                            cache: StuckCache::L2,
+                            byte: b,
+                            mask: m8,
+                        });
+                    }
+                    None => l2.flip_mask(b, m8),
+                }
+            }
+        }
+        HwStructure::Simt | HwStructure::Sched => {
+            // Parallelism-management state: target one live warp, chosen
+            // uniformly over the resident not-yet-retired warps.
+            let mut population = 0u64;
+            for sm in sms.iter() {
+                population += sm.warps.iter().flatten().filter(|w| !w.done).count() as u64;
+            }
+            inj.population = population;
+            if population == 0 {
+                return;
+            }
+            let mut target = inj.fault.loc_pick % population;
+            let mut site = None;
+            'scan: for (smi, sm) in sms.iter().enumerate() {
+                for (wi, w) in sm.warps.iter().enumerate() {
+                    if w.as_ref().is_some_and(|w| !w.done) {
+                        if target == 0 {
+                            site = Some((smi, wi));
+                            break 'scan;
+                        }
+                        target -= 1;
+                    }
+                }
+            }
+            let (smi, wi) = site.expect("population walk must land");
+            let mask = value_mask(pattern, bit);
+            let w = sms[smi].warps[wi].as_mut().expect("selected warp live");
+            if inj.fault.structure == HwStructure::Simt {
+                if let Some(top) = w.stack.last_mut() {
+                    match stuck {
+                        Some(v) => {
+                            top.mask = apply_stuck(top.mask, mask, v);
+                            inj.stuck.push(StuckSite::SimtMask {
+                                sm: smi,
+                                warp: wi,
+                                mask,
+                            });
+                        }
+                        None => top.mask ^= mask,
+                    }
+                }
+            } else {
+                match stuck {
+                    Some(v) => {
+                        let lo = apply_stuck(w.ready_at as u32, mask, v);
+                        w.ready_at = (w.ready_at & !0xFFFF_FFFF) | u64::from(lo);
+                        inj.stuck.push(StuckSite::SchedReady {
+                            sm: smi,
+                            warp: wi,
+                            mask,
+                        });
+                    }
+                    None => w.ready_at ^= u64::from(mask),
+                }
+            }
+        }
+    }
+}
+
+/// Re-force every resolved stuck-at site (idempotent). Called at the top
+/// of each engine step after the fault has landed, so any overwrite in
+/// the previous step is pinned back to the stuck value before the next
+/// instruction can observe it — the "re-asserted on every access"
+/// semantics of a permanent fault. Sites are physical: a CTA slot or
+/// cache line reallocated over a stuck location inherits the fault.
+fn reassert_stuck(
+    inj: &UarchInjector,
+    sms: &mut [SmState],
+    l1ds: &mut [Cache],
+    l1ts: &mut [Cache],
+    l2: &mut Cache,
+) {
+    let Some(v) = inj.stuck_value() else {
+        return;
+    };
+    for s in &inj.stuck {
+        match *s {
+            StuckSite::RfWord { sm, idx, mask } => {
+                let w = &mut sms[sm].rf[idx];
+                *w = apply_stuck(*w, mask, v);
+            }
+            StuckSite::SmemWord { sm, idx, mask } => {
+                let w = &mut sms[sm].smem[idx];
+                *w = apply_stuck(*w, mask, v);
+            }
+            StuckSite::CacheByte { cache, byte, mask } => match cache {
+                StuckCache::L1d(i) => l1ds[i].force_mask(byte, mask, v),
+                StuckCache::L1t(i) => l1ts[i].force_mask(byte, mask, v),
+                StuckCache::L2 => l2.force_mask(byte, mask, v),
+            },
+            StuckSite::SimtMask { sm, warp, mask } => {
+                if let Some(w) = sms[sm].warps[warp].as_mut() {
+                    if let Some(top) = w.stack.last_mut() {
+                        top.mask = apply_stuck(top.mask, mask, v);
+                    }
+                }
+            }
+            StuckSite::SchedReady { sm, warp, mask } => {
+                if let Some(w) = sms[sm].warps[warp].as_mut() {
+                    let lo = apply_stuck(w.ready_at as u32, mask, v);
+                    w.ready_at = (w.ready_at & !0xFFFF_FFFF) | u64::from(lo);
+                }
+            }
         }
     }
 }
@@ -496,7 +671,18 @@ pub(crate) fn run_timed_ctl(
     let num_sms = cfg.num_sms as usize;
     let total_ctas = lc.num_ctas();
     let capture_at = ctl.capture_at;
-    let converge = ctl.converge.take();
+    let mut converge = ctl.converge.take();
+    // A persistent (stuck-at) fault is re-asserted until launch end, so
+    // the disturbed machine can never provably re-converge to golden
+    // while the launch runs: disable the early masked-convergence exit.
+    // (Launch-boundary convergence remains valid — the fault dies with
+    // the launch.)
+    if uarch
+        .as_deref()
+        .is_some_and(|i| i.fault.pattern.is_persistent())
+    {
+        converge = None;
+    }
 
     let state = match ctl.resume {
         Some(snap) => {
@@ -631,10 +817,13 @@ pub(crate) fn run_timed_ctl(
             }
 
             // Apply a due microarchitecture fault before issuing at this
-            // cycle.
+            // cycle, and re-force any live stuck-at sites (permanent
+            // faults) before the next instructions can observe them.
             if let Some(inj) = uarch.as_deref_mut() {
                 if !inj.applied && cycle >= inj.fault.cycle {
                     apply_uarch(inj, &mut sms, l1ds, l1ts, l2, &g);
+                } else if inj.applied && !inj.stuck.is_empty() {
+                    reassert_stuck(inj, &mut sms, l1ds, l1ts, l2);
                 }
             }
 
@@ -858,6 +1047,15 @@ pub(crate) fn run_timed_ctl(
     };
 
     ctl.simulated_cycles = cycle - start_cycle;
+
+    // A stuck-at site overwritten by the very last step must still read
+    // stuck when the launch retires (output classification reads L2 and
+    // memory after the epilogue).
+    if let Some(inj) = uarch.as_deref() {
+        if inj.applied && !inj.stuck.is_empty() {
+            reassert_stuck(inj, &mut sms, l1ds, l1ts, l2);
+        }
+    }
 
     // Kernel boundary: L1s are invalidated (write-through, nothing dirty).
     for c in l1ds.iter_mut().chain(l1ts.iter_mut()) {

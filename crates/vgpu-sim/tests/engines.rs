@@ -213,6 +213,7 @@ fn uarch_rf_fault_changes_or_masks_but_never_panics() {
             structure: HwStructure::RegFile,
             loc_pick: trial.wrapping_mul(0x9e37_79b9_7f4a_7c15),
             bit: (trial % 32) as u8,
+            pattern: vgpu_sim::FaultPattern::SingleBit,
         });
         let budget = Budget {
             cycles: golden.cycles * 10 + 1000,
@@ -258,6 +259,7 @@ fn uarch_cache_fault_applies_to_whole_array() {
         structure: HwStructure::L2,
         loc_pick: 123_456_789,
         bit: 3,
+        pattern: vgpu_sim::FaultPattern::SingleBit,
     });
     let _ = s
         .gpu
@@ -285,6 +287,7 @@ fn sw_fault_in_functional_mode() {
             target: (t * 131) % gs.gp_dest_instrs,
             bit: 30,
             loc_pick: 0,
+            pattern: vgpu_sim::FaultPattern::SingleBit,
         });
         let budget = Budget {
             cycles: u64::MAX / 2,

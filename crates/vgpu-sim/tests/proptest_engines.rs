@@ -131,6 +131,7 @@ proptest! {
             structure: HwStructure::ALL[structure],
             loc_pick: pick,
             bit,
+            pattern: vgpu_sim::FaultPattern::SingleBit,
         });
         let budget = Budget { cycles: golden.cycles * 10 + 1000, instrs: u64::MAX / 2 };
         // Either outcome is fine; not panicking/hanging is the property.
@@ -161,7 +162,7 @@ proptest! {
         let mem = planner.build();
         let mut gpu = Gpu::new(GpuConfig::default(), mem, Mode::Functional);
         let lc = LaunchConfig::new(n / 64, 64, vec![out]);
-        let mut inj = SwInjector::new(SwFault { kind: SwFaultKind::DestValue, target, bit, loc_pick: 0 });
+        let mut inj = SwInjector::new(SwFault { kind: SwFaultKind::DestValue, target, bit, loc_pick: 0, pattern: vgpu_sim::FaultPattern::SingleBit });
         let budget = Budget { cycles: u64::MAX / 2, instrs: golden.thread_instrs * 10 + 1000 };
         let res = gpu.launch(&k, &lc, FaultPlan::Sw(&mut inj), &budget);
         if res.is_ok() {

@@ -1,0 +1,123 @@
+//! Property tests for the fault-pattern geometry: for arbitrary structure
+//! geometries and seed sites, every [`FaultPattern`] footprint must stay
+//! inside the structure, touch exactly the bit set docs/FAULT_MODELS.md
+//! documents, and stuck-at forcing must be idempotent.
+
+use proptest::prelude::*;
+use vgpu_sim::{apply_stuck, pattern_footprint, value_mask, FaultPattern, BURST_COL_ROWS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// No pattern ever writes outside the structure: every entry index is
+    /// in bounds, every mask fits in the entry width, and no entry shows
+    /// up twice (transient flips must never cancel themselves out).
+    #[test]
+    fn footprints_stay_in_bounds(
+        entries in 1u64..4096,
+        width in 1u8..=32,
+        row in 0u64..128,
+        entry in any::<u64>(),
+        bit in any::<u8>(),
+        which in 0usize..FaultPattern::ALL.len(),
+    ) {
+        let pattern = FaultPattern::ALL[which];
+        let sites = pattern_footprint(pattern, entry, bit, entries, width, row);
+        prop_assert!(!sites.is_empty(), "a fault must corrupt something");
+        let width_mask = if width >= 32 { !0u32 } else { (1u32 << width) - 1 };
+        for &(e, m) in &sites {
+            prop_assert!(e < entries, "entry {} out of {}", e, entries);
+            prop_assert_ne!(m, 0, "empty mask at entry {}", e);
+            prop_assert_eq!(m & !width_mask, 0, "mask {:#x} exceeds width {}", m, width);
+        }
+        let mut idxs: Vec<u64> = sites.iter().map(|s| s.0).collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        prop_assert_eq!(idxs.len(), sites.len(), "duplicate entry in footprint");
+    }
+
+    /// Each pattern touches exactly its documented bit set — checked
+    /// against an independent recomputation of the documented shape.
+    #[test]
+    fn footprints_match_documented_shapes(
+        entries in 1u64..4096,
+        width in 1u8..=32,
+        row in 0u64..128,
+        entry in any::<u64>(),
+        bit in any::<u8>(),
+        which in 0usize..FaultPattern::ALL.len(),
+    ) {
+        let pattern = FaultPattern::ALL[which];
+        let sites = pattern_footprint(pattern, entry, bit, entries, width, row);
+        let seed_entry = entry % entries;
+        let b = u32::from(bit) % u32::from(width);
+        let row = row.max(1);
+        let expected: Vec<(u64, u32)> = match pattern {
+            FaultPattern::SingleBit | FaultPattern::StuckAt0 | FaultPattern::StuckAt1 =>
+                vec![(seed_entry, 1 << b)],
+            FaultPattern::DoubleAdjacent => {
+                let next = (b + 1) % u32::from(width);
+                vec![(seed_entry, (1 << b) | (1 << next))]
+            }
+            FaultPattern::WholeEntry => {
+                let m = if width >= 32 { !0 } else { (1u32 << width) - 1 };
+                vec![(seed_entry, m)]
+            }
+            FaultPattern::BurstRow => {
+                let start = seed_entry - seed_entry % row;
+                (start..entries.min(start + row)).map(|e| (e, 1 << b)).collect()
+            }
+            FaultPattern::BurstCol =>
+                (0..BURST_COL_ROWS)
+                    .filter_map(|r| {
+                        let e = seed_entry.checked_add(r * row)?;
+                        (e < entries).then_some((e, 1u32 << b))
+                    })
+                    .collect(),
+        };
+        prop_assert_eq!(sites, expected);
+    }
+
+    /// A one-bit-wide double-adjacent footprint degenerates to the single
+    /// bit (wrap maps b+1 onto b) — corner of the wrap rule worth pinning.
+    #[test]
+    fn double_adjacent_on_one_bit_entries_degenerates(
+        entries in 1u64..256,
+        entry in any::<u64>(),
+        bit in any::<u8>(),
+    ) {
+        let sites = pattern_footprint(FaultPattern::DoubleAdjacent, entry, bit, entries, 1, 4);
+        prop_assert_eq!(sites, vec![(entry % entries, 1u32)]);
+    }
+
+    /// Stuck-at forcing is idempotent and only ever touches masked bits.
+    #[test]
+    fn stuck_application_is_idempotent(
+        word in any::<u32>(),
+        mask in any::<u32>(),
+        value in any::<bool>(),
+    ) {
+        let once = apply_stuck(word, mask, value);
+        prop_assert_eq!(apply_stuck(once, mask, value), once, "double application must be a no-op");
+        prop_assert_eq!(once & !mask, word & !mask, "unmasked bits must survive");
+        let forced = if value { mask } else { 0 };
+        prop_assert_eq!(once & mask, forced, "masked bits must equal the stuck value");
+    }
+
+    /// The single-value mask (software faults, SIMT/scheduler words) is
+    /// nonzero and always covers the seed bit; stuck-at patterns pin
+    /// exactly one cell.
+    #[test]
+    fn value_masks_cover_seed_bit(
+        bit in any::<u8>(),
+        which in 0usize..FaultPattern::ALL.len(),
+    ) {
+        let pattern = FaultPattern::ALL[which];
+        let m = value_mask(pattern, bit);
+        prop_assert_ne!(m, 0);
+        prop_assert_ne!(m & (1 << (u32::from(bit) % 32)), 0, "seed bit not in mask {:#x}", m);
+        if pattern.is_persistent() {
+            prop_assert_eq!(m.count_ones(), 1);
+        }
+    }
+}

@@ -71,6 +71,7 @@ fn main() {
         structure: HwStructure::RegFile,
         loc_pick: 0xDEAD_BEEF_1234,
         bit: 30,
+        pattern: vgpu_sim::FaultPattern::SingleBit,
     });
     let budget = Budget {
         cycles: stats.cycles * 10,
@@ -96,6 +97,7 @@ fn main() {
         target: 2000,
         bit: 28,
         loc_pick: 0,
+        pattern: vgpu_sim::FaultPattern::SingleBit,
     });
     match gpu.launch(&kernel, &lc, FaultPlan::Sw(&mut inj), &Budget::unlimited()) {
         Ok(_) => {

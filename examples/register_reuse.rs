@@ -52,6 +52,7 @@ fn main() {
                 target: rng.gen_range(0..elig),
                 bit: rng.gen_range(0..32),
                 loc_pick: 0,
+                pattern: vgpu_sim::FaultPattern::SingleBit,
             });
             counts.record(faulty_run(&Va, &gpu, variant, &golden, 0, fault).outcome);
         }

@@ -23,6 +23,9 @@ cargo run --release -q -p bench --bin campaign -- smoke
 echo "==> ace_study smoke"
 cargo run --release -q -p bench --bin ace_study -- smoke
 
+echo "==> fault_model_study smoke"
+cargo run --release -q -p bench --bin fault_model_study -- smoke
+
 echo "==> dispatch smoke (coordinator + 2 workers, one killed mid-run)"
 # Single-process reference, then the same campaign through the dispatch
 # service (docs/DISPATCH.md) with a worker that dies mid-lease via the
@@ -48,8 +51,10 @@ for _ in $(seq 1 100); do [ -s "$DISP/telemetry-port.txt" ] && break; sleep 0.1;
 TPORT=$(cat "$DISP/telemetry-port.txt")
 "$CAMPAIGN" scrape "127.0.0.1:$TPORT"
 curl -sf "http://127.0.0.1:$TPORT/metrics" | "$CAMPAIGN" lint
-curl -sf "http://127.0.0.1:$TPORT/status" | grep -q '"role":"coordinator"'
-"$CAMPAIGN" status "127.0.0.1:$TPORT" | grep -q 'coordinator'
+# Plain grep (not -q) so the reader drains the whole stream: -q exits on
+# first match and the writer panics on the broken pipe under pipefail.
+curl -sf "http://127.0.0.1:$TPORT/status" | grep '"role":"coordinator"' > /dev/null
+"$CAMPAIGN" status "127.0.0.1:$TPORT" | grep 'coordinator' > /dev/null
 "$CAMPAIGN" top "127.0.0.1:$TPORT" --interval-ms 100 --iterations 2 > /dev/null
 "$CAMPAIGN" work --connect "127.0.0.1:$PORT" --name doomed \
   --fail-after 4 --heartbeat-ms 50 > /dev/null
@@ -67,8 +72,17 @@ echo "==> fast-forward equivalence smoke (docs/PERF.md)"
 "$CAMPAIGN" run --app VA --layer uarch --n 6 --seed 1234 --no-fast-forward \
   --csv "$DISP/slow.csv" > /dev/null
 cmp "$DISP/single.csv" "$DISP/slow.csv"
+
+echo "==> fault-model smoke (docs/FAULT_MODELS.md)"
+# A non-default pattern must run end to end and stay path-independent:
+# a burst-row campaign with and without fast-forward, byte-identical.
+"$CAMPAIGN" run --app VA --layer uarch --n 4 --seed 1234 \
+  --fault-model burst-row --csv "$DISP/burst.csv" > /dev/null
+"$CAMPAIGN" run --app VA --layer uarch --n 4 --seed 1234 \
+  --fault-model burst-row --no-fast-forward --csv "$DISP/burst-slow.csv" > /dev/null
+cmp "$DISP/burst.csv" "$DISP/burst-slow.csv"
 rm -rf "$DISP"
-echo "dispatch + fast-forward smoke: CSVs byte-identical"
+echo "dispatch + fast-forward + fault-model smoke: CSVs byte-identical"
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --release --workspace -- -D warnings

@@ -13,10 +13,19 @@ use kernels::apps::{scp::Scp, va::Va};
 use relia::checkpoint::load_checkpoint;
 use relia::{records_fingerprint, TrialRecord};
 use std::path::PathBuf;
-use vgpu_sim::HwStructure;
+use vgpu_sim::{FaultPattern, HwStructure};
 
 fn cfg() -> CampaignCfg {
     CampaignCfg::new(45, 45, 0x5EED_CAFE)
+}
+
+/// Same campaign, non-default fault model. Smaller n: the persistent
+/// patterns cannot take the masked-convergence early exit, so each trial
+/// simulates to launch end.
+fn cfg_pattern(pattern: FaultPattern) -> CampaignCfg {
+    let mut c = CampaignCfg::new(18, 18, 0x5EED_CAFE);
+    c.pattern = pattern;
+    c
 }
 
 fn tmp(name: &str) -> PathBuf {
@@ -66,7 +75,10 @@ fn run_interrupted(prep: &relia::PreparedCampaign, path: &PathBuf) -> Vec<TrialR
 }
 
 fn check_uarch(bench: &dyn Benchmark, name: &str) {
-    let cfg = cfg();
+    check_uarch_cfg(bench, name, cfg());
+}
+
+fn check_uarch_cfg(bench: &dyn Benchmark, name: &str, cfg: CampaignCfg) {
     let single = run_uarch_campaign(bench, &cfg, false);
     let prep = prepare_uarch_campaign(bench, &cfg, false);
 
@@ -106,7 +118,10 @@ fn check_uarch(bench: &dyn Benchmark, name: &str) {
 }
 
 fn check_sw(bench: &dyn Benchmark, name: &str) {
-    let cfg = cfg();
+    check_sw_cfg(bench, name, cfg());
+}
+
+fn check_sw_cfg(bench: &dyn Benchmark, name: &str, cfg: CampaignCfg) {
     let single = run_sw_campaign(bench, &cfg, false);
     let prep = prepare_sw_campaign(bench, &cfg, false);
 
@@ -146,6 +161,35 @@ fn scp_uarch_sharding_and_resume_are_equivalent() {
 #[test]
 fn scp_sw_sharding_and_resume_are_equivalent() {
     check_sw(&Scp, "SCP");
+}
+
+// The non-default fault models must honor the same guarantee: the pattern
+// is pure trial payload (it never feeds seed derivation), so shard layout,
+// interruption, and resume must stay invisible — including for persistent
+// stuck-at faults, whose sites are re-resolved identically on re-execution.
+
+#[test]
+fn va_uarch_burst_row_sharding_and_resume_are_equivalent() {
+    check_uarch_cfg(&Va, "VA_burst_row", cfg_pattern(FaultPattern::BurstRow));
+}
+
+#[test]
+fn va_uarch_stuck_at_1_sharding_and_resume_are_equivalent() {
+    check_uarch_cfg(&Va, "VA_stuck_at_1", cfg_pattern(FaultPattern::StuckAt1));
+}
+
+#[test]
+fn va_sw_double_adjacent_sharding_and_resume_are_equivalent() {
+    check_sw_cfg(
+        &Va,
+        "VA_double_adjacent",
+        cfg_pattern(FaultPattern::DoubleAdjacent),
+    );
+}
+
+#[test]
+fn va_sw_stuck_at_0_sharding_and_resume_are_equivalent() {
+    check_sw_cfg(&Va, "VA_stuck_at_0", cfg_pattern(FaultPattern::StuckAt0));
 }
 
 #[test]
