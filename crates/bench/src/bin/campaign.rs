@@ -5,11 +5,21 @@
 //! ```text
 //! campaign run   --app VA --layer uarch --shards 4 --shard-index 0 \
 //!                --checkpoint shard0.jsonl [--resume shard0.jsonl]
+//! campaign run   --app VA --layer uarch --adaptive --ci-target 0.05 \
+//!                [--wave-size 16 --max-trials 256 --checkpoint BASE --resume BASE]
 //! campaign merge --app VA --layer uarch shard0.jsonl shard1.jsonl ...
-//! campaign serve --app VA --layer uarch --shards 3 --listen 127.0.0.1:0
-//! campaign work  --connect 127.0.0.1:PORT
+//! campaign serve --app VA --layer uarch --shards 3 --listen 127.0.0.1:0 [--adaptive ...]
+//! campaign work  --connect 127.0.0.1:PORT [--follow]
 //! campaign smoke
 //! ```
+//!
+//! `--adaptive` switches from a fixed `--n` per stratum to CI-driven
+//! sizing (docs/TWOLEVEL.md): trials are dispatched in deterministic
+//! waves until every (kernel, target) stratum's derated failure-rate CI
+//! half-width reaches `--ci-target` or the `--max-trials` cap. Adaptive
+//! runs checkpoint per wave (`BASE.waveW`) and resume byte-identically;
+//! `serve --adaptive` runs one coordinator per wave on the same socket,
+//! with workers reconnecting via `work --follow`.
 //!
 //! Plans are deterministic (docs/CAMPAIGNS.md): every shard derives the
 //! same explicit trial list from `--seed`, so any disjoint cover of the
@@ -38,16 +48,17 @@ use std::path::{Path, PathBuf};
 use std::process::exit;
 
 use bench::{finish_observability, init_observability, parse_structures};
-use dispatch::{CampaignSpec, DispatchCfg, TelemetryCfg, WorkerCfg};
+use dispatch::{plan_strata, CampaignSpec, DispatchCfg, TelemetryCfg, WaveSpec, WorkerCfg};
 use kernels::{all_benchmarks, Benchmark};
 use relia::checkpoint::CheckpointHeader;
 use relia::plan::{
-    prepare_sw_campaign, prepare_uarch_campaign_structures, Layer, PreparedCampaign,
+    prepare_sw_campaign, prepare_uarch_campaign_structures, Layer, PreparedCampaign, TrialTarget,
 };
 use relia::{
     assemble_sw, assemble_uarch, execute_shard, load_checkpoint, pct, records_fingerprint,
     CampaignCfg, EngineCfg, EngineError, Table, TrialRecord, Watchdog,
 };
+use stat::{run_adaptive, sw_targets, uarch_targets, AdaptiveCfg, AdaptiveResult};
 use vgpu_sim::{FaultPattern, HwStructure};
 
 /// CLI/validation error: bad flags, bad values, malformed addresses.
@@ -262,6 +273,120 @@ fn print_result(prep: &PreparedCampaign, records: &[TrialRecord], csv: Option<&P
     println!("result fingerprint: {:#018x}", records_fingerprint(records));
 }
 
+/// Raw `--adaptive` flag values as peeled off a subcommand's argument
+/// list (`None`/`false` = flag absent).
+#[derive(Default)]
+struct AdaptiveOpts {
+    adaptive: bool,
+    ci_target: Option<f64>,
+    wave_size: Option<usize>,
+    max_trials: Option<usize>,
+}
+
+impl AdaptiveOpts {
+    /// Fold the adaptive flags into an [`AdaptiveCfg`], rejecting
+    /// adaptive-only flags without `--adaptive` and any configuration
+    /// that cannot drive a terminating campaign (both exit 2).
+    fn into_cfg(self) -> Option<AdaptiveCfg> {
+        if !self.adaptive {
+            for (flag, given) in [
+                ("--ci-target", self.ci_target.is_some()),
+                ("--wave-size", self.wave_size.is_some()),
+                ("--max-trials", self.max_trials.is_some()),
+            ] {
+                if given {
+                    die(&format!("{flag} requires --adaptive"));
+                }
+            }
+            return None;
+        }
+        let acfg = AdaptiveCfg::new(
+            self.ci_target.unwrap_or(0.05),
+            self.wave_size.unwrap_or(16),
+            self.max_trials.unwrap_or(256),
+        );
+        acfg.validate().unwrap_or_else(|e| die(&e));
+        Some(acfg)
+    }
+}
+
+/// The stratification an adaptive campaign sizes: kernel × structure for
+/// the uarch layer (respecting `--structures`), kernel × software fault
+/// kind for the sw layer.
+fn adaptive_targets(o: &CommonOpts) -> Vec<TrialTarget> {
+    match o.layer {
+        Layer::Uarch => match &o.structures {
+            None => uarch_targets(),
+            Some(v) => v.iter().map(|&h| TrialTarget::Structure(h)).collect(),
+        },
+        Layer::Sw => sw_targets(),
+    }
+}
+
+/// Per-wave checkpoint path: `BASE.waveW` keeps every wave's journal
+/// alongside the base the user named, so a killed adaptive run resumes
+/// from whichever wave it died in.
+fn wave_path(base: &Path, wave: u64) -> PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(format!(".wave{wave}"));
+    PathBuf::from(os)
+}
+
+/// Print the per-stratum table and summary of a finished adaptive
+/// campaign. The two fingerprints are the byte-comparison artifact for
+/// the adaptive differential checks (single-shot vs sharded vs resumed
+/// vs dispatched).
+fn print_adaptive(
+    bench: &dyn Benchmark,
+    res: &AdaptiveResult,
+    acfg: &AdaptiveCfg,
+    csv: Option<&Path>,
+) {
+    let names = bench.kernels();
+    let mut t = Table::new(
+        format!(
+            "{} — adaptive {} strata (target CI ±{})",
+            res.app,
+            res.layer.label(),
+            acfg.ci_target
+        ),
+        &[
+            "Kernel", "Target", "Trials", "Fail", "Rate", "CI ±", "Derate", "Wave",
+        ],
+    );
+    for s in &res.strata {
+        t.row(vec![
+            names[s.kernel_idx].to_string(),
+            s.target.label().to_string(),
+            s.n.to_string(),
+            s.stats.failures().to_string(),
+            pct(s.stats.failure_rate()),
+            format!("{:.4}", s.derated_halfwidth(acfg.conf)),
+            format!("{:.3}", s.derate),
+            match s.converged_wave {
+                Some(w) => w.to_string(),
+                None => "cap".into(),
+            },
+        ]);
+    }
+    println!("{t}");
+    if let Some(path) = csv {
+        t.write_csv(path)
+            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+        eprintln!("[campaign] wrote {}", path.display());
+    }
+    println!(
+        "adaptive: {} waves, {} trials (uniform design {} → savings {:.2}x), max CI ±{:.4}",
+        res.waves,
+        res.total_trials(),
+        res.uniform_equivalent(),
+        res.savings(),
+        res.max_halfwidth(acfg.conf),
+    );
+    println!("plans fingerprint: {:#018x}", res.plans_fp);
+    println!("result fingerprint: {:#018x}", res.records_fp);
+}
+
 fn cmd_run(args: &[String]) {
     let mut shards = 1usize;
     let mut shard_index = 0usize;
@@ -281,12 +406,18 @@ fn cmd_run(args: &[String]) {
         v.parse()
             .unwrap_or_else(|_| die(&format!("{} takes a number, got {v:?}", args[i])))
     }
+    let mut adaptive = AdaptiveOpts::default();
     let mut rest = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--no-fast-forward" => {
                 fast_forward = false;
+                i += 1;
+                continue;
+            }
+            "--adaptive" => {
+                adaptive.adaptive = true;
                 i += 1;
                 continue;
             }
@@ -297,6 +428,15 @@ fn cmd_run(args: &[String]) {
             "--snapshots" => snapshots = num(args, i) as usize,
             "--checkpoint" => checkpoint = Some(PathBuf::from(value(args, i))),
             "--resume" => resume = Some(PathBuf::from(value(args, i))),
+            "--ci-target" => {
+                let v = value(args, i);
+                adaptive.ci_target =
+                    Some(v.parse().unwrap_or_else(|_| {
+                        die(&format!("--ci-target takes a number, got {v:?}"))
+                    }));
+            }
+            "--wave-size" => adaptive.wave_size = Some(num(args, i) as usize),
+            "--max-trials" => adaptive.max_trials = Some(num(args, i) as usize),
             _ => {
                 rest.push(args[i].clone());
                 i += 1;
@@ -305,6 +445,7 @@ fn cmd_run(args: &[String]) {
         }
         i += 2;
     }
+    let adaptive = adaptive.into_cfg();
     let o = parse_common(&rest);
     if !o.positional.is_empty() {
         die(&format!("unexpected argument {:?}", o.positional[0]));
@@ -322,6 +463,26 @@ fn cmd_run(args: &[String]) {
         die("run requires --app NAME");
     };
     let bench = find_bench(app);
+    if let Some(acfg) = adaptive {
+        if shards != 1 || shard_index != 0 {
+            die(
+                "--adaptive runs single-process per wave; distribute an adaptive campaign \
+                 with serve --adaptive + work --follow instead of --shards",
+            );
+        }
+        run_adaptive_cli(
+            bench.as_ref(),
+            &o,
+            &acfg,
+            checkpoint,
+            resume,
+            every,
+            limit,
+            fast_forward,
+            snapshots,
+        );
+        return;
+    }
     let prep = prepare(bench.as_ref(), &o);
     let eng = EngineCfg {
         shards,
@@ -368,6 +529,102 @@ fn cmd_run(args: &[String]) {
             }
         );
     }
+}
+
+/// `campaign run --adaptive`: CI-driven sizing, one in-process engine run
+/// per wave. With `--checkpoint BASE` each wave journals to
+/// `BASE.waveW`; `--resume BASE` fast-forwards completed waves from
+/// their journals and finishes a partial one. `--limit L` bounds the
+/// *new* trials this invocation executes (the kill-mid-wave test hook):
+/// when the budget runs out mid-wave the run exits 0 with a resumable
+/// checkpoint, exactly like a fixed-n sharded run.
+#[allow(clippy::too_many_arguments)]
+fn run_adaptive_cli(
+    bench: &dyn Benchmark,
+    o: &CommonOpts,
+    acfg: &AdaptiveCfg,
+    checkpoint: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    every: usize,
+    limit: Option<usize>,
+    fast_forward: bool,
+    snapshots: usize,
+) {
+    let targets = adaptive_targets(o);
+    eprintln!(
+        "[campaign] {} {} adaptive: {} kernels x {} targets, CI target ±{}, wave size {}, \
+         cap {}/stratum",
+        bench.name(),
+        o.layer.label(),
+        bench.kernels().len(),
+        targets.len(),
+        acfg.ci_target,
+        acfg.wave_size,
+        acfg.max_per_stratum,
+    );
+    let mut executed_new = 0usize;
+    let res = run_adaptive(
+        bench,
+        &o.cfg,
+        o.hardened,
+        o.layer,
+        &targets,
+        acfg,
+        |prep, wave| {
+            let ck = checkpoint.as_ref().map(|b| wave_path(b, wave));
+            let rs = resume
+                .as_ref()
+                .map(|b| wave_path(b, wave))
+                .filter(|p| p.exists());
+            // The resume journal's record count tells us how many of this
+            // wave's trials are already classified — only the rest count
+            // against `--limit`.
+            let preexisting = match &rs {
+                Some(p) => load_checkpoint(p)
+                    .unwrap_or_else(|e| fail(&format!("{}: {e}", p.display())))
+                    .records
+                    .len(),
+                None => 0,
+            };
+            let eng = EngineCfg {
+                shards: 1,
+                shard_index: 0,
+                checkpoint: ck,
+                checkpoint_every: every,
+                resume: rs,
+                trial_limit: limit.map(|l| l.saturating_sub(executed_new)),
+                fast_forward,
+                snapshots,
+            };
+            let records = match execute_shard(prep, &eng) {
+                Ok(r) => r,
+                Err(EngineError::AlreadyComplete { .. }) => {
+                    let p = eng
+                        .resume
+                        .as_ref()
+                        .expect("AlreadyComplete implies a resume journal");
+                    load_checkpoint(p)
+                        .unwrap_or_else(|e| fail(&format!("{}: {e}", p.display())))
+                        .records
+                }
+                Err(e) => fail(&e.to_string()),
+            };
+            if records.len() < prep.plan.len() {
+                println!(
+                    "adaptive wave {wave}: {}/{} trials classified \
+                     (partial — resume to finish)",
+                    records.len(),
+                    prep.plan.len()
+                );
+                finish_observability();
+                exit(0);
+            }
+            executed_new += records.len() - preexisting;
+            Ok(records)
+        },
+    )
+    .unwrap_or_else(|e| fail(&e.to_string()));
+    print_adaptive(bench, &res, acfg, o.csv.as_deref());
 }
 
 fn cmd_merge(args: &[String]) {
@@ -490,6 +747,49 @@ fn cmd_smoke() {
         }
         println!("smoke {label}: 2-shard merge == single-shot ({fp_single:#018x})");
     }
+    // Adaptive gate: a CI-driven campaign executed single-shot must match
+    // the same campaign with every wave split over 3 in-process shards —
+    // wave plans, records, and convergence trajectory, byte for byte.
+    let acfg = AdaptiveCfg::new(0.15, 6, 24);
+    let bench = find_bench("VA");
+    let single = stat::run_adaptive_single(
+        bench.as_ref(),
+        &cfg,
+        false,
+        Layer::Uarch,
+        &uarch_targets(),
+        &acfg,
+    )
+    .unwrap_or_else(|e| fail(&format!("smoke failed (adaptive): {e}")));
+    let sharded = run_adaptive(
+        bench.as_ref(),
+        &cfg,
+        false,
+        Layer::Uarch,
+        &uarch_targets(),
+        &acfg,
+        |prep, _| {
+            let mut recs = Vec::new();
+            for i in 0..3 {
+                recs.extend(execute_shard(prep, &EngineCfg::sharded(3, i))?);
+            }
+            Ok(recs)
+        },
+    )
+    .unwrap_or_else(|e| fail(&format!("smoke failed (adaptive): {e}")));
+    if single != sharded {
+        fail("smoke failed (adaptive): 3-shard wave execution differs from single-shot");
+    }
+    if !(single.waves >= 1 && single.total_trials() > 0) {
+        fail("smoke failed (adaptive): campaign executed no waves");
+    }
+    println!(
+        "smoke adaptive: 3-shard waves == single-shot ({} waves, {} trials, \
+         records {:#018x})",
+        single.waves,
+        single.total_trials(),
+        single.records_fp
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -547,10 +847,16 @@ fn cmd_serve(args: &[String]) {
         v.parse()
             .unwrap_or_else(|_| die(&format!("{} takes a number, got {v:?}", args[i])))
     }
+    let mut adaptive = AdaptiveOpts::default();
     let mut rest = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--adaptive" => {
+                adaptive.adaptive = true;
+                i += 1;
+                continue;
+            }
             "--listen" => listen = check_addr("--listen", value(args, i)),
             "--port-file" => port_file = Some(PathBuf::from(value(args, i))),
             "--shards" => shards = num(args, i) as usize,
@@ -561,6 +867,15 @@ fn cmd_serve(args: &[String]) {
             "--out-dir" => out_dir = Some(PathBuf::from(value(args, i))),
             "--telemetry-port" => telemetry_port = Some(num(args, i)),
             "--telemetry-port-file" => telemetry_port_file = Some(PathBuf::from(value(args, i))),
+            "--ci-target" => {
+                let v = value(args, i);
+                adaptive.ci_target =
+                    Some(v.parse().unwrap_or_else(|_| {
+                        die(&format!("--ci-target takes a number, got {v:?}"))
+                    }));
+            }
+            "--wave-size" => adaptive.wave_size = Some(num(args, i) as usize),
+            "--max-trials" => adaptive.max_trials = Some(num(args, i) as usize),
             _ => {
                 rest.push(args[i].clone());
                 i += 1;
@@ -569,6 +884,7 @@ fn cmd_serve(args: &[String]) {
         }
         i += 2;
     }
+    let adaptive = adaptive.into_cfg();
     let o = parse_common(&rest);
     if !o.positional.is_empty() {
         die(&format!("unexpected argument {:?}", o.positional[0]));
@@ -593,8 +909,13 @@ fn cmd_serve(args: &[String]) {
             "--max-backoff-ms {max_backoff_ms} is below --backoff-ms {backoff_ms}"
         ));
     }
+    if adaptive.is_some() && telemetry_port.is_some() {
+        die(
+            "serve --adaptive cannot mount a fixed telemetry port: each wave runs its own \
+             coordinator and the port would be re-bound mid-campaign",
+        );
+    }
     let bench = find_bench(app);
-    let prep = prepare(bench.as_ref(), &o);
     let spec = CampaignSpec {
         app: bench.name().to_string(),
         layer: o.layer,
@@ -607,6 +928,7 @@ fn cmd_serve(args: &[String]) {
         hardened: o.hardened,
         structures: o.structures.clone(),
         fault_model: o.cfg.pattern,
+        wave: None,
     };
     let dcfg = DispatchCfg {
         shards,
@@ -622,6 +944,101 @@ fn cmd_serve(args: &[String]) {
     let local = listener
         .local_addr()
         .unwrap_or_else(|e| fail(&e.to_string()));
+    if let Some(pf) = &port_file {
+        // Write-then-rename so pollers never read a half-written port.
+        let tmp = pf.with_extension("tmp");
+        std::fs::write(&tmp, format!("{}\n", local.port()))
+            .and_then(|()| std::fs::rename(&tmp, pf))
+            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", pf.display())));
+    }
+
+    if let Some(acfg) = adaptive {
+        // One coordinator per wave on the same bound socket: workers run
+        // `work --follow` and reconnect between waves. The wave (index +
+        // strata) rides in the job frame, so each worker re-expands the
+        // wave plan locally and the handshake proves it.
+        let targets = adaptive_targets(&o);
+        eprintln!(
+            "[dispatch] {} {} adaptive: CI target ±{}, wave size {}, cap {}/stratum, \
+             {} shards, listening on {local}",
+            bench.name(),
+            o.layer.label(),
+            acfg.ci_target,
+            acfg.wave_size,
+            acfg.max_per_stratum,
+            shards,
+        );
+        let mut totals = dispatch::DispatchStats::default();
+        let res = run_adaptive(
+            bench.as_ref(),
+            &o.cfg,
+            o.hardened,
+            o.layer,
+            &targets,
+            &acfg,
+            |prep, wave| {
+                let wspec = CampaignSpec {
+                    wave: Some(WaveSpec {
+                        wave,
+                        strata: plan_strata(&prep.plan),
+                    }),
+                    ..spec.clone()
+                };
+                let wcfg = DispatchCfg {
+                    // Separate journals per wave: the shard file names
+                    // repeat across waves.
+                    out_dir: dcfg.out_dir.as_ref().map(|d| {
+                        let dir = d.join(format!("wave{wave}"));
+                        std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+                            fail(&format!("cannot create {}: {e}", dir.display()))
+                        });
+                        dir
+                    }),
+                    telemetry: None,
+                    ..dcfg.clone()
+                };
+                let l = listener
+                    .try_clone()
+                    .unwrap_or_else(|e| fail(&format!("cannot clone listener: {e}")));
+                eprintln!(
+                    "[dispatch] wave {wave}: {} trials, fingerprint {:#018x}",
+                    prep.plan.len(),
+                    prep.plan.fingerprint(),
+                );
+                let outcome = dispatch::serve(l, &prep.plan, &wspec, &wcfg)
+                    .unwrap_or_else(|e| fail(&e.to_string()));
+                let s = &outcome.stats;
+                totals.workers_joined += s.workers_joined;
+                totals.leases_granted += s.leases_granted;
+                totals.leases_reassigned += s.leases_reassigned;
+                totals.leases_expired += s.leases_expired;
+                totals.shards_completed += s.shards_completed;
+                totals.duplicate_records += s.duplicate_records;
+                totals.torn_frames += s.torn_frames;
+                totals.resend_requests += s.resend_requests;
+                Ok(outcome.records)
+            },
+        )
+        .unwrap_or_else(|e| fail(&e.to_string()));
+        eprintln!(
+            "[dispatch] adaptive complete: {} waves, {} worker sessions, {} leases \
+             ({} reassigned, {} expired), {} shards, {} duplicate records, {} torn frames, \
+             {} resends",
+            res.waves,
+            totals.workers_joined,
+            totals.leases_granted,
+            totals.leases_reassigned,
+            totals.leases_expired,
+            totals.shards_completed,
+            totals.duplicate_records,
+            totals.torn_frames,
+            totals.resend_requests,
+        );
+        print_adaptive(bench.as_ref(), &res, &acfg, o.csv.as_deref());
+        return;
+    }
+
+    let prep = prepare(bench.as_ref(), &o);
     eprintln!(
         "[dispatch] {} {} plan: {} trials, fingerprint {:#018x}, {} shards, listening on {local}",
         prep.plan.app,
@@ -630,13 +1047,6 @@ fn cmd_serve(args: &[String]) {
         prep.plan.fingerprint(),
         shards,
     );
-    if let Some(pf) = &port_file {
-        // Write-then-rename so pollers never read a half-written port.
-        let tmp = pf.with_extension("tmp");
-        std::fs::write(&tmp, format!("{}\n", local.port()))
-            .and_then(|()| std::fs::rename(&tmp, pf))
-            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", pf.display())));
-    }
     let outcome = dispatch::serve(listener, &prep.plan, &spec, &dcfg)
         .unwrap_or_else(|e| fail(&e.to_string()));
     let s = &outcome.stats;
@@ -664,10 +1074,16 @@ fn cmd_work(args: &[String]) {
     };
     let mut telemetry_port: Option<u64> = None;
     let mut telemetry_port_file: Option<PathBuf> = None;
+    let mut follow = false;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--trace" {
             cfg.trace = true;
+            i += 1;
+            continue;
+        }
+        if args[i] == "--follow" {
+            follow = true;
             i += 1;
             continue;
         }
@@ -705,9 +1121,45 @@ fn cmd_work(args: &[String]) {
         i += 2;
     }
     cfg.telemetry = telemetry_cfg("work", telemetry_port, telemetry_port_file);
+    if follow && cfg.telemetry.is_some() {
+        die("work --follow cannot mount a fixed telemetry port: each session re-binds it");
+    }
     let Some(addr) = connect else {
         die("work requires --connect HOST:PORT");
     };
+    if follow {
+        // Serve an adaptive campaign: one worker session per wave. The
+        // coordinator keeps the listening socket across waves, so between
+        // waves a reconnect just parks in the accept backlog; once the
+        // coordinator is gone the connection fails and the worker exits.
+        // A session error before any completed session is a real failure.
+        let mut sessions = 0usize;
+        let mut shards = 0usize;
+        let mut trials = 0usize;
+        loop {
+            match dispatch::work(&addr, &cfg) {
+                Ok(s) if s.died_early => {
+                    println!(
+                        "worker {}: injected failure after {} trials (lease abandoned)",
+                        s.worker, s.trials_executed
+                    );
+                    return;
+                }
+                Ok(s) => {
+                    sessions += 1;
+                    shards += s.shards_completed;
+                    trials += s.trials_executed;
+                }
+                Err(e) if sessions == 0 => fail(&e.to_string()),
+                Err(_) => break,
+            }
+        }
+        println!(
+            "worker {}: {} sessions, {} shards completed, {} trials executed",
+            cfg.name, sessions, shards, trials
+        );
+        return;
+    }
     match dispatch::work(&addr, &cfg) {
         Ok(s) if s.died_early => {
             // The injected --fail-after death is the requested behaviour.
@@ -756,14 +1208,19 @@ fn fleet_lines(doc: &obs::JsonNode) -> Vec<String> {
             ));
             let held = n("records_held");
             let trials = n("trials").max(1);
+            // `eta_ms` is absent while the coordinator has no observed
+            // rate yet; render that honestly instead of `eta 0.0s`.
+            let eta = match doc.get("eta_ms").and_then(obs::JsonNode::as_u64) {
+                Some(ms) => format!("{:.1}s", ms as f64 / 1e3),
+                None => "--".to_string(),
+            };
             out.push(format!(
-                "records      {held}/{} ({:.1}%)  {:.1} rec/s  eta {:.1}s  elapsed {:.1}s",
+                "records      {held}/{} ({:.1}%)  {:.1} rec/s  eta {eta}  elapsed {:.1}s",
                 n("trials"),
                 100.0 * held as f64 / trials as f64,
                 doc.get("records_per_s")
                     .and_then(obs::JsonNode::as_f64)
                     .unwrap_or(0.0),
-                n("eta_ms") as f64 / 1e3,
                 n("elapsed_ms") as f64 / 1e3,
             ));
             if let Some(st) = doc.get("stats") {

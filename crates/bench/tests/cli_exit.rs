@@ -79,6 +79,55 @@ fn fault_model_validation_errors_exit_2() {
 }
 
 #[test]
+fn adaptive_validation_errors_exit_2() {
+    // Malformed adaptive sizing flags must die before any simulation
+    // starts (docs/TWOLEVEL.md), on both `run` and `serve`.
+    assert_exit(&["run", "--app", "VA", "--adaptive", "--ci-target", "0"], 2);
+    assert_exit(
+        &["run", "--app", "VA", "--adaptive", "--ci-target", "1.5"],
+        2,
+    );
+    assert_exit(
+        &["run", "--app", "VA", "--adaptive", "--ci-target", "abc"],
+        2,
+    );
+    assert_exit(&["run", "--app", "VA", "--adaptive", "--wave-size", "0"], 2);
+    assert_exit(
+        &[
+            "run",
+            "--app",
+            "VA",
+            "--adaptive",
+            "--wave-size",
+            "8",
+            "--max-trials",
+            "4",
+        ],
+        2,
+    );
+    // Adaptive-only flags without --adaptive are a usage error, not a
+    // silent no-op.
+    assert_exit(&["run", "--app", "VA", "--ci-target", "0.1"], 2);
+    assert_exit(&["run", "--app", "VA", "--wave-size", "8"], 2);
+    assert_exit(&["run", "--app", "VA", "--max-trials", "64"], 2);
+    // Adaptive campaigns are single-process per wave; sharding and fixed
+    // telemetry ports belong to serve/work.
+    assert_exit(&["run", "--app", "VA", "--adaptive", "--shards", "3"], 2);
+    assert_exit(
+        &[
+            "serve",
+            "--app",
+            "VA",
+            "--adaptive",
+            "--telemetry-port",
+            "0",
+        ],
+        2,
+    );
+    assert_exit(&["serve", "--app", "VA", "--ci-target", "0.1"], 2);
+}
+
+#[test]
 fn dispatch_validation_errors_exit_2() {
     // Bad --listen / --connect addresses and lease values (satellite 2).
     assert_exit(&["serve", "--app", "VA", "--listen", "nonsense"], 2);

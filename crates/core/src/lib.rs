@@ -59,9 +59,9 @@ pub use checkpoint::{
 pub use hardening::{evaluate_hardening, HardeningComparison};
 pub use metrics::{error_margin, ClassCounts, ClassRates, Confidence};
 pub use plan::{
-    prepare_sw_campaign, prepare_sw_kinds, prepare_uarch_campaign,
-    prepare_uarch_campaign_structures, shard_trials, CampaignPlan, Layer, PlannedTrial,
-    PreparedCampaign, TrialTarget,
+    prepare_adaptive_wave, prepare_sw_campaign, prepare_sw_kinds, prepare_uarch_campaign,
+    prepare_uarch_campaign_structures, shard_trials, sw_seed_tag, CampaignPlan, Layer,
+    PlannedTrial, PreparedCampaign, StratumSpec, TrialTarget,
 };
 pub use profile::{kernel_metrics, normalized_pair, UtilMetrics, METRIC_LABELS};
 pub use pvf::{run_pvf_campaign, PvfAppResult, PvfKernelResult};

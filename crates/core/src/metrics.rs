@@ -95,7 +95,10 @@ pub enum Confidence {
 }
 
 impl Confidence {
-    fn z(&self) -> f64 {
+    /// Two-sided normal quantile of this confidence level (used by the
+    /// worst-case margin below and by the Wilson/bootstrap intervals of
+    /// the `stat` crate).
+    pub fn z(&self) -> f64 {
         match self {
             Confidence::C90 => 1.6449,
             Confidence::C95 => 1.9600,

@@ -22,6 +22,7 @@ use kernels::{
     golden_run, golden_run_snapshots, AppSnapshots, Benchmark, GoldenRun, PlannedFault, Variant,
 };
 use obs::Phase;
+use vgpu_arch::InstrClass;
 use vgpu_sim::{FaultPattern, HwStructure, Mode, SwFault, SwFaultKind, UarchFault};
 
 use crate::campaign::CampaignCfg;
@@ -106,6 +107,12 @@ pub struct CampaignPlan {
     /// Software fault kinds with their seed-derivation tags, in
     /// sub-campaign order (empty for uarch plans).
     pub sw_kinds: Vec<(SwFaultKind, u64)>,
+    /// Wave index for adaptive campaigns ([`prepare_adaptive_wave`]);
+    /// `None` for classic fixed-n plans. Folded into the fingerprint so
+    /// the checkpoints and dispatch leases of different waves can never
+    /// be confused, while every fixed-plan fingerprint predates the
+    /// field byte-for-byte.
+    pub wave: Option<u64>,
     pub trials: Vec<PlannedTrial>,
 }
 
@@ -140,6 +147,10 @@ impl CampaignPlan {
         // (checkpoints, shard outputs, dispatch handshakes).
         if self.pattern != FaultPattern::SingleBit {
             h = derive_seed(h, &[str_tag(self.pattern.label())]);
+        }
+        // Same back-compat rule for the adaptive wave index.
+        if let Some(w) = self.wave {
+            h = derive_seed(h, &[str_tag("wave"), w]);
         }
         for t in &self.trials {
             let (ord, a, b, c) = match &t.fault {
@@ -247,6 +258,34 @@ pub(crate) fn str_tag(s: &str) -> u64 {
     })
 }
 
+/// Seed-derivation tag of a software fault kind. The historical
+/// constants (10 = dest-value, 11 = dest-value-load, 12 = arch-state)
+/// are frozen — results must stay comparable across versions — and the
+/// per-class strata of the two-level model claim the 20+ range, keyed by
+/// the stable [`vgpu_arch::InstrClass::index`] order.
+pub fn sw_seed_tag(kind: SwFaultKind) -> u64 {
+    match kind {
+        SwFaultKind::DestValue => 10,
+        SwFaultKind::DestValueLoad => 11,
+        SwFaultKind::ArchState => 12,
+        SwFaultKind::SrcTransient => 13,
+        SwFaultKind::SrcPersistent => 14,
+        SwFaultKind::DestClass(c) => 20 + c.index().unwrap_or(InstrClass::COUNT) as u64,
+    }
+}
+
+/// Eligible-population weight of a software fault kind within one golden
+/// launch — the window size the planner draws `SwFault::target` from.
+fn sw_kind_weight(kind: SwFaultKind, stats: &vgpu_sim::Stats) -> u64 {
+    match kind {
+        SwFaultKind::DestValue => stats.gp_dest_instrs,
+        SwFaultKind::SrcPersistent | SwFaultKind::SrcTransient => stats.src_reg_instrs,
+        SwFaultKind::DestValueLoad => stats.ld_dest_instrs,
+        SwFaultKind::ArchState => stats.thread_instrs,
+        SwFaultKind::DestClass(c) => c.index().map(|i| stats.class_dest_instrs[i]).unwrap_or(0),
+    }
+}
+
 /// Pick an index from `weights` proportionally.
 pub(crate) fn pick_weighted(rng: &mut SmallRng, weights: &[(usize, u64)]) -> Option<(usize, u64)> {
     let total: u64 = weights.iter().map(|&(_, w)| w).sum();
@@ -350,6 +389,7 @@ pub fn prepare_uarch_campaign_structures<'a>(
             pattern: cfg.pattern,
             n_per_target: cfg.n_uarch,
             sw_kinds: Vec::new(),
+            wave: None,
             trials,
         },
     }
@@ -400,17 +440,7 @@ pub fn prepare_sw_kinds<'a>(
                     .iter()
                     .enumerate()
                     .filter(|(_, r)| r.kernel_idx == k_idx)
-                    .map(|(o, r)| {
-                        let w = match kind {
-                            SwFaultKind::DestValue => r.stats.gp_dest_instrs,
-                            SwFaultKind::SrcPersistent | SwFaultKind::SrcTransient => {
-                                r.stats.src_reg_instrs
-                            }
-                            SwFaultKind::DestValueLoad => r.stats.ld_dest_instrs,
-                            SwFaultKind::ArchState => r.stats.thread_instrs,
-                        };
-                        (o, w)
-                    })
+                    .map(|(o, r)| (o, sw_kind_weight(kind, &r.stats)))
                     .filter(|&(_, w)| w > 0)
                     .collect();
                 for trial in 0..cfg.n_sw {
@@ -454,6 +484,155 @@ pub fn prepare_sw_kinds<'a>(
             pattern: cfg.pattern,
             n_per_target: cfg.n_sw,
             sw_kinds: kinds.to_vec(),
+            wave: None,
+            trials,
+        },
+    }
+}
+
+/// One (kernel, target) stratum slice of an adaptive wave: the trial
+/// ordinals `start..start + count` of that stratum's seed stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StratumSpec {
+    pub kernel_idx: usize,
+    pub target: TrialTarget,
+    /// First trial ordinal this wave executes in the stratum (= trials
+    /// already executed by earlier waves).
+    pub start: usize,
+    /// Trials this wave adds to the stratum.
+    pub count: usize,
+}
+
+/// Expand one adaptive wave into a plan: for each stratum, the trials
+/// with ordinals `start..start + count` of that (kernel, target) seed
+/// stream — derived *identically* to the fixed-n planners, so a wave is
+/// a contiguous slice of the stratum a big-enough fixed plan would run.
+/// Adaptive campaigns are therefore deterministic by construction: the
+/// trials of wave `w` depend only on (seed, app, strata), never on how
+/// earlier waves were executed, and each wave runs through the unchanged
+/// engine (checkpoints, shards, dispatch leases) under its own
+/// wave-tagged fingerprint.
+///
+/// All strata must belong to `layer`; sw strata may mix fault kinds.
+pub fn prepare_adaptive_wave<'a>(
+    bench: &'a dyn Benchmark,
+    cfg: &CampaignCfg,
+    hardened: bool,
+    layer: Layer,
+    strata: &[StratumSpec],
+    wave: u64,
+) -> PreparedCampaign<'a> {
+    let variant = Variant {
+        mode: match layer {
+            Layer::Uarch => Mode::Timed,
+            Layer::Sw => Mode::Functional,
+        },
+        hardened,
+    };
+    let golden = obs::time_phase(Phase::GoldenRun, || golden_run(bench, &cfg.gpu, variant));
+    let app_tag = str_tag(bench.name());
+    let mut trials = Vec::with_capacity(strata.iter().map(|s| s.count).sum());
+    let mut sw_kinds: Vec<(SwFaultKind, u64)> = Vec::new();
+    obs::time_phase(Phase::FaultSetup, || {
+        for st in strata {
+            let k_idx = st.kernel_idx;
+            match st.target {
+                TrialTarget::Structure(h) => {
+                    assert_eq!(layer, Layer::Uarch, "structure stratum in a sw wave");
+                    let windows: Vec<(usize, u64)> = golden
+                        .records
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| r.kernel_idx == k_idx && r.stats.cycles > 0)
+                        .map(|(o, r)| (o, r.stats.cycles))
+                        .collect();
+                    for trial in st.start..st.start + st.count {
+                        let s = derive_seed(
+                            cfg.seed,
+                            &[app_tag, k_idx as u64, h as u64, trial as u64, 1],
+                        );
+                        let mut rng = SmallRng::seed_from_u64(s);
+                        let fault =
+                            pick_weighted(&mut rng, &windows).map(|(ordinal, launch_cycles)| {
+                                (
+                                    ordinal,
+                                    PlannedFault::Uarch(UarchFault {
+                                        cycle: rng.gen_range(0..launch_cycles),
+                                        structure: h,
+                                        loc_pick: rng.gen(),
+                                        bit: rng.gen_range(0..32),
+                                        pattern: cfg.pattern,
+                                    }),
+                                )
+                            });
+                        trials.push(PlannedTrial {
+                            index: trials.len(),
+                            kernel_idx: k_idx,
+                            target: st.target,
+                            trial,
+                            seed: s,
+                            fault,
+                        });
+                    }
+                }
+                TrialTarget::Fault(kind) => {
+                    assert_eq!(layer, Layer::Sw, "fault-kind stratum in a uarch wave");
+                    let tag = sw_seed_tag(kind);
+                    if !sw_kinds.iter().any(|&(k, _)| k == kind) {
+                        sw_kinds.push((kind, tag));
+                    }
+                    let windows: Vec<(usize, u64)> = golden
+                        .records
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| r.kernel_idx == k_idx)
+                        .map(|(o, r)| (o, sw_kind_weight(kind, &r.stats)))
+                        .filter(|&(_, w)| w > 0)
+                        .collect();
+                    for trial in st.start..st.start + st.count {
+                        let s =
+                            derive_seed(cfg.seed, &[app_tag, k_idx as u64, tag, trial as u64, 2]);
+                        let mut rng = SmallRng::seed_from_u64(s);
+                        let fault = pick_weighted(&mut rng, &windows).map(|(ordinal, weight)| {
+                            (
+                                ordinal,
+                                PlannedFault::Sw(SwFault {
+                                    kind,
+                                    target: rng.gen_range(0..weight),
+                                    bit: rng.gen_range(0..32),
+                                    loc_pick: rng.gen(),
+                                    pattern: cfg.pattern,
+                                }),
+                            )
+                        });
+                        trials.push(PlannedTrial {
+                            index: trials.len(),
+                            kernel_idx: k_idx,
+                            target: st.target,
+                            trial,
+                            seed: s,
+                            fault,
+                        });
+                    }
+                }
+            }
+        }
+    });
+    PreparedCampaign {
+        bench,
+        cfg: cfg.clone(),
+        variant,
+        golden,
+        snaps: OnceLock::new(),
+        plan: CampaignPlan {
+            app: bench.name().to_string(),
+            layer,
+            seed: cfg.seed,
+            hardened,
+            pattern: cfg.pattern,
+            n_per_target: 0,
+            sw_kinds,
+            wave: Some(wave),
             trials,
         },
     }
@@ -525,6 +704,79 @@ mod tests {
             assert_eq!(m.fault, t.fault);
         }
         assert_ne!(full.plan.fingerprint(), subset.plan.fingerprint());
+    }
+
+    #[test]
+    fn adaptive_waves_are_stratum_slices_of_fixed_plans() {
+        // A wave asking for ordinals 3..8 of (kernel 0, RF) must mint
+        // exactly the trials a fixed n>=8 plan holds at those ordinals —
+        // identical seeds and fault coordinates.
+        let cfg = CampaignCfg::new(8, 8, 0xADA7);
+        let fixed = prepare_uarch_campaign(&Va, &cfg, false);
+        let strata = [StratumSpec {
+            kernel_idx: 0,
+            target: TrialTarget::Structure(HwStructure::RegFile),
+            start: 3,
+            count: 5,
+        }];
+        let wave = prepare_adaptive_wave(&Va, &cfg, false, Layer::Uarch, &strata, 1);
+        assert_eq!(wave.plan.len(), 5);
+        for t in &wave.plan.trials {
+            let m = fixed
+                .plan
+                .trials
+                .iter()
+                .find(|f| {
+                    f.kernel_idx == t.kernel_idx && f.target == t.target && f.trial == t.trial
+                })
+                .expect("ordinal present in fixed plan");
+            assert_eq!(m.seed, t.seed);
+            assert_eq!(m.fault, t.fault);
+        }
+        // Same strata, different wave index → different fingerprint, so
+        // per-wave checkpoints and dispatch leases can never be confused.
+        let wave2 = prepare_adaptive_wave(&Va, &cfg, false, Layer::Uarch, &strata, 2);
+        assert_ne!(wave.plan.fingerprint(), wave2.plan.fingerprint());
+        assert_eq!(wave.plan.trials, wave2.plan.trials);
+
+        // Sw class strata slice the per-class seed streams the same way.
+        let class_strata = [StratumSpec {
+            kernel_idx: 0,
+            target: TrialTarget::Fault(SwFaultKind::DestClass(InstrClass::IntAlu)),
+            start: 0,
+            count: 4,
+        }];
+        let sw_wave = prepare_adaptive_wave(&Va, &cfg, false, Layer::Sw, &class_strata, 0);
+        let sw_fixed = prepare_sw_kinds(
+            &Va,
+            &cfg,
+            false,
+            &[(
+                SwFaultKind::DestClass(InstrClass::IntAlu),
+                sw_seed_tag(SwFaultKind::DestClass(InstrClass::IntAlu)),
+            )],
+        );
+        assert_eq!(
+            sw_wave.plan.trials[..4]
+                .iter()
+                .map(|t| t.seed)
+                .collect::<Vec<_>>(),
+            sw_fixed.plan.trials[..4]
+                .iter()
+                .map(|t| t.seed)
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn sw_seed_tags_are_frozen() {
+        assert_eq!(sw_seed_tag(SwFaultKind::DestValue), 10);
+        assert_eq!(sw_seed_tag(SwFaultKind::DestValueLoad), 11);
+        assert_eq!(sw_seed_tag(SwFaultKind::ArchState), 12);
+        // Per-class strata claim 20+, in InstrClass::ALL order.
+        for (i, c) in InstrClass::ALL.iter().enumerate() {
+            assert_eq!(sw_seed_tag(SwFaultKind::DestClass(*c)), 20 + i as u64);
+        }
     }
 
     #[test]

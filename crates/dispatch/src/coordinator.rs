@@ -333,17 +333,22 @@ fn render_status(ctx: &Ctx) -> String {
         0.0
     };
     let remaining = planned.saturating_sub(held_total);
-    let eta_ms = if st.done {
-        0
+    // No observed rate yet means no projection: `eta_ms` is omitted from
+    // the document (status renderers print `eta --`) and the gauge is
+    // left untouched rather than lying with a 0.
+    let eta_ms: Option<u64> = if st.done {
+        Some(0)
     } else if rate > 0.0 {
-        (remaining as f64 / rate * 1000.0) as u64
+        Some((remaining as f64 / rate * 1000.0) as u64)
     } else {
-        0
+        None
     };
     gauge_set("dispatch_records_held", &[], held_total as u64);
     gauge_set("dispatch_records_planned", &[], planned as u64);
     gauge_set("dispatch_record_rate_milli", &[], (rate * 1000.0) as u64);
-    gauge_set("dispatch_eta_ms", &[], eta_ms);
+    if let Some(ms) = eta_ms {
+        gauge_set("dispatch_eta_ms", &[], ms);
+    }
     gauge_set(
         "dispatch_workers_known",
         &[],
@@ -362,11 +367,11 @@ fn render_status(ctx: &Ctx) -> String {
         ",\"shards\":{},\"trials\":{planned},\"records_held\":{held_total}",
         ctx.cfg.shards
     ));
-    out.push_str(&format!(
-        ",\"records_per_s\":{:.3},\"eta_ms\":{eta_ms},\"elapsed_ms\":{}",
-        rate,
-        elapsed.as_millis()
-    ));
+    out.push_str(&format!(",\"records_per_s\":{rate:.3}"));
+    if let Some(ms) = eta_ms {
+        out.push_str(&format!(",\"eta_ms\":{ms}"));
+    }
+    out.push_str(&format!(",\"elapsed_ms\":{}", elapsed.as_millis()));
     out.push_str(&format!(",\"done\":{}", st.done));
     out.push_str(&format!(
         ",\"stats\":{{\"workers_joined\":{},\"leases_granted\":{},\"leases_reassigned\":{},\

@@ -32,7 +32,10 @@ pub mod proto;
 pub mod worker;
 
 pub use coordinator::{serve, DispatchCfg, DispatchStats, ServeOutcome};
-pub use proto::{parse_frame, parse_structures, structures_spec, CampaignSpec, Frame};
+pub use proto::{
+    parse_frame, parse_strata, parse_structures, plan_strata, strata_spec, structures_spec,
+    CampaignSpec, Frame, WaveSpec,
+};
 pub use worker::{work, WorkSummary, WorkerCfg};
 
 use std::fmt;

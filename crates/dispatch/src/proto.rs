@@ -28,10 +28,11 @@
 use obs::events::{parse_line, push_json_str, JsonValue};
 use relia::checkpoint::{parse_checkpoint_line, CheckpointLine, TrialRecord};
 use relia::plan::{
-    prepare_sw_campaign, prepare_uarch_campaign_structures, Layer, PreparedCampaign,
+    prepare_adaptive_wave, prepare_sw_campaign, prepare_uarch_campaign_structures, Layer,
+    PreparedCampaign, StratumSpec, TrialTarget,
 };
 use relia::CampaignCfg;
-use vgpu_sim::{FaultPattern, GpuConfig, HwStructure};
+use vgpu_sim::{FaultPattern, GpuConfig, HwStructure, SwFaultKind};
 
 /// Bumped whenever a frame changes incompatibly; [`Frame::Hello`] carries
 /// it and the coordinator rejects mismatched workers during the handshake.
@@ -72,6 +73,96 @@ pub fn structures_spec(structures: &Option<Vec<HwStructure>>) -> String {
     }
 }
 
+/// One adaptive wave of a CI-driven campaign: the still-unconverged
+/// strata and their trial-ordinal windows. When a job frame carries a
+/// wave the worker rebuilds the plan with
+/// [`relia::plan::prepare_adaptive_wave`] instead of the fixed-n
+/// planners; the wave index folds into the plan fingerprint, so the
+/// handshake still proves both sides expanded the identical trial set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaveSpec {
+    pub wave: u64,
+    pub strata: Vec<StratumSpec>,
+}
+
+/// Serialize wave strata for the job frame:
+/// `kernel:TARGET:start:count;...` (target labels never contain `:` or
+/// `;`). The inverse is [`parse_strata`].
+pub fn strata_spec(strata: &[StratumSpec]) -> String {
+    strata
+        .iter()
+        .map(|s| {
+            format!(
+                "{}:{}:{}:{}",
+                s.kernel_idx,
+                s.target.label(),
+                s.start,
+                s.count
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Parse a [`strata_spec`] string. Target labels resolve per `layer`
+/// (structure labels for uarch, fault-kind labels for sw); `None` on any
+/// malformed stratum or an empty list — a wave with no strata is
+/// corruption, not a default.
+pub fn parse_strata(spec: &str, layer: Layer) -> Option<Vec<StratumSpec>> {
+    let mut out = Vec::new();
+    for part in spec.split(';') {
+        let mut it = part.split(':');
+        let kernel_idx = it.next()?.parse().ok()?;
+        let target = match layer {
+            Layer::Uarch => TrialTarget::Structure(HwStructure::from_label(it.next()?)?),
+            Layer::Sw => TrialTarget::Fault(SwFaultKind::from_label(it.next()?)?),
+        };
+        let start = it.next()?.parse().ok()?;
+        let count = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        out.push(StratumSpec {
+            kernel_idx,
+            target,
+            start,
+            count,
+        });
+    }
+    if out.is_empty() {
+        return None;
+    }
+    Some(out)
+}
+
+/// Reconstruct the stratum specs of an adaptive wave plan, in
+/// first-appearance order. A wave plan lists each stratum's trials as
+/// the consecutive ordinals `start..start + count`, so the specs are
+/// fully recoverable — feeding them back through
+/// [`relia::plan::prepare_adaptive_wave`] (as a worker does) re-expands
+/// the identical plan.
+pub fn plan_strata(plan: &relia::plan::CampaignPlan) -> Vec<StratumSpec> {
+    let mut out: Vec<StratumSpec> = Vec::new();
+    for t in &plan.trials {
+        match out
+            .iter_mut()
+            .find(|s| s.kernel_idx == t.kernel_idx && s.target == t.target)
+        {
+            Some(s) => {
+                s.start = s.start.min(t.trial);
+                s.count += 1;
+            }
+            None => out.push(StratumSpec {
+                kernel_idx: t.kernel_idx,
+                target: t.target,
+                start: t.trial,
+                count: 1,
+            }),
+        }
+    }
+    out
+}
+
 /// Everything a worker needs to rebuild the coordinator's campaign plan
 /// locally. Deliberately *excludes* watchdog limits: wall-clock limits
 /// reclassify slow trials by machine speed, which would break the
@@ -92,6 +183,10 @@ pub struct CampaignSpec {
     /// the plan fingerprint for non-default patterns, so a worker running
     /// a different model fails the handshake instead of merging garbage.
     pub fault_model: FaultPattern,
+    /// `Some` for one wave of an adaptive campaign (`None` = the classic
+    /// fixed-n plan; absent on the wire, so legacy frames are
+    /// byte-identical).
+    pub wave: Option<WaveSpec>,
 }
 
 impl CampaignSpec {
@@ -129,6 +224,16 @@ impl CampaignSpec {
     /// handshake verifies exactly that.
     pub fn prepare<'a>(&self, bench: &'a dyn kernels::Benchmark) -> PreparedCampaign<'a> {
         let cfg = self.campaign_cfg();
+        if let Some(w) = &self.wave {
+            return prepare_adaptive_wave(
+                bench,
+                &cfg,
+                self.hardened,
+                self.layer,
+                &w.strata,
+                w.wave,
+            );
+        }
         match self.layer {
             Layer::Uarch => prepare_uarch_campaign_structures(
                 bench,
@@ -230,6 +335,10 @@ impl Frame {
                 push_json_str(&mut s, &structures_spec(&spec.structures));
                 s.push_str(",\"fault_model\":");
                 push_json_str(&mut s, spec.fault_model.label());
+                if let Some(w) = &spec.wave {
+                    s.push_str(&format!(",\"wave\":{},\"strata\":", w.wave));
+                    push_json_str(&mut s, &strata_spec(&w.strata));
+                }
                 s.push_str(&format!(
                     ",\"n\":{},\"seed\":{},\"sms\":{},\"hardened\":{},\"shards\":{shards},\"fingerprint\":{fingerprint}}}",
                     spec.n, spec.seed, spec.sms, spec.hardened
@@ -313,16 +422,29 @@ pub fn parse_frame(line: &str) -> Option<Frame> {
                 None => FaultPattern::SingleBit,
                 Some(l) => FaultPattern::from_label(l)?,
             };
+            let layer = Layer::from_label(get("layer")?.as_str()?)?;
+            // Absent in frames from pre-adaptive coordinators (fixed-n
+            // campaigns). A wave index without strata (or vice versa) is
+            // a torn frame, not a legacy one.
+            let wave = match (num("wave"), get("strata").and_then(JsonValue::as_str)) {
+                (None, None) => None,
+                (Some(w), Some(st)) => Some(WaveSpec {
+                    wave: w,
+                    strata: parse_strata(st, layer)?,
+                }),
+                _ => return None,
+            };
             Some(Frame::Job {
                 spec: CampaignSpec {
                     app: get("app")?.as_str()?.to_string(),
-                    layer: Layer::from_label(get("layer")?.as_str()?)?,
+                    layer,
                     n: num("n")? as usize,
                     seed: num("seed")?,
                     sms: num("sms")? as u32,
                     hardened,
                     structures,
                     fault_model,
+                    wave,
                 },
                 shards: num("shards")? as usize,
                 fingerprint: num("fingerprint")?,
@@ -439,6 +561,27 @@ mod tests {
             hardened: true,
             structures: Some(vec![HwStructure::RegFile, HwStructure::L2]),
             fault_model: FaultPattern::SingleBit,
+            wave: None,
+        }
+    }
+
+    fn wave() -> WaveSpec {
+        WaveSpec {
+            wave: 3,
+            strata: vec![
+                StratumSpec {
+                    kernel_idx: 0,
+                    target: TrialTarget::Structure(HwStructure::RegFile),
+                    start: 16,
+                    count: 8,
+                },
+                StratumSpec {
+                    kernel_idx: 2,
+                    target: TrialTarget::Structure(HwStructure::L2),
+                    start: 0,
+                    count: 4,
+                },
+            ],
         }
     }
 
@@ -478,6 +621,34 @@ mod tests {
                 },
                 shards: 2,
                 fingerprint: 8,
+            },
+            Frame::Job {
+                spec: CampaignSpec {
+                    wave: Some(wave()),
+                    ..spec()
+                },
+                shards: 3,
+                fingerprint: 9,
+            },
+            Frame::Job {
+                spec: CampaignSpec {
+                    layer: Layer::Sw,
+                    structures: None,
+                    wave: Some(WaveSpec {
+                        wave: 0,
+                        strata: vec![StratumSpec {
+                            kernel_idx: 1,
+                            target: TrialTarget::Fault(
+                                SwFaultKind::from_label("dest_falu").unwrap(),
+                            ),
+                            start: 0,
+                            count: 6,
+                        }],
+                    }),
+                    ..spec()
+                },
+                shards: 1,
+                fingerprint: 10,
             },
             Frame::Ready {
                 fingerprint: u64::MAX,
@@ -572,6 +743,52 @@ mod tests {
             "\"fault_model\":\"warp-drive\",\"hardened\"",
         );
         assert!(parse_frame(&bad).is_none());
+    }
+
+    #[test]
+    fn wave_extension_is_lenient_for_legacy_and_strict_for_torn_frames() {
+        // A fixed-n job never carries wave fields, byte for byte — old
+        // workers keep parsing new coordinators' fixed-n frames.
+        let fixed = Frame::Job {
+            spec: spec(),
+            shards: 2,
+            fingerprint: 11,
+        }
+        .to_json();
+        assert!(!fixed.contains("wave") && !fixed.contains("strata"));
+        // A wave index without strata (or strata without an index) is a
+        // torn frame, never silently a fixed-n job.
+        let adaptive = Frame::Job {
+            spec: CampaignSpec {
+                wave: Some(wave()),
+                ..spec()
+            },
+            shards: 1,
+            fingerprint: 12,
+        }
+        .to_json();
+        assert!(parse_frame(&adaptive).is_some());
+        assert!(parse_frame(&adaptive.replace(",\"wave\":3", "")).is_none());
+        let strata = format!(",\"strata\":\"{}\"", strata_spec(&wave().strata));
+        assert!(parse_frame(&adaptive.replace(&strata, "")).is_none());
+        // Malformed strata: unknown target label, wrong field count,
+        // empty list.
+        assert!(parse_frame(&adaptive.replace("0:RF:16:8", "0:WARP:16:8")).is_none());
+        assert!(parse_frame(&adaptive.replace("0:RF:16:8", "0:RF:16")).is_none());
+        assert!(parse_frame(&adaptive.replace("0:RF:16:8;2:L2:0:4", "")).is_none());
+        // A sw-layer stratum label must resolve as a fault kind, and the
+        // labels round-trip through the wire encoding.
+        assert_eq!(
+            parse_strata("1:dest_falu:0:6", Layer::Sw).unwrap()[0]
+                .target
+                .label(),
+            "dest_falu"
+        );
+        assert!(parse_strata("1:RF:0:6", Layer::Sw).is_none());
+        assert_eq!(
+            parse_strata(&strata_spec(&wave().strata), Layer::Uarch).unwrap(),
+            wave().strata
+        );
     }
 
     #[test]

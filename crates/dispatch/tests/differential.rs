@@ -39,6 +39,7 @@ fn spec_for(app: &str, layer: Layer, fault_model: FaultPattern) -> CampaignSpec 
         hardened: false,
         structures: None,
         fault_model,
+        wave: None,
     }
 }
 
@@ -211,6 +212,152 @@ fn scp_sw_dispatch_equals_single_shot() {
 // the pattern rides in the job frame, lands in the plan fingerprint, and
 // every re-execution after a lease reassignment applies the same
 // multi-bit footprint or re-asserted stuck cell.
+
+// The adaptive differential: a CI-driven campaign whose every wave is
+// farmed out to a coordinator + workers (with the first worker of wave 0
+// killed mid-stream) must reproduce the single-shot adaptive run bit for
+// bit — wave plans, record fingerprints, per-stratum intervals, and the
+// convergence trajectory. The wave rides in the job frame; each worker
+// re-expands the wave plan from (kernel, target, start, count) strata and
+// proves it via the wave-tagged plan fingerprint.
+#[test]
+fn va_uarch_adaptive_dispatch_equals_single_shot() {
+    use dispatch::{plan_strata, WaveSpec};
+    use stat::{run_adaptive, run_adaptive_single, uarch_targets, AdaptiveCfg};
+
+    let base = spec_for("VA", Layer::Uarch, FaultPattern::SingleBit);
+    let bench = base.find_bench().expect("benchmark exists");
+    let cfg = base.campaign_cfg();
+    let acfg = AdaptiveCfg::new(0.15, 6, 24);
+
+    let single = run_adaptive_single(
+        bench.as_ref(),
+        &cfg,
+        false,
+        Layer::Uarch,
+        &uarch_targets(),
+        &acfg,
+    )
+    .expect("single-shot adaptive");
+    assert!(single.waves >= 2, "config must produce a multi-wave run");
+
+    let dcfg = DispatchCfg {
+        shards: 3,
+        lease: Duration::from_millis(300),
+        backoff: Duration::from_millis(50),
+        max_backoff: Duration::from_millis(200),
+        wait_ms: 50,
+        out_dir: None,
+        telemetry: None,
+    };
+    let healthy = WorkerCfg {
+        heartbeat: Duration::from_millis(50),
+        read_timeout: Duration::from_secs(30),
+        ..WorkerCfg::default()
+    };
+    let dispatched = run_adaptive(
+        bench.as_ref(),
+        &cfg,
+        false,
+        Layer::Uarch,
+        &uarch_targets(),
+        &acfg,
+        |prep, wave| {
+            let spec = CampaignSpec {
+                wave: Some(WaveSpec {
+                    wave,
+                    strata: plan_strata(&prep.plan),
+                }),
+                ..base.clone()
+            };
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            let addr = format!("127.0.0.1:{}", listener.local_addr().unwrap().port());
+            let outcome = std::thread::scope(|s| {
+                let coordinator = s.spawn(|| serve(listener, &prep.plan, &spec, &dcfg));
+                if wave == 0 {
+                    // Kill the first worker of the first wave while it
+                    // holds a lease; its shard must be reassigned.
+                    let doomed = work(
+                        &addr,
+                        &WorkerCfg {
+                            name: "doomed".into(),
+                            fail_after: Some(2),
+                            ..healthy.clone()
+                        },
+                    )
+                    .expect("doomed worker session");
+                    assert!(doomed.died_early, "fail_after must kill the worker");
+                }
+                let workers: Vec<_> = ["w1", "w2"]
+                    .iter()
+                    .map(|name| {
+                        let healthy = healthy.clone();
+                        let addr = addr.clone();
+                        s.spawn(move || {
+                            work(
+                                &addr,
+                                &WorkerCfg {
+                                    name: name.to_string(),
+                                    ..healthy
+                                },
+                            )
+                        })
+                    })
+                    .collect();
+                let outcome = coordinator.join().unwrap().expect("serve wave");
+                for w in workers {
+                    w.join().unwrap().expect("worker session");
+                }
+                outcome
+            });
+            Ok(outcome.records)
+        },
+    )
+    .expect("dispatched adaptive");
+
+    assert_eq!(single, dispatched, "adaptive dispatch differential");
+    assert_eq!(single.records_fp, dispatched.records_fp);
+    assert_eq!(single.plans_fp, dispatched.plans_fp);
+}
+
+// Strata reconstruction from a wave plan must be exact — a worker that
+// re-derives the plan from the reconstructed strata lands on the same
+// fingerprint the coordinator computed.
+#[test]
+fn wave_plan_strata_round_trip_through_job_spec() {
+    use dispatch::{plan_strata, WaveSpec};
+    use relia::plan::{prepare_adaptive_wave, StratumSpec, TrialTarget};
+
+    let base = spec_for("VA", Layer::Uarch, FaultPattern::SingleBit);
+    let bench = base.find_bench().expect("benchmark exists");
+    let cfg = base.campaign_cfg();
+    let strata = vec![
+        StratumSpec {
+            kernel_idx: 0,
+            target: TrialTarget::Structure(HwStructure::RegFile),
+            start: 4,
+            count: 6,
+        },
+        StratumSpec {
+            kernel_idx: 0,
+            target: TrialTarget::Structure(HwStructure::L2),
+            start: 0,
+            count: 3,
+        },
+    ];
+    let prep = prepare_adaptive_wave(bench.as_ref(), &cfg, false, Layer::Uarch, &strata, 5);
+    assert_eq!(plan_strata(&prep.plan), strata);
+    let spec = CampaignSpec {
+        wave: Some(WaveSpec {
+            wave: 5,
+            strata: plan_strata(&prep.plan),
+        }),
+        ..base
+    };
+    let reprep = spec.prepare(bench.as_ref());
+    assert_eq!(reprep.plan.fingerprint(), prep.plan.fingerprint());
+    assert_eq!(reprep.plan.trials, prep.plan.trials);
+}
 
 #[test]
 fn va_uarch_double_adjacent_dispatch_equals_single_shot() {

@@ -268,6 +268,53 @@ pub fn emit_snapshot(ev: &SnapshotEvent) {
     write_line(&ev.to_json());
 }
 
+/// An adaptive-sizing wave event: one CI-driven wave of an adaptive
+/// campaign finished and the planner re-evaluated its strata.
+/// Distinguished from the other record shapes by `"record":"wave"`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveEvent<'a> {
+    pub app: &'a str,
+    /// `"uarch"` or `"sw"`.
+    pub layer: &'a str,
+    /// Wave index (0-based).
+    pub wave: u64,
+    /// Trials executed by this wave.
+    pub trials: u64,
+    /// Strata still below the CI target after this wave.
+    pub pending: u64,
+    /// Strata total.
+    pub strata: u64,
+    /// Worst per-stratum CI half-width after this wave (micro-units:
+    /// half-width × 1e6, matching the `adaptive_ci_halfwidth_micros`
+    /// gauge).
+    pub max_halfwidth_micros: u64,
+}
+
+impl WaveEvent<'_> {
+    /// Serialize as a single JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(144);
+        s.push_str("{\"record\":\"wave\",\"app\":");
+        push_json_str(&mut s, self.app);
+        s.push_str(",\"layer\":");
+        push_json_str(&mut s, self.layer);
+        s.push_str(&format!(
+            ",\"wave\":{},\"trials\":{},\"pending\":{},\"strata\":{},\
+             \"max_halfwidth_micros\":{}}}",
+            self.wave, self.trials, self.pending, self.strata, self.max_halfwidth_micros
+        ));
+        s
+    }
+}
+
+/// Record one adaptive wave event; no-op while no sink is installed.
+pub fn emit_wave(ev: &WaveEvent) {
+    if !events_enabled() {
+        return;
+    }
+    write_line(&ev.to_json());
+}
+
 /// Flush buffered events to disk.
 pub fn flush_events() -> std::io::Result<()> {
     if let Some(w) = SINK.lock().unwrap().as_mut() {

@@ -35,8 +35,9 @@ pub mod span;
 pub mod trace;
 
 pub use events::{
-    emit, emit_campaign, emit_dispatch, emit_snapshot, events_enabled, flush_events, init_events,
-    parse_json, CampaignEvent, DispatchEvent, InjectionEvent, JsonNode, JsonValue, SnapshotEvent,
+    emit, emit_campaign, emit_dispatch, emit_snapshot, emit_wave, events_enabled, flush_events,
+    init_events, parse_json, CampaignEvent, DispatchEvent, InjectionEvent, JsonNode, JsonValue,
+    SnapshotEvent, WaveEvent,
 };
 pub use http::{http_get, Handlers, TelemetryServer};
 pub use progress::OutcomeClass;

@@ -151,8 +151,28 @@ fn maybe_print(done: u64, force: bool) {
     }
     let secs = now_ms.max(1) as f64 / 1e3;
     line.push_str(&format!("  | {:.0} inj/s", done as f64 / secs));
+    if total > 0 {
+        match eta_secs(done, total, secs) {
+            Some(eta) => line.push_str(&format!("  eta {eta:.0}s")),
+            None => line.push_str("  eta --"),
+        }
+    }
     PRINTS.fetch_add(1, Ordering::Relaxed);
     let _ = writeln!(std::io::stderr(), "{line}");
+}
+
+/// Projected seconds to finish `total - done` trials at the observed
+/// rate. `None` when no rate exists yet (zero trials done or a zero
+/// clock) — callers must render that as `eta --`, never `inf`/NaN.
+pub fn eta_secs(done: u64, total: u64, elapsed_secs: f64) -> Option<f64> {
+    if done == 0 || elapsed_secs <= 0.0 {
+        return None;
+    }
+    let rate = done as f64 / elapsed_secs;
+    if rate.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return None;
+    }
+    Some(total.saturating_sub(done) as f64 / rate)
 }
 
 /// p50/p95 per-injection wall time (µs), merged across every
@@ -261,6 +281,20 @@ mod tests {
         finish();
         assert_eq!(prints(), 2, "finish is never throttled");
         reset();
+    }
+
+    #[test]
+    fn eta_is_guarded_against_zero_rate() {
+        // No progress yet (or a zero clock): no ETA, never inf/NaN.
+        assert_eq!(eta_secs(0, 100, 5.0), None);
+        assert_eq!(eta_secs(10, 100, 0.0), None);
+        assert_eq!(eta_secs(0, 0, 0.0), None);
+        // Real progress projects finitely, and completion projects zero.
+        let eta = eta_secs(25, 100, 5.0).unwrap();
+        assert!(eta.is_finite() && (eta - 15.0).abs() < 1e-9);
+        assert_eq!(eta_secs(100, 100, 5.0), Some(0.0));
+        // Overshoot (done > total after a late add_total) saturates at 0.
+        assert_eq!(eta_secs(120, 100, 5.0), Some(0.0));
     }
 
     #[test]

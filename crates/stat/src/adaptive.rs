@@ -1,0 +1,477 @@
+//! Adaptive, CI-driven campaign sizing: instead of a fixed `n` per
+//! (kernel, target) stratum, trials are dispatched in deterministic
+//! *waves* and each stratum stops as soon as its derated failure-rate
+//! confidence interval is tight enough. Low-vulnerability strata (and
+//! empty-population strata) converge after the first wave; only the
+//! genuinely uncertain ones keep sampling — the trial-count savings the
+//! paper's Section II-A sizing rule leaves on the table.
+//!
+//! Determinism contract: the trials of wave `w` depend only on
+//! (seed, app, strata specs) — never on *how* earlier waves were
+//! executed — because [`prepare_adaptive_wave`] derives per-trial seeds
+//! from the same (kernel, target, ordinal) streams as the fixed-n
+//! planners. Convergence decisions are pure functions of complete wave
+//! record sets. So an adaptive campaign run single-shot, sharded,
+//! killed-and-resumed, or farmed out over dispatch workers produces
+//! byte-identical wave plans, records, and final intervals.
+
+use kernels::Benchmark;
+use relia::{
+    assemble_uarch, dedupe_records, execute_shard, prepare_adaptive_wave, records_fingerprint,
+    CampaignCfg, Confidence, EngineCfg, EngineError, Layer, PreparedCampaign, StratumSpec,
+    TrialRecord, TrialTarget,
+};
+use vgpu_sim::{HwStructure, SwFaultKind};
+
+use crate::strata::StratumStats;
+use crate::twolevel::class_kinds;
+
+/// How an adaptive campaign decides it is done.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveCfg {
+    /// Target half-width of each stratum's *derated* failure-rate CI.
+    pub ci_target: f64,
+    /// Trials added to each unconverged stratum per wave.
+    pub wave_size: usize,
+    /// Hard per-stratum trial cap (a stratum stopping here is `capped`,
+    /// not converged).
+    pub max_per_stratum: usize,
+    pub conf: Confidence,
+}
+
+impl AdaptiveCfg {
+    pub fn new(ci_target: f64, wave_size: usize, max_per_stratum: usize) -> Self {
+        AdaptiveCfg {
+            ci_target,
+            wave_size,
+            max_per_stratum,
+            conf: Confidence::C95,
+        }
+    }
+
+    /// `Err(reason)` when the configuration cannot drive a terminating
+    /// campaign (CLI layers surface this as a usage error).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.ci_target > 0.0 && self.ci_target < 1.0) {
+            return Err(format!(
+                "ci-target must be in (0, 1), got {}",
+                self.ci_target
+            ));
+        }
+        if self.wave_size == 0 {
+            return Err("wave-size must be >= 1".into());
+        }
+        if self.max_per_stratum < self.wave_size {
+            return Err(format!(
+                "max-trials ({}) must be >= wave-size ({})",
+                self.max_per_stratum, self.wave_size
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One (kernel, target) stratum of an adaptive campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveStratum {
+    pub kernel_idx: usize,
+    pub target: TrialTarget,
+    pub stats: StratumStats,
+    /// Trials executed (= the ordinal the next wave would start at).
+    pub n: usize,
+    /// CI derating: the structure's derating factor for uarch strata,
+    /// `1.0` for software strata. Multiplies the raw Wilson half-width —
+    /// a stratum whose failures are derated away needs no tight raw CI.
+    pub derate: f64,
+    /// The target population is empty (every planned trial is trivially
+    /// masked); the true rate is exactly 0 and the stratum converges
+    /// after its first wave regardless of the interval.
+    pub empty: bool,
+    /// Wave after which the stratum converged; `None` means it hit
+    /// `max_per_stratum` without reaching the CI target.
+    pub converged_wave: Option<u64>,
+}
+
+impl AdaptiveStratum {
+    /// The stratum's current derated CI half-width (what the target is
+    /// compared against).
+    pub fn derated_halfwidth(&self, conf: Confidence) -> f64 {
+        if self.empty {
+            return 0.0;
+        }
+        self.derate * self.stats.failure_ci(conf).half_width()
+    }
+
+    fn converged(&self, acfg: &AdaptiveCfg) -> bool {
+        self.n > 0 && (self.empty || self.derated_halfwidth(acfg.conf) <= acfg.ci_target)
+    }
+}
+
+/// Outcome of one adaptive campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveResult {
+    pub app: String,
+    pub layer: Layer,
+    pub strata: Vec<AdaptiveStratum>,
+    /// Waves executed.
+    pub waves: u64,
+    /// Order-sensitive digest of all wave-plan fingerprints.
+    pub plans_fp: u64,
+    /// Order-sensitive digest of all per-wave record fingerprints —
+    /// byte-identical across single-shot / sharded / resumed / dispatched
+    /// executions of the same campaign.
+    pub records_fp: u64,
+}
+
+impl AdaptiveResult {
+    /// Trials executed across all strata.
+    pub fn total_trials(&self) -> usize {
+        self.strata.iter().map(|s| s.n).sum()
+    }
+
+    /// Trials a uniform fixed-n design would need for the same guarantee:
+    /// every stratum sized at the worst stratum's trial count.
+    pub fn uniform_equivalent(&self) -> usize {
+        let max_n = self.strata.iter().map(|s| s.n).max().unwrap_or(0);
+        max_n * self.strata.len()
+    }
+
+    /// Trial-count savings factor vs the uniform design (`>= 1.0`).
+    pub fn savings(&self) -> f64 {
+        let t = self.total_trials();
+        if t == 0 {
+            1.0
+        } else {
+            self.uniform_equivalent() as f64 / t as f64
+        }
+    }
+
+    pub fn all_converged(&self) -> bool {
+        self.strata.iter().all(|s| s.converged_wave.is_some())
+    }
+
+    /// Worst derated CI half-width over the non-empty strata.
+    pub fn max_halfwidth(&self, conf: Confidence) -> f64 {
+        self.strata
+            .iter()
+            .map(|s| s.derated_halfwidth(conf))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The standard uarch stratification: every kernel × storage structure.
+pub fn uarch_targets() -> Vec<TrialTarget> {
+    HwStructure::ALL
+        .iter()
+        .map(|&h| TrialTarget::Structure(h))
+        .collect()
+}
+
+/// The two-level software stratification: every kernel × instruction
+/// class ([`class_kinds`]).
+pub fn class_targets() -> Vec<TrialTarget> {
+    class_kinds()
+        .into_iter()
+        .map(|(k, _)| TrialTarget::Fault(k))
+        .collect()
+}
+
+/// The standard software stratification (dest-value + dest-value-load).
+pub fn sw_targets() -> Vec<TrialTarget> {
+    vec![
+        TrialTarget::Fault(SwFaultKind::DestValue),
+        TrialTarget::Fault(SwFaultKind::DestValueLoad),
+    ]
+}
+
+fn fold_fp(acc: u64, x: u64) -> u64 {
+    acc.rotate_left(7) ^ x
+}
+
+/// Validate that `records` exactly cover a wave plan (indices `0..len`,
+/// no gaps; duplicates must agree) and return them in plan order.
+fn complete_wave(
+    plan_len: usize,
+    records: &[TrialRecord],
+) -> Result<Vec<TrialRecord>, EngineError> {
+    let recs = dedupe_records(records)?;
+    if let Some(r) = recs.iter().find(|r| r.idx >= plan_len) {
+        return Err(EngineError::ForeignTrial { idx: r.idx });
+    }
+    if recs.len() < plan_len {
+        return Err(EngineError::IncompleteCover {
+            missing: plan_len - recs.len(),
+            total: plan_len,
+        });
+    }
+    Ok(recs)
+}
+
+/// Run an adaptive campaign, delegating each wave's execution to `exec`.
+///
+/// `exec` receives the prepared wave and its index and must return a
+/// record set covering the wave plan (in any order; benign duplicates
+/// from at-least-once execution are folded). [`execute_shard`] with any
+/// `EngineCfg`, a merge of shard outputs, or a dispatch coordinator all
+/// satisfy the contract — the decision loop is identical for every
+/// execution strategy, which is what makes adaptive runs differentially
+/// testable.
+///
+/// Strata are `targets × kernels`; all targets must belong to `layer`.
+pub fn run_adaptive<E>(
+    bench: &dyn Benchmark,
+    cfg: &CampaignCfg,
+    hardened: bool,
+    layer: Layer,
+    targets: &[TrialTarget],
+    acfg: &AdaptiveCfg,
+    mut exec: E,
+) -> Result<AdaptiveResult, EngineError>
+where
+    E: FnMut(&PreparedCampaign, u64) -> Result<Vec<TrialRecord>, EngineError>,
+{
+    assert!(
+        acfg.validate().is_ok(),
+        "invalid adaptive config: {:?}",
+        acfg.validate()
+    );
+    let n_kernels = bench.kernels().len();
+    let mut strata: Vec<AdaptiveStratum> = (0..n_kernels)
+        .flat_map(|k_idx| {
+            targets.iter().map(move |&target| AdaptiveStratum {
+                kernel_idx: k_idx,
+                target,
+                stats: StratumStats::default(),
+                n: 0,
+                derate: 1.0,
+                empty: false,
+                converged_wave: None,
+            })
+        })
+        .collect();
+
+    let mut wave = 0u64;
+    let mut plans_fp = 0u64;
+    let mut records_fp = 0u64;
+    loop {
+        let pending: Vec<usize> = strata
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.converged_wave.is_none() && s.n < acfg.max_per_stratum)
+            .map(|(i, _)| i)
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        let specs: Vec<StratumSpec> = pending
+            .iter()
+            .map(|&i| {
+                let s = &strata[i];
+                StratumSpec {
+                    kernel_idx: s.kernel_idx,
+                    target: s.target,
+                    start: s.n,
+                    count: acfg.wave_size.min(acfg.max_per_stratum - s.n),
+                }
+            })
+            .collect();
+        let prep = prepare_adaptive_wave(bench, cfg, hardened, layer, &specs, wave);
+        plans_fp = fold_fp(plans_fp, prep.plan.fingerprint());
+        let records = complete_wave(prep.plan.len(), &exec(&prep, wave)?)?;
+        records_fp = fold_fp(records_fp, records_fingerprint(&records));
+
+        // Wave 0 covers every stratum, so it is the one place to harvest
+        // structure derating factors (uarch) and detect empty populations
+        // (a stratum whose trials all resolved to no fault).
+        if wave == 0 {
+            let df = if layer == Layer::Uarch {
+                Some(assemble_uarch(&prep, &records)?)
+            } else {
+                None
+            };
+            for &i in &pending {
+                let s = &mut strata[i];
+                if let (Some(app), TrialTarget::Structure(h)) = (&df, s.target) {
+                    s.derate = app.kernels[s.kernel_idx].df_of(h);
+                }
+                s.empty = prep
+                    .plan
+                    .trials
+                    .iter()
+                    .filter(|t| t.kernel_idx == s.kernel_idx && t.target == s.target)
+                    .all(|t| t.fault.is_none());
+            }
+        }
+
+        for r in &records {
+            let t = &prep.plan.trials[r.idx];
+            let s = strata
+                .iter_mut()
+                .find(|s| s.kernel_idx == t.kernel_idx && s.target == t.target)
+                .expect("wave trial belongs to a known stratum");
+            s.stats.record(r.outcome);
+        }
+        for sp in &specs {
+            let s = strata
+                .iter_mut()
+                .find(|s| s.kernel_idx == sp.kernel_idx && s.target == sp.target)
+                .unwrap();
+            s.n += sp.count;
+            if s.converged(acfg) {
+                s.converged_wave = Some(wave);
+            }
+        }
+
+        let still_pending = strata
+            .iter()
+            .filter(|s| s.converged_wave.is_none() && s.n < acfg.max_per_stratum)
+            .count() as u64;
+        let max_hw = strata
+            .iter()
+            .filter(|s| s.converged_wave.is_none())
+            .map(|s| s.derated_halfwidth(acfg.conf))
+            .fold(0.0, f64::max);
+        let app = bench.name();
+        let layer_label = layer.label();
+        obs::counter_add(
+            "adaptive_waves_total",
+            &[("app", app), ("layer", layer_label)],
+            1,
+        );
+        obs::gauge_set(
+            "adaptive_ci_halfwidth_micros",
+            &[("app", app), ("layer", layer_label)],
+            (max_hw * 1e6) as u64,
+        );
+        obs::gauge_set(
+            "adaptive_pending_strata",
+            &[("app", app), ("layer", layer_label)],
+            still_pending,
+        );
+        obs::emit_wave(&obs::WaveEvent {
+            app,
+            layer: layer_label,
+            wave,
+            trials: prep.plan.len() as u64,
+            pending: still_pending,
+            strata: strata.len() as u64,
+            max_halfwidth_micros: (max_hw * 1e6) as u64,
+        });
+        wave += 1;
+    }
+
+    Ok(AdaptiveResult {
+        app: bench.name().to_string(),
+        layer,
+        strata,
+        waves: wave,
+        plans_fp,
+        records_fp,
+    })
+}
+
+/// [`run_adaptive`] with plain single-shot in-process wave execution.
+pub fn run_adaptive_single(
+    bench: &dyn Benchmark,
+    cfg: &CampaignCfg,
+    hardened: bool,
+    layer: Layer,
+    targets: &[TrialTarget],
+    acfg: &AdaptiveCfg,
+) -> Result<AdaptiveResult, EngineError> {
+    run_adaptive(bench, cfg, hardened, layer, targets, acfg, |prep, _| {
+        execute_shard(prep, &EngineCfg::single_shot())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernels::apps::va::Va;
+
+    fn acfg() -> AdaptiveCfg {
+        AdaptiveCfg::new(0.12, 8, 64)
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        assert!(AdaptiveCfg::new(0.1, 4, 16).validate().is_ok());
+        assert!(AdaptiveCfg::new(0.0, 4, 16).validate().is_err());
+        assert!(AdaptiveCfg::new(1.5, 4, 16).validate().is_err());
+        assert!(AdaptiveCfg::new(0.1, 0, 16).validate().is_err());
+        assert!(AdaptiveCfg::new(0.1, 8, 4).validate().is_err());
+    }
+
+    #[test]
+    fn adaptive_uarch_terminates_and_is_deterministic() {
+        let cfg = CampaignCfg::new(0, 0, 0xD0_0D);
+        let a =
+            run_adaptive_single(&Va, &cfg, false, Layer::Uarch, &uarch_targets(), &acfg()).unwrap();
+        let b =
+            run_adaptive_single(&Va, &cfg, false, Layer::Uarch, &uarch_targets(), &acfg()).unwrap();
+        assert_eq!(a, b, "same seed, same campaign");
+        assert!(a.waves >= 1);
+        assert!(a.total_trials() > 0);
+        for s in &a.strata {
+            assert!(s.n <= 64, "cap respected: {}", s.n);
+            if let Some(w) = s.converged_wave {
+                assert!(w < a.waves);
+            }
+        }
+        // Converged strata actually meet the target (or are empty/capped).
+        for s in a.strata.iter().filter(|s| s.converged_wave.is_some()) {
+            assert!(s.empty || s.derated_halfwidth(Confidence::C95) <= 0.12 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn adaptive_matches_sharded_execution_byte_for_byte() {
+        let cfg = CampaignCfg::new(0, 0, 0xD0_0D);
+        let single =
+            run_adaptive_single(&Va, &cfg, false, Layer::Uarch, &uarch_targets(), &acfg()).unwrap();
+        let sharded = run_adaptive(
+            &Va,
+            &cfg,
+            false,
+            Layer::Uarch,
+            &uarch_targets(),
+            &acfg(),
+            |prep, _| {
+                let mut recs = Vec::new();
+                for i in 0..3 {
+                    recs.extend(execute_shard(prep, &EngineCfg::sharded(3, i))?);
+                }
+                Ok(recs)
+            },
+        )
+        .unwrap();
+        assert_eq!(single, sharded);
+        assert_eq!(single.records_fp, sharded.records_fp);
+        assert_eq!(single.plans_fp, sharded.plans_fp);
+    }
+
+    #[test]
+    fn adaptive_sw_class_strata_converge_with_savings_structure() {
+        let cfg = CampaignCfg::new(0, 0, 0x5EED);
+        let r = run_adaptive_single(
+            &Va,
+            &cfg,
+            false,
+            Layer::Sw,
+            &class_targets(),
+            &AdaptiveCfg::new(0.2, 6, 48),
+        )
+        .unwrap();
+        assert!(r.all_converged() || r.strata.iter().any(|s| s.n == 48));
+        // Va has kernels with empty instruction classes: those strata
+        // must converge after wave 0 with rate 0.
+        let empties: Vec<_> = r.strata.iter().filter(|s| s.empty).collect();
+        assert!(!empties.is_empty(), "Va has empty class strata");
+        for s in &empties {
+            assert_eq!(s.converged_wave, Some(0));
+            assert_eq!(s.stats.failures(), 0);
+        }
+        assert!(r.savings() >= 1.0);
+        assert_eq!(r.total_trials(), r.strata.iter().map(|s| s.n).sum());
+    }
+}

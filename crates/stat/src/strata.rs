@@ -1,0 +1,150 @@
+//! NaN-hardened per-stratum aggregation for adaptive campaigns.
+//!
+//! Adaptive waves routinely produce strata with zero or one trial (a
+//! stratum that converged in wave 0, or whose eligible population is
+//! empty). Every statistic here is total: means and variances of empty
+//! or single-trial strata are `0.0`, never NaN, and the confidence
+//! interval of an empty stratum collapses to `[0, 1]` — so folding such
+//! strata into a merge can never poison the aggregate.
+
+use relia::{ClassCounts, Confidence};
+
+use crate::ci::{wilson, Interval};
+
+/// Outcome statistics of one (kernel, target) stratum, safe to fold at
+/// any trial count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StratumStats {
+    pub counts: ClassCounts,
+}
+
+impl StratumStats {
+    /// Trials recorded so far.
+    pub fn n(&self) -> u64 {
+        self.counts.total() as u64
+    }
+
+    /// Non-masked outcomes (the binomial "successes" of the failure-rate
+    /// estimate).
+    pub fn failures(&self) -> u64 {
+        (self.counts.sdc + self.counts.timeout + self.counts.due) as u64
+    }
+
+    /// Failure-rate point estimate; `0.0` (not NaN) when empty.
+    pub fn failure_rate(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.failures() as f64 / self.n() as f64
+        }
+    }
+
+    /// SDC-rate point estimate; `0.0` (not NaN) when empty.
+    pub fn sdc_rate(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.counts.sdc as f64 / self.n() as f64
+        }
+    }
+
+    /// Unbiased sample variance of the per-trial failure indicator:
+    /// `n·p̂(1−p̂)/(n−1)`. Zero-trial and single-trial strata have no
+    /// dispersion information; both return `0.0`, never NaN.
+    pub fn failure_variance(&self) -> f64 {
+        let n = self.n();
+        if n <= 1 {
+            return 0.0;
+        }
+        let p = self.failure_rate();
+        n as f64 * p * (1.0 - p) / (n - 1) as f64
+    }
+
+    /// Wilson CI of the failure rate; `[0, 1]` when empty.
+    pub fn failure_ci(&self, conf: Confidence) -> Interval {
+        wilson(self.failures(), self.n(), conf)
+    }
+
+    /// Wilson CI of the SDC rate; `[0, 1]` when empty.
+    pub fn sdc_ci(&self, conf: Confidence) -> Interval {
+        wilson(self.counts.sdc as u64, self.n(), conf)
+    }
+
+    /// Fold another stratum's counts in (the shard/wave merge fold).
+    pub fn merge(&mut self, o: &StratumStats) {
+        self.counts.add(&o.counts);
+    }
+
+    pub fn record(&mut self, outcome: kernels::Outcome) {
+        self.counts.record(outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernels::Outcome;
+
+    #[test]
+    fn empty_stratum_is_nan_free_and_degenerate() {
+        let s = StratumStats::default();
+        assert_eq!(s.n(), 0);
+        assert_eq!(s.failure_rate(), 0.0);
+        assert_eq!(s.sdc_rate(), 0.0);
+        assert_eq!(s.failure_variance(), 0.0);
+        assert!(s.failure_rate().is_finite() && s.failure_variance().is_finite());
+        assert_eq!(s.failure_ci(Confidence::C95), Interval::FULL);
+        assert_eq!(s.sdc_ci(Confidence::C99), Interval::FULL);
+    }
+
+    #[test]
+    fn single_trial_stratum_is_finite() {
+        for o in [Outcome::Masked, Outcome::Sdc] {
+            let mut s = StratumStats::default();
+            s.record(o);
+            assert_eq!(s.n(), 1);
+            assert!(s.failure_rate().is_finite());
+            assert_eq!(s.failure_variance(), 0.0, "n=1 has no dispersion");
+            let ci = s.failure_ci(Confidence::C95);
+            assert!(ci.lo.is_finite() && ci.hi.is_finite());
+            assert!(ci.half_width() < 0.5, "one trial is evidence: {ci:?}");
+        }
+    }
+
+    #[test]
+    fn merging_empty_strata_never_poisons_the_fold() {
+        let mut acc = StratumStats::default();
+        let mut live = StratumStats::default();
+        for _ in 0..7 {
+            live.record(Outcome::Masked);
+        }
+        for _ in 0..3 {
+            live.record(Outcome::Sdc);
+        }
+        acc.merge(&StratumStats::default());
+        acc.merge(&live);
+        acc.merge(&StratumStats::default());
+        assert_eq!(acc.n(), 10);
+        assert!((acc.failure_rate() - 0.3).abs() < 1e-12);
+        assert!((acc.sdc_rate() - 0.3).abs() < 1e-12);
+        assert!(acc.failure_variance() > 0.0);
+        // Merge is commutative on counts: fold order cannot matter.
+        let mut rev = StratumStats::default();
+        rev.merge(&live);
+        rev.merge(&StratumStats::default());
+        assert_eq!(acc, rev);
+    }
+
+    #[test]
+    fn variance_matches_bernoulli_formula() {
+        let mut s = StratumStats::default();
+        for _ in 0..6 {
+            s.record(Outcome::Masked);
+        }
+        for _ in 0..4 {
+            s.record(Outcome::Due);
+        }
+        // n=10, p=0.4: 10·0.24/9
+        assert!((s.failure_variance() - 10.0 * 0.24 / 9.0).abs() < 1e-12);
+    }
+}

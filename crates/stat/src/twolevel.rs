@@ -1,0 +1,291 @@
+//! The two-level statistical SDC estimator (the Hari et al. relyzer
+//! family of models, Section II-C of the paper's related work): instead
+//! of injecting blindly into the whole dynamic instruction stream, the
+//! stream is partitioned into instruction classes, a small stratified
+//! sample is injected per class, and the class-level failure rates are
+//! propagated back up through the class population shares to a
+//! kernel-level and application-level estimate — with honest confidence
+//! intervals at every level (Wilson per class, percentile bootstrap for
+//! the propagated estimate).
+//!
+//! The class strata reuse the deterministic plan/execute engine end to
+//! end: a two-level campaign is an ordinary [`prepare_sw_kinds`] plan
+//! over [`SwFaultKind::DestClass`] sub-campaigns, so checkpoints, shard
+//! merges, and dispatch leases all work unchanged.
+
+use kernels::Benchmark;
+use relia::{
+    assemble_sw_counts, execute_shard, prepare_sw_kinds, sw_seed_tag, CampaignCfg, ClassCounts,
+    Confidence, EngineCfg, EngineError, PreparedCampaign, TrialRecord,
+};
+use vgpu_arch::InstrClass;
+use vgpu_sim::SwFaultKind;
+
+use crate::ci::{bootstrap_weighted_ci, weighted_rate, wilson, Interval, WeightedStratum};
+
+/// The per-class sub-campaigns of a two-level plan, in the stable
+/// [`InstrClass::ALL`] order, with their frozen seed-derivation tags.
+pub fn class_kinds() -> Vec<(SwFaultKind, u64)> {
+    InstrClass::ALL
+        .iter()
+        .map(|&c| {
+            let k = SwFaultKind::DestClass(c);
+            (k, sw_seed_tag(k))
+        })
+        .collect()
+}
+
+/// Bootstrap replicates used by the top-level estimate unless the caller
+/// picks a different budget.
+pub const DEFAULT_BOOTSTRAP_REPS: usize = 1000;
+
+/// One instruction-class stratum of one kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassEstimate {
+    pub class: InstrClass,
+    /// This class's share of the kernel's register-writing dynamic
+    /// instructions (the propagation weight; shares sum to 1 over a
+    /// kernel unless the kernel writes no registers at all).
+    pub share: f64,
+    pub counts: ClassCounts,
+    /// Wilson interval of the class SDC rate.
+    pub sdc_ci: Interval,
+    /// Wilson interval of the class failure (non-masked) rate.
+    pub failure_ci: Interval,
+}
+
+impl ClassEstimate {
+    pub fn sdc_rate(&self) -> f64 {
+        let t = self.counts.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.counts.sdc as f64 / t as f64
+        }
+    }
+}
+
+/// Two-level estimate for one kernel: class rates propagated through
+/// class shares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelEstimate {
+    pub kernel: String,
+    /// Dynamic thread instructions (the application-weighting metric,
+    /// same rule as the SVF assembly).
+    pub instrs: u64,
+    /// Register-writing dynamic instructions (the class-share
+    /// denominator).
+    pub gp_dest_instrs: u64,
+    pub classes: Vec<ClassEstimate>,
+}
+
+impl KernelEstimate {
+    /// Kernel SDC estimate: `Σ share_c · SDC-rate_c`.
+    pub fn sdc(&self) -> f64 {
+        self.classes.iter().map(|c| c.share * c.sdc_rate()).sum()
+    }
+
+    /// Kernel failure estimate: `Σ share_c · FR_c`.
+    pub fn failure(&self) -> f64 {
+        self.classes
+            .iter()
+            .map(|c| c.share * c.counts.failure_rate())
+            .sum()
+    }
+}
+
+/// The propagated application-level two-level estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoLevelEstimate {
+    pub app: String,
+    pub kernels: Vec<KernelEstimate>,
+    /// Application SDC point estimate (instruction-weighted kernel SDC).
+    pub sdc: f64,
+    /// Application failure-rate point estimate.
+    pub failure: f64,
+    /// Bootstrap CI of the propagated application SDC estimate.
+    pub sdc_ci: Interval,
+    /// Bootstrap CI of the propagated application failure estimate.
+    pub failure_ci: Interval,
+    /// Planned trials (all strata, including empty-population ones).
+    pub planned: usize,
+    /// Trials that actually resolved to an injection (non-trivial).
+    pub injected: usize,
+}
+
+/// Flatten the (kernel, class) strata into weighted bootstrap strata.
+/// `pick` selects the per-stratum success count (SDC-only or any
+/// failure). Kernel weight is the instruction share; within a kernel the
+/// class weight is its population share — exactly the propagation rule
+/// of the point estimate, so `weighted_rate` of these strata *is* the
+/// point estimate.
+fn bootstrap_strata(
+    kernels: &[KernelEstimate],
+    pick: impl Fn(&ClassCounts) -> u64,
+) -> Vec<WeightedStratum> {
+    let total_instrs: u64 = kernels.iter().map(|k| k.instrs).sum();
+    let mut out = Vec::new();
+    for k in kernels {
+        let kw = k.instrs as f64 / total_instrs.max(1) as f64;
+        for c in &k.classes {
+            out.push(WeightedStratum {
+                failures: pick(&c.counts),
+                n: c.counts.total() as u64,
+                weight: kw * c.share,
+            });
+        }
+    }
+    out
+}
+
+/// Fold a complete two-level record set into the propagated estimate.
+/// `prep` must be a plan over [`class_kinds`] (any subset order works —
+/// classes are resolved by kind, not position). Deterministic: the
+/// bootstrap seed is derived from the campaign seed.
+pub fn assemble_two_level(
+    prep: &PreparedCampaign,
+    records: &[TrialRecord],
+    conf: Confidence,
+    reps: usize,
+) -> Result<TwoLevelEstimate, EngineError> {
+    let counts = assemble_sw_counts(prep, records)?;
+    let kinds = &prep.plan.sw_kinds;
+    let kernels: Vec<KernelEstimate> = prep
+        .bench
+        .kernels()
+        .iter()
+        .enumerate()
+        .map(|(k_idx, k_name)| {
+            let stats = prep.golden.kernel_stats(k_idx);
+            let classes = kinds
+                .iter()
+                .enumerate()
+                .filter_map(|(pos, &(kind, _))| {
+                    let SwFaultKind::DestClass(class) = kind else {
+                        return None;
+                    };
+                    let pop = class
+                        .index()
+                        .map(|i| stats.class_dest_instrs[i])
+                        .unwrap_or(0);
+                    let share = if stats.gp_dest_instrs == 0 {
+                        0.0
+                    } else {
+                        pop as f64 / stats.gp_dest_instrs as f64
+                    };
+                    let c = counts[k_idx][pos];
+                    // An empty class population contributes weight 0; its
+                    // trivially masked trials carry no evidence and must
+                    // not narrow the propagated CI, so drop its sample.
+                    let c = if pop == 0 { ClassCounts::default() } else { c };
+                    Some(ClassEstimate {
+                        class,
+                        share,
+                        counts: c,
+                        sdc_ci: wilson(c.sdc as u64, c.total() as u64, conf),
+                        failure_ci: wilson(
+                            (c.sdc + c.timeout + c.due) as u64,
+                            c.total() as u64,
+                            conf,
+                        ),
+                    })
+                })
+                .collect();
+            KernelEstimate {
+                kernel: k_name.to_string(),
+                instrs: stats.thread_instrs,
+                gp_dest_instrs: stats.gp_dest_instrs,
+                classes,
+            }
+        })
+        .collect();
+
+    let sdc_strata = bootstrap_strata(&kernels, |c| c.sdc as u64);
+    let fail_strata = bootstrap_strata(&kernels, |c| (c.sdc + c.timeout + c.due) as u64);
+    let boot_seed = prep.plan.seed ^ 0x7701_e7e1u64.rotate_left(13);
+    Ok(TwoLevelEstimate {
+        app: prep.plan.app.clone(),
+        sdc: weighted_rate(&sdc_strata),
+        failure: weighted_rate(&fail_strata),
+        sdc_ci: bootstrap_weighted_ci(&sdc_strata, reps, boot_seed, conf),
+        failure_ci: bootstrap_weighted_ci(&fail_strata, reps, boot_seed ^ 1, conf),
+        planned: prep.plan.len(),
+        injected: prep
+            .plan
+            .trials
+            .iter()
+            .filter(|t| t.fault.is_some())
+            .count(),
+        kernels,
+    })
+}
+
+/// Plan, execute (single shard), and assemble the two-level estimate for
+/// one application. `cfg.n_sw` is the per-(kernel, class) sample size —
+/// the whole point of the model is that it can be small.
+pub fn estimate_two_level(
+    bench: &dyn Benchmark,
+    cfg: &CampaignCfg,
+    conf: Confidence,
+    reps: usize,
+) -> TwoLevelEstimate {
+    let prep = prepare_sw_kinds(bench, cfg, false, &class_kinds());
+    let records = execute_shard(&prep, &EngineCfg::single_shot())
+        .expect("single-shot execution performs no checkpoint I/O");
+    assemble_two_level(&prep, &records, conf, reps).expect("a single shard covers the whole plan")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernels::apps::va::Va;
+
+    #[test]
+    fn class_kinds_cover_all_classes_with_stable_tags() {
+        let kinds = class_kinds();
+        assert_eq!(kinds.len(), InstrClass::COUNT);
+        for (i, &(kind, tag)) in kinds.iter().enumerate() {
+            assert_eq!(kind, SwFaultKind::DestClass(InstrClass::ALL[i]));
+            assert_eq!(tag, 20 + i as u64);
+        }
+    }
+
+    #[test]
+    fn two_level_estimate_is_deterministic_and_coherent() {
+        let cfg = CampaignCfg::new(4, 6, 0xA11CE);
+        let a = estimate_two_level(&Va, &cfg, Confidence::C95, 200);
+        let b = estimate_two_level(&Va, &cfg, Confidence::C95, 200);
+        assert_eq!(a, b, "same seed, same estimate");
+        assert!(a.sdc.is_finite() && a.failure.is_finite());
+        assert!(a.sdc <= a.failure + 1e-12, "SDC is a subset of failures");
+        assert!(a.sdc_ci.contains(a.sdc), "CI covers the point estimate");
+        assert!(a.failure_ci.contains(a.failure));
+        assert!(a.injected <= a.planned);
+        for k in &a.kernels {
+            let share_sum: f64 = k.classes.iter().map(|c| c.share).sum();
+            assert!(
+                share_sum <= 1.0 + 1e-9,
+                "class shares over-cover: {share_sum}"
+            );
+            if k.gp_dest_instrs > 0 {
+                assert!(
+                    (share_sum - 1.0).abs() < 1e-9,
+                    "classes partition the register-writing stream: {share_sum}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn propagated_point_equals_instr_weighted_kernel_estimates() {
+        let cfg = CampaignCfg::new(4, 5, 0xBEE);
+        let e = estimate_two_level(&Va, &cfg, Confidence::C95, 50);
+        let total: u64 = e.kernels.iter().map(|k| k.instrs).sum();
+        let by_hand: f64 = e
+            .kernels
+            .iter()
+            .map(|k| k.sdc() * k.instrs as f64 / total.max(1) as f64)
+            .sum();
+        assert!((e.sdc - by_hand).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the statistics engine: the Wilson interval's
+//! containment/shrinkage laws, seed-determinism of the bootstrap, and
+//! the stratified-vs-pooled consistency of the two-level propagation.
+
+use proptest::prelude::*;
+use relia::Confidence;
+use stat::{bootstrap_weighted_ci, weighted_rate, wilson, StratumStats, WeightedStratum};
+
+fn confs() -> [Confidence; 3] {
+    [Confidence::C90, Confidence::C95, Confidence::C99]
+}
+
+proptest! {
+    /// The Wilson interval always contains the point estimate, stays
+    /// inside [0, 1], and is properly ordered — for any (successes, n).
+    #[test]
+    fn wilson_contains_the_point_estimate(n in 0u64..4000, frac in 0.0f64..1.0) {
+        let k = ((n as f64) * frac).round() as u64;
+        for conf in confs() {
+            let i = wilson(k, n, conf);
+            prop_assert!(i.lo.is_finite() && i.hi.is_finite());
+            prop_assert!((0.0..=1.0).contains(&i.lo) && (0.0..=1.0).contains(&i.hi));
+            prop_assert!(i.lo <= i.hi);
+            if n > 0 {
+                prop_assert!(i.contains(k as f64 / n as f64), "{i:?} vs {k}/{n}");
+            } else {
+                prop_assert_eq!(i, stat::Interval::FULL);
+            }
+        }
+    }
+
+    /// More trials at the same observed rate ⇒ a strictly narrower
+    /// interval: quadrupling (successes, n) keeps p̂ fixed and must
+    /// shrink the half-width.
+    #[test]
+    fn wilson_narrows_with_more_evidence(n in 1u64..1000, k_frac in 0.0f64..1.0) {
+        let k = ((n as f64) * k_frac).round() as u64;
+        for conf in confs() {
+            let small = wilson(k, n, conf);
+            let big = wilson(4 * k, 4 * n, conf);
+            prop_assert!(
+                big.half_width() < small.half_width(),
+                "4x evidence must narrow: {small:?} -> {big:?} (k={k}, n={n})"
+            );
+        }
+    }
+
+    /// Higher confidence ⇒ wider interval, at every sample size.
+    #[test]
+    fn wilson_widens_with_confidence(n in 1u64..2000, frac in 0.0f64..1.0) {
+        let k = ((n as f64) * frac).round() as u64;
+        let w90 = wilson(k, n, Confidence::C90).half_width();
+        let w95 = wilson(k, n, Confidence::C95).half_width();
+        let w99 = wilson(k, n, Confidence::C99).half_width();
+        prop_assert!(w90 <= w95 && w95 <= w99, "{w90} {w95} {w99}");
+    }
+
+    /// The bootstrap is a pure function of (strata, reps, seed, conf):
+    /// identical inputs replay the identical interval, and the interval
+    /// is ordered and inside [0, 1].
+    #[test]
+    fn bootstrap_is_deterministic_under_a_fixed_seed(
+        strata in prop::collection::vec((0u64..60, 0u64..60, 0.0f64..1.0), 1..8),
+        seed in any::<u64>(),
+    ) {
+        let strata: Vec<WeightedStratum> = strata
+            .into_iter()
+            .map(|(a, b, w)| WeightedStratum {
+                failures: a.min(b),
+                n: b,
+                weight: w,
+            })
+            .collect();
+        let x = bootstrap_weighted_ci(&strata, 120, seed, Confidence::C95);
+        let y = bootstrap_weighted_ci(&strata, 120, seed, Confidence::C95);
+        prop_assert_eq!(x, y, "seeded bootstrap must replay exactly");
+        prop_assert!(x.lo <= x.hi);
+        prop_assert!((0.0..=1.0).contains(&x.lo) && (0.0..=1.0).contains(&x.hi));
+    }
+
+    /// When every stratum observes the same rate, the stratified estimate
+    /// collapses to the pooled one — stratification must never bias the
+    /// point estimate, only its variance.
+    #[test]
+    fn stratified_equals_pooled_under_a_shared_rate(
+        k in 0u64..40,
+        extra in 0u64..40,
+        weights in prop::collection::vec(0.01f64..1.0, 1..10),
+        scales in prop::collection::vec(1u64..6, 1..10),
+    ) {
+        let n = k + extra + 1;
+        let total_w: f64 = weights.iter().sum();
+        let strata: Vec<WeightedStratum> = weights
+            .iter()
+            .zip(scales.iter().cycle())
+            .map(|(&w, &m)| WeightedStratum {
+                // Same p̂ = k/n in every stratum, at different sizes.
+                failures: k * m,
+                n: n * m,
+                weight: w / total_w,
+            })
+            .collect();
+        let pooled = k as f64 / n as f64;
+        prop_assert!(
+            (weighted_rate(&strata) - pooled).abs() < 1e-9,
+            "stratified {} vs pooled {}",
+            weighted_rate(&strata),
+            pooled
+        );
+    }
+
+    /// StratumStats never emits NaN for any outcome sequence, including
+    /// the empty and single-trial ones, and its CI obeys the Wilson laws.
+    #[test]
+    fn stratum_stats_are_total(outs in prop::collection::vec(0u8..4, 0..50)) {
+        let mut s = StratumStats::default();
+        for &o in &outs {
+            s.record(match o {
+                0 => kernels::Outcome::Masked,
+                1 => kernels::Outcome::Sdc,
+                2 => kernels::Outcome::Timeout,
+                _ => kernels::Outcome::Due,
+            });
+        }
+        prop_assert!(s.failure_rate().is_finite());
+        prop_assert!(s.sdc_rate().is_finite());
+        prop_assert!(s.failure_variance().is_finite());
+        prop_assert!(s.failure_variance() >= 0.0);
+        let ci = s.failure_ci(Confidence::C95);
+        prop_assert!(ci.lo.is_finite() && ci.hi.is_finite() && ci.lo <= ci.hi);
+        prop_assert!(ci.contains(s.failure_rate()));
+        prop_assert_eq!(s.n() as usize, outs.len());
+    }
+}

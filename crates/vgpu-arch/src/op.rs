@@ -402,6 +402,122 @@ impl Op {
     pub fn has_gp_dest(&self) -> bool {
         self.dst_reg().is_some()
     }
+
+    /// Instruction class of this op for two-level statistical modelling
+    /// (docs/TWOLEVEL.md). Ops without a general-purpose destination fall
+    /// into [`InstrClass::Other`] and carry no injectable population.
+    pub fn instr_class(&self) -> InstrClass {
+        use Op::*;
+        match self {
+            S2R { .. } | Mov { .. } | Sel { .. } => InstrClass::Mov,
+            IAdd { .. }
+            | ISub { .. }
+            | IMul { .. }
+            | IMad { .. }
+            | IScAdd { .. }
+            | IMnMx { .. }
+            | Shl { .. }
+            | Shr { .. }
+            | And { .. }
+            | Or { .. }
+            | Xor { .. }
+            | Not { .. } => InstrClass::IntAlu,
+            FAdd { .. } | FMul { .. } | FFma { .. } | FMnMx { .. } | FAbs { .. } => {
+                InstrClass::FpAlu
+            }
+            FRcp { .. } | FSqrt { .. } | FExp { .. } | FLog { .. } => InstrClass::Sfu,
+            I2F { .. } | F2I { .. } => InstrClass::Cvt,
+            Ld { .. } => InstrClass::Ld,
+            ISetP { .. } | FSetP { .. } | PSetP { .. } | St { .. } | Bar | Bra { .. } | Exit => {
+                InstrClass::Other
+            }
+        }
+    }
+}
+
+/// Coarse instruction classes for the two-level SDC model (Hari et al.):
+/// every op with a general-purpose destination register falls into exactly
+/// one of the first [`InstrClass::COUNT`] classes; predicate writers,
+/// stores, and control flow land in [`InstrClass::Other`], which has no
+/// injectable destination population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Data movement into a register: `S2R`, `MOV`, `SEL`.
+    Mov,
+    /// Integer ALU: add/sub/mul/mad/shift/logic/min-max.
+    IntAlu,
+    /// Single-precision FP ALU: add/mul/fma/min-max/abs.
+    FpAlu,
+    /// Special-function unit: rcp/sqrt/exp/log.
+    Sfu,
+    /// Int<->float conversions.
+    Cvt,
+    /// Loads (any memory space).
+    Ld,
+    /// No general-purpose destination — not an injection stratum.
+    Other,
+}
+
+impl InstrClass {
+    /// Number of classes with an injectable destination population
+    /// (everything except [`InstrClass::Other`]).
+    pub const COUNT: usize = 6;
+
+    /// The injectable classes, in stable stratum order.
+    pub const ALL: [InstrClass; InstrClass::COUNT] = [
+        InstrClass::Mov,
+        InstrClass::IntAlu,
+        InstrClass::FpAlu,
+        InstrClass::Sfu,
+        InstrClass::Cvt,
+        InstrClass::Ld,
+    ];
+
+    /// Stable index into per-class count arrays. `Other` has no slot.
+    pub fn index(self) -> Option<usize> {
+        match self {
+            InstrClass::Mov => Some(0),
+            InstrClass::IntAlu => Some(1),
+            InstrClass::FpAlu => Some(2),
+            InstrClass::Sfu => Some(3),
+            InstrClass::Cvt => Some(4),
+            InstrClass::Ld => Some(5),
+            InstrClass::Other => None,
+        }
+    }
+
+    /// Stable label used in CSVs, CLI flags, and dispatch frames.
+    pub fn label(self) -> &'static str {
+        match self {
+            InstrClass::Mov => "mov",
+            InstrClass::IntAlu => "ialu",
+            InstrClass::FpAlu => "falu",
+            InstrClass::Sfu => "sfu",
+            InstrClass::Cvt => "cvt",
+            InstrClass::Ld => "ld",
+            InstrClass::Other => "other",
+        }
+    }
+
+    /// Inverse of [`InstrClass::label`].
+    pub fn from_label(s: &str) -> Option<InstrClass> {
+        match s {
+            "mov" => Some(InstrClass::Mov),
+            "ialu" => Some(InstrClass::IntAlu),
+            "falu" => Some(InstrClass::FpAlu),
+            "sfu" => Some(InstrClass::Sfu),
+            "cvt" => Some(InstrClass::Cvt),
+            "ld" => Some(InstrClass::Ld),
+            "other" => Some(InstrClass::Other),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 #[cfg(test)]
@@ -457,6 +573,52 @@ mod tests {
         assert_eq!(st.src_regs(), vec![Reg(2), Reg(5)]);
         assert!(st.is_mem());
         assert!(!st.is_load());
+    }
+
+    #[test]
+    fn instr_class_partitioning() {
+        // Every gp-dest op maps to an injectable class; everything else
+        // to Other. Index/label/from_label round-trip across ALL.
+        let mov = Op::Mov {
+            d: Reg(0),
+            a: Operand::Imm(1),
+        };
+        assert_eq!(mov.instr_class(), InstrClass::Mov);
+        assert_eq!(
+            Op::FFma {
+                d: Reg(1),
+                a: Reg(0),
+                b: Operand::Imm(0),
+                c: Operand::Imm(0)
+            }
+            .instr_class(),
+            InstrClass::FpAlu
+        );
+        assert_eq!(
+            Op::FRcp {
+                d: Reg(1),
+                a: Reg(0)
+            }
+            .instr_class(),
+            InstrClass::Sfu
+        );
+        assert_eq!(
+            Op::Ld {
+                d: Reg(1),
+                space: MemSpace::Shared,
+                a: Reg(0),
+                off: 0
+            }
+            .instr_class(),
+            InstrClass::Ld
+        );
+        assert_eq!(Op::Bar.instr_class(), InstrClass::Other);
+        assert_eq!(InstrClass::Other.index(), None);
+        for (i, c) in InstrClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), Some(i));
+            assert_eq!(InstrClass::from_label(c.label()), Some(*c));
+        }
+        assert_eq!(InstrClass::from_label("bogus"), None);
     }
 
     #[test]

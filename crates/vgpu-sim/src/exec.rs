@@ -193,6 +193,7 @@ pub fn step_warp<M: GMem>(w: &mut Warp, ctx: &mut ExecCtx<'_, M>) -> Result<Step
                 }
                 SwFaultKind::SrcTransient | SwFaultKind::SrcPersistent => !op.src_regs().is_empty(),
                 SwFaultKind::ArchState => true,
+                SwFaultKind::DestClass(c) => op.has_gp_dest() && op.instr_class() == c,
             };
             if eligible {
                 let t = sw.fault.target;
@@ -211,7 +212,9 @@ pub fn step_warp<M: GMem>(w: &mut Warp, ctx: &mut ExecCtx<'_, M>) -> Result<Step
                     let mask = value_mask(sw.fault.pattern, sw.fault.bit);
                     let stuck_v = sw.fault.pattern.stuck_value();
                     match sw.fault.kind {
-                        SwFaultKind::DestValue | SwFaultKind::DestValueLoad => {
+                        SwFaultKind::DestValue
+                        | SwFaultKind::DestValueLoad
+                        | SwFaultKind::DestClass(_) => {
                             pending = PendingSw::Dest { lane, mask };
                         }
                         SwFaultKind::SrcTransient | SwFaultKind::SrcPersistent => {
@@ -293,6 +296,9 @@ pub fn step_warp<M: GMem>(w: &mut Warp, ctx: &mut ExecCtx<'_, M>) -> Result<Step
     }
     if op.has_gp_dest() {
         ctx.stats.gp_dest_instrs += n_active;
+        if let Some(c) = op.instr_class().index() {
+            ctx.stats.class_dest_instrs[c] += n_active;
+        }
     }
     if matches!(
         op,

@@ -16,6 +16,8 @@
 //! re-asserted on every access until the launch retires. See
 //! docs/FAULT_MODELS.md for the catalog and geometry mapping.
 
+use vgpu_arch::InstrClass;
+
 /// The hardware structures targeted by microarchitecture-level fault
 /// injection. The first five are the paper's storage structures; `Simt`
 /// (per-warp divergence-stack state) and `Sched` (warp-scheduler
@@ -288,6 +290,10 @@ pub enum SwFaultKind {
     /// architecturally-visible portion of AVF — sitting between the
     /// dest-value SVF model and the full cross-layer AVF.
     ArchState,
+    /// Like `DestValue` but restricted to one [`InstrClass`]: the
+    /// per-class strata of the two-level SDC model (docs/TWOLEVEL.md).
+    /// `DestValue` is the pooled union of these strata.
+    DestClass(InstrClass),
 }
 
 impl SwFaultKind {
@@ -299,6 +305,28 @@ impl SwFaultKind {
             SwFaultKind::SrcTransient => "src_transient",
             SwFaultKind::SrcPersistent => "src_persistent",
             SwFaultKind::ArchState => "arch_state",
+            SwFaultKind::DestClass(InstrClass::Mov) => "dest_mov",
+            SwFaultKind::DestClass(InstrClass::IntAlu) => "dest_ialu",
+            SwFaultKind::DestClass(InstrClass::FpAlu) => "dest_falu",
+            SwFaultKind::DestClass(InstrClass::Sfu) => "dest_sfu",
+            SwFaultKind::DestClass(InstrClass::Cvt) => "dest_cvt",
+            SwFaultKind::DestClass(InstrClass::Ld) => "dest_ld",
+            SwFaultKind::DestClass(InstrClass::Other) => "dest_other",
+        }
+    }
+
+    /// Inverse of [`label`](SwFaultKind::label).
+    pub fn from_label(s: &str) -> Option<SwFaultKind> {
+        match s {
+            "dest_value" => Some(SwFaultKind::DestValue),
+            "dest_value_ld" => Some(SwFaultKind::DestValueLoad),
+            "src_transient" => Some(SwFaultKind::SrcTransient),
+            "src_persistent" => Some(SwFaultKind::SrcPersistent),
+            "arch_state" => Some(SwFaultKind::ArchState),
+            _ => s
+                .strip_prefix("dest_")
+                .and_then(InstrClass::from_label)
+                .map(SwFaultKind::DestClass),
         }
     }
 }
@@ -481,6 +509,33 @@ mod tests {
         assert_eq!(
             pattern_footprint(FaultPattern::BurstCol, 1, 0, 16, 32, 4),
             vec![(1, 1), (5, 1), (9, 1), (13, 1)]
+        );
+    }
+
+    #[test]
+    fn sw_fault_kind_labels_round_trip() {
+        let kinds = [
+            SwFaultKind::DestValue,
+            SwFaultKind::DestValueLoad,
+            SwFaultKind::SrcTransient,
+            SwFaultKind::SrcPersistent,
+            SwFaultKind::ArchState,
+            SwFaultKind::DestClass(InstrClass::Mov),
+            SwFaultKind::DestClass(InstrClass::IntAlu),
+            SwFaultKind::DestClass(InstrClass::FpAlu),
+            SwFaultKind::DestClass(InstrClass::Sfu),
+            SwFaultKind::DestClass(InstrClass::Cvt),
+            SwFaultKind::DestClass(InstrClass::Ld),
+        ];
+        for k in kinds {
+            assert_eq!(SwFaultKind::from_label(k.label()), Some(k));
+        }
+        assert_eq!(SwFaultKind::from_label("bogus"), None);
+        // `dest_ld` must parse as the load *class* stratum, distinct from
+        // the legacy SVF-LD kind's `dest_value_ld`.
+        assert_eq!(
+            SwFaultKind::from_label("dest_ld"),
+            Some(SwFaultKind::DestClass(InstrClass::Ld))
         );
     }
 

@@ -58,6 +58,10 @@ pub struct Stats {
     /// Thread-level dynamic instructions reading at least one source
     /// register (population of the source-injection modes).
     pub src_reg_instrs: u64,
+    /// `gp_dest_instrs` broken down by [`vgpu_arch::InstrClass`] (indexed
+    /// by `InstrClass::index()`): the per-class strata of the two-level
+    /// model. Sums to `gp_dest_instrs`.
+    pub class_dest_instrs: [u64; 6],
     pub l1d: CacheStats,
     pub l1t: CacheStats,
     pub l2: CacheStats,
@@ -103,6 +107,9 @@ impl Stats {
         self.gp_dest_instrs += o.gp_dest_instrs;
         self.ld_dest_instrs += o.ld_dest_instrs;
         self.src_reg_instrs += o.src_reg_instrs;
+        for (mine, theirs) in self.class_dest_instrs.iter_mut().zip(&o.class_dest_instrs) {
+            *mine += theirs;
+        }
         self.l1d.add(&o.l1d);
         self.l1t.add(&o.l1t);
         self.l2.add(&o.l2);
@@ -127,6 +134,14 @@ impl Stats {
         self.gp_dest_instrs += end.gp_dest_instrs - at.gp_dest_instrs;
         self.ld_dest_instrs += end.ld_dest_instrs - at.ld_dest_instrs;
         self.src_reg_instrs += end.src_reg_instrs - at.src_reg_instrs;
+        for ((mine, e), a) in self
+            .class_dest_instrs
+            .iter_mut()
+            .zip(&end.class_dest_instrs)
+            .zip(&at.class_dest_instrs)
+        {
+            *mine += e - a;
+        }
         self.resident_warp_cycles += end.resident_warp_cycles - at.resident_warp_cycles;
         self.max_warp_cycles += end.max_warp_cycles - at.max_warp_cycles;
     }

@@ -26,6 +26,9 @@ cargo run --release -q -p bench --bin ace_study -- smoke
 echo "==> fault_model_study smoke"
 cargo run --release -q -p bench --bin fault_model_study -- smoke
 
+echo "==> twolevel_study smoke"
+cargo run --release -q -p bench --bin twolevel_study -- smoke
+
 echo "==> dispatch smoke (coordinator + 2 workers, one killed mid-run)"
 # Single-process reference, then the same campaign through the dispatch
 # service (docs/DISPATCH.md) with a worker that dies mid-lease via the
@@ -83,6 +86,41 @@ echo "==> fault-model smoke (docs/FAULT_MODELS.md)"
 cmp "$DISP/burst.csv" "$DISP/burst-slow.csv"
 rm -rf "$DISP"
 echo "dispatch + fast-forward + fault-model smoke: CSVs byte-identical"
+
+echo "==> adaptive sizing smoke (docs/TWOLEVEL.md)"
+# CI-driven wave sizing must be deterministic and resumable: an
+# uninterrupted run, a run killed mid-wave-2 (--limit) and resumed from
+# its per-wave checkpoints, and a dispatched run (coordinator + two
+# followed workers) must all print the same plan/result fingerprints.
+ADPT=$(mktemp -d)
+AFLAGS=(--app VA --layer uarch --adaptive --ci-target 0.15
+        --wave-size 6 --max-trials 24 --seed 53083)
+"$CAMPAIGN" run "${AFLAGS[@]}" --csv "$ADPT/adaptive.csv" > "$ADPT/one.txt"
+# The CSV parses (header + one row per stratum) and every stratum
+# converged on the CI target before the trial cap.
+head -1 "$ADPT/adaptive.csv" | grep -q '^Kernel,Target,Trials,Fail'
+test "$(wc -l < "$ADPT/adaptive.csv")" -eq 6
+! grep -q ',cap$' "$ADPT/adaptive.csv"
+"$CAMPAIGN" run "${AFLAGS[@]}" --checkpoint "$ADPT/ck.jsonl" --limit 33 \
+  > /dev/null
+"$CAMPAIGN" run "${AFLAGS[@]}" --checkpoint "$ADPT/ck.jsonl" \
+  --resume "$ADPT/ck.jsonl" > "$ADPT/two.txt"
+cmp "$ADPT/one.txt" "$ADPT/two.txt"
+"$CAMPAIGN" serve "${AFLAGS[@]}" --shards 3 --listen 127.0.0.1:0 \
+  --port-file "$ADPT/port.txt" --lease-ms 400 --backoff-ms 50 \
+  --max-backoff-ms 200 --wait-ms 50 > "$ADPT/served.txt" 2> /dev/null &
+ADPT_PID=$!
+for _ in $(seq 1 100); do [ -s "$ADPT/port.txt" ] && break; sleep 0.1; done
+APORT=$(cat "$ADPT/port.txt")
+"$CAMPAIGN" work --connect "127.0.0.1:$APORT" --follow --name aw1 > /dev/null &
+"$CAMPAIGN" work --connect "127.0.0.1:$APORT" --follow --name aw2 > /dev/null &
+wait "$ADPT_PID"
+wait
+grep 'fingerprint' "$ADPT/one.txt" > "$ADPT/fp-single.txt"
+grep 'fingerprint' "$ADPT/served.txt" > "$ADPT/fp-served.txt"
+cmp "$ADPT/fp-single.txt" "$ADPT/fp-served.txt"
+rm -rf "$ADPT"
+echo "adaptive smoke: single-shot == resumed == dispatched"
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --release --workspace -- -D warnings

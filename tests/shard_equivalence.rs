@@ -254,3 +254,73 @@ fn resuming_a_foreign_checkpoint_is_rejected() {
     );
     let _ = std::fs::remove_file(&path);
 }
+
+// The adaptive sizer extends the guarantee across *wave* boundaries
+// (docs/TWOLEVEL.md): a campaign killed partway through its second wave
+// and resumed from the per-wave checkpoint must reproduce the
+// uninterrupted run byte for byte — same wave plans, same records, same
+// converged intervals. Wave trials depend only on (seed, app, strata),
+// never on how earlier waves were executed, so the kill is invisible.
+
+#[test]
+fn adaptive_campaign_killed_mid_wave_2_resumes_byte_identically() {
+    use relia::plan::Layer;
+    use stat::{run_adaptive, run_adaptive_single, uarch_targets, AdaptiveCfg};
+
+    let cfg = CampaignCfg::new(0, 0, 0xAD_A911);
+    let acfg = AdaptiveCfg::new(0.12, 8, 64);
+    let targets = uarch_targets();
+    let single = run_adaptive_single(&Va, &cfg, false, Layer::Uarch, &targets, &acfg).unwrap();
+    assert!(
+        single.waves >= 2,
+        "campaign too easy: no second wave to kill"
+    );
+
+    let path = tmp("adaptive_wave2");
+    let _ = std::fs::remove_file(&path);
+    let interrupted = run_adaptive(
+        &Va,
+        &cfg,
+        false,
+        Layer::Uarch,
+        &targets,
+        &acfg,
+        |prep, wave| {
+            if wave != 1 {
+                return execute_shard(prep, &EngineCfg::single_shot());
+            }
+            // Kill mid-wave-2: classify roughly half the wave, leaving a
+            // resumable checkpoint behind.
+            let killed = EngineCfg {
+                checkpoint: Some(path.clone()),
+                checkpoint_every: 3,
+                trial_limit: Some(prep.plan.len() / 2),
+                ..EngineCfg::single_shot()
+            };
+            let partial = execute_shard(prep, &killed)?;
+            assert!(
+                partial.len() < prep.plan.len(),
+                "kill must leave wave-2 work undone"
+            );
+            assert_eq!(
+                load_checkpoint(&path).unwrap().records.len(),
+                partial.len(),
+                "checkpoint records every classified wave-2 trial"
+            );
+            execute_shard(
+                prep,
+                &EngineCfg {
+                    resume: Some(path.clone()),
+                    ..EngineCfg::single_shot()
+                },
+            )
+        },
+    )
+    .unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(single, interrupted, "kill+resume must be invisible");
+    assert_eq!(single.plans_fp, interrupted.plans_fp);
+    assert_eq!(single.records_fp, interrupted.records_fp);
+    assert!(single.total_trials() > 0 && single.savings() >= 1.0);
+}
