@@ -1,0 +1,42 @@
+//! Campaign trial throughput of the trace-replay backend against the
+//! timed backend (docs/TRACE.md). Both classify byte-identically — the
+//! differential tests prove that — so this bench measures only the cost
+//! structure replay changes: trials whose fault footprint is provably
+//! dead in the recorded golden trace synthesize their record without
+//! simulating, and only live-footprint trials re-execute.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kernels::apps::scp::Scp;
+use relia::{execute_trials_with, prepare_uarch_campaign, CampaignCfg, EngineBackend, FastForward};
+
+fn bench_replay(c: &mut Criterion) {
+    let cfg = CampaignCfg::new(4, 0, 0xBE9C_AE01);
+    let prep = prepare_uarch_campaign(&Scp, &cfg, false);
+    let idxs: Vec<usize> = (0..prep.plan.len()).collect();
+    // Capture the trace and snapshot set up front so the one-off
+    // instrumented golden passes are not attributed to the first replay
+    // sample — in a real campaign they amortize over thousands of trials.
+    let _ = prep.trace();
+    let _ = prep.snapshots(relia::DEFAULT_SNAPSHOTS);
+
+    let mut g = c.benchmark_group("replay");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("replay", |b| {
+        b.iter(|| {
+            let ff = FastForward {
+                backend: EngineBackend::Replay,
+                ..FastForward::default()
+            };
+            execute_trials_with(&prep, ff, &idxs, |_| Ok(())).unwrap()
+        })
+    });
+    g.bench_function("timed", |b| {
+        b.iter(|| execute_trials_with(&prep, FastForward::default(), &idxs, |_| Ok(())).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -37,7 +37,12 @@
 //! 64), `--limit L` (stop after L new trials, leaving a resumable
 //! checkpoint), and the fast-forward knobs `--snapshots N` (mid-launch
 //! golden snapshots per kernel, default 8) / `--no-fast-forward` (force
-//! every trial to simulate its whole application; docs/PERF.md).
+//! every trial to simulate its whole application; docs/PERF.md). `run`
+//! and `serve` take `--backend timed|replay` (docs/TRACE.md): `replay`
+//! adjudicates each trial against the recorded golden access trace and
+//! synthesizes the (byte-identical) record when the fault footprint is
+//! provably dead, simulating only the rest; it requires fast-forward,
+//! so `--backend replay --no-fast-forward` is a validation error.
 //!
 //! Exit codes are uniform across subcommands: **2** for CLI/validation
 //! errors (unknown flags, bad `--listen`/`--connect` addresses, bad lease
@@ -56,7 +61,7 @@ use relia::plan::{
 };
 use relia::{
     assemble_sw, assemble_uarch, execute_shard, load_checkpoint, pct, records_fingerprint,
-    CampaignCfg, EngineCfg, EngineError, Table, TrialRecord, Watchdog,
+    CampaignCfg, EngineBackend, EngineCfg, EngineError, Table, TrialRecord, Watchdog,
 };
 use stat::{run_adaptive, sw_targets, uarch_targets, AdaptiveCfg, AdaptiveResult};
 use vgpu_sim::{FaultPattern, HwStructure};
@@ -396,6 +401,7 @@ fn cmd_run(args: &[String]) {
     let mut limit: Option<usize> = None;
     let mut fast_forward = true;
     let mut snapshots = relia::DEFAULT_SNAPSHOTS;
+    let mut backend = EngineBackend::Timed;
     // Peel off run-specific flags, forward the rest to the common parser.
     fn value(args: &[String], i: usize) -> &str {
         args.get(i + 1)
@@ -426,6 +432,7 @@ fn cmd_run(args: &[String]) {
             "--checkpoint-every" => every = num(args, i) as usize,
             "--limit" => limit = Some(num(args, i) as usize),
             "--snapshots" => snapshots = num(args, i) as usize,
+            "--backend" => backend = parse_backend(value(args, i)),
             "--checkpoint" => checkpoint = Some(PathBuf::from(value(args, i))),
             "--resume" => resume = Some(PathBuf::from(value(args, i))),
             "--ci-target" => {
@@ -462,6 +469,13 @@ fn cmd_run(args: &[String]) {
     let Some(app) = &o.app else {
         die("run requires --app NAME");
     };
+    if backend == EngineBackend::Replay && !fast_forward {
+        die(
+            "--backend replay requires fast-forward: replay adjudicates against the \
+             golden trace and re-executes fallback trials from its snapshots \
+             (drop --no-fast-forward)",
+        );
+    }
     let bench = find_bench(app);
     if let Some(acfg) = adaptive {
         if shards != 1 || shard_index != 0 {
@@ -480,6 +494,7 @@ fn cmd_run(args: &[String]) {
             limit,
             fast_forward,
             snapshots,
+            backend,
         );
         return;
     }
@@ -493,6 +508,7 @@ fn cmd_run(args: &[String]) {
         trial_limit: limit,
         fast_forward,
         snapshots,
+        backend,
     };
     eprintln!(
         "[campaign] {} {} plan: {} trials, fingerprint {:#018x}, shard {}/{} ({} trials)",
@@ -549,6 +565,7 @@ fn run_adaptive_cli(
     limit: Option<usize>,
     fast_forward: bool,
     snapshots: usize,
+    backend: EngineBackend,
 ) {
     let targets = adaptive_targets(o);
     eprintln!(
@@ -595,6 +612,7 @@ fn run_adaptive_cli(
                 trial_limit: limit.map(|l| l.saturating_sub(executed_new)),
                 fast_forward,
                 snapshots,
+                backend,
             };
             let records = match execute_shard(prep, &eng) {
                 Ok(r) => r,
@@ -738,6 +756,29 @@ fn cmd_smoke() {
                     ));
                 }
                 println!("smoke {label}: fast-forward == slow path ({fp_slow:#018x})");
+                // Replay equivalence: trace-adjudicated execution must
+                // classify byte-identically to the timed backend
+                // (docs/TRACE.md).
+                let replay_eng = EngineCfg {
+                    backend: EngineBackend::Replay,
+                    ..EngineCfg::single_shot()
+                };
+                let replay = execute_shard(&prep, &replay_eng).unwrap();
+                let fp_replay = records_fingerprint(&replay);
+                if fp_single != fp_replay {
+                    fail(&format!(
+                        "smoke failed ({label}): replay fingerprint {fp_replay:#x} \
+                         != timed {fp_single:#x}"
+                    ));
+                }
+                if assemble_uarch(&prep, &replay).unwrap()
+                    != assemble_uarch(&prep, &single).unwrap()
+                {
+                    fail(&format!(
+                        "smoke failed ({label}): replay assembled result differs from timed"
+                    ));
+                }
+                println!("smoke {label}: replay backend == timed ({fp_replay:#018x})");
             }
             Layer::Sw => {
                 if assemble_sw(&prep, &merged).unwrap() != assemble_sw(&prep, &single).unwrap() {
@@ -793,6 +834,15 @@ fn cmd_smoke() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Parse `--backend` (uniform exit-2 policy on unknown labels).
+fn parse_backend(label: &str) -> EngineBackend {
+    EngineBackend::from_label(label).unwrap_or_else(|| {
+        die(&format!(
+            "--backend must be one of timed, replay; got {label:?}"
+        ))
+    })
+}
+
 /// Validate a `HOST:PORT` address from the CLI. Hostnames are allowed
 /// (resolution happens at connect/bind time); a missing or non-numeric
 /// port is a validation error (exit 2) per the uniform exit-code policy.
@@ -838,6 +888,7 @@ fn cmd_serve(args: &[String]) {
     let mut out_dir: Option<PathBuf> = None;
     let mut telemetry_port: Option<u64> = None;
     let mut telemetry_port_file: Option<PathBuf> = None;
+    let mut backend = EngineBackend::Timed;
     fn value(args: &[String], i: usize) -> &str {
         args.get(i + 1)
             .unwrap_or_else(|| die(&format!("option {} requires a value", args[i])))
@@ -857,6 +908,7 @@ fn cmd_serve(args: &[String]) {
                 i += 1;
                 continue;
             }
+            "--backend" => backend = parse_backend(value(args, i)),
             "--listen" => listen = check_addr("--listen", value(args, i)),
             "--port-file" => port_file = Some(PathBuf::from(value(args, i))),
             "--shards" => shards = num(args, i) as usize,
@@ -928,6 +980,7 @@ fn cmd_serve(args: &[String]) {
         hardened: o.hardened,
         structures: o.structures.clone(),
         fault_model: o.cfg.pattern,
+        backend,
         wave: None,
     };
     let dcfg = DispatchCfg {
@@ -1308,6 +1361,25 @@ fn fleet_lines(doc: &obs::JsonNode) -> Vec<String> {
                 n("timeout"),
                 n("due"),
             ));
+            // Cost-weighted progress: trial counts under the replay
+            // backend mix near-free synthesized records with full
+            // simulations, so prefer the engine's simulated-cycle rate
+            // when the document carries it (docs/TRACE.md).
+            if let Some(rate) = doc.get("sim_cycles_per_s").and_then(obs::JsonNode::as_f64) {
+                out.push(format!(
+                    "sim cost     {} cycles done  {:.2} Mcyc/s (cost-weighted)",
+                    n("sim_cycles_done"),
+                    rate / 1e6,
+                ));
+            }
+            if doc.get("replay_dead").is_some() {
+                out.push(format!(
+                    "replay       {} dead  {} re-executed  {} warps re-simulated",
+                    n("replay_dead"),
+                    n("replay_fallback"),
+                    n("replay_warps_reexecuted"),
+                ));
+            }
             if let (Some(p50), Some(p95)) = (
                 doc.get("wall_p50_us").and_then(obs::JsonNode::as_f64),
                 doc.get("wall_p95_us").and_then(obs::JsonNode::as_f64),

@@ -25,7 +25,7 @@
 use ace::spearman;
 use bench::{cli_campaign_cfg, finish_observability, init_observability, results_dir};
 use kernels::all_benchmarks;
-use relia::{pct, pct4, run_sw_campaign, run_uarch_campaign, CampaignCfg, Table, TrendItem};
+use relia::{pct, pct4, run_sw_campaign, run_uarch_campaign_with, CampaignCfg, Table, TrendItem};
 use vgpu_sim::FaultPattern;
 
 /// One (app, kernel) measurement under one fault pattern.
@@ -37,12 +37,13 @@ struct Point {
 }
 
 fn measure(cfg: &CampaignCfg, pattern: FaultPattern) -> Vec<Point> {
+    let backend = bench::cli_backend();
     let mut cfg = cfg.clone();
     cfg.pattern = pattern;
     let mut points = Vec::new();
     for b in all_benchmarks() {
         eprintln!("[fault-model] {} / {} ...", pattern.label(), b.name());
-        let uarch = run_uarch_campaign(b.as_ref(), &cfg, false);
+        let uarch = run_uarch_campaign_with(b.as_ref(), &cfg, false, backend);
         let sw = run_sw_campaign(b.as_ref(), &cfg, false);
         for (ku, ks) in uarch.kernels.iter().zip(&sw.kernels) {
             assert_eq!(ku.kernel, ks.kernel, "layer kernel order must agree");
@@ -159,6 +160,7 @@ fn main() {
 /// pattern, deterministic across reruns, and the stuck-at campaign must
 /// actually differ from single-bit (the pattern is not a no-op).
 fn smoke() {
+    let backend = bench::cli_backend();
     let cfg = CampaignCfg::new(6, 6, 0x5A5A);
     let bench = kernels::all_benchmarks()
         .into_iter()
@@ -167,7 +169,7 @@ fn smoke() {
     let run = |pattern: FaultPattern| {
         let mut c = cfg.clone();
         c.pattern = pattern;
-        let u = run_uarch_campaign(bench.as_ref(), &c, false);
+        let u = run_uarch_campaign_with(bench.as_ref(), &c, false, backend);
         let s = run_sw_campaign(bench.as_ref(), &c, false);
         (
             u.app_avf(&c.gpu).total(),

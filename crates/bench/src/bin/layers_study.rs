@@ -16,11 +16,14 @@
 
 use bench::{cli_campaign_cfg, finish_observability, init_observability, results_dir};
 use kernels::all_benchmarks;
-use relia::{pct, pct4, run_pvf_campaign, run_sw_campaign, run_uarch_campaign, Table, TrendItem};
+use relia::{
+    pct, pct4, run_pvf_campaign, run_sw_campaign, run_uarch_campaign_with, Table, TrendItem,
+};
 
 fn main() {
     init_observability();
     let cfg = cli_campaign_cfg(100, 200);
+    let backend = bench::cli_backend();
     let dir = results_dir();
     let mut t = Table::new(
         "Three-layer comparison: SVF (software) vs PVF (architectural state) vs AVF (cross-layer), %",
@@ -32,7 +35,7 @@ fn main() {
         eprintln!("[layers] {} ...", b.name());
         let svf = run_sw_campaign(b.as_ref(), &cfg, false).app_svf().total();
         let pvf = run_pvf_campaign(b.as_ref(), &cfg, false).app_pvf().total();
-        let avf = run_uarch_campaign(b.as_ref(), &cfg, false)
+        let avf = run_uarch_campaign_with(b.as_ref(), &cfg, false, backend)
             .app_avf(&cfg.gpu)
             .total();
         t.row(vec![

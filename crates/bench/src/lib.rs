@@ -47,12 +47,30 @@ pub fn cli_campaign_cfg(default_uarch: usize, default_sw: usize) -> CampaignCfg 
                 cfg.pattern = vgpu_sim::FaultPattern::from_label(v)
                     .unwrap_or_else(|| panic!("unknown --fault-model {v:?}"))
             }
-            "--events" => {} // handled by init_observability
+            "--backend" => {} // handled by cli_backend
+            "--events" => {}  // handled by init_observability
             other => panic!("unknown option {other}"),
         }
         i += 2;
     }
     cfg
+}
+
+/// `--backend timed|replay` from the raw CLI args: the engine-backend
+/// axis the study binaries share with `campaign run` (docs/TRACE.md).
+/// Defaults to the timed backend when the flag is absent.
+pub fn cli_backend() -> relia::EngineBackend {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--backend") {
+        None => relia::EngineBackend::Timed,
+        Some(i) => {
+            let v = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("option --backend requires a value"));
+            relia::EngineBackend::from_label(v)
+                .unwrap_or_else(|| panic!("unknown --backend {v:?} (timed, replay)"))
+        }
+    }
 }
 
 /// Parse a `--structures RF,SMEM,L2` list into [`vgpu_sim::HwStructure`]s

@@ -79,6 +79,30 @@ fn fault_model_validation_errors_exit_2() {
 }
 
 #[test]
+fn backend_validation_errors_exit_2() {
+    // Unknown backend labels must die before any simulation starts, on
+    // both subcommands that accept the flag.
+    assert_exit(&["run", "--app", "VA", "--backend", "quantum"], 2);
+    assert_exit(&["run", "--app", "VA", "--backend", ""], 2);
+    assert_exit(&["serve", "--app", "VA", "--backend", "bogus"], 2);
+    assert_exit(&["run", "--app", "VA", "--backend"], 2); // missing value
+                                                          // Replay adjudicates against the golden trace and re-executes
+                                                          // fallback trials from fast-forward snapshots; forcing the slow path
+                                                          // alongside it is a contradiction, not a degraded mode.
+    assert_exit(
+        &[
+            "run",
+            "--app",
+            "VA",
+            "--backend",
+            "replay",
+            "--no-fast-forward",
+        ],
+        2,
+    );
+}
+
+#[test]
 fn adaptive_validation_errors_exit_2() {
     // Malformed adaptive sizing flags must die before any simulation
     // starts (docs/TWOLEVEL.md), on both `run` and `serve`.

@@ -35,7 +35,10 @@ use std::time::Instant;
 use obs::Phase;
 use rayon::prelude::*;
 
-use kernels::{faulty_run, faulty_run_ff, AppSnapshots, Benchmark, Outcome, PlannedFault};
+use kernels::{
+    faulty_run, faulty_run_ff, AppSnapshots, Benchmark, Outcome, PlannedFault, RunResult,
+};
+use trace::Verdict;
 use vgpu_sim::{FaultPattern, GpuConfig, HwStructure, SwFaultKind};
 
 use crate::checkpoint::{
@@ -185,6 +188,43 @@ fn observe_trial(
 // Execution engine
 // ---------------------------------------------------------------------
 
+/// Which simulation backend executes the trials of a campaign.
+///
+/// `Replay` is a pure throughput knob, like fast-forward: trials whose
+/// fault footprint is provably dead in the recorded golden access trace
+/// synthesize their (masked) record without simulating; everything else
+/// re-executes on the timed engine. Classification is byte-identical
+/// either way (differential-tested). Campaigns replay cannot serve —
+/// software layer, functional variant, hardened apps — degrade
+/// gracefully to `Timed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineBackend {
+    /// Simulate every trial cycle-by-cycle (with optional golden-prefix
+    /// fast-forward).
+    #[default]
+    Timed,
+    /// Trace-driven replay: adjudicate deadness first, simulate only the
+    /// trials that need it.
+    Replay,
+}
+
+impl EngineBackend {
+    pub const ALL: [EngineBackend; 2] = [EngineBackend::Timed, EngineBackend::Replay];
+
+    /// Stable CLI / wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineBackend::Timed => "timed",
+            EngineBackend::Replay => "replay",
+        }
+    }
+
+    /// Parse a CLI / wire label.
+    pub fn from_label(s: &str) -> Option<EngineBackend> {
+        EngineBackend::ALL.into_iter().find(|b| b.label() == s)
+    }
+}
+
 /// How to execute a prepared campaign: which shard of the plan, where to
 /// checkpoint, what to resume from.
 #[derive(Debug, Clone)]
@@ -211,6 +251,9 @@ pub struct EngineCfg {
     pub fast_forward: bool,
     /// Mid-launch snapshots per launch for the fast-forward pass.
     pub snapshots: usize,
+    /// Simulation backend ([`EngineBackend::Replay`] adjudicates trials
+    /// against a recorded golden access trace before simulating).
+    pub backend: EngineBackend,
 }
 
 /// Default mid-launch snapshots per launch (`EngineCfg::snapshots`).
@@ -228,6 +271,7 @@ impl EngineCfg {
             trial_limit: None,
             fast_forward: true,
             snapshots: DEFAULT_SNAPSHOTS,
+            backend: EngineBackend::Timed,
         }
     }
 
@@ -323,23 +367,82 @@ impl From<CheckpointError> for EngineError {
     }
 }
 
+/// Replay-backend context for one trial batch: the recorded golden
+/// access trace plus the fast-forward policy fallbacks should use.
+struct ReplayCtx<'a> {
+    trace: &'a trace::AppTrace,
+    ff: FastForward,
+}
+
 /// Run one planned trial end to end: faulty run under the watchdog,
 /// observability, classification. With `snaps` set, timed uarch trials
 /// take the fast-forward path ([`faulty_run_ff`]) — classification is
-/// bit-identical to the slow path (differential-tested).
+/// bit-identical to the slow path (differential-tested). With `replay`
+/// set, uarch trials are first adjudicated against the recorded trace:
+/// provably-dead footprints synthesize the masked record outright (the
+/// faulty execution would be bit-identical to golden), everything else
+/// falls back to full execution, capturing the snapshot set lazily on
+/// first use. Returns the record plus the cycles actually simulated
+/// (throughput accounting).
 fn run_one_trial(
     prep: &PreparedCampaign,
     t: &crate::plan::PlannedTrial,
     snaps: Option<&Arc<AppSnapshots>>,
-) -> TrialRecord {
+    replay: Option<&ReplayCtx<'_>>,
+) -> (TrialRecord, u64) {
     let wd = prep.cfg.watchdog;
     let layer = prep.plan.layer.label();
+    let app = prep.plan.app.as_str();
     let obs_on = observing();
     let t0 = (obs_on || wd.wall_us_limit.is_some()).then(Instant::now);
+    let mut sim_cost = 0u64;
     let (mut outcome, cost_differs) = match &t.fault {
         // No eligible fault population: trivially masked.
         None => (Outcome::Masked, false),
         Some((ordinal, pf)) => {
+            let mut snaps = snaps;
+            // Replay adjudication: a provably-dead footprint means the
+            // faulty run is bit-identical to golden, so its result is
+            // synthesized without simulating. The synthesized record
+            // flows through the same watchdog/ctrl/observe logic below.
+            let adjudged: Option<RunResult> = match (replay, pf) {
+                (Some(rc), PlannedFault::Uarch(u)) => {
+                    match rc.trace.adjudicate(&prep.cfg.gpu, *ordinal, u) {
+                        Verdict::Dead { population } => {
+                            obs::counter_add("trace_replay_dead_total", &[("app", app)], 1);
+                            Some(RunResult {
+                                outcome: Outcome::Masked,
+                                total_cost: prep.golden.total_cost,
+                                simulated_cost: 0,
+                                resumed_at: None,
+                                converged: true,
+                                applied: population > 0,
+                                corrupted_words: 0,
+                            })
+                        }
+                        Verdict::Fallback { reason, warps } => {
+                            obs::counter_add(
+                                "trace_fallback_full_total",
+                                &[("app", app), ("reason", reason.label())],
+                                1,
+                            );
+                            obs::counter_add(
+                                "trace_replay_warps_reexecuted_total",
+                                &[("app", app)],
+                                warps,
+                            );
+                            // Lazy snapshot capture: replay campaigns only
+                            // pay for the fast-forward pass once a trial
+                            // actually needs re-execution.
+                            if rc.ff.enabled {
+                                snaps = prep.snapshots(rc.ff.snapshots);
+                            }
+                            None
+                        }
+                    }
+                }
+                _ => None,
+            };
             let attempt = || {
                 obs::time_phase(Phase::FaultyRun, || match (snaps, pf) {
                     (Some(s), PlannedFault::Uarch(_)) => {
@@ -355,7 +458,10 @@ fn run_one_trial(
                     ),
                 })
             };
-            let mut res = catch_unwind(AssertUnwindSafe(attempt)).ok();
+            let mut res = match adjudged {
+                some @ Some(_) => some,
+                None => catch_unwind(AssertUnwindSafe(attempt)).ok(),
+            };
             if res.is_none() && wd.retry_on_panic {
                 obs::counter_add("watchdog_retries_total", &[("layer", layer)], 1);
                 res = catch_unwind(AssertUnwindSafe(attempt)).ok();
@@ -366,6 +472,7 @@ fn run_one_trial(
                     (Outcome::Timeout, false)
                 }
                 Some(r) => {
+                    sim_cost = r.simulated_cost;
                     let mut o = r.outcome;
                     // The cycle budget checks *architectural* cost: the
                     // slow and fast-forward paths must classify every
@@ -380,7 +487,6 @@ fn run_one_trial(
                         o = Outcome::Timeout;
                     }
                     if snaps.is_some() && obs_on {
-                        let app = prep.plan.app.as_str();
                         obs::counter_add(
                             "campaign_cycles_skipped_total",
                             &[("app", app), ("layer", layer)],
@@ -430,14 +536,15 @@ fn run_one_trial(
             t0,
         );
     }
-    TrialRecord {
+    let rec = TrialRecord {
         idx: t.index,
         outcome,
         // The Figure-11 control-path proxy: a masked run whose total cost
         // differs from golden had its control path disturbed.
         ctrl: outcome == Outcome::Masked && cost_differs,
         wall_us,
-    }
+    };
+    (rec, sim_cost)
 }
 
 /// Fast-forward policy for [`execute_trials_with`].
@@ -447,6 +554,8 @@ pub struct FastForward {
     pub enabled: bool,
     /// Mid-launch snapshots per launch for the capture pass.
     pub snapshots: usize,
+    /// Simulation backend for the trials themselves.
+    pub backend: EngineBackend,
 }
 
 impl Default for FastForward {
@@ -454,6 +563,7 @@ impl Default for FastForward {
         FastForward {
             enabled: true,
             snapshots: DEFAULT_SNAPSHOTS,
+            backend: EngineBackend::Timed,
         }
     }
 }
@@ -464,6 +574,7 @@ impl FastForward {
         FastForward {
             enabled: false,
             snapshots: 0,
+            backend: EngineBackend::Timed,
         }
     }
 
@@ -472,6 +583,7 @@ impl FastForward {
         FastForward {
             enabled: eng.fast_forward,
             snapshots: eng.snapshots,
+            backend: eng.backend,
         }
     }
 }
@@ -492,13 +604,23 @@ fn trial_sort_key(t: &crate::plan::PlannedTrial) -> (u64, u64) {
 /// (gauges are integers): `campaign_trial_rate_milli` is trials/s ×
 /// 1000; `campaign_eta_ms` is the projected time to finish the current
 /// trial set at the observed rate.
-fn record_trial_rate(done: u64, total: u64, t0: Instant) {
+fn record_trial_rate(done: u64, total: u64, sim_cycles: u64, t0: Instant) {
     obs::gauge_set("campaign_trials_done", &[], done);
     obs::gauge_set("campaign_trials_planned", &[], total);
+    // Simulated-cost throughput: under replay (and fast-forward) the
+    // wall cost of a trial varies by orders of magnitude, so trial
+    // counts alone make ETA/rate projections meaningless; status
+    // surfaces should prefer these when nonzero.
+    obs::gauge_set("campaign_sim_cycles_done", &[], sim_cycles);
     let secs = t0.elapsed().as_secs_f64();
     if secs > 0.0 {
         let rate = done as f64 / secs;
         obs::gauge_set("campaign_trial_rate_milli", &[], (rate * 1e3) as u64);
+        obs::gauge_set(
+            "campaign_sim_cycle_rate_milli",
+            &[],
+            (sim_cycles as f64 / secs * 1e3) as u64,
+        );
         if rate > 0.0 && total >= done {
             obs::gauge_set(
                 "campaign_eta_ms",
@@ -545,13 +667,28 @@ pub fn execute_trials_with<F>(
 where
     F: Fn(&TrialRecord) -> std::io::Result<()> + Sync,
 {
-    let snaps = if ff.enabled {
+    // The replay backend records the golden access trace up front (one
+    // traced golden pass) and defers snapshot capture until some trial
+    // actually falls back; campaigns replay cannot serve return no trace
+    // and degrade to the timed backend transparently.
+    let replay = if ff.backend == EngineBackend::Replay {
+        prep.trace().map(|tr| ReplayCtx {
+            trace: tr.as_ref(),
+            ff,
+        })
+    } else {
+        None
+    };
+    let snaps = if ff.enabled && replay.is_none() {
         prep.snapshots(ff.snapshots)
     } else {
         None
     };
     let mut order: Vec<usize> = idxs.to_vec();
-    if snaps.is_some() {
+    // Launch/cycle-sorted execution keeps snapshot locality for the
+    // fast-forward path and for replay fallbacks alike.
+    let sorted = snaps.is_some() || replay.is_some();
+    if sorted {
         order.sort_by_key(|&i| trial_sort_key(&prep.plan.trials[i]));
     }
     // Fleet telemetry: progress / throughput / ETA gauges for the local
@@ -563,16 +700,18 @@ where
     }
     let total = order.len() as u64;
     let done_ctr = std::sync::atomic::AtomicU64::new(0);
+    let sim_ctr = std::sync::atomic::AtomicU64::new(0);
     let t0 = Instant::now();
     let mut records: Vec<TrialRecord> = order
         .par_iter()
         .map(|&idx| -> Result<TrialRecord, std::io::Error> {
-            let rec = obs::trace::with_ctx(idx as u64, || {
-                run_one_trial(prep, &prep.plan.trials[idx], snaps)
+            let (rec, sim_cost) = obs::trace::with_ctx(idx as u64, || {
+                run_one_trial(prep, &prep.plan.trials[idx], snaps, replay.as_ref())
             });
             if telem {
                 let done = done_ctr.fetch_add(1, AtomicOrdering::Relaxed) + 1;
-                record_trial_rate(done, total, t0);
+                let sim = sim_ctr.fetch_add(sim_cost, AtomicOrdering::Relaxed) + sim_cost;
+                record_trial_rate(done, total, sim, t0);
             }
             sink(&rec)?;
             Ok(rec)
@@ -580,7 +719,7 @@ where
         .collect::<Result<_, _>>()?;
     // Execution order is a scheduling detail; callers get records back in
     // the order they asked for, exactly as without fast-forward.
-    if snaps.is_some() {
+    if sorted {
         let pos: HashMap<usize, usize> = idxs.iter().enumerate().map(|(p, &i)| (i, p)).collect();
         records.sort_by_key(|r| pos[&r.idx]);
     }
@@ -1003,9 +1142,25 @@ pub fn run_uarch_campaign(
     cfg: &CampaignCfg,
     hardened: bool,
 ) -> UarchAppResult {
+    run_uarch_campaign_with(bench, cfg, hardened, EngineBackend::Timed)
+}
+
+/// [`run_uarch_campaign`] with an explicit simulation backend — the
+/// study binaries' `--backend` axis. Results are byte-identical across
+/// backends (differential-tested); replay only changes the wall cost.
+pub fn run_uarch_campaign_with(
+    bench: &dyn Benchmark,
+    cfg: &CampaignCfg,
+    hardened: bool,
+    backend: EngineBackend,
+) -> UarchAppResult {
     let prep = prepare_uarch_campaign(bench, cfg, hardened);
-    let records = execute_shard(&prep, &EngineCfg::single_shot())
-        .expect("single-shot execution performs no checkpoint I/O");
+    let eng = EngineCfg {
+        backend,
+        ..EngineCfg::single_shot()
+    };
+    let records =
+        execute_shard(&prep, &eng).expect("single-shot execution performs no checkpoint I/O");
     assemble_uarch(&prep, &records).expect("a single shard covers the whole plan")
 }
 

@@ -48,9 +48,9 @@ pub mod trends;
 
 pub use campaign::{
     assemble_sw, assemble_sw_counts, assemble_uarch, dedupe_records, execute_shard, execute_trials,
-    execute_trials_with, records_fingerprint, run_sw_campaign, run_uarch_campaign, CampaignCfg,
-    EngineCfg, EngineError, FastForward, SvfAppResult, SvfKernelResult, UarchAppResult,
-    UarchKernelResult, Watchdog, DEFAULT_SNAPSHOTS,
+    execute_trials_with, records_fingerprint, run_sw_campaign, run_uarch_campaign,
+    run_uarch_campaign_with, CampaignCfg, EngineBackend, EngineCfg, EngineError, FastForward,
+    SvfAppResult, SvfKernelResult, UarchAppResult, UarchKernelResult, Watchdog, DEFAULT_SNAPSHOTS,
 };
 pub use checkpoint::{
     load_checkpoint, Checkpoint, CheckpointError, CheckpointHeader, CheckpointWriter, TrialRecord,

@@ -184,6 +184,10 @@ pub struct PreparedCampaign<'a> {
     /// means fast-forward does not apply to this campaign (software
     /// layer, hardened, or snapshots disabled).
     pub snaps: OnceLock<Option<Arc<AppSnapshots>>>,
+    /// Lazily recorded golden access trace for the replay backend,
+    /// shared by every worker thread. `None` inside the cell means
+    /// replay does not apply (software layer or hardened variant).
+    pub app_trace: OnceLock<Option<Arc<trace::AppTrace>>>,
 }
 
 impl PreparedCampaign<'_> {
@@ -220,6 +224,33 @@ impl PreparedCampaign<'_> {
                     wall_us: t0.elapsed().as_micros() as u64,
                 });
                 Some(Arc::new(snaps))
+            })
+            .as_ref()
+    }
+
+    /// The replay backend's recorded golden access trace, capturing it
+    /// on first use (one traced golden pass, bit-identity asserted
+    /// against the untraced baseline). Returns `None` — and records
+    /// nothing — for campaigns replay cannot serve: software-layer
+    /// plans, hardened variants, or all-empty fault populations.
+    pub fn trace(&self) -> Option<&Arc<trace::AppTrace>> {
+        self.app_trace
+            .get_or_init(|| {
+                if self.plan.layer != Layer::Uarch
+                    || self.variant != Variant::TIMED
+                    || self.plan.trials.iter().all(|t| t.fault.is_none())
+                {
+                    return None;
+                }
+                let tr = obs::time_phase(Phase::TraceCapture, || {
+                    trace::record_app_trace(self.bench, &self.cfg.gpu, &self.golden)
+                });
+                obs::gauge_set(
+                    "trace_bytes",
+                    &[("app", self.plan.app.as_str()), ("layer", "uarch")],
+                    tr.bytes,
+                );
+                Some(Arc::new(tr))
             })
             .as_ref()
     }
@@ -381,6 +412,7 @@ pub fn prepare_uarch_campaign_structures<'a>(
         variant,
         golden,
         snaps: OnceLock::new(),
+        app_trace: OnceLock::new(),
         plan: CampaignPlan {
             app: bench.name().to_string(),
             layer: Layer::Uarch,
@@ -476,6 +508,7 @@ pub fn prepare_sw_kinds<'a>(
         variant,
         golden,
         snaps: OnceLock::new(),
+        app_trace: OnceLock::new(),
         plan: CampaignPlan {
             app: bench.name().to_string(),
             layer: Layer::Sw,
@@ -624,6 +657,7 @@ pub fn prepare_adaptive_wave<'a>(
         variant,
         golden,
         snaps: OnceLock::new(),
+        app_trace: OnceLock::new(),
         plan: CampaignPlan {
             app: bench.name().to_string(),
             layer,

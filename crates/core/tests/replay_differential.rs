@@ -1,0 +1,152 @@
+//! The campaign-engine differential proof for the trace-replay backend:
+//! a campaign executed with `EngineBackend::Replay` must produce the
+//! same classified records — and the same assembled result, derating
+//! factors included — as the timed backend, for every fault pattern,
+//! whether run single-shot, merged from shards, or killed and resumed.
+//! Replay is a pure throughput knob; any divergence here is a bug.
+
+use kernels::apps::{scp::Scp, va::Va};
+use kernels::Benchmark;
+use relia::{
+    assemble_sw, assemble_uarch, execute_shard, prepare_sw_campaign, prepare_uarch_campaign,
+    records_fingerprint, CampaignCfg, EngineBackend, EngineCfg,
+};
+use vgpu_sim::FaultPattern;
+
+fn replay_engine() -> EngineCfg {
+    EngineCfg {
+        backend: EngineBackend::Replay,
+        ..EngineCfg::single_shot()
+    }
+}
+
+#[test]
+fn replay_and_timed_classify_identically() {
+    for bench in [&Va as &dyn Benchmark, &Scp as &dyn Benchmark] {
+        let cfg = CampaignCfg::new(6, 0, 0xFF_D1FF);
+        let prep = prepare_uarch_campaign(bench, &cfg, false);
+
+        let timed = execute_shard(&prep, &EngineCfg::single_shot()).unwrap();
+        let replay = execute_shard(&prep, &replay_engine()).unwrap();
+        assert_eq!(
+            replay,
+            timed,
+            "{}: replay backend changed a trial record",
+            bench.name()
+        );
+
+        let assembled_timed = assemble_uarch(&prep, &timed).unwrap();
+        let assembled_replay = assemble_uarch(&prep, &replay).unwrap();
+        assert_eq!(
+            assembled_replay,
+            assembled_timed,
+            "{}: replay backend changed the assembled AVF result",
+            bench.name()
+        );
+
+        // Sharded replay execution merges to the same result.
+        let mut merged = Vec::new();
+        for i in 0..3 {
+            let eng = EngineCfg {
+                backend: EngineBackend::Replay,
+                ..EngineCfg::sharded(3, i)
+            };
+            merged.extend(execute_shard(&prep, &eng).unwrap());
+        }
+        assert_eq!(
+            records_fingerprint(&merged),
+            records_fingerprint(&timed),
+            "{}: 3-shard replay merge differs from timed single-shot",
+            bench.name()
+        );
+        assert_eq!(assemble_uarch(&prep, &merged).unwrap(), assembled_timed);
+    }
+}
+
+#[test]
+fn replay_matches_timed_for_every_fault_pattern() {
+    for pattern in FaultPattern::ALL {
+        let cfg = CampaignCfg {
+            pattern,
+            ..CampaignCfg::new(3, 0, 0x9A77)
+        };
+        let prep = prepare_uarch_campaign(&Va, &cfg, false);
+        let timed = execute_shard(&prep, &EngineCfg::single_shot()).unwrap();
+        let replay = execute_shard(&prep, &replay_engine()).unwrap();
+        assert_eq!(replay, timed, "{pattern:?}: replay changed a record");
+        assert_eq!(
+            assemble_uarch(&prep, &replay).unwrap(),
+            assemble_uarch(&prep, &timed).unwrap(),
+            "{pattern:?}: replay changed the assembled result"
+        );
+    }
+}
+
+#[test]
+fn replay_kill_and_resume_matches_timed() {
+    let dir = std::env::temp_dir().join(format!("relia_replay_resume_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = CampaignCfg::new(5, 0, 0x9E5E);
+    let prep = prepare_uarch_campaign(&Va, &cfg, false);
+    let timed = execute_shard(&prep, &EngineCfg::single_shot()).unwrap();
+
+    let path = dir.join("replay.jsonl");
+    let interrupted = EngineCfg {
+        checkpoint: Some(path.clone()),
+        trial_limit: Some(7),
+        ..replay_engine()
+    };
+    assert_eq!(execute_shard(&prep, &interrupted).unwrap().len(), 7);
+    let resumed = EngineCfg {
+        resume: Some(path.clone()),
+        ..replay_engine()
+    };
+    let records = execute_shard(&prep, &resumed).unwrap();
+    assert_eq!(records.len(), prep.plan.len());
+    assert_eq!(records_fingerprint(&records), records_fingerprint(&timed));
+    assert_eq!(
+        assemble_uarch(&prep, &records).unwrap(),
+        assemble_uarch(&prep, &timed).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replay_without_fast_forward_degrades_gracefully() {
+    // The CLI rejects this combination (exit 2), but the programmatic
+    // engine tolerates it: fallback trials take the slow full-execution
+    // path and classification stays identical.
+    let cfg = CampaignCfg::new(4, 0, 0x510);
+    let prep = prepare_uarch_campaign(&Va, &cfg, false);
+    let timed = execute_shard(&prep, &EngineCfg::single_shot()).unwrap();
+    let eng = EngineCfg {
+        backend: EngineBackend::Replay,
+        fast_forward: false,
+        ..EngineCfg::single_shot()
+    };
+    assert_eq!(execute_shard(&prep, &eng).unwrap(), timed);
+}
+
+#[test]
+fn replay_on_sw_campaign_degrades_to_timed() {
+    // The functional-variant software-fault layer has no access trace;
+    // replay must silently behave exactly like the timed backend.
+    let cfg = CampaignCfg::new(0, 8, 0x5_0FF);
+    let prep = prepare_sw_campaign(&Va, &cfg, false);
+    let timed = execute_shard(&prep, &EngineCfg::single_shot()).unwrap();
+    let replay = execute_shard(&prep, &replay_engine()).unwrap();
+    assert_eq!(replay, timed);
+    assert_eq!(
+        assemble_sw(&prep, &replay).unwrap(),
+        assemble_sw(&prep, &timed).unwrap()
+    );
+}
+
+#[test]
+fn replay_on_hardened_app_degrades_to_timed() {
+    let cfg = CampaignCfg::new(4, 0, 0x4A9D);
+    let prep = prepare_uarch_campaign(&Va, &cfg, true);
+    let timed = execute_shard(&prep, &EngineCfg::single_shot()).unwrap();
+    assert_eq!(execute_shard(&prep, &replay_engine()).unwrap(), timed);
+}

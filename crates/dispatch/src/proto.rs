@@ -31,7 +31,7 @@ use relia::plan::{
     prepare_adaptive_wave, prepare_sw_campaign, prepare_uarch_campaign_structures, Layer,
     PreparedCampaign, StratumSpec, TrialTarget,
 };
-use relia::CampaignCfg;
+use relia::{CampaignCfg, EngineBackend};
 use vgpu_sim::{FaultPattern, GpuConfig, HwStructure, SwFaultKind};
 
 /// Bumped whenever a frame changes incompatibly; [`Frame::Hello`] carries
@@ -183,6 +183,12 @@ pub struct CampaignSpec {
     /// the plan fingerprint for non-default patterns, so a worker running
     /// a different model fails the handshake instead of merging garbage.
     pub fault_model: FaultPattern,
+    /// Simulation backend the workers run ([`relia::EngineBackend`]).
+    /// A pure throughput knob — classification is byte-identical either
+    /// way — so it is *not* part of the plan fingerprint; heterogeneous
+    /// backends across a fleet still merge. Absent on the wire for
+    /// `Timed`, so legacy frames are byte-identical.
+    pub backend: EngineBackend,
     /// `Some` for one wave of an adaptive campaign (`None` = the classic
     /// fixed-n plan; absent on the wire, so legacy frames are
     /// byte-identical).
@@ -335,6 +341,10 @@ impl Frame {
                 push_json_str(&mut s, &structures_spec(&spec.structures));
                 s.push_str(",\"fault_model\":");
                 push_json_str(&mut s, spec.fault_model.label());
+                if spec.backend != EngineBackend::Timed {
+                    s.push_str(",\"backend\":");
+                    push_json_str(&mut s, spec.backend.label());
+                }
                 if let Some(w) = &spec.wave {
                     s.push_str(&format!(",\"wave\":{},\"strata\":", w.wave));
                     push_json_str(&mut s, &strata_spec(&w.strata));
@@ -422,6 +432,12 @@ pub fn parse_frame(line: &str) -> Option<Frame> {
                 None => FaultPattern::SingleBit,
                 Some(l) => FaultPattern::from_label(l)?,
             };
+            // Absent in frames from pre-replay coordinators: those only
+            // ever dispatched the timed backend.
+            let backend = match get("backend").and_then(JsonValue::as_str) {
+                None => EngineBackend::Timed,
+                Some(l) => EngineBackend::from_label(l)?,
+            };
             let layer = Layer::from_label(get("layer")?.as_str()?)?;
             // Absent in frames from pre-adaptive coordinators (fixed-n
             // campaigns). A wave index without strata (or vice versa) is
@@ -444,6 +460,7 @@ pub fn parse_frame(line: &str) -> Option<Frame> {
                     hardened,
                     structures,
                     fault_model,
+                    backend,
                     wave,
                 },
                 shards: num("shards")? as usize,
@@ -561,6 +578,7 @@ mod tests {
             hardened: true,
             structures: Some(vec![HwStructure::RegFile, HwStructure::L2]),
             fault_model: FaultPattern::SingleBit,
+            backend: EngineBackend::Timed,
             wave: None,
         }
     }
@@ -742,6 +760,37 @@ mod tests {
             "\"hardened\"",
             "\"fault_model\":\"warp-drive\",\"hardened\"",
         );
+        assert!(parse_frame(&bad).is_none());
+    }
+
+    #[test]
+    fn backend_field_round_trips_and_is_lenient_for_legacy_frames() {
+        // A replay-backend job survives serialize → parse.
+        let job = Frame::Job {
+            spec: CampaignSpec {
+                backend: EngineBackend::Replay,
+                ..spec()
+            },
+            shards: 2,
+            fingerprint: 21,
+        };
+        assert_eq!(parse_frame(&job.to_json()), Some(job.clone()));
+        // A timed job never carries the field, byte for byte — old
+        // workers keep parsing new coordinators' timed frames.
+        let timed = Frame::Job {
+            spec: spec(),
+            shards: 2,
+            fingerprint: 21,
+        }
+        .to_json();
+        assert!(!timed.contains("backend"));
+        // Absent field → timed (pre-replay coordinator)...
+        let Some(Frame::Job { spec: parsed, .. }) = parse_frame(&timed) else {
+            panic!("timed job frame must parse");
+        };
+        assert_eq!(parsed.backend, EngineBackend::Timed);
+        // ...but an unknown backend label is corruption, not a default.
+        let bad = timed.replace("\"hardened\"", "\"backend\":\"quantum\",\"hardened\"");
         assert!(parse_frame(&bad).is_none());
     }
 

@@ -27,8 +27,8 @@ use std::time::{Duration, Instant};
 
 use obs::counter_add;
 use relia::checkpoint::TrialRecord;
-use relia::execute_trials;
 use relia::plan::{shard_trials, PreparedCampaign};
+use relia::{execute_trials_with, FastForward};
 
 use crate::proto::{parse_frame, write_frame, Frame, Line, LineReader, PROTO_VERSION};
 use crate::{DispatchError, TelemetryCfg};
@@ -185,6 +185,12 @@ pub fn work(addr: &str, cfg: &WorkerCfg) -> Result<WorkSummary, DispatchError> {
     };
     let bench = spec.find_bench().map_err(DispatchError::Spec)?;
     let prep = spec.prepare(bench.as_ref());
+    // The dispatched backend is a throughput knob, not a plan property:
+    // it rides outside the fingerprint, so mixed-backend fleets merge.
+    let ff = FastForward {
+        backend: spec.backend,
+        ..FastForward::default()
+    };
     let ours = prep.plan.fingerprint();
     if ours != theirs {
         return Err(DispatchError::FingerprintMismatch { ours, theirs });
@@ -213,7 +219,9 @@ pub fn work(addr: &str, cfg: &WorkerCfg) -> Result<WorkSummary, DispatchError> {
                     obs::trace::set_campaign_fp(ours);
                     obs::trace::emit_for("lease_start", shard as u64, u64::MAX, 0);
                 }
-                run_lease(&prep, &todo, &write, cfg, shard, &executed, &died, &cache)?;
+                run_lease(
+                    &prep, ff, &todo, &write, cfg, shard, &executed, &died, &cache,
+                )?;
                 if cfg.trace && !died.load(Ordering::Acquire) {
                     // Forward everything captured during the lease; the
                     // coordinator re-emits the events into its own sink.
@@ -291,6 +299,41 @@ fn worker_status(name: &str) -> String {
     for (c, n) in obs::OutcomeClass::ALL.iter().zip(classes) {
         out.push_str(&format!(",\"{}\":{n}", c.label()));
     }
+    // Cost-weighted throughput and replay adjudication counters: under
+    // the replay backend, trial counts alone overstate progress (dead
+    // trials are nearly free), so the status document also carries the
+    // engine's simulated-cycle gauges when they are live.
+    let snap = obs::global().snapshot();
+    let gauge = |k: &str| {
+        snap.gauges
+            .iter()
+            .find(|(n, _)| n == k)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    let prefix_sum = |p: &str| -> u64 {
+        snap.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(p))
+            .map(|&(_, v)| v)
+            .sum()
+    };
+    let sim_done = gauge("campaign_sim_cycles_done");
+    if sim_done > 0 {
+        out.push_str(&format!(
+            ",\"sim_cycles_done\":{sim_done},\"sim_cycles_per_s\":{:.1}",
+            gauge("campaign_sim_cycle_rate_milli") as f64 / 1e3
+        ));
+    }
+    let dead = prefix_sum("trace_replay_dead_total");
+    let fell_back = prefix_sum("trace_fallback_full_total");
+    if dead + fell_back > 0 {
+        out.push_str(&format!(
+            ",\"replay_dead\":{dead},\"replay_fallback\":{fell_back},\
+             \"replay_warps_reexecuted\":{}",
+            prefix_sum("trace_replay_warps_reexecuted_total")
+        ));
+    }
     match obs::progress::wall_quantiles() {
         Some((p50, p95)) => out.push_str(&format!(
             ",\"wall_p50_us\":{p50:.1},\"wall_p95_us\":{p95:.1}"
@@ -310,6 +353,7 @@ fn worker_status(name: &str) -> String {
 #[allow(clippy::too_many_arguments)]
 fn run_lease(
     prep: &PreparedCampaign,
+    ff: FastForward,
     todo: &[usize],
     write: &Mutex<TcpStream>,
     cfg: &WorkerCfg,
@@ -337,7 +381,7 @@ fn run_lease(
                 }
             }
         });
-        let r = execute_trials(prep, todo, |rec| {
+        let r = execute_trials_with(prep, ff, todo, |rec| {
             let k = executed.fetch_add(1, Ordering::AcqRel);
             if let Some(limit) = cfg.fail_after {
                 if k >= limit {

@@ -39,6 +39,7 @@ fn spec_for(app: &str, layer: Layer, fault_model: FaultPattern) -> CampaignSpec 
         hardened: false,
         structures: None,
         fault_model,
+        backend: relia::EngineBackend::Timed,
         wave: None,
     }
 }
@@ -52,7 +53,12 @@ fn differential(app: &str, layer: Layer) {
 }
 
 fn differential_pattern(app: &str, layer: Layer, fault_model: FaultPattern) {
-    let spec = spec_for(app, layer, fault_model);
+    differential_spec(spec_for(app, layer, fault_model));
+}
+
+fn differential_spec(spec: CampaignSpec) {
+    let app = spec.app.clone();
+    let layer = spec.layer;
     let bench = spec.find_bench().expect("benchmark exists");
     let prep = spec.prepare(bench.as_ref());
     assert!(
@@ -357,6 +363,17 @@ fn wave_plan_strata_round_trip_through_job_spec() {
     let reprep = spec.prepare(bench.as_ref());
     assert_eq!(reprep.plan.fingerprint(), prep.plan.fingerprint());
     assert_eq!(reprep.plan.trials, prep.plan.trials);
+}
+
+#[test]
+fn va_uarch_replay_backend_dispatch_equals_single_shot() {
+    // The workers run the replay backend (the spec field rides the job
+    // frame); the single-shot reference stays timed, so this is the
+    // cross-backend, cross-process equality the backend axis promises.
+    differential_spec(CampaignSpec {
+        backend: relia::EngineBackend::Replay,
+        ..spec_for("VA", Layer::Uarch, FaultPattern::SingleBit)
+    });
 }
 
 #[test]

@@ -101,6 +101,7 @@ fn spec() -> CampaignSpec {
         hardened: false,
         structures: None,
         fault_model: vgpu_sim::FaultPattern::SingleBit,
+        backend: relia::EngineBackend::Timed,
         wave: None,
     }
 }

@@ -37,6 +37,7 @@ fn telemetry_preserves_bit_identical_merge_and_exposes_endpoints() {
         hardened: false,
         structures: None,
         fault_model: vgpu_sim::FaultPattern::SingleBit,
+        backend: relia::EngineBackend::Timed,
         wave: None,
     };
     let bench = spec.find_bench().expect("benchmark exists");

@@ -21,7 +21,7 @@ use vgpu_arch::{Kernel, LaunchConfig};
 use vgpu_sim::due::LaunchAbort;
 use vgpu_sim::{
     ArenaPlanner, Budget, ConvergeWith, DeviceSnapshot, FaultPlan, Gpu, GpuConfig, Mode,
-    SimSnapshot, Stats, SwFault, SwInjector, UarchFault, UarchInjector,
+    SharedSink, SimSnapshot, Stats, SwFault, SwInjector, UarchFault, UarchInjector,
 };
 
 use crate::tmr;
@@ -246,6 +246,10 @@ pub struct RunCtl {
     outputs: Vec<(u32, u32)>,
     /// Attach an ACE lifetime tracker at `alloc` time (golden runs only).
     ace: bool,
+    /// Attach a probe sink at `alloc` time (traced golden runs only): the
+    /// engine's access stream is mirrored into it, and host-side reads are
+    /// recorded as `HostRead` probe events.
+    trace: Option<SharedSink>,
     /// Cumulative tracker totals after the previous launch.
     ace_prev: [u64; 5],
     /// Per-launch ACE word-cycle deltas, aligned with `records`.
@@ -270,6 +274,7 @@ impl RunCtl {
             use_scratch: false,
             outputs: Vec::new(),
             ace: false,
+            trace: None,
             ace_prev: [0; 5],
             ace_per_launch: Vec::new(),
         }
@@ -302,7 +307,7 @@ impl RunCtl {
             assert_eq!(first2 - first1, self.tmr_stride, "uniform TMR stride");
             self.flag_addr = planner.alloc(4);
         }
-        let scratch = if self.use_scratch && !self.ace {
+        let scratch = if self.use_scratch && !self.ace && self.trace.is_none() {
             GPU_SCRATCH.take().filter(|g| {
                 g.mode() == self.mode_sim && g.cfg == self.cfg && planner.builds_layout_of(g.mem())
             })
@@ -318,7 +323,10 @@ impl RunCtl {
             }
             None => Gpu::new(self.cfg.clone(), planner.build(), self.mode_sim),
         };
-        if self.ace {
+        if let Some(sink) = self.trace.take() {
+            assert!(!self.ace, "trace recording and --ace are exclusive");
+            gpu.attach_trace_sink(sink);
+        } else if self.ace {
             gpu.attach_tracker();
         }
         self.gpu = Some(gpu);
@@ -331,12 +339,6 @@ impl RunCtl {
         if let Some(g) = self.gpu.take() {
             GPU_SCRATCH.set(Some(g));
         }
-    }
-
-    fn gpu(&self) -> &Gpu {
-        self.gpu
-            .as_ref()
-            .expect("alloc() must run before device access")
     }
 
     /// Materialize a deferred fast-forward boundary restore. Must run
@@ -396,7 +398,9 @@ impl RunCtl {
     /// Host read (copy 0 — the voted copy in hardened mode).
     pub fn read_u32(&mut self, addr: u32) -> u32 {
         self.flush_ff();
-        self.gpu().host_read_u32(addr)
+        let gpu = self.gpu_mut();
+        gpu.probe_host_read(addr);
+        gpu.host_read_u32(addr)
     }
 
     pub fn read_f32(&mut self, addr: u32) -> f32 {
@@ -717,9 +721,13 @@ impl RunCtl {
 
     fn snapshot_outputs(&mut self) -> Vec<u32> {
         self.flush_ff();
-        let gpu = self.gpu();
+        let outputs = self.outputs.clone();
+        let gpu = self.gpu_mut();
         let mut out = Vec::new();
-        for &(addr, words) in &self.outputs {
+        for &(addr, words) in &outputs {
+            for i in 0..words {
+                gpu.probe_host_read(addr + i * 4);
+            }
             out.extend(gpu.host_read_block(addr, words));
         }
         out
@@ -846,6 +854,43 @@ pub fn golden_run_ace(bench: &dyn Benchmark, cfg: &GpuConfig) -> AceGoldenRun {
         per_launch: ctl.ace_per_launch,
         totals,
         events,
+    }
+}
+
+/// Run `bench` fault-free on the timed engine with a probe sink attached:
+/// one traced golden pass whose full access stream (`vgpu_sim::probe`) is
+/// mirrored into `sink` — the recording pass of the replay backend
+/// (`crates/trace`). Asserts bit-identity with the reference `golden` run
+/// as it goes: tracing must observe, never perturb. Timed, unhardened.
+///
+/// # Panics
+/// Panics if the fault-free application aborts or diverges from `golden`.
+pub fn golden_run_traced(
+    bench: &dyn Benchmark,
+    cfg: &GpuConfig,
+    golden: &GoldenRun,
+    sink: SharedSink,
+) {
+    let mut ctl = RunCtl::new(cfg.clone(), Mode::Timed, false, CtlMode::Golden);
+    ctl.trace = Some(sink);
+    bench
+        .run(&mut ctl)
+        .unwrap_or_else(|e| panic!("traced golden run of {} aborted: {e:?}", bench.name()));
+    assert_eq!(
+        ctl.snapshot_outputs(),
+        golden.output,
+        "traced pass of {} diverged from golden output",
+        bench.name()
+    );
+    assert_eq!(ctl.total_cost, golden.total_cost);
+    assert_eq!(ctl.records.len(), golden.records.len());
+    for (t, p) in ctl.records.iter().zip(&golden.records) {
+        assert_eq!(
+            t.stats,
+            p.stats,
+            "traced pass of {} diverged from golden stats",
+            bench.name()
+        );
     }
 }
 

@@ -26,16 +26,19 @@ pub enum Phase {
     AceRun = 4,
     /// Instrumented golden pass capturing fast-forward snapshots.
     SnapshotCapture = 5,
+    /// Instrumented golden pass recording the replay access trace.
+    TraceCapture = 6,
 }
 
 impl Phase {
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::GoldenRun,
         Phase::FaultSetup,
         Phase::FaultyRun,
         Phase::Classify,
         Phase::AceRun,
         Phase::SnapshotCapture,
+        Phase::TraceCapture,
     ];
 
     pub fn label(&self) -> &'static str {
@@ -46,11 +49,12 @@ impl Phase {
             Phase::Classify => "classify",
             Phase::AceRun => "ace_run",
             Phase::SnapshotCapture => "snapshot_capture",
+            Phase::TraceCapture => "trace_capture",
         }
     }
 }
 
-const N: usize = 6;
+const N: usize = 7;
 
 struct Profile {
     nanos: [AtomicU64; N],
@@ -170,7 +174,8 @@ mod tests {
                 "faulty_run",
                 "classify",
                 "ace_run",
-                "snapshot_capture"
+                "snapshot_capture",
+                "trace_capture"
             ]
         );
     }

@@ -1,0 +1,188 @@
+//! Trace recording: a [`TraceSink`] that segments the probe stream and a
+//! one-call wrapper around the instrumented golden pass.
+//!
+//! The builder receives [`ProbeEvent`]s from the timed engine (see
+//! `vgpu_sim::probe`) and buckets them into segments: host glue before
+//! launch 0 is segment 0, launch ordinal `k` is segment `2k + 1`, and
+//! the glue after each launch fills the next even segment. Launch
+//! segments additionally capture the occupancy geometry and the retired
+//! cycle count from [`ProbeEvent::LaunchBegin`] / [`ProbeEvent::LaunchEnd`].
+//!
+//! [`record_app_trace`] runs the *golden* pass once with the sink
+//! attached (bit-identity to the untraced golden run is asserted inside
+//! `kernels::golden_run_traced`) and returns the finished, indexed
+//! [`AppTrace`].
+
+use std::sync::{Arc, Mutex};
+
+use kernels::{Benchmark, GoldenRun};
+use rayon::prelude::*;
+use vgpu_sim::{GpuConfig, ProbeEvent, SharedSink, TraceSink};
+
+use crate::codec::{SegmentEvents, TraceEvent, TraceGeometry};
+use crate::replay::AppTrace;
+
+struct SegRec {
+    /// `Some` for launch segments; cycles is filled in at `LaunchEnd`.
+    launch: Option<(TraceGeometry, u64)>,
+    events: Vec<TraceEvent>,
+}
+
+impl SegRec {
+    fn host() -> Self {
+        SegRec {
+            launch: None,
+            events: Vec::new(),
+        }
+    }
+}
+
+/// Accumulates the probe stream of one application run.
+pub struct TraceBuilder {
+    done: Vec<SegRec>,
+    cur: SegRec,
+}
+
+impl Default for TraceBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceBuilder {
+    pub fn new() -> Self {
+        TraceBuilder {
+            done: Vec::new(),
+            cur: SegRec::host(),
+        }
+    }
+
+    fn roll(&mut self, next: SegRec) {
+        let prev = std::mem::replace(&mut self.cur, next);
+        self.done.push(prev);
+    }
+
+    /// Close the final segment, encode everything, and build the replay
+    /// index — directly from the in-memory event stream, skipping the
+    /// decode round trip (`AppTrace::from_segments`). The builder is
+    /// left empty (reusable).
+    pub fn finish(&mut self) -> AppTrace {
+        let mut recs = std::mem::take(&mut self.done);
+        recs.push(std::mem::replace(&mut self.cur, SegRec::host()));
+        let segs: Vec<SegmentEvents> = recs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| SegmentEvents {
+                seg: i as u32,
+                launch: s.launch,
+                events: s.events,
+                complete: true,
+            })
+            .collect();
+        let encoded: Vec<Vec<u8>> = segs
+            .par_iter()
+            .map(|s| {
+                crate::codec::encode_segment(
+                    s.seg,
+                    s.launch.as_ref().map(|(g, c)| (g, *c)),
+                    &s.events,
+                )
+            })
+            .collect();
+        AppTrace::from_segments(encoded, &segs)
+    }
+}
+
+impl TraceSink for TraceBuilder {
+    fn event(&mut self, ev: ProbeEvent) {
+        match ev {
+            ProbeEvent::LaunchBegin {
+                warps_per_cta,
+                regs_per_cta,
+                smem_words_per_cta,
+                slots_per_sm,
+                total_ctas,
+            } => {
+                let geom = TraceGeometry {
+                    warps_per_cta,
+                    regs_per_cta,
+                    smem_words_per_cta,
+                    slots_per_sm,
+                    total_ctas,
+                };
+                self.roll(SegRec {
+                    launch: Some((geom, 0)),
+                    events: Vec::new(),
+                });
+            }
+            ProbeEvent::LaunchEnd { cycles } => {
+                if let Some((_, c)) = self.cur.launch.as_mut() {
+                    *c = cycles;
+                }
+                self.roll(SegRec::host());
+            }
+            ProbeEvent::SlotFill {
+                sm,
+                slot,
+                t,
+                initial,
+            } => self.cur.events.push(TraceEvent::Slot {
+                sm,
+                slot,
+                t,
+                fill: true,
+                initial,
+            }),
+            ProbeEvent::SlotFree { sm, slot, t } => self.cur.events.push(TraceEvent::Slot {
+                sm,
+                slot,
+                t,
+                fill: false,
+                initial: false,
+            }),
+            ProbeEvent::Access {
+                h,
+                inst,
+                word,
+                t,
+                write,
+            } => self.cur.events.push(TraceEvent::Access {
+                h: h as u8,
+                inst,
+                word,
+                t,
+                write,
+            }),
+            ProbeEvent::Range {
+                h,
+                inst,
+                start,
+                len,
+                t,
+                write,
+            } => self.cur.events.push(TraceEvent::Range {
+                h: h as u8,
+                inst,
+                start,
+                len,
+                t,
+                write,
+            }),
+            ProbeEvent::HostRead { word } => self.cur.events.push(TraceEvent::HostRead { word }),
+        }
+    }
+}
+
+/// Record the replay trace for one application: run the golden
+/// instrumented pass with a [`TraceBuilder`] attached and return the
+/// finished [`AppTrace`]. The traced pass asserts bit-identity (outputs,
+/// costs, per-launch stats) against the already-captured `golden`
+/// baseline, so a trace can never silently desynchronise from the run
+/// it claims to describe.
+pub fn record_app_trace(bench: &dyn Benchmark, cfg: &GpuConfig, golden: &GoldenRun) -> AppTrace {
+    let builder = Arc::new(Mutex::new(TraceBuilder::new()));
+    let sink: SharedSink = builder.clone();
+    kernels::golden_run_traced(bench, cfg, golden, sink);
+    let mut b = builder.lock().expect("trace builder lock");
+    b.finish()
+}

@@ -8,6 +8,7 @@ use crate::fault::{SwInjector, UarchInjector};
 use crate::functional::run_functional;
 use crate::lifetime::LifetimeTracker;
 use crate::mem::GlobalMem;
+use crate::probe::SharedSink;
 use crate::snapshot::{ConvergeWith, DeviceSnapshot, ResumeOutcome, SimSnapshot};
 use crate::stats::Stats;
 use crate::timed::{run_timed, run_timed_ctl, TimedCtl};
@@ -104,6 +105,42 @@ impl Gpu {
             "ACE lifetime tracking requires the timed engine"
         );
         self.tracker = Some(LifetimeTracker::new(&self.cfg));
+    }
+
+    /// Enable trace recording for subsequent timed launches: attaches a
+    /// lifetime tracker (so every engine hook fires) and mirrors the hook
+    /// stream into `sink` (`crates/trace`'s recorder). Like
+    /// [`Gpu::attach_tracker`], must precede the first launch.
+    pub fn attach_trace_sink(&mut self, sink: SharedSink) {
+        assert_eq!(
+            self.mode,
+            Mode::Timed,
+            "trace recording requires the timed engine"
+        );
+        // Forwarding-only tracker: the recorder needs the hook stream,
+        // not the ACE interval accounting, and skipping the latter keeps
+        // the traced pass cheap (docs/TRACE.md).
+        let mut tr = LifetimeTracker::trace_only(&self.cfg);
+        tr.set_sink(sink);
+        self.tracker = Some(tr);
+    }
+
+    /// Record a host-side word read against an attached probe sink: if
+    /// `addr` is L2-resident, the peek is forwarded as a
+    /// [`ProbeEvent::HostRead`](crate::probe::ProbeEvent) so the trace
+    /// knows the word's value propagated to the host (classification or
+    /// inter-launch glue). No-op without a tracker or outside timed mode.
+    pub fn probe_host_read(&mut self, addr: u32) {
+        if self.mode != Mode::Timed {
+            return;
+        }
+        let Some(tr) = self.tracker.as_mut() else {
+            return;
+        };
+        let lb = self.l2.geom().line_bytes;
+        if let Some(idx) = self.l2.probe(addr / lb) {
+            tr.host_peek(idx, ((addr % lb) / 4) as usize);
+        }
     }
 
     /// Cumulative ACE word-cycles per structure so far (`HwStructure::ALL`

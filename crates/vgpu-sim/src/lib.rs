@@ -31,6 +31,7 @@ pub mod functional;
 pub mod gpu;
 pub mod lifetime;
 pub mod mem;
+pub mod probe;
 pub mod snapshot;
 pub mod stats;
 pub mod timed;
@@ -45,5 +46,6 @@ pub use fault::{
 pub use gpu::{Budget, FaultPlan, Gpu, LaunchAbort, Mode};
 pub use lifetime::LifetimeTracker;
 pub use mem::{ArenaPlanner, GlobalMem};
+pub use probe::{ProbeEvent, SharedSink, TraceSink};
 pub use snapshot::{ConvergeWith, DeviceSnapshot, ResumeOutcome, SimSnapshot};
 pub use stats::{CacheStats, Stats};

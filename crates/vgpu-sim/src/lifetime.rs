@@ -21,6 +21,7 @@
 
 use crate::config::GpuConfig;
 use crate::fault::HwStructure;
+use crate::probe::{emit, ProbeBuf, ProbeEvent, SharedSink};
 
 /// Sentinel marking "no open write interval" for a word.
 const CLOSED: u64 = u64::MAX;
@@ -94,6 +95,16 @@ pub struct LifetimeTracker {
     words_per_inst: [usize; 5],
     line_words: usize,
     events: u64,
+    /// Optional probe stream: every hook is forwarded (with its
+    /// *launch-local* time) to an attached [`TraceSink`]
+    /// (`crate::probe`), batched through a [`ProbeBuf`], so a trace
+    /// recorder sees the exact access stream the ACE accounting is
+    /// built from.
+    sink: Option<ProbeBuf>,
+    /// `false` for trace-only trackers ([`LifetimeTracker::trace_only`]):
+    /// hooks forward to the probe sink but skip the per-word interval
+    /// accounting (and its arrays) entirely.
+    ace: bool,
 }
 
 impl LifetimeTracker {
@@ -120,7 +131,43 @@ impl LifetimeTracker {
             words_per_inst,
             line_words: cfg.l2.line_bytes as usize / 4,
             events: 0,
+            sink: None,
+            ace: true,
         }
+    }
+
+    /// A forwarding-only tracker for trace recording: every engine hook
+    /// still fires (and reaches an attached sink), but no ACE interval
+    /// state is allocated or updated. This keeps the traced golden pass
+    /// within a small factor of the untraced one instead of paying the
+    /// full per-word lifetime accounting it never reads.
+    pub fn trace_only(cfg: &GpuConfig) -> Self {
+        LifetimeTracker {
+            base: 0,
+            tracks: [
+                Track::new(0),
+                Track::new(0),
+                Track::new(0),
+                Track::new(0),
+                Track::new(0),
+            ],
+            words_per_inst: [
+                cfg.rf_regs_per_sm as usize,
+                cfg.smem_bytes_per_sm as usize / 4,
+                cfg.l1d.bytes as usize / 4,
+                cfg.l1t.bytes as usize / 4,
+                cfg.l2.bytes as usize / 4,
+            ],
+            line_words: cfg.l2.line_bytes as usize / 4,
+            events: 0,
+            sink: None,
+            ace: false,
+        }
+    }
+
+    /// Attach a probe sink; every subsequent hook is mirrored into it.
+    pub fn set_sink(&mut self, sink: SharedSink) {
+        self.sink = Some(ProbeBuf::new(sink));
     }
 
     #[inline]
@@ -137,30 +184,56 @@ impl LifetimeTracker {
 
     pub fn reg_write(&mut self, sm: usize, word: usize, t: u64) {
         self.events += 1;
-        let i = self.word(HwStructure::RegFile, sm, word);
-        let g = self.g(t);
-        self.tracks[HwStructure::RegFile as usize].write(i, g);
+        if self.ace {
+            let i = self.word(HwStructure::RegFile, sm, word);
+            let g = self.g(t);
+            self.tracks[HwStructure::RegFile as usize].write(i, g);
+        }
+        self.probe_access(HwStructure::RegFile, sm, word as u64, t, true);
     }
 
     pub fn reg_read(&mut self, sm: usize, word: usize, t: u64) {
         self.events += 1;
-        let i = self.word(HwStructure::RegFile, sm, word);
-        let g = self.g(t);
-        self.tracks[HwStructure::RegFile as usize].read(i, g);
+        if self.ace {
+            let i = self.word(HwStructure::RegFile, sm, word);
+            let g = self.g(t);
+            self.tracks[HwStructure::RegFile as usize].read(i, g);
+        }
+        self.probe_access(HwStructure::RegFile, sm, word as u64, t, false);
     }
 
     pub fn smem_write(&mut self, sm: usize, word: usize, t: u64) {
         self.events += 1;
-        let i = self.word(HwStructure::Smem, sm, word);
-        let g = self.g(t);
-        self.tracks[HwStructure::Smem as usize].write(i, g);
+        if self.ace {
+            let i = self.word(HwStructure::Smem, sm, word);
+            let g = self.g(t);
+            self.tracks[HwStructure::Smem as usize].write(i, g);
+        }
+        self.probe_access(HwStructure::Smem, sm, word as u64, t, true);
     }
 
     pub fn smem_read(&mut self, sm: usize, word: usize, t: u64) {
         self.events += 1;
-        let i = self.word(HwStructure::Smem, sm, word);
-        let g = self.g(t);
-        self.tracks[HwStructure::Smem as usize].read(i, g);
+        if self.ace {
+            let i = self.word(HwStructure::Smem, sm, word);
+            let g = self.g(t);
+            self.tracks[HwStructure::Smem as usize].read(i, g);
+        }
+        self.probe_access(HwStructure::Smem, sm, word as u64, t, false);
+    }
+
+    #[inline]
+    fn probe_access(&mut self, h: HwStructure, inst: usize, word: u64, t: u64, write: bool) {
+        emit(
+            &mut self.sink,
+            ProbeEvent::Access {
+                h,
+                inst: inst as u32,
+                word,
+                t,
+                write,
+            },
+        );
     }
 
     /// CTA launch zero-fills its register and shared-memory partitions:
@@ -175,18 +248,42 @@ impl LifetimeTracker {
         smem_len: usize,
         t: u64,
     ) {
-        let g = self.g(t);
-        let rf = &mut self.tracks[HwStructure::RegFile as usize];
-        let base = sm * self.words_per_inst[HwStructure::RegFile as usize];
-        for w in rf_start..rf_start + rf_len {
-            rf.write(base + w, g);
-        }
-        let smem = &mut self.tracks[HwStructure::Smem as usize];
-        let base = sm * self.words_per_inst[HwStructure::Smem as usize];
-        for w in smem_start..smem_start + smem_len {
-            smem.write(base + w, g);
+        if self.ace {
+            let g = self.g(t);
+            let rf = &mut self.tracks[HwStructure::RegFile as usize];
+            let base = sm * self.words_per_inst[HwStructure::RegFile as usize];
+            for w in rf_start..rf_start + rf_len {
+                rf.write(base + w, g);
+            }
+            let smem = &mut self.tracks[HwStructure::Smem as usize];
+            let base = sm * self.words_per_inst[HwStructure::Smem as usize];
+            for w in smem_start..smem_start + smem_len {
+                smem.write(base + w, g);
+            }
         }
         self.events += 1;
+        emit(
+            &mut self.sink,
+            ProbeEvent::Range {
+                h: HwStructure::RegFile,
+                inst: sm as u32,
+                start: rf_start as u64,
+                len: rf_len as u32,
+                t,
+                write: true,
+            },
+        );
+        emit(
+            &mut self.sink,
+            ProbeEvent::Range {
+                h: HwStructure::Smem,
+                inst: sm as u32,
+                start: smem_start as u64,
+                len: smem_len as u32,
+                t,
+                write: true,
+            },
+        );
     }
 
     // ---- caches (line-indexed per instance) ----
@@ -198,16 +295,22 @@ impl LifetimeTracker {
 
     pub fn cache_read(&mut self, h: HwStructure, inst: usize, line: usize, off: usize, t: u64) {
         self.events += 1;
-        let i = self.line_word(h, inst, line, off);
-        let g = self.g(t);
-        self.tracks[h as usize].read(i, g);
+        if self.ace {
+            let i = self.line_word(h, inst, line, off);
+            let g = self.g(t);
+            self.tracks[h as usize].read(i, g);
+        }
+        self.probe_access(h, inst, (line * self.line_words + off) as u64, t, false);
     }
 
     pub fn cache_write(&mut self, h: HwStructure, inst: usize, line: usize, off: usize, t: u64) {
         self.events += 1;
-        let i = self.line_word(h, inst, line, off);
-        let g = self.g(t);
-        self.tracks[h as usize].write(i, g);
+        if self.ace {
+            let i = self.line_word(h, inst, line, off);
+            let g = self.g(t);
+            self.tracks[h as usize].write(i, g);
+        }
+        self.probe_access(h, inst, (line * self.line_words + off) as u64, t, true);
     }
 
     /// A whole line is filled from the next level: every word is written.
@@ -215,36 +318,122 @@ impl LifetimeTracker {
     /// fill.
     pub fn cache_fill(&mut self, h: HwStructure, inst: usize, line: usize, t: u64) {
         self.events += 1;
-        let g = self.g(t);
-        let start = self.line_word(h, inst, line, 0);
-        let tr = &mut self.tracks[h as usize];
-        for i in start..start + self.line_words {
-            tr.write(i, g);
+        if self.ace {
+            let g = self.g(t);
+            let start = self.line_word(h, inst, line, 0);
+            let tr = &mut self.tracks[h as usize];
+            for i in start..start + self.line_words {
+                tr.write(i, g);
+            }
         }
+        self.probe_line(h, inst, line, t, true);
+    }
+
+    #[inline]
+    fn probe_line(&mut self, h: HwStructure, inst: usize, line: usize, t: u64, write: bool) {
+        emit(
+            &mut self.sink,
+            ProbeEvent::Range {
+                h,
+                inst: inst as u32,
+                start: (line * self.line_words) as u64,
+                len: self.line_words as u32,
+                t,
+                write,
+            },
+        );
     }
 
     /// A whole line is read to service a lower-level fill (conservative:
     /// all words count as read).
     pub fn cache_read_line(&mut self, h: HwStructure, inst: usize, line: usize, t: u64) {
         self.events += 1;
-        let g = self.g(t);
-        let start = self.line_word(h, inst, line, 0);
-        let tr = &mut self.tracks[h as usize];
-        for i in start..start + self.line_words {
-            tr.read(i, g);
+        if self.ace {
+            let g = self.g(t);
+            let start = self.line_word(h, inst, line, 0);
+            let tr = &mut self.tracks[h as usize];
+            for i in start..start + self.line_words {
+                tr.read(i, g);
+            }
         }
+        self.probe_line(h, inst, line, t, false);
     }
 
     /// A dirty line is evicted at `t`: its data is architecturally required
     /// up to the write-back, so every word closes live.
     pub fn close_line_live(&mut self, h: HwStructure, inst: usize, line: usize, t: u64) {
         self.events += 1;
-        let g = self.g(t);
-        let start = self.line_word(h, inst, line, 0);
-        let tr = &mut self.tracks[h as usize];
-        for i in start..start + self.line_words {
-            tr.close_live(i, g);
+        if self.ace {
+            let g = self.g(t);
+            let start = self.line_word(h, inst, line, 0);
+            let tr = &mut self.tracks[h as usize];
+            for i in start..start + self.line_words {
+                tr.close_live(i, g);
+            }
         }
+        // A dirty write-back propagates the line's data outward — the
+        // probe stream records it as a whole-line read.
+        self.probe_line(h, inst, line, t, false);
+    }
+
+    // ---- scheduling probes (no ACE accounting, forwarding only) ----
+
+    /// A kernel launch begins; geometry for occupancy reconstruction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_begin(
+        &mut self,
+        warps_per_cta: u32,
+        regs_per_cta: u32,
+        smem_words_per_cta: u32,
+        slots_per_sm: u32,
+        total_ctas: u32,
+    ) {
+        emit(
+            &mut self.sink,
+            ProbeEvent::LaunchBegin {
+                warps_per_cta,
+                regs_per_cta,
+                smem_words_per_cta,
+                slots_per_sm,
+                total_ctas,
+            },
+        );
+    }
+
+    /// CTA slot occupancy change: a slot was filled (`initial` during the
+    /// pre-cycle-0 prefill) …
+    pub fn slot_fill(&mut self, sm: usize, slot: usize, t: u64, initial: bool) {
+        emit(
+            &mut self.sink,
+            ProbeEvent::SlotFill {
+                sm: sm as u32,
+                slot: slot as u32,
+                t,
+                initial,
+            },
+        );
+    }
+
+    /// … or drained during cycle `t`'s retire stage.
+    pub fn slot_free(&mut self, sm: usize, slot: usize, t: u64) {
+        emit(
+            &mut self.sink,
+            ProbeEvent::SlotFree {
+                sm: sm as u32,
+                slot: slot as u32,
+                t,
+            },
+        );
+    }
+
+    /// The host observed an L2-resident word (classification or glue read).
+    pub fn host_peek(&mut self, line: usize, off: usize) {
+        emit(
+            &mut self.sink,
+            ProbeEvent::HostRead {
+                word: (line * self.line_words + off) as u64,
+            },
+        );
     }
 
     // ---- boundaries ----
@@ -253,14 +442,22 @@ impl LifetimeTracker {
     /// and shared-memory contents die with the grid, and the (write-through
     /// L1D, read-only L1T) per-SM caches are invalidated — all remaining
     /// intervals close dead. The L2 persists.
-    pub fn launch_end(&mut self, _cycles: u64) {
-        for h in [
-            HwStructure::RegFile,
-            HwStructure::Smem,
-            HwStructure::L1D,
-            HwStructure::L1T,
-        ] {
-            self.tracks[h as usize].close_all_dead();
+    pub fn launch_end(&mut self, cycles: u64) {
+        if self.ace {
+            for h in [
+                HwStructure::RegFile,
+                HwStructure::Smem,
+                HwStructure::L1D,
+                HwStructure::L1T,
+            ] {
+                self.tracks[h as usize].close_all_dead();
+            }
+        }
+        emit(&mut self.sink, ProbeEvent::LaunchEnd { cycles });
+        // Segment boundary: hand the recorder the completed launch
+        // promptly (drop still flushes whatever follows).
+        if let Some(b) = &mut self.sink {
+            b.flush();
         }
     }
 
@@ -273,6 +470,9 @@ impl LifetimeTracker {
     /// live at the current global time if dirty (its data still backs
     /// memory the host may read), dead otherwise.
     pub fn finalize_l2(&mut self, dirty: impl Fn(usize) -> bool) {
+        if !self.ace {
+            return;
+        }
         let lines = self.words_per_inst[HwStructure::L2 as usize] / self.line_words;
         for line in 0..lines {
             if dirty(line) {

@@ -1,0 +1,191 @@
+//! Simulation probes: a low-level event stream for trace recorders.
+//!
+//! The timed engine already reports every architectural access to the
+//! optional [`LifetimeTracker`](crate::lifetime::LifetimeTracker) (the
+//! ACE estimator). A [`TraceSink`] taps that same hook vocabulary —
+//! plus a few scheduling hooks the ACE model does not need (CTA slot
+//! occupancy, launch geometry) — so an external recorder can rebuild,
+//! per launch, exactly which words of which structure were written and
+//! read at which cycle. `crates/trace` consumes this stream to build
+//! the replay backend's access index.
+//!
+//! Times are **launch-local** cycles, exactly as the simulator hands
+//! them to the tracker hooks; host-side events (L2 pokes between
+//! launches) arrive with `t == 0`. A recorder that needs a global order
+//! must segment the stream on [`ProbeEvent::LaunchBegin`] /
+//! [`ProbeEvent::LaunchEnd`] boundaries.
+
+use std::sync::{Arc, Mutex};
+
+use crate::fault::HwStructure;
+
+/// One probe event, forwarded verbatim from the engine hooks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeEvent {
+    /// A kernel launch begins; carries the occupancy geometry needed to
+    /// reconstruct the per-SM CTA-slot partitioning of the register file
+    /// and shared memory.
+    LaunchBegin {
+        warps_per_cta: u32,
+        regs_per_cta: u32,
+        smem_words_per_cta: u32,
+        slots_per_sm: u32,
+        total_ctas: u32,
+    },
+    /// The launch retired after `cycles` local cycles.
+    LaunchEnd { cycles: u64 },
+    /// CTA slot `slot` of SM `sm` was (re)filled. `initial` fills happen
+    /// during the pre-cycle-0 prefill and are occupied from cycle 0;
+    /// mid-run fills happen during cycle `t`'s retire stage and are
+    /// occupied from cycle `t + 1`.
+    SlotFill {
+        sm: u32,
+        slot: u32,
+        t: u64,
+        initial: bool,
+    },
+    /// CTA slot `slot` of SM `sm` drained during cycle `t`'s retire
+    /// stage (empty from cycle `t + 1`).
+    SlotFree { sm: u32, slot: u32, t: u64 },
+    /// One 32-bit word of structure `h`, instance `inst`, was accessed
+    /// at local cycle `t`. For caches `word` is the physical frame-major
+    /// index (`frame * line_words + offset`).
+    Access {
+        h: HwStructure,
+        inst: u32,
+        word: u64,
+        t: u64,
+        write: bool,
+    },
+    /// `len` consecutive words starting at `start` were accessed (CTA
+    /// zero-fill and line fills are whole-range writes; line reads and
+    /// dirty write-backs are whole-range reads).
+    Range {
+        h: HwStructure,
+        inst: u32,
+        start: u64,
+        len: u32,
+        t: u64,
+        write: bool,
+    },
+    /// The host observed an L2-resident word (classification or
+    /// inter-launch glue read through the run controller).
+    HostRead { word: u64 },
+}
+
+/// Receiver of the probe stream. Implemented by `crates/trace`'s
+/// recorder; the simulator only ever forwards into it.
+pub trait TraceSink: Send {
+    fn event(&mut self, ev: ProbeEvent);
+}
+
+/// Shared handle to a sink, cloneable into the engine.
+pub type SharedSink = Arc<Mutex<dyn TraceSink>>;
+
+/// Events buffered per [`ProbeBuf`] flush. Access hooks fire every
+/// simulated cycle, so taking the sink mutex per event would dominate
+/// the traced pass; batching amortises the lock (and the dynamic
+/// dispatch cache misses) to one acquisition per `BUF_CAP` events.
+const BUF_CAP: usize = 8192;
+
+/// Order-preserving batching wrapper around a [`SharedSink`]: events
+/// accumulate in a local vector and drain into the sink in FIFO order
+/// on overflow, explicit flush, or drop — so the receiver still sees
+/// the exact hook stream, just in bursts.
+pub(crate) struct ProbeBuf {
+    sink: SharedSink,
+    buf: Vec<ProbeEvent>,
+}
+
+impl ProbeBuf {
+    pub(crate) fn new(sink: SharedSink) -> Self {
+        ProbeBuf {
+            sink,
+            buf: Vec::with_capacity(BUF_CAP),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, ev: ProbeEvent) {
+        self.buf.push(ev);
+        if self.buf.len() >= BUF_CAP {
+            self.flush();
+        }
+    }
+
+    pub(crate) fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let mut s = self.sink.lock().expect("probe sink poisoned");
+        for ev in self.buf.drain(..) {
+            s.event(ev);
+        }
+    }
+}
+
+impl Drop for ProbeBuf {
+    /// A detaching owner (end of the traced run) must not strand
+    /// buffered events.
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Deliver one event to an optional buffered sink (no-op when detached).
+#[inline]
+pub(crate) fn emit(sink: &mut Option<ProbeBuf>, ev: ProbeEvent) {
+    if let Some(b) = sink {
+        b.push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Collect(Vec<ProbeEvent>);
+    impl TraceSink for Collect {
+        fn event(&mut self, ev: ProbeEvent) {
+            self.0.push(ev);
+        }
+    }
+
+    #[test]
+    fn emit_forwards_in_order_and_tolerates_detached() {
+        let sink: Arc<Mutex<Collect>> = Arc::new(Mutex::new(Collect(Vec::new())));
+        let shared: SharedSink = sink.clone();
+        let mut some = Some(ProbeBuf::new(shared));
+        emit(&mut some, ProbeEvent::LaunchEnd { cycles: 9 });
+        emit(&mut some, ProbeEvent::HostRead { word: 17 });
+        emit(&mut None, ProbeEvent::LaunchEnd { cycles: 1 });
+        // Buffered events only reach the sink on flush/drop.
+        assert!(sink.lock().unwrap().0.is_empty());
+        drop(some);
+        let got = &sink.lock().unwrap().0;
+        assert_eq!(
+            got.as_slice(),
+            &[
+                ProbeEvent::LaunchEnd { cycles: 9 },
+                ProbeEvent::HostRead { word: 17 },
+            ]
+        );
+    }
+
+    #[test]
+    fn probe_buf_flushes_on_overflow_preserving_order() {
+        let sink: Arc<Mutex<Collect>> = Arc::new(Mutex::new(Collect(Vec::new())));
+        let mut buf = ProbeBuf::new(sink.clone());
+        for w in 0..(BUF_CAP as u64 + 10) {
+            buf.push(ProbeEvent::HostRead { word: w });
+        }
+        // One overflow flush happened; the tail is still buffered.
+        assert_eq!(sink.lock().unwrap().0.len(), BUF_CAP);
+        buf.flush();
+        let got = &sink.lock().unwrap().0;
+        assert_eq!(got.len(), BUF_CAP + 10);
+        for (w, ev) in got.iter().enumerate() {
+            assert_eq!(*ev, ProbeEvent::HostRead { word: w as u64 });
+        }
+    }
+}

@@ -333,6 +333,9 @@ fn geometry(cfg: &GpuConfig, kernel: &Kernel, lc: &LaunchConfig) -> Geometry {
 }
 
 /// Place CTA `lin` into `slot` of `sm` (SM index `smi`) at cycle `t`.
+/// `initial` marks the pre-cycle-0 prefill (occupied from cycle 0), as
+/// opposed to a mid-run refill during cycle `t`'s retire stage (occupied
+/// from `t + 1`).
 #[allow(clippy::too_many_arguments)]
 fn launch_cta(
     sm: &mut SmState,
@@ -343,6 +346,7 @@ fn launch_cta(
     seq: &mut u64,
     smi: usize,
     t: u64,
+    initial: bool,
     ace: Option<&mut LifetimeTracker>,
 ) {
     let ctaid_x = (lin % lc.grid_x as u64) as u32;
@@ -360,6 +364,7 @@ fn launch_cta(
             g.smem_words_per_cta as usize,
             t,
         );
+        tr.slot_fill(smi, slot, t, initial);
     }
     for wi in 0..g.wpc {
         let first_thread = wi * WARP_SIZE as u32;
@@ -670,6 +675,15 @@ pub(crate) fn run_timed_ctl(
     let g = geometry(cfg, kernel, lc);
     let num_sms = cfg.num_sms as usize;
     let total_ctas = lc.num_ctas();
+    if let Some(tr) = ace.as_deref_mut() {
+        tr.launch_begin(
+            g.wpc,
+            g.regs_per_cta,
+            g.smem_words_per_cta,
+            g.slots_per_sm,
+            total_ctas as u32,
+        );
+    }
     let capture_at = ctl.capture_at;
     let mut converge = ctl.converge.take();
     // A persistent (stuck-at) fault is re-asserted until launch end, so
@@ -734,6 +748,7 @@ pub(crate) fn run_timed_ctl(
                         &mut seq,
                         smi,
                         0,
+                        true,
                         ace.as_deref_mut(),
                     );
                     next_cta += 1;
@@ -956,6 +971,9 @@ pub(crate) fn run_timed_ctl(
                         if slot.warps_running == 0 {
                             sm.slots[slot_idx] = None;
                             done_ctas += 1;
+                            if let Some(tr) = ace.as_deref_mut() {
+                                tr.slot_free(smi, slot_idx, cycle);
+                            }
                             if next_cta < total_ctas {
                                 launch_cta(
                                     sm,
@@ -966,6 +984,7 @@ pub(crate) fn run_timed_ctl(
                                     &mut seq,
                                     smi,
                                     cycle,
+                                    false,
                                     ace.as_deref_mut(),
                                 );
                                 next_cta += 1;
@@ -1280,7 +1299,7 @@ mod tests {
             last: None,
         };
         let mut seq = 0;
-        launch_cta(&mut sm, 0, 0, &lc, &g, &mut seq, 0, 0, None);
+        launch_cta(&mut sm, 0, 0, &lc, &g, &mut seq, 0, 0, true, None);
         let w0 = sm.warps[0].as_ref().unwrap();
         let w1 = sm.warps[1].as_ref().unwrap();
         assert_eq!(w0.init_mask, u32::MAX);

@@ -1,12 +1,25 @@
 #!/usr/bin/env bash
-# Fast-forward speedup measurement (docs/PERF.md): run the same uarch
-# fault-injection campaigns with golden-prefix fast-forward on (the
-# default) and off (--no-fast-forward), check the two classify
-# byte-identically, write results/BENCH_5.json, and fail unless the
-# aggregate speedup is at least 3x.
+# Engine speedup measurements (docs/PERF.md, docs/TRACE.md). Two gated
+# artifacts from the same binary:
 #
-#   scripts/bench.sh            # default workload (LUD SRADv1 SCP, n=12)
-#   APPS="VA" N=24 scripts/bench.sh
+#   results/BENCH_5.json — golden-prefix fast-forward vs the slow path
+#     (--no-fast-forward) on the PR-5 workload, >= 3x aggregate;
+#   results/BENCH_9.json — the trace-replay backend (--backend replay)
+#     vs the fast-forward baseline, >= 5x aggregate.
+#
+# Every campaign is run under each engine and the result fingerprints
+# must agree — the speedup claims are only meaningful because the
+# classifications are byte-identical.
+#
+# The replay workload deliberately uses applications whose access
+# patterns leave most fault footprints dead (streaming/graph apps:
+# ~90%+ of trials synthesize without simulating), at a trial count
+# that amortizes the one-time trace capture — that is the regime the
+# backend exists for; docs/TRACE.md discusses the dead-fraction cap.
+#
+#   scripts/bench.sh                      # default workloads
+#   APPS="VA" N=24 scripts/bench.sh       # override BENCH_5 workload
+#   REPLAY_APPS="VA" REPLAY_N=96 scripts/bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,19 +27,23 @@ APPS=${APPS:-"LUD SRADv1 SCP"}
 N=${N:-12}
 SEED=${SEED:-7}
 THRESHOLD=${THRESHOLD:-3.0}
+REPLAY_APPS=${REPLAY_APPS:-"VA NW"}
+REPLAY_N=${REPLAY_N:-288}
+REPLAY_THRESHOLD=${REPLAY_THRESHOLD:-5.0}
 OUT=results/BENCH_5.json
+OUT_REPLAY=results/BENCH_9.json
 
 echo "==> cargo build --release -p bench"
 cargo build --release -q -p bench
 CAMPAIGN=target/release/campaign
 
-run_ms() { # app extra-flags... -> "wall_ms trials fingerprint"
-  local app=$1
-  shift
+run_ms() { # app n extra-flags... -> "wall_ms trials fingerprint"
+  local app=$1 n=$2
+  shift 2
   local log s e
   log=$(mktemp)
   s=$(date +%s%N)
-  "$CAMPAIGN" run --app "$app" --layer uarch --n "$N" --seed "$SEED" "$@" \
+  "$CAMPAIGN" run --app "$app" --layer uarch --n "$n" --seed "$SEED" "$@" \
     > "$log" 2>&1
   e=$(date +%s%N)
   local trials fp
@@ -36,6 +53,7 @@ run_ms() { # app extra-flags... -> "wall_ms trials fingerprint"
   echo "$(((e - s) / 1000000)) $trials $fp"
 }
 
+# ---- BENCH_5: fast-forward vs slow path --------------------------------
 total_on_ms=0
 total_off_ms=0
 total_trials=0
@@ -43,8 +61,8 @@ rows=""
 for app in $APPS; do
   # Warm up caches and the allocator before timing anything.
   "$CAMPAIGN" run --app "$app" --layer uarch --n 2 --seed "$SEED" > /dev/null 2>&1
-  read -r on_ms trials fp_on <<< "$(run_ms "$app")"
-  read -r off_ms _ fp_off <<< "$(run_ms "$app" --no-fast-forward)"
+  read -r on_ms trials fp_on <<< "$(run_ms "$app" "$N")"
+  read -r off_ms _ fp_off <<< "$(run_ms "$app" "$N" --no-fast-forward)"
   if [ "$fp_on" != "$fp_off" ]; then
     echo "FAIL: $app fingerprints differ (ff $fp_on vs slow $fp_off)" >&2
     exit 1
@@ -81,8 +99,60 @@ EOF
 echo "wrote $OUT"
 echo "aggregate: $total_trials trials, ff ${tps_on}/s vs slow ${tps_off}/s — ${speedup}x"
 
+# ---- BENCH_9: trace-replay backend vs fast-forward ---------------------
+r_ff_ms=0
+r_replay_ms=0
+r_trials=0
+replay_rows=""
+for app in $REPLAY_APPS; do
+  "$CAMPAIGN" run --app "$app" --layer uarch --n 2 --seed "$SEED" > /dev/null 2>&1
+  read -r ff_ms trials fp_ff <<< "$(run_ms "$app" "$REPLAY_N")"
+  read -r replay_ms _ fp_replay <<< "$(run_ms "$app" "$REPLAY_N" --backend replay)"
+  if [ "$fp_ff" != "$fp_replay" ]; then
+    echo "FAIL: $app fingerprints differ (ff $fp_ff vs replay $fp_replay)" >&2
+    exit 1
+  fi
+  replay_speedup=$(awk -v a="$ff_ms" -v b="$replay_ms" 'BEGIN { printf "%.2f", a / b }')
+  echo "$app: $trials trials, ff ${ff_ms}ms vs replay ${replay_ms}ms (${replay_speedup}x), fingerprint $fp_ff"
+  r_ff_ms=$((r_ff_ms + ff_ms))
+  r_replay_ms=$((r_replay_ms + replay_ms))
+  r_trials=$((r_trials + trials))
+  replay_rows+=$(printf '    {"app": "%s", "trials": %d, "ff_ms": %d, "replay_ms": %d, "speedup": %s},\n' \
+    "$app" "$trials" "$ff_ms" "$replay_ms" "$replay_speedup")$'\n'
+done
+
+replay_speedup=$(awk -v a="$r_ff_ms" -v b="$r_replay_ms" 'BEGIN { printf "%.2f", a / b }')
+tps_ff=$(awk -v t="$r_trials" -v ms="$r_ff_ms" 'BEGIN { printf "%.1f", t * 1000 / ms }')
+tps_replay=$(awk -v t="$r_trials" -v ms="$r_replay_ms" 'BEGIN { printf "%.1f", t * 1000 / ms }')
+
+cat > "$OUT_REPLAY" <<EOF
+{
+  "bench": "replay",
+  "layer": "uarch",
+  "n_per_structure": $REPLAY_N,
+  "seed": $SEED,
+  "baseline": "fast_forward",
+  "apps": [
+${replay_rows%,*}
+  ],
+  "total_trials": $r_trials,
+  "ff": {"wall_ms": $r_ff_ms, "trials_per_sec": $tps_ff},
+  "replay": {"wall_ms": $r_replay_ms, "trials_per_sec": $tps_replay},
+  "speedup": $replay_speedup,
+  "threshold": $REPLAY_THRESHOLD
+}
+EOF
+echo "wrote $OUT_REPLAY"
+echo "aggregate: replay ${tps_replay}/s vs ff ${tps_ff}/s — ${replay_speedup}x"
+
 awk -v s="$speedup" -v t="$THRESHOLD" 'BEGIN { exit !(s >= t) }' || {
   echo "FAIL: aggregate speedup ${speedup}x is below the ${THRESHOLD}x gate" >&2
   exit 1
 }
 echo "fast-forward speedup gate: OK (>= ${THRESHOLD}x)"
+
+awk -v s="$replay_speedup" -v t="$REPLAY_THRESHOLD" 'BEGIN { exit !(s >= t) }' || {
+  echo "FAIL: aggregate replay speedup ${replay_speedup}x is below the ${REPLAY_THRESHOLD}x gate" >&2
+  exit 1
+}
+echo "replay speedup gate: OK (>= ${REPLAY_THRESHOLD}x)"

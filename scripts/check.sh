@@ -76,6 +76,15 @@ echo "==> fast-forward equivalence smoke (docs/PERF.md)"
   --csv "$DISP/slow.csv" > /dev/null
 cmp "$DISP/single.csv" "$DISP/slow.csv"
 
+echo "==> replay backend smoke (docs/TRACE.md)"
+# The trace-replay backend records the golden access trace, adjudicates
+# each trial's footprint deadness against it, and synthesizes masked
+# records for provably-dead trials; the assembled CSV must be
+# byte-identical to the timed backend's.
+"$CAMPAIGN" run --app VA --layer uarch --n 6 --seed 1234 --backend replay \
+  --csv "$DISP/replay.csv" > /dev/null
+cmp "$DISP/single.csv" "$DISP/replay.csv"
+
 echo "==> fault-model smoke (docs/FAULT_MODELS.md)"
 # A non-default pattern must run end to end and stay path-independent:
 # a burst-row campaign with and without fast-forward, byte-identical.
